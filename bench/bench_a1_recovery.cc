@@ -1,0 +1,144 @@
+// Experiment A1 (§2.1 failure handling).
+//
+// Claim: "Skadi handles failures in two ways: (1) re-executes the graph
+// using lineage, or (2) uses a reliable caching layer with data replication
+// or EC. ... a reliable caching layer could be beneficial as it helps reduce
+// tail latency and potentially cost since the cost of restarting jobs may
+// offset the cost of extra storage."
+//
+// Workload: produce 8 x 4 MiB objects on a victim node with tasks that cost
+// 5ms each, kill the node, then read every object back.
+// Modes: lineage re-execution / 2x replication / RS(4,2) erasure coding.
+// Metrics: modelled recovery time (reads after the kill) and storage
+// overhead factor. Expected shape: replication recovers fastest but costs
+// 2x storage; EC costs 1.5x storage with decode+transfer overhead; lineage
+// costs 1x storage but pays full recompute (slowest when compute >> IO).
+#include "bench/bench_util.h"
+
+#include "src/cache/erasure.h"
+
+namespace skadi {
+namespace {
+
+constexpr int kObjects = 8;
+constexpr int64_t kObjectBytes = 4 * 1024 * 1024;
+constexpr int64_t kProducerNanos = 5 * 1000 * 1000;  // 5ms compute per object
+
+enum class RecoveryKind { kLineage, kReplication, kErasure };
+
+struct RecoveryResult {
+  int64_t recovery_nanos = 0;
+  double storage_factor = 0.0;
+  bool ok = false;
+};
+
+RecoveryResult RunRecovery(RecoveryKind kind) {
+  ClusterConfig config;
+  config.racks = 2;
+  config.servers_per_rack = 3;
+  config.workers_per_server = 2;
+  config.memory_blades = 0;
+  if (kind == RecoveryKind::kReplication) {
+    config.caching.replication_factor = 2;
+  }
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterBenchFunctions(registry);
+  registry.Register("bench.produce", [](TaskContext&, std::vector<Buffer>&)
+                                         -> Result<std::vector<Buffer>> {
+    return std::vector<Buffer>{Buffer::Zeros(kObjectBytes)};
+  });
+
+  RuntimeOptions options;
+  options.recovery =
+      kind == RecoveryKind::kLineage ? RecoveryMode::kLineage : RecoveryMode::kNone;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  NodeId victim;
+  for (NodeId n : cluster->ComputeNodes()) {
+    if (n != cluster->head()) {
+      victim = n;
+      break;
+    }
+  }
+
+  RecoveryResult result;
+  std::vector<ObjectRef> refs;
+
+  if (kind == RecoveryKind::kErasure) {
+    // EC-protected objects written directly through the caching layer.
+    EcConfig ec{4, 2};
+    for (int i = 0; i < kObjects; ++i) {
+      ObjectId id = ObjectId::Next();
+      cluster->cache().PutEc(id, Buffer::Zeros(kObjectBytes), ec);
+      refs.push_back(ObjectRef{id, cluster->head()});
+    }
+    result.storage_factor = static_cast<double>(ec.total_shards()) / ec.data_shards;
+    cluster->fabric().clock().Reset();
+    cluster->fabric().MarkDead(victim);
+    cluster->cache().OnNodeFailure(victim);
+    for (const ObjectRef& ref : refs) {
+      auto data = cluster->cache().Get(ref.id, cluster->head());
+      if (!data.ok() || data->size() != kObjectBytes) {
+        return result;
+      }
+    }
+    result.recovery_nanos = cluster->fabric().clock().total_nanos();
+    result.ok = true;
+    return result;
+  }
+
+  // Lineage / replication paths go through the runtime.
+  for (int i = 0; i < kObjects; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.produce";
+    spec.num_returns = 1;
+    spec.fixed_compute_nanos = kProducerNanos;
+    spec.pinned_node = victim;
+    auto r = runtime.Submit(std::move(spec));
+    refs.push_back((*r)[0]);
+  }
+  if (!runtime.Wait(refs, 30000).ok()) {
+    return result;
+  }
+  result.storage_factor = kind == RecoveryKind::kReplication ? 2.0 : 1.0;
+
+  cluster->fabric().clock().Reset();
+  runtime.KillNode(victim);
+  for (const ObjectRef& ref : refs) {
+    auto data = runtime.Get(ref, 30000);
+    if (!data.ok() || data->size() != kObjectBytes) {
+      return result;
+    }
+  }
+  result.recovery_nanos = cluster->fabric().clock().total_nanos();
+  result.ok = true;
+  return result;
+}
+
+void BM_Recovery(benchmark::State& state) {
+  RecoveryKind kind = static_cast<RecoveryKind>(state.range(0));
+  RecoveryResult result;
+  for (auto _ : state) {
+    result = RunRecovery(kind);
+    if (!result.ok) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+  }
+  state.counters["recovery_ms"] = static_cast<double>(result.recovery_nanos) / 1e6;
+  state.counters["storage_factor"] = result.storage_factor;
+}
+
+BENCHMARK(BM_Recovery)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mode(0=lineage,1=repl,2=ec)"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

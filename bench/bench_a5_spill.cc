@@ -1,0 +1,104 @@
+// Experiment A5 (§2.3.2 Gen-2 change 3).
+//
+// Claim: "to resolve potential out-of-memory and to increase availability,
+// we extend the caching layer to include disaggregated memory."
+//
+// Workload: a node with a 64 MiB local store writes a working set of
+// 0.5x / 1x / 2x / 4x its capacity (4 MiB objects), then reads everything
+// back. With the memory-blade tier enabled, overflow spills and reads
+// transparently fetch it back; without it, writes OOM-fail.
+// Metrics: completed puts/gets, OOM failures, spill bytes, modelled time.
+// Expected shape: without blade, failures appear past 1x; with blade, every
+// working-set size completes with spill traffic growing past 1x.
+#include "bench/bench_util.h"
+
+namespace skadi {
+namespace {
+
+constexpr int64_t kLocalCapacity = 64 * 1024 * 1024;
+constexpr int64_t kObjectBytes = 4 * 1024 * 1024;
+
+struct SpillResult {
+  int oom_failures = 0;
+  int completed_reads = 0;
+  int64_t spill_bytes = 0;
+  int64_t modelled_nanos = 0;
+};
+
+SpillResult RunSpill(double working_set_factor, bool with_blade) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 2;
+  config.server_store_bytes = kLocalCapacity;
+  config.memory_blades = with_blade ? 1 : 0;
+  config.blade_bytes = 1024LL * 1024 * 1024;
+  auto cluster = Cluster::Create(config);
+
+  NodeId node = cluster->ComputeNodes()[0];
+  if (with_blade) {
+    cluster->cache().EnableSpillToBlade(node);
+  }
+
+  const int num_objects = static_cast<int>(
+      working_set_factor * static_cast<double>(kLocalCapacity) / kObjectBytes);
+
+  SpillResult result;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < num_objects; ++i) {
+    ObjectId id = ObjectId::Next();
+    Status st = cluster->cache().Put(id, Buffer::Zeros(kObjectBytes), node);
+    if (st.ok()) {
+      ids.push_back(id);
+    } else {
+      result.oom_failures++;
+    }
+  }
+  for (ObjectId id : ids) {
+    auto data = cluster->cache().Get(id, node);
+    if (data.ok() && data->size() == kObjectBytes) {
+      result.completed_reads++;
+    } else {
+      // Without a spill tier the store silently dropped the LRU victim;
+      // the read observes the loss.
+      result.oom_failures++;
+    }
+  }
+  result.spill_bytes =
+      cluster->fabric().metrics().GetCounter("cache.spill_bytes").value();
+  result.modelled_nanos = cluster->fabric().clock().total_nanos();
+  return result;
+}
+
+void BM_SpillToBlade(benchmark::State& state) {
+  double factor = static_cast<double>(state.range(0)) / 10.0;
+  bool with_blade = state.range(1) == 1;
+  SpillResult result;
+  for (auto _ : state) {
+    result = RunSpill(factor, with_blade);
+  }
+  state.counters["working_set_x"] = factor;
+  state.counters["oom_failures"] = result.oom_failures;
+  state.counters["reads_ok"] = result.completed_reads;
+  state.counters["spill_MiB"] =
+      static_cast<double>(result.spill_bytes) / (1024.0 * 1024.0);
+  state.counters["modelled_ms"] = static_cast<double>(result.modelled_nanos) / 1e6;
+}
+
+void SpillArgs(benchmark::internal::Benchmark* bench) {
+  for (int blade : {0, 1}) {
+    for (int factor_x10 : {5, 10, 20, 40}) {
+      bench->Args({factor_x10, blade});
+    }
+  }
+}
+
+BENCHMARK(BM_SpillToBlade)
+    ->Apply(SpillArgs)
+    ->ArgNames({"ws_x10", "blade"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// Experiment A6 (§1 requirement (a), §2.3 control plane).
+//
+// Two control-plane claims:
+//  1. Pay-as-you-go autoscaling: "an easy programming model that enjoys the
+//     pay-as-you-go model for all the computing power used." The autoscaler
+//     grows workers under a burst and shrinks them when idle, trading
+//     queueing delay against worker-seconds (the cost proxy).
+//  2. Gang scheduling: "it could also integrate gang-scheduling to support
+//     SPMD-style sub-graphs." A gang is dispatched atomically only when
+//     slots exist for every member, so two interleaved SPMD jobs cannot
+//     deadlock on partial allocations.
+//
+// Metrics: wall time of the burst, scale-ups, worker-time; gang makespan
+// with/without gang scheduling under competing load.
+#include "bench/bench_util.h"
+
+#include <thread>
+
+namespace skadi {
+namespace {
+
+void RegisterSleepTask(FunctionRegistry& registry) {
+  registry.Register("bench.sleep2ms", [](TaskContext&, std::vector<Buffer>&)
+                                          -> Result<std::vector<Buffer>> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return std::vector<Buffer>{Buffer()};
+  });
+}
+
+struct BurstResult {
+  double wall_ms = 0;
+  int64_t scale_ups = 0;
+  double worker_ms = 0;
+};
+
+BurstResult RunBurst(bool autoscale) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 2;
+  config.workers_per_server = 1;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterSleepTask(registry);
+  RuntimeOptions options;
+  options.autoscaler.enabled = autoscale;
+  options.autoscaler.min_workers = 1;
+  options.autoscaler.max_workers = 8;
+  options.autoscaler.tick_interval_ms = 2;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  Stopwatch watch;
+  std::vector<ObjectRef> refs;
+  for (int i = 0; i < 120; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.sleep2ms";
+    spec.num_returns = 1;
+    auto r = runtime.Submit(std::move(spec));
+    refs.push_back((*r)[0]);
+  }
+  runtime.Wait(refs, 60000);
+
+  BurstResult result;
+  result.wall_ms = watch.ElapsedMillis();
+  result.scale_ups = runtime.autoscaler().scale_ups();
+  result.worker_ms = static_cast<double>(runtime.autoscaler().worker_nanos()) / 1e6;
+  return result;
+}
+
+void BM_AutoscalerBurst(benchmark::State& state) {
+  bool autoscale = state.range(0) == 1;
+  BurstResult result;
+  for (auto _ : state) {
+    result = RunBurst(autoscale);
+  }
+  state.counters["wall_ms"] = result.wall_ms;
+  state.counters["scale_ups"] = static_cast<double>(result.scale_ups);
+  state.counters["worker_ms"] = result.worker_ms;
+}
+
+BENCHMARK(BM_AutoscalerBurst)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"autoscale"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Gang scheduling: an SPMD gang of 8 competing with a stream of filler
+// tasks. With gangs, the 8 members start together (one atomic dispatch);
+// without, members trickle out individually between fillers and the slowest
+// member gates the (synchronous) step.
+double RunSpmdStep(bool use_gang) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 4;
+  config.workers_per_server = 2;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterSleepTask(registry);
+  RuntimeOptions options;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  // Filler load occupying slots.
+  std::vector<ObjectRef> filler;
+  for (int i = 0; i < 16; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.sleep2ms";
+    spec.num_returns = 1;
+    auto r = runtime.Submit(std::move(spec));
+    filler.push_back((*r)[0]);
+  }
+
+  Stopwatch watch;
+  std::vector<ObjectRef> gang_refs;
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.sleep2ms";
+    spec.num_returns = 1;
+    if (use_gang) {
+      spec.gang_group = "spmd";
+      spec.gang_size = 8;
+    }
+    auto r = runtime.Submit(std::move(spec));
+    gang_refs.push_back((*r)[0]);
+  }
+  runtime.Wait(gang_refs, 60000);
+  double makespan = watch.ElapsedMillis();
+  runtime.Wait(filler, 60000);
+  return makespan;
+}
+
+void BM_GangScheduling(benchmark::State& state) {
+  bool use_gang = state.range(0) == 1;
+  double makespan = 0;
+  int64_t gangs = 0;
+  for (auto _ : state) {
+    makespan = RunSpmdStep(use_gang);
+  }
+  gangs = use_gang ? 1 : 0;
+  state.counters["gang_makespan_ms"] = makespan;
+  state.counters["gangs_dispatched"] = static_cast<double>(gangs);
+}
+
+BENCHMARK(BM_GangScheduling)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"gang"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Experiment F1 (Figure 1 + §1).
+//
+// Claim: stateless serverless "functions usually bounce data via durable
+// cloud storage ... detrimental to data systems that heavily rely on a fast
+// caching layer for storing states and ephemeral data exchanged across
+// functions." The distributed runtime's stateful caching layer fixes this.
+//
+// Workload: a 4-stage integrated pipeline (ingest -> ETL -> analytics -> ML)
+// where each stage transforms a payload of S MiB. Three deployments:
+//   durable_bounce — Figure 1(b): every inter-stage exchange goes up to and
+//                    back down from cloud durable storage.
+//   by_value      — stateless serverless with driver-mediated exchange (the
+//                    driver pulls each result and re-ships it inline).
+//   caching_layer — Figure 1(c): stages exchange ObjectRefs through the
+//                    stateful caching layer.
+// Metric: modelled end-to-end nanoseconds + bytes on the durable link.
+// Expected shape: caching_layer wins by a growing factor with payload size;
+// durable_bounce pays ~2 durable crossings per stage.
+#include "bench/bench_util.h"
+
+namespace skadi {
+namespace {
+
+constexpr int kStages = 4;
+constexpr int64_t kStageComputeNanos = 500 * 1000;  // 0.5ms of compute per stage
+
+enum class Mode { kDurableBounce, kByValue, kCachingLayer };
+
+struct PipelineResult {
+  int64_t modelled_nanos = 0;
+  int64_t durable_bytes = 0;
+  int64_t fabric_bytes = 0;
+};
+
+PipelineResult RunPipeline(Mode mode, int64_t payload_bytes) {
+  ClusterConfig config;
+  config.racks = 2;
+  config.servers_per_rack = 2;
+  config.workers_per_server = 2;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterBenchFunctions(registry);
+  RuntimeOptions options;
+  options.futures = FutureProtocol::kPull;
+  options.policy = SchedulingPolicy::kRoundRobin;  // spread stages over nodes
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  Buffer payload = Buffer::Zeros(static_cast<size_t>(payload_bytes));
+
+  switch (mode) {
+    case Mode::kDurableBounce: {
+      // Stage i: read stage i-1's output from durable storage at the worker,
+      // compute, write back to durable storage.
+      cluster->cache().PutDurable("stage.in", payload, cluster->head());
+      for (int s = 0; s < kStages; ++s) {
+        NodeId worker = cluster->ComputeNodes()[static_cast<size_t>(s) %
+                                                cluster->ComputeNodes().size()];
+        auto input = cluster->cache().GetDurable(
+            s == 0 ? "stage.in" : "stage." + std::to_string(s - 1), worker);
+        cluster->fabric().clock().Charge(kStageComputeNanos);
+        cluster->cache().PutDurable("stage." + std::to_string(s),
+                                    Buffer::Zeros(input->size()), worker);
+      }
+      break;
+    }
+    case Mode::kByValue: {
+      // Driver-mediated: pull every intermediate to the head, ship inline.
+      Buffer current = payload;
+      for (int s = 0; s < kStages; ++s) {
+        TaskSpec spec;
+        spec.function = "bench.passthrough_sized";
+        spec.args = {TaskArg::Value(current)};
+        spec.num_returns = 1;
+        spec.fixed_compute_nanos = kStageComputeNanos;
+        auto refs = runtime.Submit(std::move(spec));
+        current = *runtime.Get((*refs)[0]);
+      }
+      break;
+    }
+    case Mode::kCachingLayer: {
+      // By-reference chaining through the caching layer; only the final
+      // result is fetched.
+      ObjectRef current = *runtime.Put(payload);
+      for (int s = 0; s < kStages; ++s) {
+        TaskSpec spec;
+        spec.function = "bench.passthrough_sized";
+        spec.args = {TaskArg::Ref(current)};
+        spec.num_returns = 1;
+        spec.fixed_compute_nanos = kStageComputeNanos;
+        auto refs = runtime.Submit(std::move(spec));
+        current = (*refs)[0];
+      }
+      runtime.Get(current);
+      break;
+    }
+  }
+
+  PipelineResult result;
+  result.modelled_nanos = cluster->fabric().clock().total_nanos();
+  result.durable_bytes = cluster->fabric().bytes(LinkClass::kDurable);
+  result.fabric_bytes = cluster->fabric().total_bytes();
+  return result;
+}
+
+void BM_Pipeline(benchmark::State& state) {
+  Mode mode = static_cast<Mode>(state.range(0));
+  int64_t payload = state.range(1) * 1024 * 1024;
+  PipelineResult last;
+  for (auto _ : state) {
+    last = RunPipeline(mode, payload);
+  }
+  state.counters["modelled_ms"] =
+      static_cast<double>(last.modelled_nanos) / 1e6;
+  state.counters["durable_MiB"] =
+      static_cast<double>(last.durable_bytes) / (1024.0 * 1024.0);
+  state.counters["fabric_MiB"] =
+      static_cast<double>(last.fabric_bytes) / (1024.0 * 1024.0);
+}
+
+void PipelineArgs(benchmark::internal::Benchmark* bench) {
+  for (int mode = 0; mode <= 2; ++mode) {
+    for (int mib : {1, 16, 64}) {
+      bench->Args({mode, mib});
+    }
+  }
+}
+
+BENCHMARK(BM_Pipeline)
+    ->Apply(PipelineArgs)
+    ->ArgNames({"mode(0=durable,1=value,2=cache)", "MiB"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Experiment F2 (Figure 2).
+//
+// Claim: declarative input is lowered through the tiered access layer
+// (SQL -> logical FlowGraph -> physical sharded graph with default
+// parallelism subscripts and keyed edges) and executed by the stateful
+// serverless runtime.
+//
+// Workload: a group-by aggregation over 100k rows, swept over the default
+// degree of parallelism (1..8). Metrics: tasks launched (grows with DOP),
+// modelled time, shuffle bytes. Expected shape: modelled compute time per
+// shard shrinks with DOP while task/shuffle overhead grows — the classic
+// scaling trade-off the physical tier's "default degree of parallelism"
+// decision controls.
+#include "bench/bench_util.h"
+
+#include "src/core/skadi.h"
+
+namespace skadi {
+namespace {
+
+void BM_SqlGroupByDop(benchmark::State& state) {
+  int dop = static_cast<int>(state.range(0));
+  SkadiStats stats;
+  int64_t rows_out = 0;
+  double query_wall_ms = 0;
+  for (auto _ : state) {
+    SkadiOptions options;
+    options.cluster.racks = 2;
+    options.cluster.servers_per_rack = 4;
+    options.cluster.workers_per_server = 2;
+    options.default_parallelism = dop;
+    auto skadi = Skadi::Start(options);
+    // 2M rows: real kernel work dominates, so wall time shows the parallel
+    // speedup while the modelled clock (total work) shows overhead growth.
+    RecordBatch batch = MakeKeyValueBatch(2000000, 64, 42);
+    skadi.value()->RegisterTable("kv", batch, dop);
+    Stopwatch watch;
+    auto result = skadi.value()->Sql(
+        "SELECT key, COUNT(*) AS n, SUM(value) AS total FROM kv GROUP BY key");
+    query_wall_ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows_out = result->num_rows();
+    stats = skadi.value()->GetStats();
+  }
+  state.counters["dop"] = dop;
+  state.counters["query_wall_ms"] = query_wall_ms;
+  state.counters["tasks"] = static_cast<double>(stats.tasks_submitted);
+  state.counters["modelled_work_ms"] = static_cast<double>(stats.modelled_nanos) / 1e6;
+  state.counters["fabric_KiB"] = static_cast<double>(stats.fabric_bytes) / 1024.0;
+  state.counters["groups"] = static_cast<double>(rows_out);
+}
+
+BENCHMARK(BM_SqlGroupByDop)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Join + aggregation: the full Figure 2 shape with two sources, a broadcast
+// edge, a keyed shuffle, and a gather.
+void BM_SqlJoinAggregate(benchmark::State& state) {
+  int dop = static_cast<int>(state.range(0));
+  SkadiStats stats;
+  for (auto _ : state) {
+    SkadiOptions options;
+    options.cluster.racks = 2;
+    options.cluster.servers_per_rack = 4;
+    options.default_parallelism = dop;
+    auto skadi = Skadi::Start(options);
+    skadi.value()->RegisterTable("facts", MakeKeyValueBatch(50000, 256, 1), dop);
+
+    ColumnBuilder k(DataType::kInt64);
+    ColumnBuilder g(DataType::kInt64);
+    for (int64_t i = 0; i < 256; ++i) {
+      k.AppendInt64(i);
+      g.AppendInt64(i % 8);
+    }
+    Schema schema({{"key2", DataType::kInt64}, {"grp", DataType::kInt64}});
+    auto dims = RecordBatch::Make(schema, {k.Finish(), g.Finish()});
+    skadi.value()->RegisterTable("dims", *dims, 1);
+
+    auto result = skadi.value()->Sql(
+        "SELECT grp, SUM(value) AS total FROM facts JOIN dims ON key = key2 "
+        "GROUP BY grp ORDER BY grp");
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = skadi.value()->GetStats();
+  }
+  state.counters["dop"] = dop;
+  state.counters["tasks"] = static_cast<double>(stats.tasks_submitted);
+  state.counters["modelled_ms"] = static_cast<double>(stats.modelled_nanos) / 1e6;
+}
+
+BENCHMARK(BM_SqlJoinAggregate)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation for the paper's open question (§2.2): compile-time-fixed DOP vs
+// run-time tuning from actual table bytes. A fixed DOP of 8 over-shards the
+// small table; adaptive picks ~1 shard for 50k rows and more as data grows.
+void BM_AdaptiveParallelism(benchmark::State& state) {
+  bool adaptive = state.range(0) == 1;
+  int64_t rows = state.range(1);
+  SkadiStats stats;
+  double query_ms = 0;
+  for (auto _ : state) {
+    SkadiOptions options;
+    options.cluster.racks = 2;
+    options.cluster.servers_per_rack = 4;
+    options.default_parallelism = 8;
+    options.adaptive_parallelism = adaptive;
+    options.adaptive_shard_bytes = 8LL * 1024 * 1024;
+    auto skadi = Skadi::Start(options);
+    skadi.value()->RegisterTable("kv", MakeKeyValueBatch(rows, 64, 2));
+    Stopwatch watch;
+    auto result = skadi.value()->Sql(
+        "SELECT key, SUM(value) AS s FROM kv GROUP BY key");
+    query_ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = skadi.value()->GetStats();
+  }
+  state.counters["adaptive"] = adaptive ? 1 : 0;
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["tasks"] = static_cast<double>(stats.tasks_submitted);
+  state.counters["query_wall_ms"] = query_ms;
+  state.counters["modelled_work_ms"] = static_cast<double>(stats.modelled_nanos) / 1e6;
+}
+
+void AdaptiveArgs(benchmark::internal::Benchmark* bench) {
+  for (int adaptive : {0, 1}) {
+    for (int64_t rows : {50000, 2000000}) {
+      bench->Args({adaptive, rows});
+    }
+  }
+}
+
+BENCHMARK(BM_AdaptiveParallelism)
+    ->Apply(AdaptiveArgs)
+    ->ArgNames({"adaptive", "rows"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Experiment F3a (Figure 3, §2.3.2).
+//
+// Claim: "Ray's future resolution uses a pull-based model in which the
+// consumer pulls data from the producer on demand. This creates long stalls
+// for short-lived ops." The Gen-2 push-based model resolves them
+// proactively.
+//
+// Workload: a chain of 12 dependent ops, each of fixed duration D, placed
+// round-robin across nodes so every hand-off crosses the fabric. Sweep D
+// from 10us to 10ms under pull vs push resolution.
+// Metric: modelled end-to-end time; per-op overhead = (total - 12*D) / 12.
+// Expected shape: push saves a near-constant per-op overhead (one control
+// round trip + serialized transfer), so its advantage is large for short
+// ops and vanishes into the noise for 10ms ops — the crossover the paper
+// argues motivates Gen-2.
+#include "bench/bench_util.h"
+
+namespace skadi {
+namespace {
+
+constexpr int kChainLength = 12;
+
+int64_t RunChain(FutureProtocol futures, int64_t op_nanos) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 4;
+  config.workers_per_server = 2;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterBenchFunctions(registry);
+  RuntimeOptions options;
+  options.futures = futures;
+  options.policy = SchedulingPolicy::kRoundRobin;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  ObjectRef current = *runtime.Put(Buffer::Zeros(64 * 1024));
+  for (int i = 0; i < kChainLength; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.echo";
+    spec.args = {TaskArg::Ref(current)};
+    spec.num_returns = 1;
+    spec.fixed_compute_nanos = op_nanos;
+    auto refs = runtime.Submit(std::move(spec));
+    current = (*refs)[0];
+  }
+  runtime.Get(current);
+  return cluster->fabric().clock().total_nanos();
+}
+
+void BM_FutureResolution(benchmark::State& state) {
+  FutureProtocol protocol =
+      state.range(0) == 0 ? FutureProtocol::kPull : FutureProtocol::kPush;
+  int64_t op_nanos = state.range(1);
+  int64_t total = 0;
+  for (auto _ : state) {
+    total = RunChain(protocol, op_nanos);
+  }
+  state.counters["op_us"] = static_cast<double>(op_nanos) / 1000.0;
+  state.counters["modelled_ms"] = static_cast<double>(total) / 1e6;
+  state.counters["overhead_per_op_us"] =
+      static_cast<double>(total - kChainLength * op_nanos) / kChainLength / 1000.0;
+}
+
+void FutureArgs(benchmark::internal::Benchmark* bench) {
+  for (int protocol : {0, 1}) {
+    for (int64_t op_nanos : {10 * 1000L, 100 * 1000L, 1000 * 1000L, 10 * 1000 * 1000L}) {
+      bench->Args({protocol, op_nanos});
+    }
+  }
+}
+
+BENCHMARK(BM_FutureResolution)
+    ->Apply(FutureArgs)
+    ->ArgNames({"proto(0=pull,1=push)", "op_ns"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

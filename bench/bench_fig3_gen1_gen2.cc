@@ -1,0 +1,95 @@
+// Experiment F3b (Figure 3, §2.3.2).
+//
+// Claim: Gen-1 "continues to use the CPU-centric model in which the DPU
+// orchestrates all resources of a device. ... if two chained ops from the
+// same physical graph are deployed to two different FPGAs, their
+// communication must go through the DPU. For short-lived ML ops, frequent
+// trips to the DPU are too costly." Gen-2's device-resident raylets talk
+// directly.
+//
+// Workload: a chain of 16 ops alternating between the two FPGAs of one
+// DPU-fronted complex, pull-based futures, swept over op duration.
+// Metrics: control-plane hops (deterministic) and modelled time.
+// Expected shape: Gen-1 ~2x the control hops; the latency gap is decisive
+// at 10-100us ops and negligible at 10ms.
+#include "bench/bench_util.h"
+
+namespace skadi {
+namespace {
+
+constexpr int kChainLength = 16;
+
+struct ChainResult {
+  int64_t modelled_nanos = 0;
+  int64_t control_hops = 0;
+};
+
+ChainResult RunDeviceChain(RuntimeGeneration generation, int64_t op_nanos) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 1;
+  config.device_complexes = 1;
+  config.gpus_per_complex = 0;
+  config.fpgas_per_complex = 2;
+  config.workers_per_device = 2;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RegisterBenchFunctions(registry);
+  RuntimeOptions options;
+  options.generation = generation;
+  options.futures = FutureProtocol::kPull;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  auto fpgas = cluster->NodesWithDevice(DeviceKind::kFpga);
+  ObjectRef current = *runtime.Put(Buffer::Zeros(16 * 1024));
+  for (int i = 0; i < kChainLength; ++i) {
+    TaskSpec spec;
+    spec.function = "bench.echo";
+    spec.args = {TaskArg::Ref(current)};
+    spec.num_returns = 1;
+    spec.fixed_compute_nanos = op_nanos;
+    spec.pinned_node = fpgas[static_cast<size_t>(i) % fpgas.size()];
+    auto refs = runtime.Submit(std::move(spec));
+    current = (*refs)[0];
+  }
+  runtime.Get(current);
+  ChainResult result;
+  result.modelled_nanos = cluster->fabric().clock().total_nanos();
+  result.control_hops = runtime.control_hops();
+  return result;
+}
+
+void BM_Gen1VsGen2(benchmark::State& state) {
+  RuntimeGeneration generation =
+      state.range(0) == 1 ? RuntimeGeneration::kGen1 : RuntimeGeneration::kGen2;
+  int64_t op_nanos = state.range(1);
+  ChainResult result;
+  for (auto _ : state) {
+    result = RunDeviceChain(generation, op_nanos);
+  }
+  state.counters["op_us"] = static_cast<double>(op_nanos) / 1000.0;
+  state.counters["control_hops"] = static_cast<double>(result.control_hops);
+  state.counters["modelled_ms"] = static_cast<double>(result.modelled_nanos) / 1e6;
+  state.counters["overhead_per_op_us"] =
+      static_cast<double>(result.modelled_nanos - kChainLength * op_nanos) /
+      kChainLength / 1000.0;
+}
+
+void GenArgs(benchmark::internal::Benchmark* bench) {
+  for (int gen : {1, 2}) {
+    for (int64_t op_nanos : {10 * 1000L, 100 * 1000L, 1000 * 1000L, 10 * 1000 * 1000L}) {
+      bench->Args({gen, op_nanos});
+    }
+  }
+}
+
+BENCHMARK(BM_Gen1VsGen2)
+    ->Apply(GenArgs)
+    ->ArgNames({"gen", "op_ns"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

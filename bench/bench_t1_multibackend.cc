@@ -1,0 +1,127 @@
+// Experiment T1 (Table 1 / §2.2).
+//
+// Claim: "A key benefit of using hardware-agnostic IR is that we can lower a
+// single piece of code to multiple hardware backends ... in order to compare
+// how an op performs on two platforms, the MLIR-based vertex D is lowered
+// onto a GPU version (D1) and an FPGA version (D2) for a direct comparison."
+//
+// Workload: the SAME IrFunction executed as a FlowGraph vertex pinned to
+// CPU / GPU / FPGA backends of one cluster — once for a streaming
+// filter+aggregate (FPGA-friendly) and once for a matmul (GPU-friendly).
+// Metric: modelled execution time per backend.
+// Expected shape: FPGA wins the streaming op, GPU wins the matmul, CPU is
+// the balanced middle — i.e. no single backend dominates, which is exactly
+// why the paper wants per-op lowering decisions.
+#include "bench/bench_util.h"
+
+#include "src/graph/executor.h"
+#include "src/graph/physical.h"
+#include "src/ir/dialects.h"
+
+namespace skadi {
+namespace {
+
+int64_t RunIrOnBackend(bool matmul, DeviceKind backend) {
+  ClusterConfig config;
+  config.racks = 1;
+  config.servers_per_rack = 1;
+  config.device_complexes = 1;
+  config.gpus_per_complex = 1;
+  config.fpgas_per_complex = 1;
+  auto cluster = Cluster::Create(config);
+  FunctionRegistry registry;
+  RuntimeOptions options;
+  SkadiRuntime runtime(cluster.get(), &registry, options);
+
+  // The comparison is the op's execution on each backend, with its inputs
+  // already resident in the device's memory (Figure 2 lowers D onto both
+  // backends and compares the op, not the input shipping).
+  NodeId device_node;
+  for (const ClusterNode& node : cluster->nodes()) {
+    if (node.device.kind == backend && node.is_compute()) {
+      device_node = node.id;
+      break;
+    }
+  }
+  if (!device_node.valid()) {
+    return -1;
+  }
+
+  std::shared_ptr<IrFunction> ir;
+  std::map<VertexId, std::vector<ObjectRef>> inputs;
+  FlowGraph graph;
+  VertexId vertex;
+
+  if (matmul) {
+    ir = std::make_shared<IrFunction>("d_matmul");
+    ValueId a = ir->AddParam(IrType::Tensor());
+    ValueId b = ir->AddParam(IrType::Tensor());
+    ir->SetReturns({EmitMatmul(*ir, a, b)});
+    vertex = graph.AddIrVertex("D", ir, OpClass::kMatmul);
+    Rng rng(3);
+    Tensor ta = Tensor::Random({512, 512}, rng);
+    Tensor tb = Tensor::Random({512, 512}, rng);
+    inputs[vertex] = {*runtime.PutAt(SerializeTensor(ta), device_node),
+                      *runtime.PutAt(SerializeTensor(tb), device_node)};
+  } else {
+    ir = std::make_shared<IrFunction>("d_stream");
+    ValueId t = ir->AddParam(IrType::Table());
+    ValueId filtered = EmitFilter(
+        *ir, t, Expr::Binary(BinaryOp::kGt, Expr::Col("value"), Expr::Float(50.0)));
+    ValueId agg = EmitAggregate(*ir, filtered, {"key"},
+                                {{AggKind::kSum, "value", "total"}});
+    ir->SetReturns({agg});
+    vertex = graph.AddIrVertex("D", ir, OpClass::kFilter);
+    RecordBatch batch = MakeKeyValueBatch(500000, 64, 9);
+    inputs[vertex] = {*runtime.PutAt(SerializeBatchIpc(batch), device_node)};
+  }
+  graph.vertex(vertex)->parallelism_hint = 1;
+  graph.vertex(vertex)->backend_hint = backend;
+
+  LoweringOptions lowering;
+  lowering.available_backends = {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kFpga};
+  auto physical = LowerToPhysical(graph, lowering, &registry);
+
+  cluster->fabric().clock().Reset();  // measure the op, not the data loading
+  GraphExecutor executor(&runtime);
+  auto run = executor.RunToCompletion(*physical, inputs);
+  if (!run.ok()) {
+    return -1;
+  }
+  int64_t op_nanos = cluster->fabric().clock().total_nanos();
+  runtime.Get(run->AllSinkRefs()[0]);
+  return op_nanos;
+}
+
+void BM_MultiBackend(benchmark::State& state) {
+  bool matmul = state.range(0) == 1;
+  DeviceKind backend = static_cast<DeviceKind>(state.range(1));
+  int64_t total = 0;
+  for (auto _ : state) {
+    total = RunIrOnBackend(matmul, backend);
+    if (total < 0) {
+      state.SkipWithError("execution failed");
+      return;
+    }
+  }
+  state.counters["modelled_ms"] = static_cast<double>(total) / 1e6;
+}
+
+void BackendArgs(benchmark::internal::Benchmark* bench) {
+  for (int matmul : {0, 1}) {
+    for (DeviceKind kind : {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kFpga}) {
+      bench->Args({matmul, static_cast<int64_t>(kind)});
+    }
+  }
+}
+
+BENCHMARK(BM_MultiBackend)
+    ->Apply(BackendArgs)
+    ->ArgNames({"op(0=filter_agg,1=matmul)", "backend(0=cpu,1=gpu,2=fpga)"})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skadi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+#include "src/access/mapreduce.h"
+
+namespace skadi {
+
+Result<MapReduceGraph> BuildMapReduceGraph(const MapReduceJob& job) {
+  if (job.mapper.empty() || job.reducer.empty()) {
+    return Status::InvalidArgument("mapper and reducer function names are required");
+  }
+  if (job.shuffle_keys.empty()) {
+    return Status::InvalidArgument("map-reduce needs shuffle keys");
+  }
+  if (job.map_parallelism < 1 || job.reduce_parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  MapReduceGraph out;
+  out.map_vertex = out.graph.AddBuiltinVertex("map", job.mapper, OpClass::kScan);
+  out.graph.vertex(out.map_vertex)->parallelism_hint = job.map_parallelism;
+  out.reduce_vertex = out.graph.AddBuiltinVertex("reduce", job.reducer, OpClass::kAggregate);
+  out.graph.vertex(out.reduce_vertex)->parallelism_hint = job.reduce_parallelism;
+  SKADI_RETURN_IF_ERROR(out.graph.AddEdge(out.map_vertex, out.reduce_vertex,
+                                          EdgeKind::kShuffle, job.shuffle_keys));
+  SKADI_RETURN_IF_ERROR(out.graph.Validate());
+  return out;
+}
+
+}  // namespace skadi

@@ -1,0 +1,37 @@
+// MapReduce frontend: the classic two-stage pattern lowered onto FlowGraph —
+// mapper vertices, a keyed shuffle, reducer vertices. Mappers/reducers are
+// handcrafted ops (registered task functions over IPC-serialized batches),
+// demonstrating the access layer's builtin-op path next to the IR path.
+#ifndef SRC_ACCESS_MAPREDUCE_H_
+#define SRC_ACCESS_MAPREDUCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/flow_graph.h"
+
+namespace skadi {
+
+struct MapReduceJob {
+  // Registered function: one IPC batch in, one IPC batch out. The output
+  // must contain the shuffle key columns.
+  std::string mapper;
+  std::vector<std::string> shuffle_keys;
+  // Registered function: one IPC batch (all rows of its key partition) in,
+  // one IPC batch out.
+  std::string reducer;
+  int map_parallelism = 2;
+  int reduce_parallelism = 2;
+};
+
+struct MapReduceGraph {
+  FlowGraph graph;
+  VertexId map_vertex;
+  VertexId reduce_vertex;
+};
+
+Result<MapReduceGraph> BuildMapReduceGraph(const MapReduceJob& job);
+
+}  // namespace skadi
+
+#endif  // SRC_ACCESS_MAPREDUCE_H_

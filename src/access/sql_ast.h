@@ -1,0 +1,68 @@
+// AST for the supported SQL subset:
+//
+//   SELECT <item>[, <item>]* FROM <table>
+//     [JOIN <table> ON <col> = <col>]
+//     [WHERE <expr>] [GROUP BY <cols>] [HAVING <expr>]
+//     [ORDER BY <col> [ASC|DESC], ...] [LIMIT <n>]
+//
+// where <item> is `*`, an expression with optional AS alias, or an aggregate
+// COUNT/SUM/MIN/MAX/AVG over an expression or `*`.
+#ifndef SRC_ACCESS_SQL_AST_H_
+#define SRC_ACCESS_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/format/compute.h"
+#include "src/format/expr.h"
+
+namespace skadi {
+
+struct SqlSelectItem {
+  // Either a plain expression...
+  ExprPtr expr;
+  // ...or an aggregate over an expression (agg set, expr may be null for
+  // COUNT(*)).
+  std::optional<AggKind> aggregate;
+  std::string alias;  // output column name (derived when not given)
+};
+
+struct SqlJoinClause {
+  std::string table;
+  std::string left_key;
+  std::string right_key;
+};
+
+struct SqlOrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SqlSelect {
+  bool select_star = false;
+  std::vector<SqlSelectItem> items;
+  std::string table;
+  std::optional<SqlJoinClause> join;
+  ExprPtr where;   // may be null
+  std::vector<std::string> group_by;
+  ExprPtr having;  // may be null
+  std::vector<SqlOrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  bool has_aggregates() const {
+    for (const SqlSelectItem& item : items) {
+      if (item.aggregate.has_value()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Parses one SELECT statement; fails with a positioned error message.
+Result<SqlSelect> SqlParse(const std::string& query);
+
+}  // namespace skadi
+
+#endif  // SRC_ACCESS_SQL_AST_H_

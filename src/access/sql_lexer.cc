@@ -1,0 +1,122 @@
+#include "src/access/sql_lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace skadi {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "ORDER", "LIMIT", "AS",
+      "AND",    "OR",    "NOT",   "JOIN",  "ON",    "ASC",   "DESC",  "COUNT",
+      "SUM",    "MIN",   "MAX",   "AVG",   "TRUE",  "FALSE", "HAVING", "INNER"};
+  return kKeywords;
+}
+}  // namespace
+
+Result<std::vector<SqlToken>> SqlLex(const std::string& query) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+
+  auto push = [&tokens](SqlTokenType type, std::string text, size_t pos) -> SqlToken& {
+    SqlToken t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+    return tokens.back();
+  };
+
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_')) {
+        word.push_back(query[i++]);
+      }
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        push(SqlTokenType::kKeyword, upper, start);
+      } else {
+        push(SqlTokenType::kIdentifier, word, start);
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.')) {
+        if (query[i] == '.') {
+          if (is_float) {
+            return Status::InvalidArgument("malformed number at position " +
+                                           std::to_string(start));
+          }
+          is_float = true;
+        }
+        num.push_back(query[i++]);
+      }
+      if (is_float) {
+        SqlToken& t = push(SqlTokenType::kFloat, num, start);
+        t.float_value = std::stod(num);
+      } else {
+        SqlToken& t = push(SqlTokenType::kInteger, num, start);
+        t.int_value = std::stoll(num);
+      }
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && query[i] != '\'') {
+        value.push_back(query[i++]);
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at position " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      push(SqlTokenType::kString, value, start);
+      continue;
+    }
+
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      std::string two = query.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        push(SqlTokenType::kSymbol, two == "<>" ? "!=" : two, start);
+        i += 2;
+        continue;
+      }
+    }
+    std::string one(1, c);
+    if (one == "(" || one == ")" || one == "," || one == "*" || one == "+" ||
+        one == "-" || one == "/" || one == "%" || one == "<" || one == ">" ||
+        one == "=" || one == ".") {
+      push(SqlTokenType::kSymbol, one, start);
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" + one + "' at position " +
+                                   std::to_string(start));
+  }
+
+  push(SqlTokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace skadi

@@ -1,0 +1,35 @@
+// SQL lexer for the declarative tier of the access layer.
+#ifndef SRC_ACCESS_SQL_LEXER_H_
+#define SRC_ACCESS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skadi {
+
+enum class SqlTokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ... (uppercased)
+  kIdentifier,  // table / column names
+  kInteger,
+  kFloat,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , * + - / % < <= > >= = != .
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenType type = SqlTokenType::kEnd;
+  std::string text;  // keywords uppercased; identifiers as written
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the query, for error messages
+};
+
+// Tokenizes a query. Keywords are recognized case-insensitively.
+Result<std::vector<SqlToken>> SqlLex(const std::string& query);
+
+}  // namespace skadi
+
+#endif  // SRC_ACCESS_SQL_LEXER_H_

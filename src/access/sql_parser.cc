@@ -1,0 +1,348 @@
+#include "src/access/sql_ast.h"
+#include "src/access/sql_lexer.h"
+
+namespace skadi {
+
+namespace {
+
+// Recursive-descent parser with standard precedence:
+//   OR < AND < NOT < comparison < additive < multiplicative < unary/primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlSelect> ParseSelect() {
+    SKADI_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SqlSelect select;
+
+    if (PeekSymbol("*")) {
+      Advance();
+      select.select_star = true;
+    } else {
+      while (true) {
+        SKADI_ASSIGN_OR_RETURN(SqlSelectItem item, ParseSelectItem());
+        select.items.push_back(std::move(item));
+        if (!PeekSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    SKADI_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SKADI_ASSIGN_OR_RETURN(select.table, ExpectIdentifier());
+
+    if (PeekKeyword("INNER")) {
+      Advance();
+    }
+    if (PeekKeyword("JOIN")) {
+      Advance();
+      SqlJoinClause join;
+      SKADI_ASSIGN_OR_RETURN(join.table, ExpectIdentifier());
+      SKADI_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      SKADI_ASSIGN_OR_RETURN(join.left_key, ExpectIdentifier());
+      SKADI_RETURN_IF_ERROR(ExpectSymbol("="));
+      SKADI_ASSIGN_OR_RETURN(join.right_key, ExpectIdentifier());
+      select.join = std::move(join);
+    }
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(select.where, ParseExpr());
+    }
+
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      SKADI_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SKADI_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        select.group_by.push_back(std::move(col));
+        if (!PeekSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(select.having, ParseExpr());
+    }
+
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      SKADI_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SqlOrderItem item;
+        SKADI_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          item.ascending = false;
+        }
+        select.order_by.push_back(std::move(item));
+        if (!PeekSymbol(",")) {
+          break;
+        }
+        Advance();
+      }
+    }
+
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != SqlTokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      select.limit = Peek().int_value;
+      Advance();
+    }
+
+    if (Peek().type != SqlTokenType::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return select;
+  }
+
+ private:
+  const SqlToken& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == SqlTokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekSymbol(const std::string& sym) const {
+    return Peek().type == SqlTokenType::kSymbol && Peek().text == sym;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error at position " +
+                                   std::to_string(Peek().position) + ": " + message);
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return Error("expected " + kw);
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) {
+      return Error("expected '" + sym + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != SqlTokenType::kIdentifier) {
+      return Error("expected identifier, found '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  static std::optional<AggKind> AggKeyword(const std::string& kw) {
+    if (kw == "COUNT") {
+      return AggKind::kCount;
+    }
+    if (kw == "SUM") {
+      return AggKind::kSum;
+    }
+    if (kw == "MIN") {
+      return AggKind::kMin;
+    }
+    if (kw == "MAX") {
+      return AggKind::kMax;
+    }
+    if (kw == "AVG") {
+      return AggKind::kMean;
+    }
+    return std::nullopt;
+  }
+
+  Result<SqlSelectItem> ParseSelectItem() {
+    SqlSelectItem item;
+    if (Peek().type == SqlTokenType::kKeyword) {
+      std::optional<AggKind> agg = AggKeyword(Peek().text);
+      if (agg.has_value()) {
+        std::string agg_name = Peek().text;
+        Advance();
+        SKADI_RETURN_IF_ERROR(ExpectSymbol("("));
+        item.aggregate = agg;
+        if (PeekSymbol("*")) {
+          Advance();
+          item.alias = "count";
+        } else {
+          SKADI_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+          if (item.expr->kind() == ExprKind::kColumn) {
+            std::string lower = agg_name;
+            for (char& c : lower) {
+              c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+            }
+            item.alias = lower + "_" + item.expr->column_name();
+          }
+        }
+        SKADI_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    }
+    if (!item.aggregate.has_value()) {
+      SKADI_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (item.expr->kind() == ExprKind::kColumn) {
+        item.alias = item.expr->column_name();
+      }
+    }
+    if (PeekKeyword("AS")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+    }
+    if (item.alias.empty()) {
+      item.alias = "expr" + std::to_string(anon_counter_++);
+    }
+    return item;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SKADI_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SKADI_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Not(operand);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SKADI_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    while (Peek().type == SqlTokenType::kSymbol) {
+      BinaryOp op;
+      if (Peek().text == "<") {
+        op = BinaryOp::kLt;
+      } else if (Peek().text == "<=") {
+        op = BinaryOp::kLe;
+      } else if (Peek().text == ">") {
+        op = BinaryOp::kGt;
+      } else if (Peek().text == ">=") {
+        op = BinaryOp::kGe;
+      } else if (Peek().text == "=") {
+        op = BinaryOp::kEq;
+      } else if (Peek().text == "!=") {
+        op = BinaryOp::kNe;
+      } else {
+        break;
+      }
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SKADI_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinaryOp op = Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SKADI_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (PeekSymbol("*") || PeekSymbol("/") || PeekSymbol("%")) {
+      BinaryOp op = Peek().text == "*"   ? BinaryOp::kMul
+                    : Peek().text == "/" ? BinaryOp::kDiv
+                                         : BinaryOp::kMod;
+      Advance();
+      SKADI_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const SqlToken& t = Peek();
+    switch (t.type) {
+      case SqlTokenType::kInteger: {
+        Advance();
+        return Expr::Int(t.int_value);
+      }
+      case SqlTokenType::kFloat: {
+        Advance();
+        return Expr::Float(t.float_value);
+      }
+      case SqlTokenType::kString: {
+        Advance();
+        return Expr::Str(t.text);
+      }
+      case SqlTokenType::kIdentifier: {
+        Advance();
+        return Expr::Col(t.text);
+      }
+      case SqlTokenType::kKeyword: {
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          Advance();
+          return Expr::Bool(t.text == "TRUE");
+        }
+        return Error("unexpected keyword '" + t.text + "' in expression");
+      }
+      case SqlTokenType::kSymbol: {
+        if (t.text == "(") {
+          Advance();
+          SKADI_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          SKADI_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "-") {
+          Advance();
+          SKADI_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+          return Expr::Binary(BinaryOp::kSub, Expr::Int(0), operand);
+        }
+        return Error("unexpected symbol '" + t.text + "' in expression");
+      }
+      case SqlTokenType::kEnd:
+        return Error("unexpected end of query in expression");
+    }
+    return Error("unparsable expression");
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<SqlSelect> SqlParse(const std::string& query) {
+  SKADI_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, SqlLex(query));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace skadi

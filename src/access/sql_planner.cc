@@ -1,0 +1,339 @@
+#include "src/access/sql_planner.h"
+
+#include "src/ir/dialects.h"
+
+namespace skadi {
+
+namespace {
+
+// Emits ORDER BY / LIMIT onto a function body (used in the gather vertex).
+ValueId EmitOrderLimit(IrFunction& fn, ValueId input, const SqlSelect& select) {
+  ValueId current = input;
+  if (!select.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const SqlOrderItem& item : select.order_by) {
+      keys.push_back({item.column, item.ascending});
+    }
+    current = EmitSort(fn, current, std::move(keys));
+  }
+  if (select.limit.has_value()) {
+    current = EmitLimit(fn, current, *select.limit);
+  }
+  return current;
+}
+
+bool NeedsGather(const SqlSelect& select) {
+  return !select.order_by.empty() || select.limit.has_value();
+}
+
+// Plan for SELECT without aggregates.
+Result<SqlPlan> PlanSimpleSelect(const SqlSelect& select, const SqlPlannerOptions& options) {
+  SqlPlan plan;
+
+  auto build_projection = [&]() -> std::vector<ProjectionSpec> {
+    std::vector<ProjectionSpec> projections;
+    for (const SqlSelectItem& item : select.items) {
+      projections.push_back({item.expr, item.alias});
+    }
+    return projections;
+  };
+
+  VertexId compute_vertex;
+  if (!select.join.has_value()) {
+    auto fn = std::make_shared<IrFunction>("scan_" + select.table);
+    ValueId t = fn->AddParam(IrType::Table());
+    ValueId current = t;
+    if (select.where != nullptr) {
+      current = EmitFilter(*fn, current, select.where);
+    }
+    if (!select.select_star) {
+      current = EmitProject(*fn, current, build_projection());
+    }
+    fn->SetReturns({current});
+    compute_vertex = plan.graph.AddIrVertex("scan:" + select.table, fn, OpClass::kFilter);
+    plan.graph.vertex(compute_vertex)->parallelism_hint = options.parallelism;
+    plan.table_sources[select.table] = compute_vertex;
+  } else {
+    // Left source: pass-through scan, sharded. Right source: pass-through,
+    // single shard, broadcast into the join.
+    auto left_fn = std::make_shared<IrFunction>("scanL_" + select.table);
+    ValueId lt = left_fn->AddParam(IrType::Table());
+    left_fn->SetReturns({lt});
+    VertexId left = plan.graph.AddIrVertex("scan:" + select.table, left_fn, OpClass::kScan);
+    plan.graph.vertex(left)->parallelism_hint = options.parallelism;
+    plan.table_sources[select.table] = left;
+
+    auto right_fn = std::make_shared<IrFunction>("scanR_" + select.join->table);
+    ValueId rt = right_fn->AddParam(IrType::Table());
+    right_fn->SetReturns({rt});
+    VertexId right =
+        plan.graph.AddIrVertex("scan:" + select.join->table, right_fn, OpClass::kScan);
+    plan.graph.vertex(right)->parallelism_hint = 1;
+    plan.table_sources[select.join->table] = right;
+
+    auto join_fn = std::make_shared<IrFunction>("join");
+    ValueId jl = join_fn->AddParam(IrType::Table());
+    ValueId jr = join_fn->AddParam(IrType::Table());
+    ValueId current =
+        EmitJoin(*join_fn, jl, jr, {select.join->left_key}, {select.join->right_key});
+    if (select.where != nullptr) {
+      current = EmitFilter(*join_fn, current, select.where);
+    }
+    if (!select.select_star) {
+      current = EmitProject(*join_fn, current, build_projection());
+    }
+    join_fn->SetReturns({current});
+    compute_vertex = plan.graph.AddIrVertex("join", join_fn, OpClass::kJoin);
+    plan.graph.vertex(compute_vertex)->parallelism_hint = options.parallelism;
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(left, compute_vertex, EdgeKind::kForward));
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(right, compute_vertex, EdgeKind::kBroadcast));
+  }
+
+  if (NeedsGather(select)) {
+    auto gather_fn = std::make_shared<IrFunction>("gather");
+    ValueId t = gather_fn->AddParam(IrType::Table());
+    gather_fn->SetReturns({EmitOrderLimit(*gather_fn, t, select)});
+    VertexId gather = plan.graph.AddIrVertex("gather", gather_fn, OpClass::kSort);
+    plan.graph.vertex(gather)->parallelism_hint = 1;
+    SKADI_RETURN_IF_ERROR(
+        plan.graph.AddEdge(compute_vertex, gather, EdgeKind::kBroadcast));
+    plan.output_vertex = gather;
+  } else {
+    plan.output_vertex = compute_vertex;
+  }
+  return plan;
+}
+
+// Plan for SELECT with aggregates (partial/final split).
+Result<SqlPlan> PlanAggregateSelect(const SqlSelect& select,
+                                    const SqlPlannerOptions& options) {
+  SqlPlan plan;
+
+  // Validate non-aggregate items: must be plain group-by column references.
+  for (const SqlSelectItem& item : select.items) {
+    if (item.aggregate.has_value()) {
+      continue;
+    }
+    if (item.expr == nullptr || item.expr->kind() != ExprKind::kColumn) {
+      return Status::InvalidArgument(
+          "non-aggregate select item '" + item.alias +
+          "' must be a group-by column in an aggregate query");
+    }
+    bool in_group = false;
+    for (const std::string& g : select.group_by) {
+      if (g == item.expr->column_name()) {
+        in_group = true;
+        break;
+      }
+    }
+    if (!in_group) {
+      return Status::InvalidArgument("column '" + item.expr->column_name() +
+                                     "' must appear in GROUP BY");
+    }
+  }
+
+  // --- Partial stage: [join] + filter + expr-projection + partial agg ---
+  auto partial_fn = std::make_shared<IrFunction>("partial");
+  ValueId current;
+  VertexId partial_vertex;
+
+  // Optional join feeding the partial stage.
+  if (select.join.has_value()) {
+    auto left_fn = std::make_shared<IrFunction>("scanL_" + select.table);
+    ValueId lt = left_fn->AddParam(IrType::Table());
+    left_fn->SetReturns({lt});
+    VertexId left = plan.graph.AddIrVertex("scan:" + select.table, left_fn, OpClass::kScan);
+    plan.graph.vertex(left)->parallelism_hint = options.parallelism;
+    plan.table_sources[select.table] = left;
+
+    auto right_fn = std::make_shared<IrFunction>("scanR_" + select.join->table);
+    ValueId rt = right_fn->AddParam(IrType::Table());
+    right_fn->SetReturns({rt});
+    VertexId right =
+        plan.graph.AddIrVertex("scan:" + select.join->table, right_fn, OpClass::kScan);
+    plan.graph.vertex(right)->parallelism_hint = 1;
+    plan.table_sources[select.join->table] = right;
+
+    ValueId jl = partial_fn->AddParam(IrType::Table());
+    ValueId jr = partial_fn->AddParam(IrType::Table());
+    current =
+        EmitJoin(*partial_fn, jl, jr, {select.join->left_key}, {select.join->right_key});
+    partial_vertex = plan.graph.AddIrVertex("partial_agg", partial_fn, OpClass::kAggregate);
+    plan.graph.vertex(partial_vertex)->parallelism_hint = options.parallelism;
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(left, partial_vertex, EdgeKind::kForward));
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(right, partial_vertex, EdgeKind::kBroadcast));
+  } else {
+    current = partial_fn->AddParam(IrType::Table());
+    partial_vertex = plan.graph.AddIrVertex("partial_agg", partial_fn, OpClass::kAggregate);
+    plan.graph.vertex(partial_vertex)->parallelism_hint = options.parallelism;
+    plan.table_sources[select.table] = partial_vertex;
+  }
+
+  if (select.where != nullptr) {
+    current = EmitFilter(*partial_fn, current, select.where);
+  }
+
+  // Materialize aggregate input expressions and group keys as columns.
+  std::vector<ProjectionSpec> pre_agg;
+  for (const std::string& g : select.group_by) {
+    pre_agg.push_back({Expr::Col(g), g});
+  }
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SqlSelectItem& item = select.items[i];
+    if (item.aggregate.has_value() && item.expr != nullptr) {
+      pre_agg.push_back({item.expr, "__e" + std::to_string(i)});
+    }
+  }
+  // COUNT(*)-only queries have nothing to project; feeding the (filtered)
+  // batch straight into the aggregate preserves its row count.
+  if (!pre_agg.empty()) {
+    current = EmitProject(*partial_fn, current, std::move(pre_agg));
+  }
+
+  // Partial aggregate specs.
+  std::vector<AggregateSpec> partial_specs;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SqlSelectItem& item = select.items[i];
+    if (!item.aggregate.has_value()) {
+      continue;
+    }
+    std::string e = "__e" + std::to_string(i);
+    std::string si = std::to_string(i);
+    switch (*item.aggregate) {
+      case AggKind::kCount:
+        partial_specs.push_back(
+            {AggKind::kCount, item.expr == nullptr ? "*" : e, "__c" + si});
+        break;
+      case AggKind::kSum:
+        partial_specs.push_back({AggKind::kSum, e, "__s" + si});
+        break;
+      case AggKind::kMin:
+        partial_specs.push_back({AggKind::kMin, e, "__m" + si});
+        break;
+      case AggKind::kMax:
+        partial_specs.push_back({AggKind::kMax, e, "__m" + si});
+        break;
+      case AggKind::kMean:
+        partial_specs.push_back({AggKind::kSum, e, "__s" + si});
+        partial_specs.push_back({AggKind::kCount, e, "__c" + si});
+        break;
+    }
+  }
+  current = EmitAggregate(*partial_fn, current, select.group_by, std::move(partial_specs));
+  partial_fn->SetReturns({current});
+
+  // --- Final stage: merge partials, project final aliases, having ---
+  auto final_fn = std::make_shared<IrFunction>("final");
+  ValueId ft = final_fn->AddParam(IrType::Table());
+  std::vector<AggregateSpec> final_specs;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SqlSelectItem& item = select.items[i];
+    if (!item.aggregate.has_value()) {
+      continue;
+    }
+    std::string si = std::to_string(i);
+    switch (*item.aggregate) {
+      case AggKind::kCount:
+        final_specs.push_back({AggKind::kSum, "__c" + si, "__c" + si});
+        break;
+      case AggKind::kSum:
+        final_specs.push_back({AggKind::kSum, "__s" + si, "__s" + si});
+        break;
+      case AggKind::kMin:
+        final_specs.push_back({AggKind::kMin, "__m" + si, "__m" + si});
+        break;
+      case AggKind::kMax:
+        final_specs.push_back({AggKind::kMax, "__m" + si, "__m" + si});
+        break;
+      case AggKind::kMean:
+        final_specs.push_back({AggKind::kSum, "__s" + si, "__s" + si});
+        final_specs.push_back({AggKind::kSum, "__c" + si, "__c" + si});
+        break;
+    }
+  }
+  ValueId merged = EmitAggregate(*final_fn, ft, select.group_by, std::move(final_specs));
+
+  std::vector<ProjectionSpec> final_projection;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SqlSelectItem& item = select.items[i];
+    std::string si = std::to_string(i);
+    if (!item.aggregate.has_value()) {
+      final_projection.push_back({item.expr, item.alias});
+      continue;
+    }
+    switch (*item.aggregate) {
+      case AggKind::kCount:
+        final_projection.push_back({Expr::Col("__c" + si), item.alias});
+        break;
+      case AggKind::kSum:
+        final_projection.push_back({Expr::Col("__s" + si), item.alias});
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        final_projection.push_back({Expr::Col("__m" + si), item.alias});
+        break;
+      case AggKind::kMean:
+        final_projection.push_back(
+            {Expr::Binary(BinaryOp::kDiv,
+                          Expr::Binary(BinaryOp::kMul, Expr::Col("__s" + si),
+                                       Expr::Float(1.0)),
+                          Expr::Col("__c" + si)),
+             item.alias});
+        break;
+    }
+  }
+  ValueId projected = EmitProject(*final_fn, merged, std::move(final_projection));
+  if (select.having != nullptr) {
+    projected = EmitFilter(*final_fn, projected, select.having);
+  }
+  final_fn->SetReturns({projected});
+
+  VertexId final_vertex = plan.graph.AddIrVertex("final_agg", final_fn, OpClass::kAggregate);
+  if (select.group_by.empty()) {
+    // Global aggregate: single shard, all partials broadcast in.
+    plan.graph.vertex(final_vertex)->parallelism_hint = 1;
+    SKADI_RETURN_IF_ERROR(
+        plan.graph.AddEdge(partial_vertex, final_vertex, EdgeKind::kBroadcast));
+  } else {
+    plan.graph.vertex(final_vertex)->parallelism_hint = options.parallelism;
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(partial_vertex, final_vertex,
+                                             EdgeKind::kShuffle, select.group_by));
+  }
+
+  if (NeedsGather(select)) {
+    auto gather_fn = std::make_shared<IrFunction>("gather");
+    ValueId t = gather_fn->AddParam(IrType::Table());
+    gather_fn->SetReturns({EmitOrderLimit(*gather_fn, t, select)});
+    VertexId gather = plan.graph.AddIrVertex("gather", gather_fn, OpClass::kSort);
+    plan.graph.vertex(gather)->parallelism_hint = 1;
+    SKADI_RETURN_IF_ERROR(plan.graph.AddEdge(final_vertex, gather, EdgeKind::kBroadcast));
+    plan.output_vertex = gather;
+  } else {
+    plan.output_vertex = final_vertex;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<SqlPlan> PlanSql(const SqlSelect& select, const SqlPlannerOptions& options) {
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (select.select_star && select.has_aggregates()) {
+    return Status::InvalidArgument("SELECT * cannot be combined with aggregates");
+  }
+  if (select.having != nullptr && !select.has_aggregates()) {
+    return Status::InvalidArgument("HAVING requires aggregates");
+  }
+  SqlPlan plan;
+  if (select.has_aggregates()) {
+    SKADI_ASSIGN_OR_RETURN(plan, PlanAggregateSelect(select, options));
+  } else {
+    SKADI_ASSIGN_OR_RETURN(plan, PlanSimpleSelect(select, options));
+  }
+  SKADI_RETURN_IF_ERROR(plan.graph.Validate());
+  return plan;
+}
+
+}  // namespace skadi

@@ -1,0 +1,39 @@
+// SQL -> FlowGraph planner (the "domain-specific parsers translate
+// declarations onto a common graph called FlowGraph" step of §2.1).
+//
+// Plan shapes:
+//   plain select:  [scan+filter+project]xP  (-> gather(sort/limit) if needed)
+//   join:          left source xP --forward--> [join+filter+project]xP
+//                  right source x1 --broadcast-^
+//   aggregation:   [scan+filter+partial-agg]xP --shuffle(keys)-->
+//                  [final-agg+project+having]xK (-> gather if ordered)
+//
+// Distributed aggregation uses the classic partial/final split: partial
+// SUM/COUNT/MIN/MAX per shard, merged with SUM(sums), SUM(counts),
+// MIN(mins), MAX(maxes); AVG is final sum/count.
+#ifndef SRC_ACCESS_SQL_PLANNER_H_
+#define SRC_ACCESS_SQL_PLANNER_H_
+
+#include <map>
+
+#include "src/access/sql_ast.h"
+#include "src/graph/flow_graph.h"
+
+namespace skadi {
+
+struct SqlPlan {
+  FlowGraph graph;
+  // Table name -> source vertex whose inputs are the table's partitions.
+  std::map<std::string, VertexId> table_sources;
+  VertexId output_vertex;
+};
+
+struct SqlPlannerOptions {
+  int parallelism = 2;  // shard count of scan and (grouped) aggregate stages
+};
+
+Result<SqlPlan> PlanSql(const SqlSelect& select, const SqlPlannerOptions& options = {});
+
+}  // namespace skadi
+
+#endif  // SRC_ACCESS_SQL_PLANNER_H_

@@ -1,0 +1,471 @@
+#include "src/cache/caching_layer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace skadi {
+
+CachingLayer::CachingLayer(Fabric* fabric, CachingLayerOptions options)
+    : fabric_(fabric), options_(options) {}
+
+void CachingLayer::RegisterStore(NodeId node, std::shared_ptr<LocalObjectStore> store,
+                                 bool is_memory_blade) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_[node] = std::move(store);
+  if (is_memory_blade) {
+    blades_.insert(node);
+  }
+}
+
+void CachingLayer::RegisterDurableNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_node_ = node;
+}
+
+LocalObjectStore* CachingLayer::StoreOf(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> CachingLayer::PickReplicaTargetsLocked(NodeId primary,
+                                                           int count) const {
+  std::vector<NodeId> targets;
+  if (count <= 0) {
+    return targets;
+  }
+  for (const auto& [node, store] : stores_) {
+    if (node == primary || blades_.count(node) > 0 || fabric_->IsDead(node)) {
+      continue;
+    }
+    targets.push_back(node);
+    if (static_cast<int>(targets.size()) >= count) {
+      break;
+    }
+  }
+  return targets;
+}
+
+Status CachingLayer::Put(ObjectId id, Buffer data, NodeId at) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto sit = stores_.find(at);
+  if (sit == stores_.end()) {
+    return Status::NotFound("no store registered for " + at.ToString());
+  }
+  auto existing = directory_.find(id);
+  if (existing != directory_.end()) {
+    // Re-putting an object whose every copy died restores it in place
+    // (lineage re-execution produces the same object id, §2.1).
+    bool any_live = false;
+    for (NodeId node : existing->second.locations) {
+      if (!fabric_->IsDead(node)) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live && existing->second.ec != nullptr) {
+      int alive = 0;
+      const EcInfo& ec = *existing->second.ec;
+      for (size_t i = 0; i < ec.shards.size(); ++i) {
+        if (ec.shard_alive[i] && !fabric_->IsDead(ec.shards[i].first)) {
+          ++alive;
+        }
+      }
+      any_live = alive >= ec.config.data_shards;
+    }
+    if (any_live) {
+      return Status::AlreadyExists("object " + id.ToString() +
+                                   " already in caching layer");
+    }
+    directory_.erase(existing);
+  }
+  std::vector<NodeId> replicas =
+      PickReplicaTargetsLocked(at, options_.replication_factor - 1);
+  LocalObjectStore* primary_store = sit->second.get();
+
+  DirEntry entry;
+  entry.size = static_cast<int64_t>(data.size());
+  lock.unlock();
+
+  SKADI_RETURN_IF_ERROR(primary_store->Put(id, data));
+  entry.locations.insert(at);
+
+  for (NodeId replica : replicas) {
+    LocalObjectStore* store = StoreOf(replica);
+    if (store == nullptr) {
+      continue;
+    }
+    fabric_->TransferBytes(at, replica, static_cast<int64_t>(data.size()));
+    Status st = store->Put(id, data);
+    if (st.ok()) {
+      entry.locations.insert(replica);
+    } else {
+      SKADI_LOG(kWarn) << "replica put of " << id << " on " << replica
+                       << " failed: " << st.ToString();
+    }
+  }
+
+  lock.lock();
+  directory_[id] = std::move(entry);
+  return Status::Ok();
+}
+
+Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not in caching layer");
+  }
+  DirEntry& entry = it->second;
+
+  // Prefer a local copy, then the topologically closest live location.
+  NodeId source;
+  if (entry.locations.count(at) > 0 && !fabric_->IsDead(at)) {
+    source = at;
+  } else {
+    int best_rank = std::numeric_limits<int>::max();
+    for (NodeId candidate : entry.locations) {
+      if (fabric_->IsDead(candidate)) {
+        continue;
+      }
+      int rank = static_cast<int>(fabric_->topology().Classify(candidate, at));
+      if (rank < best_rank) {
+        best_rank = rank;
+        source = candidate;
+      }
+    }
+  }
+
+  if (!source.valid()) {
+    // No live replica: attempt EC reconstruction.
+    if (entry.ec != nullptr) {
+      return TryEcReconstructLocked(id, entry, at);
+    }
+    return Status::DataLoss("object " + id.ToString() +
+                            " has no live copies and no EC shards");
+  }
+
+  LocalObjectStore* src_store = stores_.at(source).get();
+  lock.unlock();
+
+  SKADI_ASSIGN_OR_RETURN(Buffer data, src_store->Get(id));
+  if (source != at) {
+    fabric_->TransferBytes(source, at, static_cast<int64_t>(data.size()));
+    if (cache_locally) {
+      LocalObjectStore* dst_store = StoreOf(at);
+      if (dst_store != nullptr && dst_store->Put(id, data).ok()) {
+        std::lock_guard<std::mutex> relock(mu_);
+        auto dit = directory_.find(id);
+        if (dit != directory_.end()) {
+          dit->second.locations.insert(at);
+        }
+      }
+    }
+  }
+  return data;
+}
+
+Result<Buffer> CachingLayer::TryEcReconstructLocked(ObjectId /*id*/, DirEntry& entry,
+                                                    NodeId at) {
+  EcInfo& ec = *entry.ec;
+  std::vector<std::optional<Buffer>> shards(ec.shards.size());
+  int found = 0;
+  for (size_t i = 0; i < ec.shards.size() && found < ec.config.data_shards; ++i) {
+    if (!ec.shard_alive[i]) {
+      continue;
+    }
+    auto [node, shard_id] = ec.shards[i];
+    if (fabric_->IsDead(node)) {
+      continue;
+    }
+    auto sit = stores_.find(node);
+    if (sit == stores_.end()) {
+      continue;
+    }
+    Result<Buffer> shard = sit->second->Get(shard_id);
+    if (!shard.ok()) {
+      continue;
+    }
+    fabric_->TransferBytes(node, at, static_cast<int64_t>(shard->size()));
+    shards[i] = std::move(shard).value();
+    ++found;
+  }
+  SKADI_ASSIGN_OR_RETURN(Buffer data, EcDecode(shards, ec.config, ec.original_size));
+  return data;
+}
+
+Status CachingLayer::Delete(ObjectId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not in caching layer");
+  }
+  DirEntry entry = std::move(it->second);
+  directory_.erase(it);
+
+  for (NodeId node : entry.locations) {
+    auto sit = stores_.find(node);
+    if (sit != stores_.end()) {
+      sit->second->Delete(id);  // best effort; store may have evicted it
+    }
+  }
+  if (entry.ec != nullptr) {
+    for (size_t i = 0; i < entry.ec->shards.size(); ++i) {
+      auto [node, shard_id] = entry.ec->shards[i];
+      auto sit = stores_.find(node);
+      if (sit != stores_.end()) {
+        sit->second->Delete(shard_id);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool CachingLayer::Exists(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.count(id) > 0;
+}
+
+Result<int64_t> CachingLayer::SizeOf(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not in caching layer");
+  }
+  return it->second.size;
+}
+
+std::vector<NodeId> CachingLayer::Locations(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return {};
+  }
+  return std::vector<NodeId>(it->second.locations.begin(), it->second.locations.end());
+}
+
+Status CachingLayer::Migrate(ObjectId id, NodeId to) {
+  SKADI_ASSIGN_OR_RETURN(Buffer data, Get(id, to, /*cache_locally=*/false));
+  LocalObjectStore* dst = StoreOf(to);
+  if (dst == nullptr) {
+    return Status::NotFound("no store registered for " + to.ToString());
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("object " + id.ToString() + " vanished during migration");
+  }
+  if (it->second.locations.count(to) > 0) {
+    return Status::Ok();  // already there
+  }
+  std::set<NodeId> old_locations = it->second.locations;
+  lock.unlock();
+
+  SKADI_RETURN_IF_ERROR(dst->Put(id, data));
+  for (NodeId node : old_locations) {
+    LocalObjectStore* store = StoreOf(node);
+    if (store != nullptr) {
+      store->Delete(id);
+    }
+  }
+
+  lock.lock();
+  it = directory_.find(id);
+  if (it != directory_.end()) {
+    it->second.locations.clear();
+    it->second.locations.insert(to);
+  }
+  return Status::Ok();
+}
+
+Status CachingLayer::PutEc(ObjectId id, Buffer data, const EcConfig& config) {
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> shards, EcEncode(data, config));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (directory_.count(id) > 0) {
+    return Status::AlreadyExists("object " + id.ToString() + " already in caching layer");
+  }
+  // Distinct nodes, round-robin over every registered store (blades welcome:
+  // EC shards are cold by construction).
+  std::vector<NodeId> nodes;
+  for (const auto& [node, store] : stores_) {
+    if (!fabric_->IsDead(node)) {
+      nodes.push_back(node);
+    }
+  }
+  if (static_cast<int>(nodes.size()) < config.total_shards()) {
+    return Status::FailedPrecondition(
+        "EC(" + std::to_string(config.data_shards) + "," +
+        std::to_string(config.parity_shards) + ") needs " +
+        std::to_string(config.total_shards()) + " nodes, have " +
+        std::to_string(nodes.size()));
+  }
+
+  auto ec = std::make_unique<EcInfo>();
+  ec->config = config;
+  ec->original_size = data.size();
+  ec->shard_alive.assign(shards.size(), true);
+
+  std::vector<std::pair<NodeId, std::pair<ObjectId, Buffer>>> placements;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    NodeId node = nodes[i % nodes.size()];
+    ObjectId shard_id = ObjectId::Next();
+    ec->shards.emplace_back(node, shard_id);
+    placements.emplace_back(node, std::make_pair(shard_id, std::move(shards[i])));
+  }
+
+  DirEntry entry;
+  entry.size = static_cast<int64_t>(data.size());
+  entry.ec = std::move(ec);
+  directory_[id] = std::move(entry);
+  lock.unlock();
+
+  for (auto& [node, shard] : placements) {
+    LocalObjectStore* store = StoreOf(node);
+    if (store == nullptr) {
+      continue;
+    }
+    fabric_->TransferBytes(NodeId(), node, static_cast<int64_t>(shard.second.size()));
+    SKADI_RETURN_IF_ERROR(store->Put(shard.first, std::move(shard.second)));
+  }
+  return Status::Ok();
+}
+
+Status CachingLayer::PutDurable(const std::string& key, Buffer data, NodeId from) {
+  NodeId durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = durable_node_;
+  }
+  if (!durable.valid()) {
+    return Status::FailedPrecondition("no durable storage node registered");
+  }
+  fabric_->TransferBytes(from, durable, static_cast<int64_t>(data.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_contents_[key] = std::move(data);
+  return Status::Ok();
+}
+
+Result<Buffer> CachingLayer::GetDurable(const std::string& key, NodeId to) {
+  Buffer data;
+  NodeId durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = durable_node_;
+    if (!durable.valid()) {
+      return Status::FailedPrecondition("no durable storage node registered");
+    }
+    auto it = durable_contents_.find(key);
+    if (it == durable_contents_.end()) {
+      return Status::NotFound("durable key '" + key + "' not found");
+    }
+    data = it->second;
+  }
+  fabric_->TransferBytes(durable, to, static_cast<int64_t>(data.size()));
+  return data;
+}
+
+Status CachingLayer::EnableSpillToBlade(NodeId node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto sit = stores_.find(node);
+  if (sit == stores_.end()) {
+    return Status::NotFound("no store registered for " + node.ToString());
+  }
+  if (blades_.empty()) {
+    return Status::FailedPrecondition("no memory blades registered");
+  }
+  LocalObjectStore* store = sit->second.get();
+  lock.unlock();
+
+  store->set_spill_handler([this, node](ObjectId id, const Buffer& data) {
+    // Pick the blade with the most free space.
+    NodeId best_blade;
+    int64_t best_free = -1;
+    {
+      std::lock_guard<std::mutex> lock2(mu_);
+      for (NodeId blade : blades_) {
+        if (fabric_->IsDead(blade)) {
+          continue;
+        }
+        auto it = stores_.find(blade);
+        if (it == stores_.end()) {
+          continue;
+        }
+        int64_t free = it->second->capacity_bytes() - it->second->used_bytes();
+        if (free > best_free) {
+          best_free = free;
+          best_blade = blade;
+        }
+      }
+    }
+    if (!best_blade.valid() || best_free < static_cast<int64_t>(data.size())) {
+      return false;
+    }
+    LocalObjectStore* blade_store = StoreOf(best_blade);
+    fabric_->TransferBytes(node, best_blade, static_cast<int64_t>(data.size()));
+    fabric_->metrics().GetCounter("cache.spill_bytes").Add(static_cast<int64_t>(data.size()));
+    if (!blade_store->Put(id, data).ok()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock2(mu_);
+    auto dit = directory_.find(id);
+    if (dit != directory_.end()) {
+      dit->second.locations.erase(node);
+      dit->second.locations.insert(best_blade);
+    }
+    return true;
+  });
+  return Status::Ok();
+}
+
+void CachingLayer::OnNodeFailure(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sit = stores_.find(node);
+  if (sit != stores_.end()) {
+    sit->second->Clear();
+  }
+  for (auto& [id, entry] : directory_) {
+    entry.locations.erase(node);
+    if (entry.ec != nullptr) {
+      for (size_t i = 0; i < entry.ec->shards.size(); ++i) {
+        if (entry.ec->shards[i].first == node) {
+          entry.ec->shard_alive[i] = false;
+        }
+      }
+    }
+  }
+}
+
+std::vector<ObjectId> CachingLayer::LostObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> lost;
+  for (const auto& [id, entry] : directory_) {
+    bool has_copy = false;
+    for (NodeId node : entry.locations) {
+      if (!fabric_->IsDead(node)) {
+        has_copy = true;
+        break;
+      }
+    }
+    if (has_copy) {
+      continue;
+    }
+    if (entry.ec != nullptr) {
+      int alive = 0;
+      for (size_t i = 0; i < entry.ec->shards.size(); ++i) {
+        if (entry.ec->shard_alive[i] && !fabric_->IsDead(entry.ec->shards[i].first)) {
+          ++alive;
+        }
+      }
+      if (alive >= entry.ec->config.data_shards) {
+        continue;
+      }
+    }
+    lost.push_back(id);
+  }
+  return lost;
+}
+
+}  // namespace skadi

@@ -1,0 +1,131 @@
+// The caching layer (Figure 2, red boxes): one KV API over host DRAM, device
+// HBM, disaggregated memory blades, and cloud durable storage. It hides data
+// location and movement (§2.1: "the caching layer can hide the location and
+// movement of data") and provides the reliability options of §2.1: N-way
+// replication and Reed-Solomon erasure coding.
+#ifndef SRC_CACHE_CACHING_LAYER_H_
+#define SRC_CACHE_CACHING_LAYER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/erasure.h"
+#include "src/common/buffer.h"
+#include "src/common/id.h"
+#include "src/common/status.h"
+#include "src/net/fabric.h"
+#include "src/objectstore/local_store.h"
+
+namespace skadi {
+
+struct CachingLayerOptions {
+  // Total copies written by Put (1 = no replication).
+  int replication_factor = 1;
+};
+
+class CachingLayer {
+ public:
+  explicit CachingLayer(Fabric* fabric, CachingLayerOptions options = {});
+
+  // Registers the store backing `node`. Memory blades are spill/EC targets,
+  // never chosen as replica homes for hot data.
+  void RegisterStore(NodeId node, std::shared_ptr<LocalObjectStore> store,
+                     bool is_memory_blade = false);
+
+  // Designates the cloud durable storage node (Figure 1's bounce target).
+  void RegisterDurableNode(NodeId node);
+
+  LocalObjectStore* StoreOf(NodeId node) const;
+
+  // --- KV API ---
+
+  // Stores `data` with its primary copy on `at`; writes replication_factor-1
+  // additional copies to other (non-blade) nodes, charging fabric transfers.
+  Status Put(ObjectId id, Buffer data, NodeId at);
+
+  // Fetches the object for a reader on `at`. Local hit is free; a remote hit
+  // charges one fabric transfer from the nearest live location. With
+  // `cache_locally`, the fetched copy is inserted into at's store and
+  // becomes a new location. Falls back to EC decode if all replicas are
+  // gone but shards survive.
+  Result<Buffer> Get(ObjectId id, NodeId at, bool cache_locally = false);
+
+  // Removes all copies and shards.
+  Status Delete(ObjectId id);
+
+  bool Exists(ObjectId id) const;
+  Result<int64_t> SizeOf(ObjectId id) const;
+  std::vector<NodeId> Locations(ObjectId id) const;
+
+  // Moves the (sole tracked) copy of an object to `to` — the data plane of
+  // "migrate compute to data OR data to compute" decisions.
+  Status Migrate(ObjectId id, NodeId to);
+
+  // --- Reliability ---
+
+  // Erasure-codes the object across distinct nodes (blades included).
+  // Storage overhead is (k+m)/k instead of replication's factor N.
+  Status PutEc(ObjectId id, Buffer data, const EcConfig& config);
+
+  // --- Durable storage path (the Figure 1b baseline) ---
+
+  Status PutDurable(const std::string& key, Buffer data, NodeId from);
+  Result<Buffer> GetDurable(const std::string& key, NodeId to);
+
+  // --- Spill (Gen-2 §2.3.2 change 3) ---
+
+  // Wires `node`'s store to spill LRU victims to the emptiest memory blade.
+  // The spilled object's directory location moves to the blade, so later
+  // Gets transparently fetch it back over the fabric.
+  Status EnableSpillToBlade(NodeId node);
+
+  // --- Failure handling ---
+
+  // Drops every copy/shard recorded on `node` (its store died). Objects
+  // whose last copy vanished stay in the directory with zero locations; Get
+  // then reports kDataLoss (unless EC shards elsewhere still reconstruct).
+  void OnNodeFailure(NodeId node);
+
+  // Objects that currently have no live copies and no decodable shards.
+  std::vector<ObjectId> LostObjects() const;
+
+ private:
+  struct EcInfo {
+    EcConfig config;
+    size_t original_size = 0;
+    // shard index -> (node, shard object id); missing entries were lost.
+    std::vector<std::pair<NodeId, ObjectId>> shards;
+    std::vector<bool> shard_alive;
+  };
+
+  struct DirEntry {
+    int64_t size = 0;
+    std::set<NodeId> locations;
+    std::unique_ptr<EcInfo> ec;
+  };
+
+  // Picks replication targets: non-blade nodes != primary, deterministic
+  // order. mu_ must be held.
+  std::vector<NodeId> PickReplicaTargetsLocked(NodeId primary, int count) const;
+
+  Result<Buffer> TryEcReconstructLocked(ObjectId id, DirEntry& entry, NodeId at);
+
+  Fabric* fabric_;
+  CachingLayerOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, std::shared_ptr<LocalObjectStore>> stores_;
+  std::set<NodeId> blades_;
+  NodeId durable_node_;
+  std::unordered_map<ObjectId, DirEntry> directory_;
+  std::unordered_map<std::string, Buffer> durable_contents_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_CACHE_CACHING_LAYER_H_

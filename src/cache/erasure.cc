@@ -1,0 +1,229 @@
+#include "src/cache/erasure.h"
+
+#include <array>
+
+namespace skadi {
+
+namespace {
+
+// exp/log tables for GF(2^8) with generator 2 and polynomial 0x11d.
+struct Gf256Tables {
+  std::array<uint8_t, 512> exp{};
+  std::array<uint8_t, 256> log{};
+
+  Gf256Tables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+      log[static_cast<size_t>(x)] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11d;
+      }
+    }
+    // Duplicate so Mul can index exp[log a + log b] without a mod.
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<size_t>(i)] = exp[static_cast<size_t>(i - 255)];
+    }
+  }
+};
+
+const Gf256Tables& Tables() {
+  static const Gf256Tables tables;
+  return tables;
+}
+
+// Cauchy generator row r (parity shard r), column c (data shard c):
+// 1 / (x_r + y_c) with x_r = k + r, y_c = c. All x,y distinct => invertible.
+uint8_t CauchyCoefficient(int k, int parity_row, int data_col) {
+  uint8_t x = static_cast<uint8_t>(k + parity_row);
+  uint8_t y = static_cast<uint8_t>(data_col);
+  return Gf256::Inv(Gf256::Add(x, y));
+}
+
+// Invert an n x n GF(256) matrix via Gauss-Jordan. Returns false if singular
+// (cannot happen for Cauchy-derived matrices; kept as a safety check).
+bool InvertMatrix(std::vector<std::vector<uint8_t>>& m,
+                  std::vector<std::vector<uint8_t>>& inv) {
+  const size_t n = m.size();
+  inv.assign(n, std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    inv[i][i] = 1;
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;
+    }
+    std::swap(m[pivot], m[col]);
+    std::swap(inv[pivot], inv[col]);
+    // Normalize pivot row.
+    uint8_t inv_pivot = Gf256::Inv(m[col][col]);
+    for (size_t j = 0; j < n; ++j) {
+      m[col][j] = Gf256::Mul(m[col][j], inv_pivot);
+      inv[col][j] = Gf256::Mul(inv[col][j], inv_pivot);
+    }
+    // Eliminate other rows.
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col] == 0) {
+        continue;
+      }
+      uint8_t factor = m[row][col];
+      for (size_t j = 0; j < n; ++j) {
+        m[row][j] = Gf256::Add(m[row][j], Gf256::Mul(factor, m[col][j]));
+        inv[row][j] = Gf256::Add(inv[row][j], Gf256::Mul(factor, inv[col][j]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const Gf256Tables& t = Tables();
+  return t.exp[static_cast<size_t>(t.log[a]) + static_cast<size_t>(t.log[b])];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  const Gf256Tables& t = Tables();
+  return t.exp[255 - static_cast<size_t>(t.log[a])];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) { return Mul(a, Inv(b)); }
+
+Result<std::vector<Buffer>> EcEncode(const Buffer& data, const EcConfig& config) {
+  const int k = config.data_shards;
+  const int m = config.parity_shards;
+  if (k < 1 || m < 0 || k + m > 255) {
+    return Status::InvalidArgument("invalid EC config: k=" + std::to_string(k) +
+                                   " m=" + std::to_string(m));
+  }
+  const size_t shard_size = (data.size() + static_cast<size_t>(k) - 1) / static_cast<size_t>(k);
+
+  std::vector<std::vector<uint8_t>> shards(
+      static_cast<size_t>(k + m), std::vector<uint8_t>(shard_size, 0));
+
+  // Split (zero-padded).
+  for (size_t i = 0; i < data.size(); ++i) {
+    shards[i / shard_size][i % shard_size] = data.data()[i];
+  }
+
+  // Parity: parity_r[b] = sum_c coeff(r,c) * data_c[b].
+  for (int r = 0; r < m; ++r) {
+    std::vector<uint8_t>& parity = shards[static_cast<size_t>(k + r)];
+    for (int c = 0; c < k; ++c) {
+      uint8_t coeff = CauchyCoefficient(k, r, c);
+      const std::vector<uint8_t>& src = shards[static_cast<size_t>(c)];
+      for (size_t b = 0; b < shard_size; ++b) {
+        parity[b] = Gf256::Add(parity[b], Gf256::Mul(coeff, src[b]));
+      }
+    }
+  }
+
+  std::vector<Buffer> out;
+  out.reserve(static_cast<size_t>(k + m));
+  for (auto& shard : shards) {
+    out.emplace_back(std::move(shard));
+  }
+  return out;
+}
+
+Result<Buffer> EcDecode(const std::vector<std::optional<Buffer>>& shards,
+                        const EcConfig& config, size_t original_size) {
+  const int k = config.data_shards;
+  const int m = config.parity_shards;
+  if (static_cast<int>(shards.size()) != k + m) {
+    return Status::InvalidArgument("expected " + std::to_string(k + m) + " shard slots, got " +
+                                   std::to_string(shards.size()));
+  }
+
+  // Collect the first k available shards (and their generator-matrix rows).
+  std::vector<int> have;
+  for (int i = 0; i < k + m && static_cast<int>(have.size()) < k; ++i) {
+    if (shards[static_cast<size_t>(i)].has_value()) {
+      have.push_back(i);
+    }
+  }
+  if (static_cast<int>(have.size()) < k) {
+    return Status::DataLoss("only " + std::to_string(have.size()) + " of " +
+                            std::to_string(k) + " required shards survive");
+  }
+
+  size_t shard_size = shards[static_cast<size_t>(have[0])]->size();
+  for (int i : have) {
+    if (shards[static_cast<size_t>(i)]->size() != shard_size) {
+      return Status::InvalidArgument("shard size mismatch");
+    }
+  }
+  if (original_size > shard_size * static_cast<size_t>(k)) {
+    return Status::InvalidArgument("original_size exceeds shard capacity");
+  }
+
+  // Fast path: all data shards survive.
+  bool all_data = true;
+  for (int i = 0; i < k; ++i) {
+    if (!shards[static_cast<size_t>(i)].has_value()) {
+      all_data = false;
+      break;
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k));
+  if (all_data) {
+    for (int i = 0; i < k; ++i) {
+      const Buffer& b = *shards[static_cast<size_t>(i)];
+      data[static_cast<size_t>(i)].assign(b.data(), b.data() + b.size());
+    }
+  } else {
+    // Build the k x k matrix of surviving generator rows and invert it.
+    std::vector<std::vector<uint8_t>> matrix(static_cast<size_t>(k),
+                                             std::vector<uint8_t>(static_cast<size_t>(k), 0));
+    for (int row = 0; row < k; ++row) {
+      int shard_index = have[static_cast<size_t>(row)];
+      if (shard_index < k) {
+        matrix[static_cast<size_t>(row)][static_cast<size_t>(shard_index)] = 1;
+      } else {
+        for (int c = 0; c < k; ++c) {
+          matrix[static_cast<size_t>(row)][static_cast<size_t>(c)] =
+              CauchyCoefficient(k, shard_index - k, c);
+        }
+      }
+    }
+    std::vector<std::vector<uint8_t>> inverse;
+    if (!InvertMatrix(matrix, inverse)) {
+      return Status::Internal("EC decode matrix singular (should be impossible)");
+    }
+    // data_c = sum_row inverse[c][row] * surviving[row].
+    for (int c = 0; c < k; ++c) {
+      data[static_cast<size_t>(c)].assign(shard_size, 0);
+      for (int row = 0; row < k; ++row) {
+        uint8_t coeff = inverse[static_cast<size_t>(c)][static_cast<size_t>(row)];
+        if (coeff == 0) {
+          continue;
+        }
+        const Buffer& src = *shards[static_cast<size_t>(have[static_cast<size_t>(row)])];
+        for (size_t b = 0; b < shard_size; ++b) {
+          data[static_cast<size_t>(c)][b] =
+              Gf256::Add(data[static_cast<size_t>(c)][b], Gf256::Mul(coeff, src.data()[b]));
+        }
+      }
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(original_size);
+  for (size_t i = 0; i < original_size; ++i) {
+    out.push_back(data[i / shard_size][i % shard_size]);
+  }
+  return Buffer(std::move(out));
+}
+
+}  // namespace skadi

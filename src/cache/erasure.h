@@ -1,0 +1,51 @@
+// Reed-Solomon erasure coding over GF(2^8), used by the reliable caching
+// layer (§2.1 failure handling option 2: "a reliable caching layer with data
+// replication or EC").
+//
+// Encoding splits a buffer into k equal data shards and computes m parity
+// shards with a Cauchy generator matrix (every k x k submatrix of a Cauchy
+// matrix is invertible, so ANY k surviving shards reconstruct the data).
+#ifndef SRC_CACHE_ERASURE_H_
+#define SRC_CACHE_ERASURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace skadi {
+
+// GF(2^8) arithmetic with the 0x11d reducing polynomial (the AES-adjacent
+// field every RS implementation uses). Table-driven; thread-safe after the
+// first use.
+class Gf256 {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);  // b must be non-zero
+  static uint8_t Inv(uint8_t a);             // a must be non-zero
+};
+
+struct EcConfig {
+  int data_shards = 4;
+  int parity_shards = 2;
+
+  int total_shards() const { return data_shards + parity_shards; }
+};
+
+// Splits `data` into config.data_shards equal shards (zero-padded) and
+// appends config.parity_shards parity shards. Every returned shard has the
+// same size: ceil(data.size() / k). Requires 1 <= k, 0 <= m, k + m <= 255.
+Result<std::vector<Buffer>> EcEncode(const Buffer& data, const EcConfig& config);
+
+// Reconstructs the original data from any >= k surviving shards.
+// `shards[i]` is nullopt when shard i was lost. `original_size` trims the
+// zero padding (callers record it alongside the shards).
+Result<Buffer> EcDecode(const std::vector<std::optional<Buffer>>& shards,
+                        const EcConfig& config, size_t original_size);
+
+}  // namespace skadi
+
+#endif  // SRC_CACHE_ERASURE_H_

@@ -1,0 +1,155 @@
+// Immutable shared byte buffers and a growable builder.
+//
+// Buffer is the unit of data exchanged between tasks, stored in object
+// stores, and shipped over the fabric. It is immutable after construction so
+// it can be shared across threads and "transferred" zero-copy inside the
+// emulated cluster while the fabric charges the modelled cost.
+#ifndef SRC_COMMON_BUFFER_H_
+#define SRC_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skadi {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Takes ownership of `bytes`.
+  explicit Buffer(std::vector<uint8_t> bytes)
+      : data_(std::make_shared<const std::vector<uint8_t>>(std::move(bytes))) {}
+
+  static Buffer FromString(std::string_view s) {
+    std::vector<uint8_t> bytes(s.size());
+    std::memcpy(bytes.data(), s.data(), s.size());
+    return Buffer(std::move(bytes));
+  }
+
+  static Buffer FromBytes(const void* data, size_t size) {
+    std::vector<uint8_t> bytes(size);
+    if (size > 0) {
+      std::memcpy(bytes.data(), data, size);
+    }
+    return Buffer(std::move(bytes));
+  }
+
+  // An all-zero buffer of the given size (used by workload generators).
+  static Buffer Zeros(size_t size) { return Buffer(std::vector<uint8_t>(size)); }
+
+  const uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  std::string_view AsStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data()), size());
+  }
+
+  // Buffers share underlying storage; equality compares contents.
+  bool operator==(const Buffer& other) const {
+    if (size() != other.size()) {
+      return false;
+    }
+    if (data() == other.data()) {
+      return true;
+    }
+    return size() == 0 || std::memcmp(data(), other.data(), size()) == 0;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<uint8_t>> data_;
+};
+
+// Append-only builder producing a Buffer. Provides primitive-typed appends
+// used by the serde codecs; all multi-byte values are host-endian (the
+// emulated cluster is one process).
+class BufferBuilder {
+ public:
+  void Reserve(size_t n) { bytes_.reserve(bytes_.size() + n); }
+
+  void AppendBytes(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  template <typename T>
+  void AppendPod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AppendBytes(&value, sizeof(T));
+  }
+
+  void AppendU8(uint8_t v) { AppendPod(v); }
+  void AppendU32(uint32_t v) { AppendPod(v); }
+  void AppendU64(uint64_t v) { AppendPod(v); }
+  void AppendI64(int64_t v) { AppendPod(v); }
+  void AppendF64(double v) { AppendPod(v); }
+
+  void AppendLengthPrefixedString(std::string_view s) {
+    AppendU32(static_cast<uint32_t>(s.size()));
+    AppendBytes(s.data(), s.size());
+  }
+
+  size_t size() const { return bytes_.size(); }
+
+  Buffer Finish() { return Buffer(std::move(bytes_)); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Sequential reader over a Buffer; the inverse of BufferBuilder.
+// Out-of-bounds reads are programming errors and assert in debug builds;
+// in release they clamp and return zero values.
+class BufferReader {
+ public:
+  explicit BufferReader(Buffer buffer) : buffer_(std::move(buffer)) {}
+
+  size_t remaining() const { return buffer_.size() - offset_; }
+  size_t offset() const { return offset_; }
+  bool exhausted() const { return remaining() == 0; }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (remaining() < size) {
+      return false;
+    }
+    std::memcpy(out, buffer_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  template <typename T>
+  T ReadPod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    ReadBytes(&value, sizeof(T));
+    return value;
+  }
+
+  uint8_t ReadU8() { return ReadPod<uint8_t>(); }
+  uint32_t ReadU32() { return ReadPod<uint32_t>(); }
+  uint64_t ReadU64() { return ReadPod<uint64_t>(); }
+  int64_t ReadI64() { return ReadPod<int64_t>(); }
+  double ReadF64() { return ReadPod<double>(); }
+
+  std::string ReadLengthPrefixedString() {
+    uint32_t n = ReadU32();
+    if (remaining() < n) {
+      n = static_cast<uint32_t>(remaining());
+    }
+    std::string s(reinterpret_cast<const char*>(buffer_.data() + offset_), n);
+    offset_ += n;
+    return s;
+  }
+
+ private:
+  Buffer buffer_;
+  size_t offset_ = 0;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_BUFFER_H_

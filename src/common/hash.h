@@ -1,0 +1,51 @@
+// Hashing utilities: 64-bit FNV-1a for bytes, mixers, and hash combination.
+// Used by keyed (shuffled) FlowGraph edges, the caching-layer directory, and
+// hash-join/partition kernels. Stable across runs => deterministic sharding.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace skadi {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t HashBytes(const void* data, size_t size, uint64_t seed = kFnvOffsetBasis) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffsetBasis) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+// Finalizer from SplitMix64: turns a 64-bit value into a well-mixed hash.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashI64(int64_t v) { return MixU64(static_cast<uint64_t>(v)); }
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return MixU64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Maps a hash to one of `n` partitions. n must be > 0.
+inline uint32_t PartitionOf(uint64_t hash, uint32_t n) {
+  return static_cast<uint32_t>(MixU64(hash) % n);
+}
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_HASH_H_

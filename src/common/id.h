@@ -1,0 +1,94 @@
+// Strongly-typed 64-bit identifiers.
+//
+// Each entity class in the system (node, device, object, task, ...) gets its
+// own id type so they cannot be mixed up at compile time. Ids are allocated
+// from process-wide atomic counters; 0 is reserved as the invalid id.
+#ifndef SRC_COMMON_ID_H_
+#define SRC_COMMON_ID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace skadi {
+
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() : value_(0) {}
+  constexpr explicit TypedId(uint64_t value) : value_(value) {}
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  // Allocates the next id from this type's process-wide counter.
+  static TypedId Next() {
+    static std::atomic<uint64_t> counter{1};
+    return TypedId(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  std::string ToString() const {
+    return std::string(Tag::kPrefix) + std::to_string(value_);
+  }
+
+  constexpr bool operator==(const TypedId& o) const { return value_ == o.value_; }
+  constexpr bool operator!=(const TypedId& o) const { return value_ != o.value_; }
+  constexpr bool operator<(const TypedId& o) const { return value_ < o.value_; }
+
+ private:
+  uint64_t value_;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, const TypedId<Tag>& id) {
+  return os << id.ToString();
+}
+
+struct NodeIdTag { static constexpr const char* kPrefix = "node-"; };
+struct DeviceIdTag { static constexpr const char* kPrefix = "dev-"; };
+struct ObjectIdTag { static constexpr const char* kPrefix = "obj-"; };
+struct TaskIdTag { static constexpr const char* kPrefix = "task-"; };
+struct ActorIdTag { static constexpr const char* kPrefix = "actor-"; };
+struct JobIdTag { static constexpr const char* kPrefix = "job-"; };
+struct WorkerIdTag { static constexpr const char* kPrefix = "worker-"; };
+struct EndpointIdTag { static constexpr const char* kPrefix = "ep-"; };
+struct VertexIdTag { static constexpr const char* kPrefix = "v-"; };
+struct ValueIdTag { static constexpr const char* kPrefix = "ssa-"; };
+
+// A cluster node (server box, DPU+device complex, or memory blade).
+using NodeId = TypedId<NodeIdTag>;
+// A hardware device hosted by a node (CPU socket, GPU, FPGA, DRAM pool).
+using DeviceId = TypedId<DeviceIdTag>;
+// An immutable object in the distributed object store / caching layer.
+using ObjectId = TypedId<ObjectIdTag>;
+// One task invocation in the stateful serverless runtime.
+using TaskId = TypedId<TaskIdTag>;
+// A stateful actor instance.
+using ActorId = TypedId<ActorIdTag>;
+// A submitted job (one physical graph execution).
+using JobId = TypedId<JobIdTag>;
+// A worker thread slot owned by a raylet.
+using WorkerId = TypedId<WorkerIdTag>;
+// A fabric endpoint (one per raylet / store / service).
+using EndpointId = TypedId<EndpointIdTag>;
+// A vertex in a logical or physical FlowGraph.
+using VertexId = TypedId<VertexIdTag>;
+// An SSA value in an IR function.
+using ValueId = TypedId<ValueIdTag>;
+
+}  // namespace skadi
+
+namespace std {
+template <typename Tag>
+struct hash<skadi::TypedId<Tag>> {
+  size_t operator()(const skadi::TypedId<Tag>& id) const {
+    return std::hash<uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // SRC_COMMON_ID_H_

@@ -1,0 +1,81 @@
+// Minimal leveled logging to stderr. Level is process-global; default kWarn
+// keeps tests and benchmarks quiet. SKADI_LOG(level) << ... streams a line.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace skadi {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-global minimum level; messages below it are dropped.
+std::atomic<int>& GlobalLogLevel();
+
+inline void SetLogLevel(LogLevel level) {
+  GlobalLogLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= GlobalLogLevel().load(std::memory_order_relaxed);
+}
+
+std::string_view LogLevelName(LogLevel level);
+
+// One log statement: buffers the line, emits it (under a global mutex so
+// lines don't interleave) at destruction. Fatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace skadi
+
+#define SKADI_LOG(level)                                            \
+  if (!::skadi::LogEnabled(::skadi::LogLevel::level))               \
+    ;                                                               \
+  else                                                              \
+    ::skadi::LogMessage(::skadi::LogLevel::level, __FILE__, __LINE__)
+
+#define SKADI_CHECK(cond)                                                     \
+  if (cond)                                                                   \
+    ;                                                                         \
+  else                                                                        \
+    ::skadi::LogMessage(::skadi::LogLevel::kFatal, __FILE__, __LINE__)        \
+        << "Check failed: " #cond " "
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,139 @@
+// Lightweight metrics: named atomic counters and fixed-bucket latency
+// histograms. Every experiment in EXPERIMENTS.md reads its deterministic
+// numbers (bytes moved, control messages, hops) from a MetricsRegistry.
+#ifndef SRC_COMMON_METRICS_H_
+#define SRC_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace skadi {
+
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-scale latency histogram: bucket i holds samples in [2^i, 2^(i+1)) ns.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(int64_t nanos) {
+    if (nanos < 0) {
+      nanos = 0;
+    }
+    size_t bucket = 0;
+    uint64_t v = static_cast<uint64_t>(nanos);
+    while (v > 1 && bucket < kNumBuckets - 1) {
+      v >>= 1;
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_nanos() const { return sum_.load(std::memory_order_relaxed); }
+
+  double mean_nanos() const {
+    int64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum_nanos()) / static_cast<double>(c);
+  }
+
+  // Approximate quantile (bucket upper bound), q in [0, 1].
+  int64_t QuantileNanos(double q) const {
+    int64_t total = count();
+    if (total == 0) {
+      return 0;
+    }
+    int64_t target = static_cast<int64_t>(q * static_cast<double>(total));
+    int64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen > target) {
+        return static_cast<int64_t>(1ULL << (i + 1 < 63 ? i + 1 : 63));
+      }
+    }
+    return static_cast<int64_t>(1ULL << 62);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Registry of counters/histograms by name. Lookup allocates on first use;
+// returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) {
+      slot = std::make_unique<Counter>();
+    }
+    return *slot;
+  }
+
+  Histogram& GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+  }
+
+  // Snapshot of all counter values, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> SnapshotCounters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, int64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.emplace_back(name, counter->value());
+    }
+    return out;
+  }
+
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) {
+      counter->Reset();
+    }
+    for (auto& [name, histogram] : histograms_) {
+      histogram->Reset();
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_METRICS_H_

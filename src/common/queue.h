@@ -1,0 +1,99 @@
+// Thread-safe blocking queue used for raylet task queues, worker inboxes,
+// and fabric endpoint mailboxes.
+#ifndef SRC_COMMON_QUEUE_H_
+#define SRC_COMMON_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace skadi {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // Pushes an item; returns false if the queue has been closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Like Pop but gives up after `timeout`; nullopt on timeout or closed+empty.
+  std::optional<T> PopWithTimeout(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  // Wakes all blocked poppers; subsequent pushes fail. Pending items can
+  // still be popped until drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_QUEUE_H_

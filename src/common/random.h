@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation (SplitMix64 core).
+// Every workload generator takes an explicit seed so experiments reproduce.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace skadi {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    return NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextI64InRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple, adequate).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(6.283185307179586 * u2);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  // Zipf-distributed rank in [0, n): rank r picked with weight (r+1)^-theta.
+  // theta = 0 is uniform; theta ~ 0.99 matches common skewed key workloads.
+  uint64_t NextZipf(uint64_t n, double theta) {
+    assert(n > 0);
+    if (theta <= 0.0) {
+      return NextBounded(n);
+    }
+    // Rejection-inversion would be faster; linear CDF walk is fine at the
+    // sizes workload generators use (n <= ~1e5) and keeps the code obvious.
+    double total = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      total += 1.0 / __builtin_pow(static_cast<double>(i), theta);
+    }
+    double target = NextDouble() * total;
+    double acc = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / __builtin_pow(static_cast<double>(i), theta);
+      if (acc >= target) {
+        return i - 1;
+      }
+    }
+    return n - 1;
+  }
+
+  // Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length) {
+    std::string s(length, 'a');
+    for (size_t i = 0; i < length; ++i) {
+      s[i] = static_cast<char>('a' + NextBounded(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_RANDOM_H_

@@ -1,0 +1,165 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// Every fallible public API in skadi returns Status (no payload) or Result<T>
+// (payload or error). Codes mirror the small set of failure classes the
+// runtime distinguishes; anything the caller cannot act on programmatically
+// carries a human-readable message instead of a new code.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace skadi {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kUnavailable,      // transient: retry may succeed (e.g. node busy)
+  kFailedPrecondition,
+  kDeadlineExceeded,
+  kAborted,          // task/job cancelled or killed by failure injection
+  kDataLoss,         // object irrecoverably lost (no lineage, no replica)
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for a status code (e.g. "OUT_OF_MEMORY").
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value of type T or an error Status. Never holds an OK status without a
+// value; constructing from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : payload_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(payload_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return payload_.index() == 0; }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(payload_));
+  }
+
+  // Status of this result: OK when a value is present.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<1>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace skadi
+
+// Propagate a non-OK Status from an expression.
+#define SKADI_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::skadi::Status _st = (expr);          \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+// Evaluate a Result<T> expression; bind its value to `lhs` or return its
+// error. `lhs` may include a declaration, e.g. ASSIGN(auto x, Foo()).
+#define SKADI_ASSIGN_OR_RETURN(lhs, expr)          \
+  SKADI_ASSIGN_OR_RETURN_IMPL_(                    \
+      SKADI_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SKADI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define SKADI_STATUS_CONCAT_(a, b) SKADI_STATUS_CONCAT_IMPL_(a, b)
+#define SKADI_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SRC_COMMON_STATUS_H_

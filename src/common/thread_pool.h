@@ -1,0 +1,94 @@
+// Fixed-size thread pool. Raylets use one pool per node as the worker pool;
+// the autoscaler resizes pools by adding/retiring threads.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/queue.h"
+
+namespace skadi {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) { Grow(num_threads); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { Shutdown(); }
+
+  // Enqueues work; returns false after Shutdown.
+  bool Submit(std::function<void()> fn) { return queue_.Push(std::move(fn)); }
+
+  // Adds `n` worker threads.
+  void Grow(size_t n) {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+    num_threads_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Asks `n` workers to retire after their current item. Threads are joined
+  // lazily at Shutdown; num_threads() reflects the logical size immediately.
+  void Shrink(size_t n) {
+    size_t current = num_threads_.load(std::memory_order_relaxed);
+    if (n > current - 1) {
+      n = current > 1 ? current - 1 : 0;  // always keep one worker
+    }
+    for (size_t i = 0; i < n; ++i) {
+      retire_requests_.fetch_add(1, std::memory_order_relaxed);
+      // Wake a potentially idle worker so it can observe the request.
+      queue_.Push([] {});
+    }
+    num_threads_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  size_t num_threads() const { return num_threads_.load(std::memory_order_relaxed); }
+  size_t queue_depth() const { return queue_.Size(); }
+
+  // Stops accepting work, drains the queue, joins all threads. Idempotent.
+  void Shutdown() {
+    queue_.Close();
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (auto& t : threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    threads_.clear();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      // Honor retirement before blocking on the queue again.
+      size_t pending = retire_requests_.load(std::memory_order_relaxed);
+      while (pending > 0) {
+        if (retire_requests_.compare_exchange_weak(pending, pending - 1,
+                                                   std::memory_order_relaxed)) {
+          return;
+        }
+      }
+      std::optional<std::function<void()>> fn = queue_.Pop();
+      if (!fn.has_value()) {
+        return;  // closed and drained
+      }
+      (*fn)();
+    }
+  }
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> num_threads_{0};
+  std::atomic<size_t> retire_requests_{0};
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,216 @@
+#include "src/format/column.h"
+
+namespace skadi {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+    case DataType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+void Column::CountNulls() {
+  null_count_ = 0;
+  for (uint8_t v : validity_) {
+    if (v == 0) {
+      ++null_count_;
+    }
+  }
+  if (null_count_ == 0) {
+    validity_.clear();  // normalize: all-valid bitmap == no bitmap
+  }
+}
+
+Column Column::MakeInt64(std::vector<int64_t> values, std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kInt64;
+  c.length_ = static_cast<int64_t>(values.size());
+  c.ints_ = std::move(values);
+  assert(validity.empty() || validity.size() == c.ints_.size());
+  c.validity_ = std::move(validity);
+  c.CountNulls();
+  return c;
+}
+
+Column Column::MakeFloat64(std::vector<double> values, std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kFloat64;
+  c.length_ = static_cast<int64_t>(values.size());
+  c.doubles_ = std::move(values);
+  assert(validity.empty() || validity.size() == c.doubles_.size());
+  c.validity_ = std::move(validity);
+  c.CountNulls();
+  return c;
+}
+
+Column Column::MakeBool(std::vector<uint8_t> values, std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kBool;
+  c.length_ = static_cast<int64_t>(values.size());
+  c.bools_ = std::move(values);
+  assert(validity.empty() || validity.size() == c.bools_.size());
+  c.validity_ = std::move(validity);
+  c.CountNulls();
+  return c;
+}
+
+Column Column::MakeString(std::vector<std::string> values, std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kString;
+  c.length_ = static_cast<int64_t>(values.size());
+  c.string_offsets_.reserve(values.size() + 1);
+  c.string_offsets_.push_back(0);
+  size_t total = 0;
+  for (const std::string& s : values) {
+    total += s.size();
+  }
+  c.string_bytes_.reserve(total);
+  for (const std::string& s : values) {
+    c.string_bytes_.insert(c.string_bytes_.end(), s.begin(), s.end());
+    c.string_offsets_.push_back(static_cast<uint32_t>(c.string_bytes_.size()));
+  }
+  assert(validity.empty() || validity.size() == values.size());
+  c.validity_ = std::move(validity);
+  c.CountNulls();
+  return c;
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = 0;
+  bytes += ints_.size() * sizeof(int64_t);
+  bytes += doubles_.size() * sizeof(double);
+  bytes += bools_.size();
+  bytes += string_offsets_.size() * sizeof(uint32_t);
+  bytes += string_bytes_.size();
+  bytes += validity_.size();
+  return bytes;
+}
+
+Column Column::Take(const std::vector<int64_t>& indices) const {
+  ColumnBuilder builder(type_);
+  for (int64_t i : indices) {
+    assert(i >= 0 && i < length_);
+    builder.AppendFrom(*this, i);
+  }
+  return builder.Finish();
+}
+
+std::string Column::ValueToString(int64_t i) const {
+  if (IsNull(i)) {
+    return "null";
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      return std::to_string(Int64At(i));
+    case DataType::kFloat64:
+      return std::to_string(Float64At(i));
+    case DataType::kString:
+      return std::string(StringAt(i));
+    case DataType::kBool:
+      return BoolAt(i) ? "true" : "false";
+  }
+  return "?";
+}
+
+void ColumnBuilder::AppendValid(bool valid) {
+  validity_.push_back(valid ? 1 : 0);
+  if (!valid) {
+    saw_null_ = true;
+  }
+  ++length_;
+}
+
+void ColumnBuilder::AppendInt64(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  AppendValid(true);
+}
+
+void ColumnBuilder::AppendFloat64(double v) {
+  assert(type_ == DataType::kFloat64);
+  doubles_.push_back(v);
+  AppendValid(true);
+}
+
+void ColumnBuilder::AppendBool(bool v) {
+  assert(type_ == DataType::kBool);
+  bools_.push_back(v ? 1 : 0);
+  AppendValid(true);
+}
+
+void ColumnBuilder::AppendString(std::string_view v) {
+  assert(type_ == DataType::kString);
+  string_bytes_.insert(string_bytes_.end(), v.begin(), v.end());
+  string_offsets_.push_back(static_cast<uint32_t>(string_bytes_.size()));
+  AppendValid(true);
+}
+
+void ColumnBuilder::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kFloat64:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+    case DataType::kString:
+      string_offsets_.push_back(static_cast<uint32_t>(string_bytes_.size()));
+      break;
+  }
+  AppendValid(false);
+}
+
+void ColumnBuilder::AppendFrom(const Column& src, int64_t i) {
+  assert(src.type() == type_);
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(src.Int64At(i));
+      break;
+    case DataType::kFloat64:
+      AppendFloat64(src.Float64At(i));
+      break;
+    case DataType::kBool:
+      AppendBool(src.BoolAt(i));
+      break;
+    case DataType::kString:
+      AppendString(src.StringAt(i));
+      break;
+  }
+}
+
+Column ColumnBuilder::Finish() {
+  Column c;
+  c.type_ = type_;
+  c.length_ = length_;
+  c.ints_ = std::move(ints_);
+  c.doubles_ = std::move(doubles_);
+  c.bools_ = std::move(bools_);
+  c.string_offsets_ = std::move(string_offsets_);
+  c.string_bytes_ = std::move(string_bytes_);
+  if (saw_null_) {
+    c.validity_ = std::move(validity_);
+  }
+  c.CountNulls();
+  // Reset to a valid empty state.
+  length_ = 0;
+  saw_null_ = false;
+  string_offsets_ = {0};
+  validity_.clear();
+  return c;
+}
+
+}  // namespace skadi

@@ -1,0 +1,134 @@
+// Columnar arrays with optional validity (null) bitmaps.
+//
+// A Column owns contiguous typed storage: fixed-width vectors for
+// int64/float64/bool, offsets+bytes for strings (the Arrow layout). Columns
+// are immutable after construction; ColumnBuilder is the append-side.
+#ifndef SRC_FORMAT_COLUMN_H_
+#define SRC_FORMAT_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/format/datatype.h"
+
+namespace skadi {
+
+class Column {
+ public:
+  Column() = default;
+
+  static Column MakeInt64(std::vector<int64_t> values,
+                          std::vector<uint8_t> validity = {});
+  static Column MakeFloat64(std::vector<double> values,
+                            std::vector<uint8_t> validity = {});
+  static Column MakeBool(std::vector<uint8_t> values,
+                         std::vector<uint8_t> validity = {});
+  static Column MakeString(std::vector<std::string> values,
+                           std::vector<uint8_t> validity = {});
+
+  DataType type() const { return type_; }
+  int64_t length() const { return length_; }
+
+  // True when the column has a validity bitmap with at least one null.
+  bool has_nulls() const { return null_count_ > 0; }
+  int64_t null_count() const { return null_count_; }
+
+  bool IsNull(int64_t i) const {
+    assert(i >= 0 && i < length_);
+    return !validity_.empty() && validity_[static_cast<size_t>(i)] == 0;
+  }
+
+  int64_t Int64At(int64_t i) const {
+    assert(type_ == DataType::kInt64);
+    return ints_[static_cast<size_t>(i)];
+  }
+  double Float64At(int64_t i) const {
+    assert(type_ == DataType::kFloat64);
+    return doubles_[static_cast<size_t>(i)];
+  }
+  bool BoolAt(int64_t i) const {
+    assert(type_ == DataType::kBool);
+    return bools_[static_cast<size_t>(i)] != 0;
+  }
+  std::string_view StringAt(int64_t i) const {
+    assert(type_ == DataType::kString);
+    size_t idx = static_cast<size_t>(i);
+    return std::string_view(string_bytes_.data() + string_offsets_[idx],
+                            string_offsets_[idx + 1] - string_offsets_[idx]);
+  }
+
+  // Approximate in-memory footprint (used for cost accounting & store sizes).
+  size_t ByteSize() const;
+
+  // Raw storage accessors for serde and vectorized kernels.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<uint32_t>& string_offsets() const { return string_offsets_; }
+  const std::vector<char>& string_bytes() const { return string_bytes_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  // Gathers rows at `indices` into a new column. Out-of-range indices are a
+  // programming error (asserted).
+  Column Take(const std::vector<int64_t>& indices) const;
+
+  // Value at row i rendered as text ("null" for nulls); for debugging/tests.
+  std::string ValueToString(int64_t i) const;
+
+ private:
+  friend class ColumnBuilder;
+
+  void CountNulls();
+
+  DataType type_ = DataType::kInt64;
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<uint32_t> string_offsets_;  // length+1 entries
+  std::vector<char> string_bytes_;
+  std::vector<uint8_t> validity_;  // empty = all valid; else 1 byte per row
+};
+
+// Append-side builder for one column. AppendNull works for any type.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(DataType type) : type_(type) { string_offsets_.push_back(0); }
+
+  DataType type() const { return type_; }
+  int64_t length() const { return length_; }
+
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string_view v);
+  void AppendNull();
+
+  // Appends row `i` of `src` (same type), null-preserving.
+  void AppendFrom(const Column& src, int64_t i);
+
+  Column Finish();
+
+ private:
+  void AppendValid(bool valid);
+
+  DataType type_;
+  int64_t length_ = 0;
+  bool saw_null_ = false;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<uint32_t> string_offsets_;
+  std::vector<char> string_bytes_;
+  std::vector<uint8_t> validity_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_COLUMN_H_

@@ -1,0 +1,75 @@
+// Relational compute kernels over RecordBatch. These are the "handcraft ops"
+// (Figure 2's cudf/misc op boxes) that FlowGraph vertices and IR lowering
+// bind to; they run on host threads while the hw::CostModel charges the
+// placed device's modelled time.
+#ifndef SRC_FORMAT_COMPUTE_H_
+#define SRC_FORMAT_COMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/format/expr.h"
+#include "src/format/record_batch.h"
+
+namespace skadi {
+
+// Rows where `predicate` evaluates to true (nulls drop).
+Result<RecordBatch> FilterBatch(const RecordBatch& batch, const Expr& predicate);
+
+struct ProjectionSpec {
+  ExprPtr expr;
+  std::string name;  // output column name
+};
+
+// Computes one output column per projection.
+Result<RecordBatch> ProjectBatch(const RecordBatch& batch,
+                                 const std::vector<ProjectionSpec>& projections);
+
+// Splits rows into `num_partitions` batches by hashing the key columns.
+// Deterministic: same inputs always land in the same partition (shuffle
+// producers and consumers rely on this).
+Result<std::vector<RecordBatch>> HashPartitionBatch(
+    const RecordBatch& batch, const std::vector<std::string>& key_columns,
+    uint32_t num_partitions);
+
+enum class AggKind { kCount, kSum, kMin, kMax, kMean };
+
+std::string_view AggKindName(AggKind kind);
+
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  std::string column;  // input column (ignored for kCount)
+  std::string name;    // output column name
+};
+
+// Hash group-by aggregation. With empty `group_by`, produces one global row.
+// Nulls in aggregated columns are skipped; null group keys form their own
+// group. Output schema: group columns then one column per aggregate
+// (kCount -> int64; kSum -> input type; kMin/kMax -> input type;
+// kMean -> float64).
+Result<RecordBatch> GroupAggregateBatch(const RecordBatch& batch,
+                                        const std::vector<std::string>& group_by,
+                                        const std::vector<AggregateSpec>& aggregates);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+// Stable sort by the given keys. Nulls order first ascending, last descending.
+Result<RecordBatch> SortBatch(const RecordBatch& batch, const std::vector<SortKey>& keys);
+
+// Inner hash join on equality of the key column pairs. Output columns: all
+// left columns, then right columns except its keys; right column names that
+// clash with left names get a "_r" suffix. Null keys never match.
+Result<RecordBatch> HashJoinBatch(const RecordBatch& left, const RecordBatch& right,
+                                  const std::vector<std::string>& left_keys,
+                                  const std::vector<std::string>& right_keys);
+
+// First `n` rows.
+RecordBatch LimitBatch(const RecordBatch& batch, int64_t n);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_COMPUTE_H_

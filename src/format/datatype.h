@@ -1,0 +1,38 @@
+// Scalar data types of the shared columnar format (the reproduction's
+// Arrow stand-in). Four types cover the paper's workloads: analytics
+// (int/float/string), ML features (float), and predicates (bool).
+#ifndef SRC_FORMAT_DATATYPE_H_
+#define SRC_FORMAT_DATATYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace skadi {
+
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+std::string_view DataTypeName(DataType type);
+
+// Fixed width in bytes; 0 for variable-width (string).
+inline size_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kString:
+      return 0;
+    case DataType::kBool:
+      return 1;
+  }
+  return 0;
+}
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_DATATYPE_H_

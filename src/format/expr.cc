@@ -1,0 +1,446 @@
+#include "src/format/expr.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace skadi {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Int(int64_t v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_type_ = DataType::kInt64;
+  e->int_value_ = v;
+  return e;
+}
+
+ExprPtr Expr::Float(double v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_type_ = DataType::kFloat64;
+  e->double_value_ = v;
+  return e;
+}
+
+ExprPtr Expr::Str(std::string v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_type_ = DataType::kString;
+  e->string_value_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Bool(bool v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_type_ = DataType::kBool;
+  e->bool_value_ = v;
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->left_ = std::move(operand);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_name_;
+    case ExprKind::kLiteral:
+      switch (literal_type_) {
+        case DataType::kInt64:
+          return std::to_string(int_value_);
+        case DataType::kFloat64:
+          return std::to_string(double_value_);
+        case DataType::kString:
+          return "'" + string_value_ + "'";
+        case DataType::kBool:
+          return bool_value_ ? "true" : "false";
+      }
+      return "?";
+    case ExprKind::kBinary: {
+      std::ostringstream os;
+      os << "(" << left_->ToString() << " " << BinaryOpName(op_) << " "
+         << right_->ToString() << ")";
+      return os.str();
+    }
+    case ExprKind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+void CollectColumns(const Expr& e, std::set<std::string>& out) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      out.insert(e.column_name());
+      break;
+    case ExprKind::kLiteral:
+      break;
+    case ExprKind::kBinary:
+      CollectColumns(*e.left(), out);
+      CollectColumns(*e.right(), out);
+      break;
+    case ExprKind::kNot:
+      CollectColumns(*e.left(), out);
+      break;
+  }
+}
+}  // namespace
+
+std::vector<std::string> Expr::ReferencedColumns() const {
+  std::set<std::string> cols;
+  CollectColumns(*this, cols);
+  return std::vector<std::string>(cols.begin(), cols.end());
+}
+
+namespace {
+
+bool IsNumeric(DataType t) { return t == DataType::kInt64 || t == DataType::kFloat64; }
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+int CompareValues(const T& a, const T& b) {
+  if (a < b) {
+    return -1;
+  }
+  if (b < a) {
+    return 1;
+  }
+  return 0;
+}
+
+bool ComparisonHolds(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return cmp < 0;
+    case BinaryOp::kLe:
+      return cmp <= 0;
+    case BinaryOp::kGt:
+      return cmp > 0;
+    case BinaryOp::kGe:
+      return cmp >= 0;
+    case BinaryOp::kEq:
+      return cmp == 0;
+    case BinaryOp::kNe:
+      return cmp != 0;
+    default:
+      return false;
+  }
+}
+
+Result<Column> EvalBinary(BinaryOp op, const Column& lhs, const Column& rhs) {
+  const int64_t n = lhs.length();
+  if (rhs.length() != n) {
+    return Status::Internal("operand length mismatch in expression evaluation");
+  }
+
+  auto null_at = [&](int64_t i) { return lhs.IsNull(i) || rhs.IsNull(i); };
+
+  // Logical ops over bools.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    if (lhs.type() != DataType::kBool || rhs.type() != DataType::kBool) {
+      return Status::InvalidArgument("AND/OR require bool operands");
+    }
+    ColumnBuilder out(DataType::kBool);
+    for (int64_t i = 0; i < n; ++i) {
+      if (null_at(i)) {
+        out.AppendNull();
+        continue;
+      }
+      bool a = lhs.BoolAt(i);
+      bool b = rhs.BoolAt(i);
+      out.AppendBool(op == BinaryOp::kAnd ? (a && b) : (a || b));
+    }
+    return out.Finish();
+  }
+
+  // String comparisons.
+  if (lhs.type() == DataType::kString && rhs.type() == DataType::kString) {
+    if (!IsComparison(op)) {
+      return Status::InvalidArgument("strings support only comparisons, got " +
+                                     std::string(BinaryOpName(op)));
+    }
+    ColumnBuilder out(DataType::kBool);
+    for (int64_t i = 0; i < n; ++i) {
+      if (null_at(i)) {
+        out.AppendNull();
+        continue;
+      }
+      int cmp = lhs.StringAt(i).compare(rhs.StringAt(i));
+      out.AppendBool(ComparisonHolds(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)));
+    }
+    return out.Finish();
+  }
+
+  // Bool equality.
+  if (lhs.type() == DataType::kBool && rhs.type() == DataType::kBool &&
+      (op == BinaryOp::kEq || op == BinaryOp::kNe)) {
+    ColumnBuilder out(DataType::kBool);
+    for (int64_t i = 0; i < n; ++i) {
+      if (null_at(i)) {
+        out.AppendNull();
+        continue;
+      }
+      bool eq = lhs.BoolAt(i) == rhs.BoolAt(i);
+      out.AppendBool(op == BinaryOp::kEq ? eq : !eq);
+    }
+    return out.Finish();
+  }
+
+  // Numeric arithmetic / comparison, with int->float promotion.
+  if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+    return Status::InvalidArgument(
+        "type mismatch: " + std::string(DataTypeName(lhs.type())) + " " +
+        std::string(BinaryOpName(op)) + " " + std::string(DataTypeName(rhs.type())));
+  }
+  const bool as_float =
+      lhs.type() == DataType::kFloat64 || rhs.type() == DataType::kFloat64;
+
+  if (IsComparison(op)) {
+    ColumnBuilder out(DataType::kBool);
+    for (int64_t i = 0; i < n; ++i) {
+      if (null_at(i)) {
+        out.AppendNull();
+        continue;
+      }
+      int cmp;
+      if (as_float) {
+        double a = lhs.type() == DataType::kFloat64 ? lhs.Float64At(i)
+                                                    : static_cast<double>(lhs.Int64At(i));
+        double b = rhs.type() == DataType::kFloat64 ? rhs.Float64At(i)
+                                                    : static_cast<double>(rhs.Int64At(i));
+        cmp = CompareValues(a, b);
+      } else {
+        cmp = CompareValues(lhs.Int64At(i), rhs.Int64At(i));
+      }
+      out.AppendBool(ComparisonHolds(op, cmp));
+    }
+    return out.Finish();
+  }
+
+  if (!IsArithmetic(op)) {
+    return Status::InvalidArgument("unsupported operator for numeric operands");
+  }
+
+  if (as_float) {
+    ColumnBuilder out(DataType::kFloat64);
+    for (int64_t i = 0; i < n; ++i) {
+      if (null_at(i)) {
+        out.AppendNull();
+        continue;
+      }
+      double a = lhs.type() == DataType::kFloat64 ? lhs.Float64At(i)
+                                                  : static_cast<double>(lhs.Int64At(i));
+      double b = rhs.type() == DataType::kFloat64 ? rhs.Float64At(i)
+                                                  : static_cast<double>(rhs.Int64At(i));
+      double r = 0.0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          r = a + b;
+          break;
+        case BinaryOp::kSub:
+          r = a - b;
+          break;
+        case BinaryOp::kMul:
+          r = a * b;
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            out.AppendNull();
+            continue;
+          }
+          r = a / b;
+          break;
+        case BinaryOp::kMod:
+          if (b == 0.0) {
+            out.AppendNull();
+            continue;
+          }
+          r = std::fmod(a, b);
+          break;
+        default:
+          break;
+      }
+      out.AppendFloat64(r);
+    }
+    return out.Finish();
+  }
+
+  ColumnBuilder out(DataType::kInt64);
+  for (int64_t i = 0; i < n; ++i) {
+    if (null_at(i)) {
+      out.AppendNull();
+      continue;
+    }
+    int64_t a = lhs.Int64At(i);
+    int64_t b = rhs.Int64At(i);
+    int64_t r = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        r = a + b;
+        break;
+      case BinaryOp::kSub:
+        r = a - b;
+        break;
+      case BinaryOp::kMul:
+        r = a * b;
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        r = a / b;
+        break;
+      case BinaryOp::kMod:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        r = a % b;
+        break;
+      default:
+        break;
+    }
+    out.AppendInt64(r);
+  }
+  return out.Finish();
+}
+
+// Materializes a literal as a constant column of `n` rows.
+Column LiteralColumn(const Expr& e, int64_t n) {
+  switch (e.literal_type()) {
+    case DataType::kInt64:
+      return Column::MakeInt64(std::vector<int64_t>(static_cast<size_t>(n), e.int_value()));
+    case DataType::kFloat64:
+      return Column::MakeFloat64(
+          std::vector<double>(static_cast<size_t>(n), e.double_value()));
+    case DataType::kString: {
+      std::vector<std::string> v(static_cast<size_t>(n), e.string_value());
+      return Column::MakeString(std::move(v));
+    }
+    case DataType::kBool:
+      return Column::MakeBool(
+          std::vector<uint8_t>(static_cast<size_t>(n), e.bool_value() ? 1 : 0));
+  }
+  return Column();
+}
+
+}  // namespace
+
+Result<Column> EvalExpr(const Expr& expr, const RecordBatch& batch) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      const Column* col = batch.ColumnByName(expr.column_name());
+      if (col == nullptr) {
+        return Status::NotFound("column '" + expr.column_name() + "' not in schema " +
+                                batch.schema().ToString());
+      }
+      return *col;
+    }
+    case ExprKind::kLiteral:
+      return LiteralColumn(expr, batch.num_rows());
+    case ExprKind::kBinary: {
+      SKADI_ASSIGN_OR_RETURN(Column lhs, EvalExpr(*expr.left(), batch));
+      SKADI_ASSIGN_OR_RETURN(Column rhs, EvalExpr(*expr.right(), batch));
+      return EvalBinary(expr.op(), lhs, rhs);
+    }
+    case ExprKind::kNot: {
+      SKADI_ASSIGN_OR_RETURN(Column operand, EvalExpr(*expr.left(), batch));
+      if (operand.type() != DataType::kBool) {
+        return Status::InvalidArgument("NOT requires a bool operand");
+      }
+      ColumnBuilder out(DataType::kBool);
+      for (int64_t i = 0; i < operand.length(); ++i) {
+        if (operand.IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(!operand.BoolAt(i));
+        }
+      }
+      return out.Finish();
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace skadi

@@ -1,0 +1,100 @@
+// Scalar expression trees evaluated column-at-a-time over a RecordBatch.
+// Used by filter/project kernels and as the payload of relational IR ops.
+#ifndef SRC_FORMAT_EXPR_H_
+#define SRC_FORMAT_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/format/record_batch.h"
+
+namespace skadi {
+
+enum class ExprKind {
+  kColumn,   // reference to an input column by name
+  kLiteral,  // constant scalar
+  kBinary,   // arithmetic / comparison / logical
+  kNot,      // logical negation
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+std::string_view BinaryOpName(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Immutable expression node. Construct via the factory functions below.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+
+  // kColumn
+  const std::string& column_name() const { return column_name_; }
+
+  // kLiteral
+  DataType literal_type() const { return literal_type_; }
+  int64_t int_value() const { return int_value_; }
+  double double_value() const { return double_value_; }
+  const std::string& string_value() const { return string_value_; }
+  bool bool_value() const { return bool_value_; }
+
+  // kBinary / kNot
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  // Factories.
+  static ExprPtr Col(std::string name);
+  static ExprPtr Int(int64_t v);
+  static ExprPtr Float(double v);
+  static ExprPtr Str(std::string v);
+  static ExprPtr Bool(bool v);
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr operand);
+
+  // Human-readable rendering, e.g. "(price * qty) > 100".
+  std::string ToString() const;
+
+  // Names of all columns referenced by this expression (deduplicated).
+  std::vector<std::string> ReferencedColumns() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string column_name_;
+  DataType literal_type_ = DataType::kInt64;
+  int64_t int_value_ = 0;
+  double double_value_ = 0.0;
+  std::string string_value_;
+  bool bool_value_ = false;
+  BinaryOp op_ = BinaryOp::kAdd;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// Evaluates `expr` over every row of `batch`. Nulls propagate: any null
+// operand yields a null result row. The result column's length equals
+// batch.num_rows().
+Result<Column> EvalExpr(const Expr& expr, const RecordBatch& batch);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_EXPR_H_

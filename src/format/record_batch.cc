@@ -1,0 +1,154 @@
+#include "src/format/record_batch.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace skadi {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << fields_[i].name << ": " << DataTypeName(fields_[i].type);
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<RecordBatch> RecordBatch::Make(Schema schema, std::vector<Column> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_fields()) + " fields but " +
+        std::to_string(columns.size()) + " columns given");
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(i).type) {
+      return Status::InvalidArgument("column " + std::to_string(i) + " type mismatch: " +
+                                     std::string(DataTypeName(columns[i].type())) +
+                                     " vs schema " +
+                                     std::string(DataTypeName(schema.field(i).type)));
+    }
+    if (columns[i].length() != rows) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " length mismatch: " +
+                                     std::to_string(columns[i].length()) + " vs " +
+                                     std::to_string(rows));
+    }
+  }
+  RecordBatch batch;
+  batch.schema_ = std::move(schema);
+  batch.columns_ = std::move(columns);
+  batch.num_rows_ = rows;
+  return batch;
+}
+
+RecordBatch RecordBatch::Empty(Schema schema) {
+  std::vector<Column> columns;
+  columns.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    ColumnBuilder builder(f.type);
+    columns.push_back(builder.Finish());
+  }
+  auto result = Make(std::move(schema), std::move(columns));
+  return std::move(result).value();
+}
+
+const Column* RecordBatch::ColumnByName(const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.has_value()) {
+    return nullptr;
+  }
+  return &columns_[*idx];
+}
+
+size_t RecordBatch::ByteSize() const {
+  size_t total = 0;
+  for (const Column& c : columns_) {
+    total += c.ByteSize();
+  }
+  return total;
+}
+
+RecordBatch RecordBatch::Take(const std::vector<int64_t>& indices) const {
+  std::vector<Column> columns;
+  columns.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    columns.push_back(c.Take(indices));
+  }
+  auto result = Make(schema_, std::move(columns));
+  return std::move(result).value();
+}
+
+RecordBatch RecordBatch::Slice(int64_t offset, int64_t length) const {
+  if (offset < 0) {
+    offset = 0;
+  }
+  if (offset > num_rows_) {
+    offset = num_rows_;
+  }
+  if (offset + length > num_rows_) {
+    length = num_rows_ - offset;
+  }
+  std::vector<int64_t> indices(static_cast<size_t>(length));
+  std::iota(indices.begin(), indices.end(), offset);
+  return Take(indices);
+}
+
+std::string RecordBatch::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " rows=" << num_rows_ << "\n";
+  int64_t limit = std::min<int64_t>(max_rows, num_rows_);
+  for (int64_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) {
+        os << "\t";
+      }
+      os << columns_[c].ValueToString(r);
+    }
+    os << "\n";
+  }
+  if (limit < num_rows_) {
+    os << "... (" << (num_rows_ - limit) << " more)\n";
+  }
+  return os.str();
+}
+
+Result<RecordBatch> ConcatBatches(const std::vector<RecordBatch>& batches) {
+  if (batches.empty()) {
+    return Status::InvalidArgument("no batches to concatenate");
+  }
+  const Schema& schema = batches[0].schema();
+  for (const RecordBatch& b : batches) {
+    if (!(b.schema() == schema)) {
+      return Status::InvalidArgument("schema mismatch in concat: " + schema.ToString() +
+                                     " vs " + b.schema().ToString());
+    }
+  }
+  std::vector<Column> columns;
+  columns.reserve(schema.num_fields());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    ColumnBuilder builder(schema.field(c).type);
+    for (const RecordBatch& b : batches) {
+      for (int64_t r = 0; r < b.num_rows(); ++r) {
+        builder.AppendFrom(b.column(c), r);
+      }
+    }
+    columns.push_back(builder.Finish());
+  }
+  return RecordBatch::Make(schema, std::move(columns));
+}
+
+}  // namespace skadi

@@ -1,0 +1,87 @@
+// Schema and RecordBatch: the unit of tabular data flowing between tasks.
+#ifndef SRC_FORMAT_RECORD_BATCH_H_
+#define SRC_FORMAT_RECORD_BATCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/format/column.h"
+
+namespace skadi {
+
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  // Index of the field named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+// An immutable batch of rows: a schema plus one column per field, all the
+// same length. The caching layer stores batches; kernels consume and produce
+// them; serde converts them to/from Buffers.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+
+  // Validates that column count/types/lengths match the schema.
+  static Result<RecordBatch> Make(Schema schema, std::vector<Column> columns);
+
+  // An empty batch (zero rows) with the given schema.
+  static RecordBatch Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  // Column by field name; nullptr if absent.
+  const Column* ColumnByName(const std::string& name) const;
+
+  // Approximate in-memory footprint.
+  size_t ByteSize() const;
+
+  // Gathers the given row indices into a new batch (all columns).
+  RecordBatch Take(const std::vector<int64_t>& indices) const;
+
+  // Rows [offset, offset+length) as a new batch (copies; clamps to bounds).
+  RecordBatch Slice(int64_t offset, int64_t length) const;
+
+  // Tab-separated rendering of up to `max_rows` rows (debugging, examples).
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+// Concatenates batches with identical schemas.
+Result<RecordBatch> ConcatBatches(const std::vector<RecordBatch>& batches);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_RECORD_BATCH_H_

@@ -1,0 +1,37 @@
+// Two serialization paths for RecordBatch / Tensor, reproducing the paper's
+// caching-layer claim (2): "a shared format enables functions running on
+// heterogeneous devices to exchange data without costly data marshalling".
+//
+//   * IPC path (the Arrow stand-in): the columnar buffers are block-copied
+//     with a small header. Encoding cost is O(bytes) memcpy.
+//   * Row-marshalling path (the baseline): every row is encoded value by
+//     value with type tags — the per-value branching and string handling a
+//     naive cross-system exchange pays.
+//
+// bench_a3_format measures the two side by side.
+#ifndef SRC_FORMAT_SERDE_H_
+#define SRC_FORMAT_SERDE_H_
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/format/record_batch.h"
+#include "src/format/tensor.h"
+
+namespace skadi {
+
+// --- IPC (columnar block-copy) path ---
+
+Buffer SerializeBatchIpc(const RecordBatch& batch);
+Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer);
+
+Buffer SerializeTensor(const Tensor& tensor);
+Result<Tensor> DeserializeTensor(const Buffer& buffer);
+
+// --- Row-marshalling baseline ---
+
+Buffer SerializeBatchRowCodec(const RecordBatch& batch);
+Result<RecordBatch> DeserializeBatchRowCodec(const Buffer& buffer);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_SERDE_H_

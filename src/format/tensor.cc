@@ -1,0 +1,189 @@
+#include "src/format/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace skadi {
+
+namespace {
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  Tensor t;
+  int64_t n = ElementCount(shape);
+  t.shape_ = std::move(shape);
+  t.data_.assign(static_cast<size_t>(n), 0.0);
+  return t;
+}
+
+Tensor Tensor::Random(std::vector<int64_t> shape, Rng& rng, double scale) {
+  Tensor t = Zeros(std::move(shape));
+  for (double& v : t.data_) {
+    v = (rng.NextDouble() * 2.0 - 1.0) * scale;
+  }
+  return t;
+}
+
+Result<Tensor> Tensor::FromData(std::vector<int64_t> shape, std::vector<double> data) {
+  if (ElementCount(shape) != static_cast<int64_t>(data.size())) {
+    return Status::InvalidArgument("tensor data size " + std::to_string(data.size()) +
+                                   " does not match shape element count " +
+                                   std::to_string(ElementCount(shape)));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+int64_t Tensor::num_elements() const { return static_cast<int64_t>(data_.size()); }
+
+std::string Tensor::ShapeToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("matmul shape mismatch: " + a.ShapeToString() + " x " +
+                                   b.ShapeToString());
+  }
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  Tensor c = Tensor::Zeros({m, n});
+  // i-k-j loop order: streams B rows, decent cache behaviour without tiling.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double aik = a.At(i, kk);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        c.Set(i, j, c.At(i, j) + aik * b.At(kk, j));
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+Result<Tensor> Elementwise(const Tensor& a, const Tensor& b, double (*fn)(double, double)) {
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument("elementwise shape mismatch: " + a.ShapeToString() +
+                                   " vs " + b.ShapeToString());
+  }
+  Tensor out = a;
+  for (size_t i = 0; i < out.mutable_data().size(); ++i) {
+    out.mutable_data()[i] = fn(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+}  // namespace
+
+Result<Tensor> Add(const Tensor& a, const Tensor& b) {
+  return Elementwise(a, b, [](double x, double y) { return x + y; });
+}
+
+Result<Tensor> Sub(const Tensor& a, const Tensor& b) {
+  return Elementwise(a, b, [](double x, double y) { return x - y; });
+}
+
+Result<Tensor> Mul(const Tensor& a, const Tensor& b) {
+  return Elementwise(a, b, [](double x, double y) { return x * y; });
+}
+
+Result<Tensor> AddRowVector(const Tensor& a, const Tensor& row) {
+  if (row.num_elements() != a.cols()) {
+    return Status::InvalidArgument("row vector length " +
+                                   std::to_string(row.num_elements()) +
+                                   " does not match matrix cols " +
+                                   std::to_string(a.cols()));
+  }
+  Tensor out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out.Set(r, c, a.At(r, c) + row.data()[static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, double factor) {
+  Tensor out = a;
+  for (double& v : out.mutable_data()) {
+    v *= factor;
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = a;
+  for (double& v : out.mutable_data()) {
+    v = v > 0.0 ? v : 0.0;
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = a;
+  for (double& v : out.mutable_data()) {
+    v = 1.0 / (1.0 + std::exp(-v));
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out = Tensor::Zeros({a.cols(), a.rows()});
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out.Set(c, r, a.At(r, c));
+    }
+  }
+  return out;
+}
+
+double ReduceSum(const Tensor& a) {
+  double sum = 0.0;
+  for (double v : a.data()) {
+    sum += v;
+  }
+  return sum;
+}
+
+double ReduceMean(const Tensor& a) {
+  return a.num_elements() == 0 ? 0.0
+                               : ReduceSum(a) / static_cast<double>(a.num_elements());
+}
+
+Tensor ColumnMean(const Tensor& a) {
+  Tensor out = Tensor::Zeros({1, a.cols()});
+  if (a.rows() == 0) {
+    return out;
+  }
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    double sum = 0.0;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      sum += a.At(r, c);
+    }
+    out.Set(0, c, sum / static_cast<double>(a.rows()));
+  }
+  return out;
+}
+
+}  // namespace skadi

@@ -1,0 +1,74 @@
+// Dense row-major double tensors and the kernels the ML pipeline uses.
+// These back the tensor dialect of the IR (matmul / elementwise / reduce);
+// FlowGraph vertices lowered to "GPU" or "FPGA" run these on host threads
+// while the cost model charges the device's modelled time.
+#ifndef SRC_FORMAT_TENSOR_H_
+#define SRC_FORMAT_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace skadi {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-filled tensor of the given shape (rank 1 or 2 supported).
+  static Tensor Zeros(std::vector<int64_t> shape);
+  // Values drawn uniform in [-scale, scale] from `rng`.
+  static Tensor Random(std::vector<int64_t> shape, Rng& rng, double scale = 1.0);
+  // Wraps explicit data; data.size() must equal the shape's element count.
+  static Result<Tensor> FromData(std::vector<int64_t> shape, std::vector<double> data);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t num_elements() const;
+  int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  int64_t cols() const { return rank() < 2 ? 1 : shape_[1]; }
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  double At(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * cols() + c)]; }
+  void Set(int64_t r, int64_t c, double v) { data_[static_cast<size_t>(r * cols() + c)] = v; }
+
+  std::string ShapeToString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<double> data_;
+};
+
+// C = A x B. Requires A.cols == B.rows.
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+// Elementwise ops; shapes must match exactly (no broadcasting except the
+// documented row-vector case in AddRowVector).
+Result<Tensor> Add(const Tensor& a, const Tensor& b);
+Result<Tensor> Sub(const Tensor& a, const Tensor& b);
+Result<Tensor> Mul(const Tensor& a, const Tensor& b);
+
+// Adds a [1, n] (or rank-1 [n]) bias vector to every row of a [m, n] tensor.
+Result<Tensor> AddRowVector(const Tensor& a, const Tensor& row);
+
+Tensor Scale(const Tensor& a, double factor);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Transpose(const Tensor& a);
+
+// Sum of all elements.
+double ReduceSum(const Tensor& a);
+// Mean of all elements (0 for an empty tensor).
+double ReduceMean(const Tensor& a);
+// Column-wise mean of a [m, n] tensor: result is [1, n].
+Tensor ColumnMean(const Tensor& a);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_TENSOR_H_

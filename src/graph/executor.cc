@@ -1,0 +1,168 @@
+#include "src/graph/executor.h"
+
+namespace skadi {
+
+std::vector<ObjectRef> GraphRunResult::AllSinkRefs() const {
+  std::vector<ObjectRef> out;
+  for (const auto& [vid, refs] : sink_outputs) {
+    out.insert(out.end(), refs.begin(), refs.end());
+  }
+  return out;
+}
+
+Result<GraphRunResult> GraphExecutor::Run(
+    const PhysicalGraph& graph,
+    const std::map<VertexId, std::vector<ObjectRef>>& source_inputs) {
+  GraphRunResult result;
+
+  // (vertex) -> per-shard output ref.
+  std::map<VertexId, std::vector<ObjectRef>> outputs;
+  // (edge src, src shard) -> partition refs produced by the shuffle writer.
+  std::map<std::pair<VertexId, int>, std::vector<ObjectRef>> shuffle_parts;
+
+  for (const PhysicalVertexPlan& plan : graph.vertices) {
+    const int dop = plan.parallelism;
+    std::vector<PhysicalEdgePlan> in_edges = graph.InEdges(plan.logical);
+
+    // Pre-run shuffle writers for incoming shuffle edges.
+    for (const PhysicalEdgePlan& edge : in_edges) {
+      if (edge.kind != EdgeKind::kShuffle) {
+        continue;
+      }
+      const std::vector<ObjectRef>& src_out = outputs.at(edge.src);
+      for (size_t s = 0; s < src_out.size(); ++s) {
+        auto key = std::make_pair(edge.src, static_cast<int>(s));
+        if (shuffle_parts.count(key) > 0) {
+          continue;  // another consumer already shuffled this shard
+        }
+        TaskSpec spec;
+        spec.function = edge.shuffle_function;
+        spec.args.push_back(TaskArg::Ref(src_out[s]));
+        spec.num_returns = dop;
+        spec.op_class = OpClass::kShuffleWrite;
+        SKADI_ASSIGN_OR_RETURN(std::vector<ObjectRef> parts,
+                               runtime_->Submit(std::move(spec)));
+        shuffle_parts[key] = std::move(parts);
+        ++result.tasks_submitted;
+        ++result.shuffle_tasks;
+      }
+    }
+
+    std::vector<ObjectRef> shard_outputs;
+    shard_outputs.reserve(static_cast<size_t>(dop));
+
+    for (int shard = 0; shard < dop; ++shard) {
+      std::vector<uint32_t> group_sizes;
+      std::vector<TaskArg> buffer_args;
+
+      if (in_edges.empty()) {
+        // Source vertex: bound inputs, distributed round-robin over shards.
+        auto it = source_inputs.find(plan.logical);
+        if (it == source_inputs.end() || it->second.empty()) {
+          return Status::InvalidArgument("source vertex '" + plan.name +
+                                         "' has no bound inputs");
+        }
+        const std::vector<ObjectRef>& refs = it->second;
+        if (plan.num_inputs > 1) {
+          // Multi-input source (e.g. a tensor op over several operands):
+          // exactly one bound ref per logical input, every shard sees all.
+          if (static_cast<int>(refs.size()) != plan.num_inputs) {
+            return Status::InvalidArgument(
+                "source vertex '" + plan.name + "' has " +
+                std::to_string(plan.num_inputs) + " inputs but " +
+                std::to_string(refs.size()) + " bound refs");
+          }
+          for (const ObjectRef& ref : refs) {
+            buffer_args.push_back(TaskArg::Ref(ref));
+            group_sizes.push_back(1);
+          }
+        } else {
+          uint32_t count = 0;
+          if (refs.size() == 1) {
+            buffer_args.push_back(TaskArg::Ref(refs[0]));
+            count = 1;
+          } else {
+            for (size_t i = 0; i < refs.size(); ++i) {
+              if (static_cast<int>(i % static_cast<size_t>(dop)) == shard) {
+                buffer_args.push_back(TaskArg::Ref(refs[i]));
+                ++count;
+              }
+            }
+          }
+          if (count == 0) {
+            return Status::InvalidArgument("source vertex '" + plan.name + "' shard " +
+                                           std::to_string(shard) + " received no input");
+          }
+          group_sizes.push_back(count);
+        }
+      } else {
+        for (const PhysicalEdgePlan& edge : in_edges) {
+          const std::vector<ObjectRef>& src_out = outputs.at(edge.src);
+          switch (edge.kind) {
+            case EdgeKind::kForward: {
+              if (src_out.size() == 1) {
+                buffer_args.push_back(TaskArg::Ref(src_out[0]));
+                group_sizes.push_back(1);
+              } else if (static_cast<int>(src_out.size()) == dop) {
+                buffer_args.push_back(TaskArg::Ref(src_out[static_cast<size_t>(shard)]));
+                group_sizes.push_back(1);
+              } else {
+                return Status::InvalidArgument(
+                    "forward edge parallelism mismatch into '" + plan.name + "': " +
+                    std::to_string(src_out.size()) + " vs " + std::to_string(dop));
+              }
+              break;
+            }
+            case EdgeKind::kBroadcast: {
+              for (const ObjectRef& ref : src_out) {
+                buffer_args.push_back(TaskArg::Ref(ref));
+              }
+              group_sizes.push_back(static_cast<uint32_t>(src_out.size()));
+              break;
+            }
+            case EdgeKind::kShuffle: {
+              uint32_t count = 0;
+              for (size_t s = 0; s < src_out.size(); ++s) {
+                const auto& parts =
+                    shuffle_parts.at(std::make_pair(edge.src, static_cast<int>(s)));
+                buffer_args.push_back(TaskArg::Ref(parts[static_cast<size_t>(shard)]));
+                ++count;
+              }
+              group_sizes.push_back(count);
+              break;
+            }
+          }
+        }
+      }
+
+      TaskSpec spec;
+      spec.function = plan.task_function;
+      spec.args.push_back(TaskArg::Value(MakeVertexArgHeader(group_sizes)));
+      for (TaskArg& arg : buffer_args) {
+        spec.args.push_back(std::move(arg));
+      }
+      spec.num_returns = 1;
+      spec.op_class = plan.op_class;
+      spec.required_device = plan.backend;
+      SKADI_ASSIGN_OR_RETURN(std::vector<ObjectRef> refs, runtime_->Submit(std::move(spec)));
+      shard_outputs.push_back(refs[0]);
+      ++result.tasks_submitted;
+    }
+    outputs[plan.logical] = std::move(shard_outputs);
+  }
+
+  for (VertexId sink : graph.Sinks()) {
+    result.sink_outputs[sink] = outputs.at(sink);
+  }
+  return result;
+}
+
+Result<GraphRunResult> GraphExecutor::RunToCompletion(
+    const PhysicalGraph& graph,
+    const std::map<VertexId, std::vector<ObjectRef>>& source_inputs, int64_t timeout_ms) {
+  SKADI_ASSIGN_OR_RETURN(GraphRunResult result, Run(graph, source_inputs));
+  SKADI_RETURN_IF_ERROR(runtime_->Wait(result.AllSinkRefs(), timeout_ms));
+  return result;
+}
+
+}  // namespace skadi

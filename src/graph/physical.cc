@@ -1,0 +1,330 @@
+#include "src/graph/physical.h"
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+
+#include "src/format/serde.h"
+#include "src/hw/cost_model.h"
+#include "src/ir/dialects.h"
+#include "src/ir/interp.h"
+#include "src/ir/passes.h"
+
+namespace skadi {
+
+namespace {
+
+std::atomic<uint64_t> g_lowering_counter{1};
+
+// Task argument layout for vertex shards: args[0] is a header listing the
+// group size per vertex input; the remaining args are the grouped buffers in
+// order. Groups with several buffers are concatenated (tables only).
+Buffer MakeGroupHeader(const std::vector<uint32_t>& group_sizes) {
+  BufferBuilder b;
+  b.AppendU32(static_cast<uint32_t>(group_sizes.size()));
+  for (uint32_t size : group_sizes) {
+    b.AppendU32(size);
+  }
+  return b.Finish();
+}
+
+Result<std::vector<std::vector<Buffer>>> SplitGroups(std::vector<Buffer>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("vertex task needs a group header argument");
+  }
+  BufferReader header(args[0]);
+  uint32_t num_groups = header.ReadU32();
+  std::vector<std::vector<Buffer>> groups(num_groups);
+  size_t cursor = 1;
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    uint32_t size = header.ReadU32();
+    for (uint32_t i = 0; i < size; ++i) {
+      if (cursor >= args.size()) {
+        return Status::InvalidArgument("vertex task argument underflow");
+      }
+      groups[g].push_back(args[cursor++]);
+    }
+  }
+  return groups;
+}
+
+// Merges a group into one value buffer: single buffers pass through;
+// multi-buffer groups must be IPC batches and are concatenated.
+Result<Buffer> MergeGroup(std::vector<Buffer>& group) {
+  if (group.empty()) {
+    return Status::InvalidArgument("empty input group");
+  }
+  if (group.size() == 1) {
+    return group[0];
+  }
+  std::vector<RecordBatch> batches;
+  batches.reserve(group.size());
+  for (const Buffer& buffer : group) {
+    SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(buffer));
+    batches.push_back(std::move(batch));
+  }
+  SKADI_ASSIGN_OR_RETURN(RecordBatch merged, ConcatBatches(batches));
+  return SerializeBatchIpc(merged);
+}
+
+Result<IrRuntimeValue> DecodeIrValue(const Buffer& buffer, IrTypeKind kind) {
+  switch (kind) {
+    case IrTypeKind::kTable: {
+      SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(buffer));
+      return IrRuntimeValue(std::move(batch));
+    }
+    case IrTypeKind::kTensor: {
+      SKADI_ASSIGN_OR_RETURN(Tensor tensor, DeserializeTensor(buffer));
+      return IrRuntimeValue(std::move(tensor));
+    }
+    case IrTypeKind::kScalar: {
+      BufferReader r(buffer);
+      return IrRuntimeValue(r.ReadF64());
+    }
+  }
+  return Status::Internal("unknown IR type kind");
+}
+
+Buffer EncodeIrValue(const IrRuntimeValue& value) {
+  if (const RecordBatch* batch = std::get_if<RecordBatch>(&value)) {
+    return SerializeBatchIpc(*batch);
+  }
+  if (const Tensor* tensor = std::get_if<Tensor>(&value)) {
+    return SerializeTensor(*tensor);
+  }
+  BufferBuilder b;
+  b.AppendF64(std::get<double>(value));
+  return b.Finish();
+}
+
+}  // namespace
+
+const PhysicalVertexPlan* PhysicalGraph::plan(VertexId id) const {
+  for (const PhysicalVertexPlan& v : vertices) {
+    if (v.logical == id) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<PhysicalEdgePlan> PhysicalGraph::InEdges(VertexId id) const {
+  std::vector<PhysicalEdgePlan> out;
+  for (const PhysicalEdgePlan& e : edges) {
+    if (e.dst == id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> PhysicalGraph::Sources() const {
+  std::vector<VertexId> out;
+  for (const PhysicalVertexPlan& v : vertices) {
+    if (InEdges(v.logical).empty()) {
+      out.push_back(v.logical);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> PhysicalGraph::Sinks() const {
+  std::vector<VertexId> out;
+  for (const PhysicalVertexPlan& v : vertices) {
+    bool has_out = false;
+    for (const PhysicalEdgePlan& e : edges) {
+      if (e.src == v.logical) {
+        has_out = true;
+        break;
+      }
+    }
+    if (!has_out) {
+      out.push_back(v.logical);
+    }
+  }
+  return out;
+}
+
+std::string PhysicalGraph::ToString() const {
+  std::ostringstream os;
+  os << "PhysicalGraph{\n";
+  for (const PhysicalVertexPlan& v : vertices) {
+    os << "  " << v.logical << " '" << v.name << "' x" << v.parallelism;
+    if (v.backend.has_value()) {
+      os << " on " << DeviceKindName(*v.backend);
+    }
+    os << "\n";
+  }
+  for (const PhysicalEdgePlan& e : edges) {
+    os << "  " << e.src << " -> " << e.dst << " [" << EdgeKindName(e.kind) << "]\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<PhysicalGraph> LowerToPhysical(const FlowGraph& graph, const LoweringOptions& options,
+                                      FunctionRegistry* registry) {
+  SKADI_RETURN_IF_ERROR(graph.Validate());
+  if (options.default_parallelism < 1) {
+    return Status::InvalidArgument("default_parallelism must be >= 1");
+  }
+  if (options.available_backends.empty()) {
+    return Status::InvalidArgument("no available backends");
+  }
+
+  SKADI_ASSIGN_OR_RETURN(std::vector<VertexId> order, graph.TopoOrder());
+  const uint64_t lowering_id = g_lowering_counter.fetch_add(1);
+
+  PhysicalGraph physical;
+
+  for (VertexId vid : order) {
+    const FlowVertex* vertex = graph.vertex(vid);
+    PhysicalVertexPlan plan;
+    plan.logical = vid;
+    plan.name = vertex->name;
+    plan.parallelism =
+        vertex->parallelism_hint > 0 ? vertex->parallelism_hint : options.default_parallelism;
+    plan.op_class = vertex->op_class;
+
+    if (vertex->is_ir()) {
+      std::shared_ptr<IrFunction> ir = vertex->ir;
+      plan.num_inputs = static_cast<int>(ir->params().size());
+      if (options.run_ir_passes) {
+        SKADI_RETURN_IF_ERROR(PassManager::StandardPipeline().Run(*ir));
+      }
+
+      // Backend: hint wins; otherwise cheapest candidate for the dominant
+      // (first) op class of the function.
+      if (vertex->backend_hint.has_value()) {
+        plan.backend = vertex->backend_hint;
+      } else {
+        OpClass op_class =
+            ir->ops().empty() ? vertex->op_class : OpClassOf(ir->ops()[0].opcode);
+        DeviceKind best = options.available_backends[0];
+        int64_t best_cost = std::numeric_limits<int64_t>::max();
+        for (DeviceKind kind : options.available_backends) {
+          DeviceSpec spec;
+          switch (kind) {
+            case DeviceKind::kCpu:
+              spec = MakeCpuDevice("low-cpu");
+              break;
+            case DeviceKind::kGpu:
+              spec = MakeGpuDevice("low-gpu");
+              break;
+            case DeviceKind::kFpga:
+              spec = MakeFpgaDevice("low-fpga");
+              break;
+            case DeviceKind::kDpu:
+              spec = MakeDpuDevice("low-dpu");
+              break;
+            case DeviceKind::kMemoryBlade:
+              continue;
+          }
+          int64_t cost = CostModel::EstimateNanos(spec, op_class, options.assumed_bytes);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = kind;
+          }
+        }
+        plan.backend = best;
+      }
+
+      plan.task_function = "vtx." + std::to_string(lowering_id) + "." + vid.ToString();
+      SKADI_RETURN_IF_ERROR(registry->Register(
+          plan.task_function,
+          [ir](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
+            SKADI_ASSIGN_OR_RETURN(auto groups, SplitGroups(args));
+            if (groups.size() != ir->params().size()) {
+              return Status::InvalidArgument(
+                  "vertex '" + ir->name() + "' expects " +
+                  std::to_string(ir->params().size()) + " inputs, got " +
+                  std::to_string(groups.size()));
+            }
+            std::vector<IrRuntimeValue> values;
+            values.reserve(groups.size());
+            for (size_t i = 0; i < groups.size(); ++i) {
+              SKADI_ASSIGN_OR_RETURN(Buffer merged, MergeGroup(groups[i]));
+              SKADI_ASSIGN_OR_RETURN(IrType type, ir->TypeOf(ir->params()[i]));
+              SKADI_ASSIGN_OR_RETURN(IrRuntimeValue value, DecodeIrValue(merged, type.kind));
+              values.push_back(std::move(value));
+            }
+            SKADI_ASSIGN_OR_RETURN(auto outputs, EvalIrFunction(*ir, std::move(values)));
+            if (outputs.empty()) {
+              return Status::Internal("vertex '" + ir->name() + "' produced no outputs");
+            }
+            return std::vector<Buffer>{EncodeIrValue(outputs[0])};
+          }));
+    } else {
+      // Builtin vertex: delegate to the registered handcrafted op, after the
+      // same group-merge step so fan-in edges behave identically.
+      std::string builtin = vertex->builtin;
+      if (!registry->Contains(builtin)) {
+        return Status::NotFound("builtin op '" + builtin + "' of vertex '" + vertex->name +
+                                "' not registered");
+      }
+      plan.backend = vertex->backend_hint;
+      plan.task_function = "vtx." + std::to_string(lowering_id) + "." + vid.ToString();
+      FunctionRegistry* reg = registry;
+      SKADI_RETURN_IF_ERROR(registry->Register(
+          plan.task_function,
+          [builtin, reg](TaskContext& ctx,
+                         std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
+            SKADI_ASSIGN_OR_RETURN(auto groups, SplitGroups(args));
+            std::vector<Buffer> merged;
+            merged.reserve(groups.size());
+            for (auto& group : groups) {
+              SKADI_ASSIGN_OR_RETURN(Buffer m, MergeGroup(group));
+              merged.push_back(std::move(m));
+            }
+            SKADI_ASSIGN_OR_RETURN(TaskFunction fn, reg->Lookup(builtin));
+            return fn(ctx, merged);
+          }));
+    }
+    physical.vertices.push_back(std::move(plan));
+  }
+
+  // Edges + shuffle writers.
+  int edge_index = 0;
+  for (const FlowEdge& e : graph.edges()) {
+    PhysicalEdgePlan edge;
+    edge.src = e.src;
+    edge.dst = e.dst;
+    edge.kind = e.kind;
+    edge.keys = e.keys;
+    if (e.kind == EdgeKind::kShuffle) {
+      const PhysicalVertexPlan* dst_plan = physical.plan(e.dst);
+      uint32_t dst_parallelism = static_cast<uint32_t>(dst_plan->parallelism);
+      std::vector<std::string> keys = e.keys;
+      edge.shuffle_function = "shufw." + std::to_string(lowering_id) + "." +
+                              std::to_string(edge_index);
+      SKADI_RETURN_IF_ERROR(registry->Register(
+          edge.shuffle_function,
+          [keys, dst_parallelism](TaskContext&, std::vector<Buffer>& args)
+              -> Result<std::vector<Buffer>> {
+            if (args.size() != 1) {
+              return Status::InvalidArgument("shuffle writer takes one batch");
+            }
+            SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
+            SKADI_ASSIGN_OR_RETURN(auto partitions,
+                                   HashPartitionBatch(batch, keys, dst_parallelism));
+            std::vector<Buffer> out;
+            out.reserve(partitions.size());
+            for (const RecordBatch& p : partitions) {
+              out.push_back(SerializeBatchIpc(p));
+            }
+            return out;
+          }));
+    }
+    physical.edges.push_back(std::move(edge));
+    ++edge_index;
+  }
+
+  return physical;
+}
+
+// Exposed for the executor: header construction shares the layout above.
+Buffer MakeVertexArgHeader(const std::vector<uint32_t>& group_sizes) {
+  return MakeGroupHeader(group_sizes);
+}
+
+}  // namespace skadi

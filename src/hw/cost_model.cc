@@ -1,0 +1,94 @@
+#include "src/hw/cost_model.h"
+
+#include <limits>
+
+namespace skadi {
+
+double CostModel::Efficiency(DeviceKind kind, OpClass op_class) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      switch (op_class) {
+        case OpClass::kMatmul:
+          return 0.5;  // no tensor units
+        case OpClass::kElementwise:
+          return 0.8;
+        case OpClass::kSort:
+        case OpClass::kJoin:
+          return 1.2;  // branchy pointer-chasing code suits CPUs
+        default:
+          return 1.0;
+      }
+    case DeviceKind::kGpu:
+      switch (op_class) {
+        case OpClass::kMatmul:
+          return 8.0;
+        case OpClass::kElementwise:
+        case OpClass::kReduce:
+          return 4.0;
+        case OpClass::kAggregate:
+        case OpClass::kProject:
+          return 2.0;
+        case OpClass::kSort:
+          return 1.5;
+        case OpClass::kJoin:
+          return 1.2;
+        case OpClass::kGraphStep:
+          return 0.8;  // irregular access hurts
+        default:
+          return 1.0;
+      }
+    case DeviceKind::kFpga:
+      switch (op_class) {
+        case OpClass::kFilter:
+        case OpClass::kScan:
+        case OpClass::kShuffleWrite:
+          return 3.0;  // streaming pipelines at line rate
+        case OpClass::kAggregate:
+          return 2.5;
+        case OpClass::kProject:
+          return 2.0;
+        case OpClass::kMatmul:
+          return 1.5;
+        case OpClass::kSort:
+          return 0.7;  // large sorts exceed on-chip memory
+        case OpClass::kJoin:
+          return 0.8;
+        default:
+          return 1.0;
+      }
+    case DeviceKind::kDpu:
+      switch (op_class) {
+        case OpClass::kShuffleWrite:
+        case OpClass::kScan:
+          return 1.0;  // data movement is what DPUs are for
+        default:
+          return 0.3;  // weak cores for real compute
+      }
+    case DeviceKind::kMemoryBlade:
+      return 0.0;
+  }
+  return 1.0;
+}
+
+int64_t CostModel::EstimateNanos(const DeviceSpec& device, OpClass op_class,
+                                 int64_t input_bytes) {
+  if (!device.has_compute() || device.base_bytes_per_sec <= 0.0) {
+    return std::numeric_limits<int64_t>::max() / 4;
+  }
+  double rate = device.base_bytes_per_sec * Efficiency(device.kind, op_class);
+  if (rate <= 0.0) {
+    return std::numeric_limits<int64_t>::max() / 4;
+  }
+  if (input_bytes < 0) {
+    input_bytes = 0;
+  }
+  double compute_ns = static_cast<double>(input_bytes) / rate * 1e9;
+  return device.launch_overhead_ns + static_cast<int64_t>(compute_ns);
+}
+
+bool CostModel::Prefer(const DeviceSpec& a, const DeviceSpec& b, OpClass op_class,
+                       int64_t input_bytes) {
+  return EstimateNanos(a, op_class, input_bytes) < EstimateNanos(b, op_class, input_bytes);
+}
+
+}  // namespace skadi

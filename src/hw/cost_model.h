@@ -1,0 +1,39 @@
+// Compute cost model: how long an op of a given class over a given number of
+// input bytes takes on each device kind.
+//
+// Kernels in this reproduction execute for real on host CPU threads; the cost
+// model charges the *modelled* device time to the cluster's VirtualClock so
+// that backend selection (GPU vs FPGA vs CPU, Figure 2's D1/D2 comparison)
+// has observable consequences without real accelerators.
+#ifndef SRC_HW_COST_MODEL_H_
+#define SRC_HW_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/hw/device.h"
+
+namespace skadi {
+
+class CostModel {
+ public:
+  // Efficiency of `kind` running `op_class`, as a multiplier over the
+  // device's base byte rate. > 1 means the device is especially good at this
+  // class (GPU at matmul, FPGA at streaming filters), < 1 especially bad
+  // (DPU at anything compute-heavy, CPU at matmul).
+  static double Efficiency(DeviceKind kind, OpClass op_class);
+
+  // Modelled execution time: launch overhead + bytes / effective rate.
+  // Devices without compute (memory blades) return a very large sentinel so
+  // schedulers never pick them.
+  static int64_t EstimateNanos(const DeviceSpec& device, OpClass op_class,
+                               int64_t input_bytes);
+
+  // Rank of preference for lowering an op class: smaller estimate wins.
+  // Convenience for backend selection over a candidate set.
+  static bool Prefer(const DeviceSpec& a, const DeviceSpec& b, OpClass op_class,
+                     int64_t input_bytes);
+};
+
+}  // namespace skadi
+
+#endif  // SRC_HW_COST_MODEL_H_

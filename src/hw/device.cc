@@ -1,0 +1,110 @@
+#include "src/hw/device.h"
+
+namespace skadi {
+
+std::string_view DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "cpu";
+    case DeviceKind::kGpu:
+      return "gpu";
+    case DeviceKind::kFpga:
+      return "fpga";
+    case DeviceKind::kDpu:
+      return "dpu";
+    case DeviceKind::kMemoryBlade:
+      return "memblade";
+  }
+  return "?";
+}
+
+std::string_view OpClassName(OpClass op_class) {
+  switch (op_class) {
+    case OpClass::kScan:
+      return "scan";
+    case OpClass::kFilter:
+      return "filter";
+    case OpClass::kProject:
+      return "project";
+    case OpClass::kJoin:
+      return "join";
+    case OpClass::kAggregate:
+      return "aggregate";
+    case OpClass::kSort:
+      return "sort";
+    case OpClass::kShuffleWrite:
+      return "shuffle_write";
+    case OpClass::kMatmul:
+      return "matmul";
+    case OpClass::kElementwise:
+      return "elementwise";
+    case OpClass::kReduce:
+      return "reduce";
+    case OpClass::kGraphStep:
+      return "graph_step";
+    case OpClass::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+namespace {
+constexpr int64_t kGiB = 1024LL * 1024 * 1024;
+}  // namespace
+
+DeviceSpec MakeCpuDevice(std::string name) {
+  DeviceSpec spec;
+  spec.id = DeviceId::Next();
+  spec.kind = DeviceKind::kCpu;
+  spec.name = std::move(name);
+  spec.memory_bytes = 64 * kGiB;
+  spec.launch_overhead_ns = 20 * 1000;  // 20us process/task dispatch
+  spec.base_bytes_per_sec = 8e9;        // ~8 GB/s single-stream processing
+  return spec;
+}
+
+DeviceSpec MakeGpuDevice(std::string name) {
+  DeviceSpec spec;
+  spec.id = DeviceId::Next();
+  spec.kind = DeviceKind::kGpu;
+  spec.name = std::move(name);
+  spec.memory_bytes = 32 * kGiB;         // HBM
+  spec.launch_overhead_ns = 50 * 1000;   // 50us kernel launch + driver
+  spec.base_bytes_per_sec = 60e9;
+  return spec;
+}
+
+DeviceSpec MakeFpgaDevice(std::string name) {
+  DeviceSpec spec;
+  spec.id = DeviceId::Next();
+  spec.kind = DeviceKind::kFpga;
+  spec.name = std::move(name);
+  spec.memory_bytes = 16 * kGiB;
+  spec.launch_overhead_ns = 30 * 1000;
+  spec.base_bytes_per_sec = 25e9;  // line-rate streaming
+  return spec;
+}
+
+DeviceSpec MakeDpuDevice(std::string name) {
+  DeviceSpec spec;
+  spec.id = DeviceId::Next();
+  spec.kind = DeviceKind::kDpu;
+  spec.name = std::move(name);
+  spec.memory_bytes = 16 * kGiB;
+  spec.launch_overhead_ns = 10 * 1000;  // lightweight ARM cores, fast dispatch
+  spec.base_bytes_per_sec = 2e9;        // weak general-purpose compute
+  return spec;
+}
+
+DeviceSpec MakeMemoryBladeDevice(std::string name, int64_t capacity_bytes) {
+  DeviceSpec spec;
+  spec.id = DeviceId::Next();
+  spec.kind = DeviceKind::kMemoryBlade;
+  spec.name = std::move(name);
+  spec.memory_bytes = capacity_bytes;
+  spec.launch_overhead_ns = 0;
+  spec.base_bytes_per_sec = 0.0;
+  return spec;
+}
+
+}  // namespace skadi

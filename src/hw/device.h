@@ -1,0 +1,76 @@
+// Device models for the emulated disaggregated data center.
+//
+// The paper's cluster (Figure 2) mixes regular servers, physically
+// disaggregated devices (a DPU fronting GPUs/FPGAs/DRAM), and disaggregated
+// memory blades. We model each hardware unit as a DeviceSpec: a kind, a
+// memory capacity, and compute parameters consumed by the CostModel.
+#ifndef SRC_HW_DEVICE_H_
+#define SRC_HW_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/id.h"
+
+namespace skadi {
+
+enum class DeviceKind {
+  kCpu,          // general-purpose server socket
+  kGpu,          // throughput-oriented accelerator with HBM
+  kFpga,         // streaming/dataflow accelerator
+  kDpu,          // SmartNIC-class control processor (runs offloaded raylets)
+  kMemoryBlade,  // disaggregated memory pool: capacity, no compute
+};
+
+std::string_view DeviceKindName(DeviceKind kind);
+
+// Classes of computation the cost model distinguishes. FlowGraph vertices and
+// IR ops are tagged with one of these so backend selection and time charging
+// can reflect each device's strengths.
+enum class OpClass {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kShuffleWrite,
+  kMatmul,
+  kElementwise,
+  kReduce,
+  kGraphStep,
+  kGeneric,
+};
+
+std::string_view OpClassName(OpClass op_class);
+
+struct DeviceSpec {
+  DeviceId id;
+  DeviceKind kind = DeviceKind::kCpu;
+  std::string name;
+  // Memory managed by the raylet responsible for this device (DRAM for a CPU
+  // node, HBM for a GPU, blade capacity for a memory pool).
+  int64_t memory_bytes = 0;
+  // Fixed per-task launch latency: syscall + runtime dispatch for CPUs,
+  // kernel launch for GPUs, reconfiguration-amortized dispatch for FPGAs.
+  int64_t launch_overhead_ns = 0;
+  // Baseline processing rate in bytes/second for OpClass::kGeneric; the cost
+  // model scales it by a per-(kind, op-class) efficiency factor.
+  double base_bytes_per_sec = 0.0;
+
+  bool has_compute() const { return kind != DeviceKind::kMemoryBlade; }
+};
+
+// Canonical device presets used by cluster builders and tests. Numbers are
+// order-of-magnitude realistic (2023-era parts); the experiments depend on
+// their ratios, not their absolute values.
+DeviceSpec MakeCpuDevice(std::string name);
+DeviceSpec MakeGpuDevice(std::string name);
+DeviceSpec MakeFpgaDevice(std::string name);
+DeviceSpec MakeDpuDevice(std::string name);
+DeviceSpec MakeMemoryBladeDevice(std::string name, int64_t capacity_bytes);
+
+}  // namespace skadi
+
+#endif  // SRC_HW_DEVICE_H_

@@ -1,0 +1,122 @@
+#include "src/ir/dialects.h"
+
+namespace skadi {
+
+ValueId EmitFilter(IrFunction& fn, ValueId input, ExprPtr predicate) {
+  return fn.Emit(kOpRelFilter, {input}, IrType::Table(), {{"pred", IrAttr(predicate)}});
+}
+
+ValueId EmitProject(IrFunction& fn, ValueId input,
+                    std::vector<ProjectionSpec> projections) {
+  return fn.Emit(kOpRelProject, {input}, IrType::Table(),
+                 {{"projections", IrAttr(std::move(projections))}});
+}
+
+ValueId EmitAggregate(IrFunction& fn, ValueId input, std::vector<std::string> group_by,
+                      std::vector<AggregateSpec> aggregates) {
+  return fn.Emit(kOpRelAggregate, {input}, IrType::Table(),
+                 {{"group_by", IrAttr(std::move(group_by))},
+                  {"aggs", IrAttr(std::move(aggregates))}});
+}
+
+ValueId EmitJoin(IrFunction& fn, ValueId left, ValueId right,
+                 std::vector<std::string> left_keys, std::vector<std::string> right_keys) {
+  return fn.Emit(kOpRelJoin, {left, right}, IrType::Table(),
+                 {{"left_keys", IrAttr(std::move(left_keys))},
+                  {"right_keys", IrAttr(std::move(right_keys))}});
+}
+
+ValueId EmitSort(IrFunction& fn, ValueId input, std::vector<SortKey> keys) {
+  return fn.Emit(kOpRelSort, {input}, IrType::Table(), {{"keys", IrAttr(std::move(keys))}});
+}
+
+ValueId EmitLimit(IrFunction& fn, ValueId input, int64_t n) {
+  return fn.Emit(kOpRelLimit, {input}, IrType::Table(), {{"n", IrAttr(n)}});
+}
+
+ValueId EmitUnion(IrFunction& fn, ValueId a, ValueId b) {
+  return fn.Emit(kOpRelUnion, {a, b}, IrType::Table());
+}
+
+ValueId EmitMatmul(IrFunction& fn, ValueId a, ValueId b) {
+  return fn.Emit(kOpTensorMatmul, {a, b}, IrType::Tensor());
+}
+
+ValueId EmitAdd(IrFunction& fn, ValueId a, ValueId b) {
+  return fn.Emit(kOpTensorAdd, {a, b}, IrType::Tensor());
+}
+
+ValueId EmitSub(IrFunction& fn, ValueId a, ValueId b) {
+  return fn.Emit(kOpTensorSub, {a, b}, IrType::Tensor());
+}
+
+ValueId EmitMul(IrFunction& fn, ValueId a, ValueId b) {
+  return fn.Emit(kOpTensorMul, {a, b}, IrType::Tensor());
+}
+
+ValueId EmitScale(IrFunction& fn, ValueId a, double factor) {
+  return fn.Emit(kOpTensorScale, {a}, IrType::Tensor(), {{"factor", IrAttr(factor)}});
+}
+
+ValueId EmitRelu(IrFunction& fn, ValueId a) {
+  return fn.Emit(kOpTensorRelu, {a}, IrType::Tensor());
+}
+
+ValueId EmitSigmoid(IrFunction& fn, ValueId a) {
+  return fn.Emit(kOpTensorSigmoid, {a}, IrType::Tensor());
+}
+
+ValueId EmitTranspose(IrFunction& fn, ValueId a) {
+  return fn.Emit(kOpTensorTranspose, {a}, IrType::Tensor());
+}
+
+ValueId EmitReduceMean(IrFunction& fn, ValueId a) {
+  return fn.Emit(kOpTensorReduceMean, {a}, IrType::Scalar());
+}
+
+ValueId EmitAddRow(IrFunction& fn, ValueId a, ValueId row) {
+  return fn.Emit(kOpTensorAddRow, {a, row}, IrType::Tensor());
+}
+
+OpClass OpClassOf(const std::string& opcode) {
+  if (opcode == kOpRelFilter) {
+    return OpClass::kFilter;
+  }
+  if (opcode == kOpRelProject) {
+    return OpClass::kProject;
+  }
+  if (opcode == kOpRelAggregate) {
+    return OpClass::kAggregate;
+  }
+  if (opcode == kOpRelJoin) {
+    return OpClass::kJoin;
+  }
+  if (opcode == kOpRelSort) {
+    return OpClass::kSort;
+  }
+  if (opcode == kOpRelLimit || opcode == kOpRelUnion) {
+    return OpClass::kScan;
+  }
+  if (opcode == kOpTensorMatmul) {
+    return OpClass::kMatmul;
+  }
+  if (opcode == kOpTensorReduceMean) {
+    return OpClass::kReduce;
+  }
+  if (opcode == kOpFusedFilterProject) {
+    return OpClass::kFilter;
+  }
+  if (IsElementwiseTensorOp(opcode) || opcode == kOpFusedElementwise ||
+      opcode == kOpTensorTranspose || opcode == kOpTensorAddRow) {
+    return OpClass::kElementwise;
+  }
+  return OpClass::kGeneric;
+}
+
+bool IsElementwiseTensorOp(const std::string& opcode) {
+  return opcode == kOpTensorAdd || opcode == kOpTensorSub || opcode == kOpTensorMul ||
+         opcode == kOpTensorScale || opcode == kOpTensorRelu ||
+         opcode == kOpTensorSigmoid;
+}
+
+}  // namespace skadi

@@ -1,0 +1,69 @@
+// Dialect definitions: opcode constants, typed emit helpers, and the mapping
+// from opcodes to hw::OpClass used by cost-model-driven backend selection.
+//
+//   rel.*    — relational algebra over RecordBatch (scan comes in as a param)
+//   tensor.* — dense linear algebra for the ML pipeline
+//   fused.*  — produced by the fusion pass, never emitted by frontends
+#ifndef SRC_IR_DIALECTS_H_
+#define SRC_IR_DIALECTS_H_
+
+#include "src/ir/ir.h"
+
+namespace skadi {
+
+// Relational dialect.
+inline constexpr const char* kOpRelFilter = "rel.filter";        // attrs: pred
+inline constexpr const char* kOpRelProject = "rel.project";      // attrs: projections
+inline constexpr const char* kOpRelAggregate = "rel.aggregate";  // attrs: group_by, aggs
+inline constexpr const char* kOpRelJoin = "rel.join";            // attrs: left_keys, right_keys
+inline constexpr const char* kOpRelSort = "rel.sort";            // attrs: keys
+inline constexpr const char* kOpRelLimit = "rel.limit";          // attrs: n
+inline constexpr const char* kOpRelUnion = "rel.union";          // concat two tables
+
+// Tensor dialect.
+inline constexpr const char* kOpTensorMatmul = "tensor.matmul";
+inline constexpr const char* kOpTensorAdd = "tensor.add";
+inline constexpr const char* kOpTensorSub = "tensor.sub";
+inline constexpr const char* kOpTensorMul = "tensor.mul";
+inline constexpr const char* kOpTensorScale = "tensor.scale";      // attrs: factor
+inline constexpr const char* kOpTensorRelu = "tensor.relu";
+inline constexpr const char* kOpTensorSigmoid = "tensor.sigmoid";
+inline constexpr const char* kOpTensorTranspose = "tensor.transpose";
+inline constexpr const char* kOpTensorReduceMean = "tensor.reduce_mean";  // -> scalar
+inline constexpr const char* kOpTensorAddRow = "tensor.add_row";  // bias broadcast
+
+// Fusion products.
+inline constexpr const char* kOpFusedElementwise = "fused.elementwise";  // attrs: sub_ops
+inline constexpr const char* kOpFusedFilterProject = "fused.filter_project";
+
+// Emit helpers (thin wrappers that set types/attrs consistently).
+ValueId EmitFilter(IrFunction& fn, ValueId input, ExprPtr predicate);
+ValueId EmitProject(IrFunction& fn, ValueId input, std::vector<ProjectionSpec> projections);
+ValueId EmitAggregate(IrFunction& fn, ValueId input, std::vector<std::string> group_by,
+                      std::vector<AggregateSpec> aggregates);
+ValueId EmitJoin(IrFunction& fn, ValueId left, ValueId right,
+                 std::vector<std::string> left_keys, std::vector<std::string> right_keys);
+ValueId EmitSort(IrFunction& fn, ValueId input, std::vector<SortKey> keys);
+ValueId EmitLimit(IrFunction& fn, ValueId input, int64_t n);
+ValueId EmitUnion(IrFunction& fn, ValueId a, ValueId b);
+
+ValueId EmitMatmul(IrFunction& fn, ValueId a, ValueId b);
+ValueId EmitAdd(IrFunction& fn, ValueId a, ValueId b);
+ValueId EmitSub(IrFunction& fn, ValueId a, ValueId b);
+ValueId EmitMul(IrFunction& fn, ValueId a, ValueId b);
+ValueId EmitScale(IrFunction& fn, ValueId a, double factor);
+ValueId EmitRelu(IrFunction& fn, ValueId a);
+ValueId EmitSigmoid(IrFunction& fn, ValueId a);
+ValueId EmitTranspose(IrFunction& fn, ValueId a);
+ValueId EmitReduceMean(IrFunction& fn, ValueId a);
+ValueId EmitAddRow(IrFunction& fn, ValueId a, ValueId row);
+
+// OpClass of an opcode, for the cost model. Unknown opcodes are kGeneric.
+OpClass OpClassOf(const std::string& opcode);
+
+// True for pure elementwise tensor ops (fusable into one pass over data).
+bool IsElementwiseTensorOp(const std::string& opcode);
+
+}  // namespace skadi
+
+#endif  // SRC_IR_DIALECTS_H_

@@ -1,0 +1,35 @@
+// IR interpreter: executes a verified IrFunction against runtime values
+// using the format/* kernels. This is the "lowered" execution path shared by
+// every backend — device placement changes the cost model charge, not the
+// kernel (see DESIGN.md substitution table).
+#ifndef SRC_IR_INTERP_H_
+#define SRC_IR_INTERP_H_
+
+#include <variant>
+
+#include "src/format/record_batch.h"
+#include "src/format/tensor.h"
+#include "src/ir/ir.h"
+
+namespace skadi {
+
+using IrRuntimeValue = std::variant<RecordBatch, Tensor, double>;
+
+struct IrExecStats {
+  int64_t ops_executed = 0;
+  // Bytes of intermediate + output values materialized. Fusion reduces this:
+  // a fused chain materializes once.
+  int64_t bytes_materialized = 0;
+};
+
+// Approximate size of a runtime value (for stats and cost charging).
+int64_t IrValueBytes(const IrRuntimeValue& value);
+
+// Runs the function with `args` bound to its parameters (positional).
+Result<std::vector<IrRuntimeValue>> EvalIrFunction(const IrFunction& fn,
+                                                   std::vector<IrRuntimeValue> args,
+                                                   IrExecStats* stats = nullptr);
+
+}  // namespace skadi
+
+#endif  // SRC_IR_INTERP_H_

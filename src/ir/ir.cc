@@ -1,0 +1,174 @@
+#include "src/ir/ir.h"
+
+#include <set>
+#include <sstream>
+
+namespace skadi {
+
+std::string_view IrTypeKindName(IrTypeKind kind) {
+  switch (kind) {
+    case IrTypeKind::kTable:
+      return "table";
+    case IrTypeKind::kTensor:
+      return "tensor";
+    case IrTypeKind::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
+ValueId IrFunction::AddParam(IrType type) {
+  ValueId id = ValueId::Next();
+  params_.push_back(id);
+  types_[id] = type;
+  return id;
+}
+
+ValueId IrFunction::Emit(std::string opcode, std::vector<ValueId> operands,
+                         IrType result_type, std::map<std::string, IrAttr> attrs) {
+  IrOp op;
+  op.opcode = std::move(opcode);
+  op.operands = std::move(operands);
+  op.attrs = std::move(attrs);
+  ValueId result = ValueId::Next();
+  op.results.push_back(result);
+  types_[result] = result_type;
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+Result<IrType> IrFunction::TypeOf(ValueId value) const {
+  auto it = types_.find(value);
+  if (it == types_.end()) {
+    return Status::NotFound("value " + value.ToString() + " not in function '" + name_ +
+                            "'");
+  }
+  return it->second;
+}
+
+bool IrFunction::IsParam(ValueId value) const {
+  for (ValueId p : params_) {
+    if (p == value) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status IrFunction::Verify() const {
+  std::set<ValueId> defined(params_.begin(), params_.end());
+  if (defined.size() != params_.size()) {
+    return Status::Internal("function '" + name_ + "': duplicate parameter ids");
+  }
+  for (const IrOp& op : ops_) {
+    for (ValueId operand : op.operands) {
+      if (defined.count(operand) == 0) {
+        return Status::FailedPrecondition("function '" + name_ + "': op '" + op.opcode +
+                                          "' uses undefined value " + operand.ToString());
+      }
+    }
+    for (ValueId result : op.results) {
+      if (!defined.insert(result).second) {
+        return Status::FailedPrecondition("function '" + name_ + "': value " +
+                                          result.ToString() + " defined twice");
+      }
+      if (types_.count(result) == 0) {
+        return Status::Internal("function '" + name_ + "': result " + result.ToString() +
+                                " has no type");
+      }
+    }
+  }
+  for (ValueId ret : returns_) {
+    if (defined.count(ret) == 0) {
+      return Status::FailedPrecondition("function '" + name_ + "': returns undefined value " +
+                                        ret.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<IrFunction> IrFunction::Compose(const IrFunction& producer,
+                                       const IrFunction& consumer,
+                                       size_t consumer_param_index) {
+  if (producer.returns_.size() != 1) {
+    return Status::InvalidArgument("Compose requires a single-return producer, '" +
+                                   producer.name_ + "' returns " +
+                                   std::to_string(producer.returns_.size()));
+  }
+  if (consumer_param_index >= consumer.params_.size()) {
+    return Status::InvalidArgument("consumer param index out of range");
+  }
+  ValueId replaced = consumer.params_[consumer_param_index];
+  ValueId replacement = producer.returns_[0];
+
+  IrFunction merged(producer.name_ + "+" + consumer.name_);
+  merged.params_ = producer.params_;
+  for (size_t i = 0; i < consumer.params_.size(); ++i) {
+    if (i != consumer_param_index) {
+      merged.params_.push_back(consumer.params_[i]);
+    }
+  }
+  merged.types_ = producer.types_;
+  merged.types_.insert(consumer.types_.begin(), consumer.types_.end());
+  merged.ops_ = producer.ops_;
+  for (IrOp op : consumer.ops_) {
+    for (ValueId& operand : op.operands) {
+      if (operand == replaced) {
+        operand = replacement;
+      }
+    }
+    merged.ops_.push_back(std::move(op));
+  }
+  merged.returns_ = consumer.returns_;
+  for (ValueId& ret : merged.returns_) {
+    if (ret == replaced) {
+      ret = replacement;
+    }
+  }
+  SKADI_RETURN_IF_ERROR(merged.Verify());
+  return merged;
+}
+
+std::string IrFunction::ToString() const {
+  std::ostringstream os;
+  os << "func @" << name_ << "(";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << params_[i] << ": " << IrTypeKindName(types_.at(params_[i]).kind);
+  }
+  os << ") {\n";
+  for (const IrOp& op : ops_) {
+    os << "  ";
+    for (size_t i = 0; i < op.results.size(); ++i) {
+      if (i > 0) {
+        os << ", ";
+      }
+      os << op.results[i];
+    }
+    os << " = " << op.opcode << "(";
+    for (size_t i = 0; i < op.operands.size(); ++i) {
+      if (i > 0) {
+        os << ", ";
+      }
+      os << op.operands[i];
+    }
+    os << ")";
+    if (op.backend.has_value()) {
+      os << " on " << DeviceKindName(*op.backend);
+    }
+    os << "\n";
+  }
+  os << "  return ";
+  for (size_t i = 0; i < returns_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << returns_[i];
+  }
+  os << "\n}";
+  return os.str();
+}
+
+}  // namespace skadi

@@ -1,0 +1,131 @@
+// A compact multi-level IR in the spirit of MLIR (§2.2): SSA values, ops
+// with string opcodes + typed attributes, dialect namespaces ("rel.*",
+// "tensor.*"), a verifier, and a pass manager. Vertices of the logical
+// FlowGraph carry IrFunctions as their hardware-agnostic computation; a
+// backend-selection pass annotates ops with a device kind, and the
+// interpreter (ir/interp.h) executes them with format/* kernels.
+#ifndef SRC_IR_IR_H_
+#define SRC_IR_IR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/id.h"
+#include "src/common/status.h"
+#include "src/format/compute.h"
+#include "src/hw/device.h"
+
+namespace skadi {
+
+enum class IrTypeKind {
+  kTable,   // RecordBatch
+  kTensor,  // dense double tensor
+  kScalar,  // double scalar
+};
+
+std::string_view IrTypeKindName(IrTypeKind kind);
+
+struct IrType {
+  IrTypeKind kind = IrTypeKind::kTable;
+
+  static IrType Table() { return {IrTypeKind::kTable}; }
+  static IrType Tensor() { return {IrTypeKind::kTensor}; }
+  static IrType Scalar() { return {IrTypeKind::kScalar}; }
+
+  bool operator==(const IrType& o) const { return kind == o.kind; }
+};
+
+// Attribute values ops can carry. ExprPtr covers predicates/projections;
+// the spec vectors cover relational op configuration.
+using IrAttr = std::variant<int64_t, double, bool, std::string, ExprPtr,
+                            std::vector<std::string>, std::vector<ProjectionSpec>,
+                            std::vector<AggregateSpec>, std::vector<SortKey>>;
+
+struct IrValue {
+  ValueId id;
+  IrType type;
+};
+
+struct IrOp {
+  std::string opcode;
+  std::vector<ValueId> operands;
+  std::vector<ValueId> results;
+  std::map<std::string, IrAttr> attrs;
+  // Filled by the backend-selection pass; nullopt = unassigned.
+  std::optional<DeviceKind> backend;
+
+  bool HasAttr(const std::string& key) const { return attrs.count(key) > 0; }
+
+  template <typename T>
+  Result<T> GetAttr(const std::string& key) const {
+    auto it = attrs.find(key);
+    if (it == attrs.end()) {
+      return Status::NotFound("op '" + opcode + "' has no attribute '" + key + "'");
+    }
+    const T* v = std::get_if<T>(&it->second);
+    if (v == nullptr) {
+      return Status::InvalidArgument("attribute '" + key + "' of '" + opcode +
+                                     "' has unexpected type");
+    }
+    return *v;
+  }
+};
+
+// A function in SSA form: parameters, a topologically-ordered op list, and
+// returned values. Built through the emit helpers; Verify() checks SSA
+// invariants.
+class IrFunction {
+ public:
+  explicit IrFunction(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ValueId AddParam(IrType type);
+
+  // Emits an op producing one result of `result_type`; returns the value id.
+  ValueId Emit(std::string opcode, std::vector<ValueId> operands, IrType result_type,
+               std::map<std::string, IrAttr> attrs = {});
+
+  void SetReturns(std::vector<ValueId> returns) { returns_ = std::move(returns); }
+
+  const std::vector<ValueId>& params() const { return params_; }
+  const std::vector<IrOp>& ops() const { return ops_; }
+  std::vector<IrOp>& mutable_ops() { return ops_; }
+  const std::vector<ValueId>& returns() const { return returns_; }
+
+  Result<IrType> TypeOf(ValueId value) const;
+  bool IsParam(ValueId value) const;
+
+  // SSA invariants: every operand is defined (param or earlier result),
+  // every value defined once, all returns defined.
+  Status Verify() const;
+
+  // Number of ops (fused ops count once).
+  size_t num_ops() const { return ops_.size(); }
+
+  std::string ToString() const;
+
+  // Inlines `producer` into `consumer`: consumer's parameter at
+  // `consumer_param_index` is replaced by producer's (single) return value.
+  // Value ids are globally unique, so ops transfer verbatim. The composed
+  // function's parameters are producer's params followed by consumer's
+  // remaining params.
+  static Result<IrFunction> Compose(const IrFunction& producer, const IrFunction& consumer,
+                                    size_t consumer_param_index);
+
+ private:
+  friend class PassManager;
+
+  std::string name_;
+  std::vector<ValueId> params_;
+  std::vector<IrOp> ops_;
+  std::vector<ValueId> returns_;
+  std::map<ValueId, IrType> types_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_IR_IR_H_

@@ -1,0 +1,348 @@
+#include "src/ir/passes.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/hw/cost_model.h"
+#include "src/ir/dialects.h"
+
+namespace skadi {
+
+namespace {
+
+// Uses of each value across ops and returns.
+std::unordered_map<ValueId, int> CountUses(const IrFunction& fn) {
+  std::unordered_map<ValueId, int> uses;
+  for (const IrOp& op : fn.ops()) {
+    for (ValueId operand : op.operands) {
+      uses[operand] += 1;
+    }
+  }
+  for (ValueId ret : fn.returns()) {
+    uses[ret] += 1;
+  }
+  return uses;
+}
+
+void ReplaceUses(IrFunction& fn, ValueId from, ValueId to) {
+  for (IrOp& op : fn.mutable_ops()) {
+    for (ValueId& operand : op.operands) {
+      if (operand == from) {
+        operand = to;
+      }
+    }
+  }
+  std::vector<ValueId> returns = fn.returns();
+  for (ValueId& ret : returns) {
+    if (ret == from) {
+      ret = to;
+    }
+  }
+  fn.SetReturns(std::move(returns));
+}
+
+// Stable fingerprint of an attribute value, for CSE keys.
+std::string AttrFingerprint(const IrAttr& attr) {
+  std::ostringstream os;
+  if (const int64_t* i = std::get_if<int64_t>(&attr)) {
+    os << "i" << *i;
+  } else if (const double* d = std::get_if<double>(&attr)) {
+    os << "d" << *d;
+  } else if (const bool* b = std::get_if<bool>(&attr)) {
+    os << "b" << *b;
+  } else if (const std::string* s = std::get_if<std::string>(&attr)) {
+    os << "s" << *s;
+  } else if (const ExprPtr* e = std::get_if<ExprPtr>(&attr)) {
+    os << "e" << (*e == nullptr ? "null" : (*e)->ToString());
+  } else if (const auto* names = std::get_if<std::vector<std::string>>(&attr)) {
+    os << "n";
+    for (const std::string& n : *names) {
+      os << n << ",";
+    }
+  } else if (const auto* projections = std::get_if<std::vector<ProjectionSpec>>(&attr)) {
+    os << "p";
+    for (const ProjectionSpec& p : *projections) {
+      os << p.name << "=" << (p.expr ? p.expr->ToString() : "null") << ",";
+    }
+  } else if (const auto* aggs = std::get_if<std::vector<AggregateSpec>>(&attr)) {
+    os << "a";
+    for (const AggregateSpec& a : *aggs) {
+      os << AggKindName(a.kind) << "(" << a.column << ")as" << a.name << ",";
+    }
+  } else if (const auto* keys = std::get_if<std::vector<SortKey>>(&attr)) {
+    os << "k";
+    for (const SortKey& k : *keys) {
+      os << k.column << (k.ascending ? "^" : "v") << ",";
+    }
+  }
+  return os.str();
+}
+
+std::string OpFingerprint(const IrOp& op) {
+  std::ostringstream os;
+  os << op.opcode << "(";
+  for (ValueId operand : op.operands) {
+    os << operand.value() << ",";
+  }
+  os << ")";
+  for (const auto& [key, attr] : op.attrs) {
+    os << key << "=" << AttrFingerprint(attr) << ";";
+  }
+  return os.str();
+}
+
+// Finds the defining op index of a value; -1 for params.
+int DefIndex(const IrFunction& fn, ValueId value) {
+  const auto& ops = fn.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (ValueId result : ops[i].results) {
+      if (result == value) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status RunDce(IrFunction& fn, PassStats* stats) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto uses = CountUses(fn);
+    auto& ops = fn.mutable_ops();
+    for (auto it = ops.begin(); it != ops.end();) {
+      bool used = false;
+      for (ValueId result : it->results) {
+        if (uses[result] > 0) {
+          used = true;
+          break;
+        }
+      }
+      if (used) {
+        ++it;
+      } else {
+        it = ops.erase(it);
+        changed = true;
+        if (stats != nullptr) {
+          stats->ops_removed += 1;
+        }
+      }
+    }
+  }
+  return fn.Verify();
+}
+
+Status RunCse(IrFunction& fn, PassStats* stats) {
+  std::unordered_map<std::string, ValueId> seen;
+  auto& ops = fn.mutable_ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::string key = OpFingerprint(ops[i]);
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen.emplace(std::move(key), ops[i].results[0]);
+      continue;
+    }
+    ReplaceUses(fn, ops[i].results[0], it->second);
+    if (stats != nullptr) {
+      stats->ops_removed += 1;
+    }
+  }
+  return RunDce(fn, nullptr);
+}
+
+Status RunMergeFilters(IrFunction& fn, PassStats* stats) {
+  auto uses = CountUses(fn);
+  auto& ops = fn.mutable_ops();
+  for (IrOp& op : ops) {
+    if (op.opcode != kOpRelFilter) {
+      continue;
+    }
+    // Is the operand itself a single-use filter?
+    int def = DefIndex(fn, op.operands[0]);
+    if (def < 0) {
+      continue;
+    }
+    IrOp& producer = ops[static_cast<size_t>(def)];
+    if (producer.opcode != kOpRelFilter || uses[op.operands[0]] != 1) {
+      continue;
+    }
+    auto inner = producer.GetAttr<ExprPtr>("pred");
+    auto outer = op.GetAttr<ExprPtr>("pred");
+    if (!inner.ok() || !outer.ok()) {
+      continue;
+    }
+    op.attrs["pred"] = IrAttr(Expr::Binary(BinaryOp::kAnd, *inner, *outer));
+    op.operands[0] = producer.operands[0];
+    if (stats != nullptr) {
+      stats->ops_fused += 1;
+    }
+    uses = CountUses(fn);
+  }
+  return RunDce(fn, nullptr);
+}
+
+Status RunFuseElementwise(IrFunction& fn, PassStats* stats) {
+  // Collapse maximal chains a -> b -> c of unary elementwise ops where every
+  // intermediate has exactly one use.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto uses = CountUses(fn);
+    auto& ops = fn.mutable_ops();
+    for (IrOp& op : ops) {
+      bool op_fusable =
+          (IsElementwiseTensorOp(op.opcode) && op.operands.size() == 1) ||
+          op.opcode == kOpFusedElementwise;
+      if (!op_fusable) {
+        continue;
+      }
+      int def = DefIndex(fn, op.operands[0]);
+      if (def < 0) {
+        continue;
+      }
+      IrOp& producer = ops[static_cast<size_t>(def)];
+      bool producer_fusable =
+          (IsElementwiseTensorOp(producer.opcode) && producer.operands.size() == 1) ||
+          producer.opcode == kOpFusedElementwise;
+      if (!producer_fusable || uses[op.operands[0]] != 1) {
+        continue;
+      }
+
+      auto step_of = [](const IrOp& o) -> std::vector<std::string> {
+        if (o.opcode == kOpFusedElementwise) {
+          auto steps = o.GetAttr<std::vector<std::string>>("sub_ops");
+          return steps.ok() ? *steps : std::vector<std::string>{};
+        }
+        if (o.opcode == kOpTensorScale) {
+          auto factor = o.GetAttr<double>("factor");
+          return {std::string(kOpTensorScale) + ":" +
+                  std::to_string(factor.ok() ? *factor : 1.0)};
+        }
+        return {o.opcode};
+      };
+
+      std::vector<std::string> steps = step_of(producer);
+      std::vector<std::string> tail = step_of(op);
+      steps.insert(steps.end(), tail.begin(), tail.end());
+
+      op.opcode = kOpFusedElementwise;
+      op.attrs.clear();
+      op.attrs["sub_ops"] = IrAttr(std::move(steps));
+      op.operands[0] = producer.operands[0];
+      if (stats != nullptr) {
+        stats->ops_fused += 1;
+      }
+      changed = true;
+      break;  // op list mutated; recompute indices
+    }
+    if (changed) {
+      SKADI_RETURN_IF_ERROR(RunDce(fn, nullptr));
+    }
+  }
+  return fn.Verify();
+}
+
+Status RunFuseFilterProject(IrFunction& fn, PassStats* stats) {
+  auto uses = CountUses(fn);
+  auto& ops = fn.mutable_ops();
+  for (IrOp& op : ops) {
+    if (op.opcode != kOpRelProject) {
+      continue;
+    }
+    int def = DefIndex(fn, op.operands[0]);
+    if (def < 0) {
+      continue;
+    }
+    IrOp& producer = ops[static_cast<size_t>(def)];
+    if (producer.opcode != kOpRelFilter || uses[op.operands[0]] != 1) {
+      continue;
+    }
+    auto pred = producer.GetAttr<ExprPtr>("pred");
+    if (!pred.ok()) {
+      continue;
+    }
+    op.opcode = kOpFusedFilterProject;
+    op.attrs["pred"] = IrAttr(*pred);
+    op.operands[0] = producer.operands[0];
+    if (stats != nullptr) {
+      stats->ops_fused += 1;
+    }
+    uses = CountUses(fn);
+  }
+  return RunDce(fn, nullptr);
+}
+
+Status RunSelectBackends(IrFunction& fn, const std::vector<DeviceKind>& available,
+                         int64_t assumed_bytes) {
+  if (available.empty()) {
+    return Status::InvalidArgument("no backends available");
+  }
+  // Canonical device presets per kind (ids are irrelevant for estimation).
+  auto spec_of = [](DeviceKind kind) -> DeviceSpec {
+    switch (kind) {
+      case DeviceKind::kCpu:
+        return MakeCpuDevice("sel-cpu");
+      case DeviceKind::kGpu:
+        return MakeGpuDevice("sel-gpu");
+      case DeviceKind::kFpga:
+        return MakeFpgaDevice("sel-fpga");
+      case DeviceKind::kDpu:
+        return MakeDpuDevice("sel-dpu");
+      case DeviceKind::kMemoryBlade:
+        return MakeMemoryBladeDevice("sel-blade", 0);
+    }
+    return MakeCpuDevice("sel-cpu");
+  };
+
+  for (IrOp& op : fn.mutable_ops()) {
+    OpClass op_class = OpClassOf(op.opcode);
+    DeviceKind best = available[0];
+    int64_t best_cost = CostModel::EstimateNanos(spec_of(best), op_class, assumed_bytes);
+    for (size_t i = 1; i < available.size(); ++i) {
+      int64_t cost =
+          CostModel::EstimateNanos(spec_of(available[i]), op_class, assumed_bytes);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = available[i];
+      }
+    }
+    op.backend = best;
+  }
+  return Status::Ok();
+}
+
+PassManager& PassManager::Add(const std::string& pass_name) {
+  passes_.push_back(pass_name);
+  return *this;
+}
+
+PassManager PassManager::StandardPipeline() {
+  PassManager pm;
+  pm.Add("cse").Add("merge-filters").Add("fuse-filter-project").Add("fuse-elementwise").Add("dce");
+  return pm;
+}
+
+Status PassManager::Run(IrFunction& fn, PassStats* stats) const {
+  for (const std::string& pass : passes_) {
+    if (pass == "dce") {
+      SKADI_RETURN_IF_ERROR(RunDce(fn, stats));
+    } else if (pass == "cse") {
+      SKADI_RETURN_IF_ERROR(RunCse(fn, stats));
+    } else if (pass == "merge-filters") {
+      SKADI_RETURN_IF_ERROR(RunMergeFilters(fn, stats));
+    } else if (pass == "fuse-elementwise") {
+      SKADI_RETURN_IF_ERROR(RunFuseElementwise(fn, stats));
+    } else if (pass == "fuse-filter-project") {
+      SKADI_RETURN_IF_ERROR(RunFuseFilterProject(fn, stats));
+    } else {
+      return Status::NotFound("unknown pass '" + pass + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace skadi

@@ -1,0 +1,57 @@
+// Graph-level optimization passes over IrFunctions (§2.2: "a common IR
+// enables graph-level optimizations such as op-fusing across application
+// domains").
+//
+//   DCE            — drop ops whose results are never used (all ops are pure)
+//   CSE            — deduplicate identical (opcode, operands, attrs) ops
+//   MergeFilters   — filter(filter(x, p1), p2) => filter(x, p1 AND p2)
+//   FuseElementwise— chains of unary elementwise tensor ops => one fused op
+//   FuseFilterProject — project(filter(x)) => fused.filter_project
+//   SelectBackends — annotate each op with the cheapest device kind
+#ifndef SRC_IR_PASSES_H_
+#define SRC_IR_PASSES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace skadi {
+
+struct PassStats {
+  int64_t ops_removed = 0;
+  int64_t ops_fused = 0;
+};
+
+Status RunDce(IrFunction& fn, PassStats* stats = nullptr);
+Status RunCse(IrFunction& fn, PassStats* stats = nullptr);
+Status RunMergeFilters(IrFunction& fn, PassStats* stats = nullptr);
+Status RunFuseElementwise(IrFunction& fn, PassStats* stats = nullptr);
+Status RunFuseFilterProject(IrFunction& fn, PassStats* stats = nullptr);
+
+// Annotates op.backend with the cheapest available device kind for the op's
+// class, assuming `assumed_bytes` of input per op.
+Status RunSelectBackends(IrFunction& fn, const std::vector<DeviceKind>& available,
+                         int64_t assumed_bytes = 1 << 20);
+
+// Ordered pipeline of passes by name. Unknown names fail.
+class PassManager {
+ public:
+  PassManager& Add(const std::string& pass_name);
+
+  // The standard optimization pipeline: cse, merge-filters,
+  // fuse-filter-project, fuse-elementwise, dce.
+  static PassManager StandardPipeline();
+
+  Status Run(IrFunction& fn, PassStats* stats = nullptr) const;
+
+  const std::vector<std::string>& passes() const { return passes_; }
+
+ private:
+  std::vector<std::string> passes_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_IR_PASSES_H_

@@ -1,0 +1,144 @@
+#include "src/net/fabric.h"
+
+namespace skadi {
+
+Fabric::Fabric(std::shared_ptr<Topology> topology) : topology_(std::move(topology)) {}
+
+Status Fabric::RegisterHandler(NodeId node, const std::string& service, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& services = handlers_[node];
+  auto [it, inserted] = services.emplace(service, std::move(handler));
+  if (!inserted) {
+    return Status::AlreadyExists("service '" + service + "' already registered on " +
+                                 node.ToString());
+  }
+  return Status::Ok();
+}
+
+Counter& Fabric::MessagesCounter(LinkClass c) {
+  return metrics_.GetCounter("fabric.messages." + std::string(LinkClassName(c)));
+}
+
+Counter& Fabric::BytesCounter(LinkClass c) {
+  return metrics_.GetCounter("fabric.bytes." + std::string(LinkClassName(c)));
+}
+
+void Fabric::Charge(NodeId src, NodeId dst, int64_t bytes, bool is_control) {
+  LinkClass c = topology_->Classify(src, dst);
+  MessagesCounter(c).Increment();
+  BytesCounter(c).Add(bytes);
+  if (is_control) {
+    metrics_.GetCounter("fabric.control_messages").Increment();
+  }
+  clock_.Charge(topology_->TransferNanos(src, dst, bytes));
+}
+
+Result<Buffer> Fabric::Call(NodeId src, NodeId dst, const std::string& service,
+                            Buffer request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_nodes_.count(dst) > 0) {
+      return Status::Unavailable("node " + dst.ToString() + " is dead");
+    }
+    auto nit = handlers_.find(dst);
+    if (nit == handlers_.end()) {
+      return Status::NotFound("no services on " + dst.ToString());
+    }
+    auto sit = nit->second.find(service);
+    if (sit == nit->second.end()) {
+      return Status::NotFound("service '" + service + "' not found on " + dst.ToString());
+    }
+    handler = sit->second;
+  }
+  Charge(src, dst, static_cast<int64_t>(request.size()), /*is_control=*/true);
+  Result<Buffer> response = handler(request);
+  if (!response.ok()) {
+    Charge(dst, src, 0, /*is_control=*/true);
+    return response.status();
+  }
+  Charge(dst, src, static_cast<int64_t>(response->size()), /*is_control=*/true);
+  return response;
+}
+
+Status Fabric::Send(NodeId src, NodeId dst, const std::string& service, Buffer request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_nodes_.count(dst) > 0) {
+      return Status::Unavailable("node " + dst.ToString() + " is dead");
+    }
+    auto nit = handlers_.find(dst);
+    if (nit == handlers_.end()) {
+      return Status::NotFound("no services on " + dst.ToString());
+    }
+    auto sit = nit->second.find(service);
+    if (sit == nit->second.end()) {
+      return Status::NotFound("service '" + service + "' not found on " + dst.ToString());
+    }
+    handler = sit->second;
+  }
+  Charge(src, dst, static_cast<int64_t>(request.size()), /*is_control=*/true);
+  Result<Buffer> response = handler(request);
+  return response.status();
+}
+
+int64_t Fabric::TransferBytes(NodeId src, NodeId dst, int64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A transfer from/to a dead node silently accounts nothing; callers check
+    // liveness before initiating transfers, this is a backstop.
+    if (dead_nodes_.count(src) > 0 || dead_nodes_.count(dst) > 0) {
+      return 0;
+    }
+  }
+  LinkClass c = topology_->Classify(src, dst);
+  BytesCounter(c).Add(bytes);
+  MessagesCounter(c).Increment();
+  metrics_.GetCounter("fabric.data_transfers").Increment();
+  metrics_.GetCounter("fabric.data_bytes").Add(bytes);
+  int64_t nanos = topology_->TransferNanos(src, dst, bytes);
+  clock_.Charge(nanos);
+  return nanos;
+}
+
+void Fabric::MarkDead(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_nodes_.insert(node);
+}
+
+void Fabric::Revive(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_nodes_.erase(node);
+}
+
+bool Fabric::IsDead(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_nodes_.count(node) > 0;
+}
+
+int64_t Fabric::total_messages() const {
+  int64_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    total += messages(static_cast<LinkClass>(i));
+  }
+  return total;
+}
+
+int64_t Fabric::total_bytes() const {
+  int64_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    total += bytes(static_cast<LinkClass>(i));
+  }
+  return total;
+}
+
+int64_t Fabric::messages(LinkClass link_class) const {
+  return const_cast<Fabric*>(this)->MessagesCounter(link_class).value();
+}
+
+int64_t Fabric::bytes(LinkClass link_class) const {
+  return const_cast<Fabric*>(this)->BytesCounter(link_class).value();
+}
+
+}  // namespace skadi

@@ -1,0 +1,95 @@
+// The emulated data-center fabric.
+//
+// Every cross-node interaction in the reproduction — control-plane RPCs
+// between raylets, ownership-table lookups, object transfers, durable-store
+// reads — goes through one Fabric instance, which:
+//   1. charges modelled time (topology latency + size/bandwidth) to the
+//      cluster VirtualClock, optionally realizing it as actual delay, and
+//   2. increments deterministic per-link-class counters (messages, bytes)
+//      that the experiment harness reports.
+//
+// RPCs are synchronous: the handler runs on the caller's thread after the
+// request cost is charged, and the response cost is charged on return.
+// Concurrency comes from the runtime's many worker threads; handlers must be
+// thread-safe.
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/buffer.h"
+#include "src/common/clock.h"
+#include "src/common/id.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/hw/topology.h"
+
+namespace skadi {
+
+class Fabric {
+ public:
+  using Handler = std::function<Result<Buffer>(const Buffer& request)>;
+
+  explicit Fabric(std::shared_ptr<Topology> topology);
+
+  Topology& topology() { return *topology_; }
+  VirtualClock& clock() { return clock_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Fraction of modelled time realized as actual delay (see VirtualClock).
+  void set_realize_fraction(double fraction) { clock_.set_realize_fraction(fraction); }
+
+  // Registers the handler for `service` on `node`. One handler per
+  // (node, service) pair.
+  Status RegisterHandler(NodeId node, const std::string& service, Handler handler);
+
+  // Synchronous RPC from src to dst. Charges request + response transfer
+  // cost and counts one control round trip. Fails kUnavailable if the target
+  // node is dead or has no such service.
+  Result<Buffer> Call(NodeId src, NodeId dst, const std::string& service, Buffer request);
+
+  // One-way message: charges one transfer, runs the handler, discards the
+  // reply. Used by the push-based future-resolution protocol.
+  Status Send(NodeId src, NodeId dst, const std::string& service, Buffer request);
+
+  // Bulk data-plane transfer accounting (no handler involved): charges the
+  // modelled time for `bytes` between the two nodes and counts it. Returns
+  // the charged nanoseconds.
+  int64_t TransferBytes(NodeId src, NodeId dst, int64_t bytes);
+
+  // Failure injection: a dead node rejects calls and sends.
+  void MarkDead(NodeId node);
+  void Revive(NodeId node);
+  bool IsDead(NodeId node) const;
+
+  // Deterministic counters, aggregated over all link classes.
+  int64_t total_messages() const;
+  int64_t total_bytes() const;
+  // Per-link-class counters (see LinkClassName for naming).
+  int64_t messages(LinkClass link_class) const;
+  int64_t bytes(LinkClass link_class) const;
+
+ private:
+  void Charge(NodeId src, NodeId dst, int64_t bytes, bool is_control);
+
+  Counter& MessagesCounter(LinkClass c);
+  Counter& BytesCounter(LinkClass c);
+
+  std::shared_ptr<Topology> topology_;
+  VirtualClock clock_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mu_;
+  // (node, service) -> handler
+  std::unordered_map<NodeId, std::unordered_map<std::string, Handler>> handlers_;
+  std::unordered_set<NodeId> dead_nodes_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_NET_FABRIC_H_

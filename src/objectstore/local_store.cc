@@ -1,0 +1,150 @@
+#include "src/objectstore/local_store.h"
+
+namespace skadi {
+
+Status LocalObjectStore::Put(ObjectId id, Buffer data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.count(id) > 0) {
+    return Status::AlreadyExists("object " + id.ToString() + " already stored");
+  }
+  int64_t size = static_cast<int64_t>(data.size());
+  if (size > capacity_bytes_) {
+    return Status::OutOfMemory("object " + id.ToString() + " (" + std::to_string(size) +
+                               " bytes) exceeds store capacity " +
+                               std::to_string(capacity_bytes_));
+  }
+  SKADI_RETURN_IF_ERROR(EvictLocked(size));
+  lru_.push_back(id);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.lru_pos = std::prev(lru_.end());
+  objects_.emplace(id, std::move(entry));
+  used_bytes_ += size;
+  return Status::Ok();
+}
+
+Status LocalObjectStore::EvictLocked(int64_t needed) {
+  while (used_bytes_ + needed > capacity_bytes_) {
+    // Find the least recently used unpinned entry.
+    auto victim_it = lru_.begin();
+    while (victim_it != lru_.end()) {
+      auto obj_it = objects_.find(*victim_it);
+      if (obj_it != objects_.end() && obj_it->second.pins == 0) {
+        break;
+      }
+      ++victim_it;
+    }
+    if (victim_it == lru_.end()) {
+      return Status::OutOfMemory("store on " + device_.ToString() +
+                                 " full and all objects pinned (used " +
+                                 std::to_string(used_bytes_) + ", need " +
+                                 std::to_string(needed) + ")");
+    }
+    ObjectId victim = *victim_it;
+    Entry& entry = objects_.at(victim);
+    if (spill_handler_) {
+      if (!spill_handler_(victim, entry.data)) {
+        return Status::OutOfMemory("spill of " + victim.ToString() + " rejected");
+      }
+      spilled_bytes_ += static_cast<int64_t>(entry.data.size());
+    }
+    used_bytes_ -= static_cast<int64_t>(entry.data.size());
+    lru_.erase(victim_it);
+    objects_.erase(victim);
+    ++evictions_;
+  }
+  return Status::Ok();
+}
+
+Result<Buffer> LocalObjectStore::Get(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not in store on " +
+                            device_.ToString());
+  }
+  // Refresh LRU position.
+  lru_.erase(it->second.lru_pos);
+  lru_.push_back(id);
+  it->second.lru_pos = std::prev(lru_.end());
+  return it->second.data;
+}
+
+bool LocalObjectStore::Contains(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(id) > 0;
+}
+
+Status LocalObjectStore::Delete(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not in store");
+  }
+  used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+  lru_.erase(it->second.lru_pos);
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+Status LocalObjectStore::Pin(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("cannot pin missing object " + id.ToString());
+  }
+  ++it->second.pins;
+  return Status::Ok();
+}
+
+Status LocalObjectStore::Unpin(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("cannot unpin missing object " + id.ToString());
+  }
+  if (it->second.pins == 0) {
+    return Status::FailedPrecondition("object " + id.ToString() + " is not pinned");
+  }
+  --it->second.pins;
+  return Status::Ok();
+}
+
+int64_t LocalObjectStore::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+size_t LocalObjectStore::num_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+std::vector<ObjectId> LocalObjectStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, entry] : objects_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+int64_t LocalObjectStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+int64_t LocalObjectStore::spilled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_bytes_;
+}
+
+void LocalObjectStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.clear();
+  lru_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace skadi

@@ -1,0 +1,92 @@
+// Plasma-style local object store: one per raylet (host DRAM, device HBM,
+// or a memory blade's pool). Objects are immutable sealed buffers with pin
+// counts; when capacity is exceeded the store evicts unpinned objects in LRU
+// order through a spill handler (Gen-2's "extend the caching layer to
+// disaggregated memory" path, §2.3.2).
+#ifndef SRC_OBJECTSTORE_LOCAL_STORE_H_
+#define SRC_OBJECTSTORE_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/id.h"
+#include "src/common/status.h"
+
+namespace skadi {
+
+class LocalObjectStore {
+ public:
+  // Called with an eviction victim. Returning true means the object was
+  // accepted elsewhere (spilled) and may be dropped locally; false means the
+  // victim cannot be moved and eviction of it fails.
+  using SpillHandler = std::function<bool(ObjectId id, const Buffer& data)>;
+
+  LocalObjectStore(DeviceId device, int64_t capacity_bytes)
+      : device_(device), capacity_bytes_(capacity_bytes) {}
+
+  DeviceId device() const { return device_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+  void set_spill_handler(SpillHandler handler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spill_handler_ = std::move(handler);
+  }
+
+  // Stores a sealed object. Evicts LRU unpinned objects (via the spill
+  // handler) to make room; kOutOfMemory if space cannot be freed,
+  // kAlreadyExists if the id is present.
+  Status Put(ObjectId id, Buffer data);
+
+  // Fetches an object and refreshes its LRU position.
+  Result<Buffer> Get(ObjectId id);
+
+  bool Contains(ObjectId id) const;
+
+  Status Delete(ObjectId id);
+
+  // Pinned objects are never evicted (in-use task arguments).
+  Status Pin(ObjectId id);
+  Status Unpin(ObjectId id);
+
+  int64_t used_bytes() const;
+  size_t num_objects() const;
+  std::vector<ObjectId> List() const;
+
+  // Deterministic counters for experiments.
+  int64_t evictions() const;
+  int64_t spilled_bytes() const;
+
+  // Failure injection: drops everything (the node died).
+  void Clear();
+
+ private:
+  struct Entry {
+    Buffer data;
+    int pins = 0;
+    // Position in lru_ for O(1) refresh.
+    std::list<ObjectId>::iterator lru_pos;
+  };
+
+  // Evicts unpinned LRU entries until `needed` bytes fit. mu_ must be held.
+  Status EvictLocked(int64_t needed);
+
+  DeviceId device_;
+  int64_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, Entry> objects_;
+  std::list<ObjectId> lru_;  // front = least recently used
+  int64_t used_bytes_ = 0;
+  int64_t evictions_ = 0;
+  int64_t spilled_bytes_ = 0;
+  SpillHandler spill_handler_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_OBJECTSTORE_LOCAL_STORE_H_

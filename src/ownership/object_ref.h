@@ -1,0 +1,35 @@
+// ObjectRef: a distributed future. Identifies an object plus the node that
+// *owns* its metadata (Ray's ownership protocol: the task caller owns the
+// returned objects and arbitrates their resolution and recovery).
+#ifndef SRC_OWNERSHIP_OBJECT_REF_H_
+#define SRC_OWNERSHIP_OBJECT_REF_H_
+
+#include <functional>
+
+#include "src/common/id.h"
+
+namespace skadi {
+
+struct ObjectRef {
+  ObjectId id;
+  NodeId owner;
+
+  bool valid() const { return id.valid(); }
+  bool operator==(const ObjectRef& other) const {
+    return id == other.id && owner == other.owner;
+  }
+  std::string ToString() const { return id.ToString() + "@" + owner.ToString(); }
+};
+
+}  // namespace skadi
+
+namespace std {
+template <>
+struct hash<skadi::ObjectRef> {
+  size_t operator()(const skadi::ObjectRef& ref) const {
+    return std::hash<skadi::ObjectId>()(ref.id);
+  }
+};
+}  // namespace std
+
+#endif  // SRC_OWNERSHIP_OBJECT_REF_H_

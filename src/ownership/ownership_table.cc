@@ -1,0 +1,206 @@
+#include "src/ownership/ownership_table.h"
+
+#include <chrono>
+
+namespace skadi {
+
+Status OwnershipTable::RegisterObject(ObjectId id, TaskId produced_by) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.count(id) > 0) {
+    return Status::AlreadyExists("object " + id.ToString() + " already owned");
+  }
+  OwnershipRecord record;
+  record.id = id;
+  record.owner = owner_;
+  record.produced_by = produced_by;
+  records_.emplace(id, std::move(record));
+  return Status::Ok();
+}
+
+Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
+    ObjectId id, NodeId location, int64_t size_bytes, DeviceId device,
+    uint64_t device_handle) {
+  std::vector<ConsumerRegistration> consumers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(id);
+    if (it == records_.end()) {
+      return Status::NotFound("object " + id.ToString() + " not owned by " +
+                              owner_.ToString());
+    }
+    OwnershipRecord& record = it->second;
+    record.state = ObjectState::kReady;
+    record.locations.insert(location);
+    record.size_bytes = size_bytes;
+    record.device = device;
+    record.device_handle = device_handle;
+    consumers.swap(record.pending_consumers);
+  }
+  cv_.notify_all();
+  return consumers;
+}
+
+Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  it->second.locations.insert(location);
+  return Status::Ok();
+}
+
+std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
+  std::vector<ObjectId> lost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, record] : records_) {
+      if (record.locations.erase(node) > 0 && record.locations.empty() &&
+          record.state == ObjectState::kReady) {
+        record.state = ObjectState::kLost;
+        lost.push_back(id);
+      }
+    }
+  }
+  if (!lost.empty()) {
+    cv_.notify_all();
+  }
+  return lost;
+}
+
+Status OwnershipTable::MarkLost(ObjectId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(id);
+    if (it == records_.end()) {
+      return Status::NotFound("object " + id.ToString() + " not owned");
+    }
+    it->second.state = ObjectState::kLost;
+    it->second.locations.clear();
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status OwnershipTable::MarkPendingForReconstruction(ObjectId id, TaskId new_task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  if (it->second.state != ObjectState::kLost) {
+    return Status::FailedPrecondition("object " + id.ToString() +
+                                      " is not lost; cannot reconstruct");
+  }
+  it->second.state = ObjectState::kPending;
+  it->second.produced_by = new_task;
+  return Status::Ok();
+}
+
+Result<bool> OwnershipTable::RegisterConsumer(ObjectId id, ConsumerRegistration consumer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  if (it->second.state == ObjectState::kReady) {
+    return true;  // already ready: push now
+  }
+  it->second.pending_consumers.push_back(consumer);
+  return false;
+}
+
+Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned by " +
+                            owner_.ToString());
+  }
+  const OwnershipRecord& record = it->second;
+  ResolveReply reply;
+  reply.state = record.state;
+  reply.size_bytes = record.size_bytes;
+  reply.device = record.device;
+  reply.device_handle = record.device_handle;
+  if (!record.locations.empty()) {
+    reply.location = *record.locations.begin();
+  }
+  return reply;
+}
+
+Result<ObjectState> OwnershipTable::WaitReady(ObjectId id, int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto done = [&]() {
+    auto it = records_.find(id);
+    return it == records_.end() || it->second.state != ObjectState::kPending;
+  };
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, done);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done)) {
+    return Status::DeadlineExceeded("object " + id.ToString() + " still pending after " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " was released while waiting");
+  }
+  return it->second.state;
+}
+
+Result<TaskId> OwnershipTable::ProducedBy(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  return it->second.produced_by;
+}
+
+Status OwnershipTable::IncRef(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  ++it->second.ref_count;
+  return Status::Ok();
+}
+
+Result<bool> OwnershipTable::DecRef(ObjectId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " not owned");
+  }
+  if (--it->second.ref_count <= 0) {
+    records_.erase(it);
+    lock.unlock();
+    cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+bool OwnershipTable::Contains(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.count(id) > 0;
+}
+
+size_t OwnershipTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<ObjectId> OwnershipTable::ObjectsInState(ObjectState state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> out;
+  for (const auto& [id, record] : records_) {
+    if (record.state == state) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace skadi

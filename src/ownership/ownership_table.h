@@ -1,0 +1,133 @@
+// The heterogeneity-aware ownership table (Figure 3, item 2).
+//
+// Ray's ownership table maps each object to [ID, Owner, Value, ...]. Skadi
+// extends every row with [Locations, DeviceID, DeviceHandle] so objects whose
+// value lives in device HBM behind a DPU are first-class: the raylet on the
+// DPU "also manages memory on its companion devices" through the recorded
+// device handle.
+//
+// One OwnershipTable instance exists per owner node; the runtime exposes it
+// to remote nodes through a fabric service, so every lookup/notification from
+// another node is a counted, costed control message.
+#ifndef SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
+#define SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/id.h"
+#include "src/common/status.h"
+#include "src/ownership/object_ref.h"
+
+namespace skadi {
+
+enum class ObjectState {
+  kPending,  // producing task not finished
+  kReady,    // value sealed somewhere (locations non-empty)
+  kLost,     // every copy vanished (node failures)
+};
+
+// Where a consumer task will run; registered so the push protocol knows
+// where to send the value the moment it is produced.
+struct ConsumerRegistration {
+  TaskId task;
+  NodeId node;
+  DeviceId device;
+};
+
+struct OwnershipRecord {
+  ObjectId id;
+  NodeId owner;
+  ObjectState state = ObjectState::kPending;
+  int64_t size_bytes = 0;
+  // Nodes currently holding a sealed copy (mirrors the caching layer).
+  std::set<NodeId> locations;
+  // Device-awareness extension: the device whose memory holds the primary
+  // copy, and an opaque handle for its communication driver.
+  DeviceId device;
+  uint64_t device_handle = 0;
+  // Lineage: the task whose re-execution reproduces this object.
+  TaskId produced_by;
+  // Reference count (task args in flight + user handles).
+  int64_t ref_count = 1;
+  // Consumers to push the value to when it becomes ready.
+  std::vector<ConsumerRegistration> pending_consumers;
+};
+
+class OwnershipTable {
+ public:
+  explicit OwnershipTable(NodeId owner) : owner_(owner) {}
+
+  NodeId owner() const { return owner_; }
+
+  // Creates a pending record (called at task submission for each return).
+  Status RegisterObject(ObjectId id, TaskId produced_by);
+
+  // Marks the object ready at `location`; wakes waiters and returns the
+  // consumers registered for push-mode resolution (caller pushes to them).
+  Result<std::vector<ConsumerRegistration>> MarkReady(ObjectId id, NodeId location,
+                                                      int64_t size_bytes,
+                                                      DeviceId device = DeviceId(),
+                                                      uint64_t device_handle = 0);
+
+  // Records an additional replica location for a ready object.
+  Status AddLocation(ObjectId id, NodeId location);
+
+  // Drops `node` from every record's locations; records whose last location
+  // vanished flip back to kLost. Returns the ids that became lost.
+  std::vector<ObjectId> OnNodeFailure(NodeId node);
+
+  // Explicitly marks an object lost (e.g. the producing task aborted).
+  Status MarkLost(ObjectId id);
+
+  // Re-arms a lost record as pending for lineage re-execution.
+  Status MarkPendingForReconstruction(ObjectId id, TaskId new_task);
+
+  // Registers a consumer for push-based resolution. If the object is already
+  // ready the caller should push immediately; indicated by the return value.
+  Result<bool> RegisterConsumer(ObjectId id, ConsumerRegistration consumer);
+
+  // Pull protocol: current state + a location to fetch from (nullopt while
+  // pending). This is the RPC the consumer-side raylet issues to the owner.
+  struct ResolveReply {
+    ObjectState state = ObjectState::kPending;
+    std::optional<NodeId> location;
+    int64_t size_bytes = 0;
+    DeviceId device;
+    uint64_t device_handle = 0;
+  };
+  Result<ResolveReply> Resolve(ObjectId id) const;
+
+  // Blocks until the object leaves kPending (ready or lost). Returns the
+  // final state; kDeadlineExceeded if `timeout_ms` elapses first (0 = wait
+  // forever).
+  Result<ObjectState> WaitReady(ObjectId id, int64_t timeout_ms = 0) const;
+
+  // Lineage lookup for recovery.
+  Result<TaskId> ProducedBy(ObjectId id) const;
+
+  // Reference counting. DecRef returns true when the count hit zero and the
+  // record was removed (the caller should then delete the value from the
+  // caching layer).
+  Status IncRef(ObjectId id);
+  Result<bool> DecRef(ObjectId id);
+
+  bool Contains(ObjectId id) const;
+  size_t size() const;
+  std::vector<ObjectId> ObjectsInState(ObjectState state) const;
+
+ private:
+  NodeId owner_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::unordered_map<ObjectId, OwnershipRecord> records_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_OWNERSHIP_OWNERSHIP_TABLE_H_

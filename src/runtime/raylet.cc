@@ -1,0 +1,149 @@
+#include "src/runtime/raylet.h"
+
+#include "src/common/logging.h"
+
+namespace skadi {
+
+Raylet::Raylet(const ClusterNode& node, FunctionRegistry* registry, VirtualClock* clock,
+               Callbacks callbacks, int num_workers)
+    : node_(node),
+      registry_(registry),
+      clock_(clock),
+      callbacks_(std::move(callbacks)),
+      pool_(static_cast<size_t>(num_workers > 0 ? num_workers : 1)) {}
+
+Raylet::~Raylet() { Shutdown(); }
+
+Status Raylet::Enqueue(TaskSpec spec) {
+  if (dead_.load()) {
+    return Status::Unavailable("raylet on " + node_.id.ToString() + " is dead");
+  }
+  bool accepted = pool_.Submit([this, spec = std::move(spec)]() mutable {
+    RunTask(std::move(spec));
+  });
+  if (!accepted) {
+    return Status::Unavailable("raylet on " + node_.id.ToString() + " shut down");
+  }
+  return Status::Ok();
+}
+
+void Raylet::RunTask(TaskSpec spec) {
+  if (dead_.load()) {
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    return;
+  }
+
+  // Materialize arguments. By-value args are free (shipped with the spec);
+  // by-reference args go through the future-resolution protocol.
+  std::vector<Buffer> args;
+  args.reserve(spec.args.size());
+  int64_t input_bytes = 0;
+  for (const TaskArg& arg : spec.args) {
+    if (!arg.is_ref()) {
+      args.push_back(arg.value());
+      input_bytes += static_cast<int64_t>(arg.value().size());
+      continue;
+    }
+    Result<Buffer> resolved = callbacks_.resolve_arg(arg.ref(), spec);
+    if (!resolved.ok()) {
+      callbacks_.fail(spec, resolved.status());
+      return;
+    }
+    input_bytes += static_cast<int64_t>(resolved->size());
+    args.push_back(std::move(resolved).value());
+  }
+
+  if (dead_.load()) {
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    return;
+  }
+
+  // Charge the modelled device time for this op.
+  int64_t compute_nanos = spec.fixed_compute_nanos >= 0
+                              ? spec.fixed_compute_nanos
+                              : CostModel::EstimateNanos(node_.device, spec.op_class,
+                                                         input_bytes);
+  clock_->Charge(compute_nanos);
+
+  Result<TaskFunction> fn = registry_->Lookup(spec.function);
+  if (!fn.ok()) {
+    callbacks_.fail(spec, fn.status());
+    return;
+  }
+
+  TaskContext ctx;
+  ctx.task = spec.id;
+  ctx.job = spec.job;
+  ctx.node = node_.id;
+  ctx.device = node_.device;
+  ctx.runtime = runtime_;
+
+  Result<std::vector<Buffer>> outputs = [&]() -> Result<std::vector<Buffer>> {
+    if (spec.actor.valid()) {
+      ActorRecord* record = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(actors_mu_);
+        auto it = actors_.find(spec.actor);
+        if (it == actors_.end()) {
+          return Status::NotFound("actor " + spec.actor.ToString() + " not on " +
+                                  node_.id.ToString());
+        }
+        record = it->second.get();
+      }
+      std::lock_guard<std::mutex> serial(record->serial);
+      ctx.actor_state = &record->state;
+      return (*fn)(ctx, args);
+    }
+    return (*fn)(ctx, args);
+  }();
+
+  if (!outputs.ok()) {
+    callbacks_.fail(spec, outputs.status());
+    return;
+  }
+  if (static_cast<int>(outputs->size()) != spec.num_returns) {
+    callbacks_.fail(spec, Status::Internal(
+                              "function '" + spec.function + "' returned " +
+                              std::to_string(outputs->size()) + " values, spec declares " +
+                              std::to_string(spec.num_returns)));
+    return;
+  }
+
+  if (dead_.load()) {
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    return;
+  }
+
+  tasks_executed_.fetch_add(1);
+  Status st = callbacks_.complete(spec, std::move(outputs).value());
+  if (!st.ok()) {
+    callbacks_.fail(spec, st);
+  }
+}
+
+Status Raylet::CreateActor(ActorId actor, std::shared_ptr<void> initial_state) {
+  std::lock_guard<std::mutex> lock(actors_mu_);
+  auto record = std::make_unique<ActorRecord>();
+  record->state = std::move(initial_state);
+  auto [it, inserted] = actors_.emplace(actor, std::move(record));
+  if (!inserted) {
+    return Status::AlreadyExists("actor " + actor.ToString() + " already on " +
+                                 node_.id.ToString());
+  }
+  return Status::Ok();
+}
+
+bool Raylet::HasActor(ActorId actor) const {
+  std::lock_guard<std::mutex> lock(actors_mu_);
+  return actors_.count(actor) > 0;
+}
+
+void Raylet::Kill() {
+  dead_.store(true);
+  // Workers check dead_ before and after running a body; queued tasks will
+  // drain through RunTask and fail fast.
+}
+
+void Raylet::Shutdown() { pool_.Shutdown(); }
+
+}  // namespace skadi

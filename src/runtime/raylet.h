@@ -1,0 +1,97 @@
+// Raylet: the per-node daemon of the stateful serverless runtime. Runs a
+// worker pool, resolves task arguments (through runtime-supplied callbacks
+// that implement the pull/push future protocols), charges modelled compute
+// time, executes task bodies, and hands outputs back to the runtime.
+//
+// The same class serves all three deployments from the paper: a server
+// raylet, a raylet offloaded to a DPU (Gen-1), and a device-resident raylet
+// on a GPU/FPGA (Gen-2) — placement and control-plane routing differ, the
+// daemon logic does not.
+#ifndef SRC_RUNTIME_RAYLET_H_
+#define SRC_RUNTIME_RAYLET_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/common/thread_pool.h"
+#include "src/hw/cost_model.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/task.h"
+
+namespace skadi {
+
+class Raylet {
+ public:
+  struct Callbacks {
+    // Materializes a by-reference argument for a task running on this node.
+    std::function<Result<Buffer>(const ObjectRef& ref, const TaskSpec& spec)> resolve_arg;
+    // Stores outputs, updates ownership, and triggers pushes. Called on the
+    // worker thread after the body returns.
+    std::function<Status(const TaskSpec& spec, std::vector<Buffer> outputs)> complete;
+    // Reports a task failure (argument resolution, body error, or abort).
+    std::function<void(const TaskSpec& spec, const Status& status)> fail;
+  };
+
+  Raylet(const ClusterNode& node, FunctionRegistry* registry, VirtualClock* clock,
+         Callbacks callbacks, int num_workers);
+  ~Raylet();
+
+  Raylet(const Raylet&) = delete;
+  Raylet& operator=(const Raylet&) = delete;
+
+  NodeId node_id() const { return node_.id; }
+  const DeviceSpec& device() const { return node_.device; }
+
+  // Back-pointer handed to task bodies (TaskContext::runtime) so tasks can
+  // use the distributed task API themselves (nested tasks, puts, gets).
+  void set_runtime(SkadiRuntime* runtime) { runtime_ = runtime; }
+
+  // Queues a task for execution. Fails when the raylet is dead.
+  Status Enqueue(TaskSpec spec);
+
+  // Actor management: actors live on exactly one raylet and their tasks run
+  // serially against the state cell.
+  Status CreateActor(ActorId actor, std::shared_ptr<void> initial_state);
+  bool HasActor(ActorId actor) const;
+
+  size_t queue_depth() const { return pool_.queue_depth(); }
+  size_t num_workers() const { return pool_.num_threads(); }
+  void GrowWorkers(size_t n) { pool_.Grow(n); }
+  void ShrinkWorkers(size_t n) { pool_.Shrink(n); }
+
+  int64_t tasks_executed() const { return tasks_executed_.load(); }
+
+  // Failure injection: stop accepting and executing; queued + running tasks
+  // report kAborted through the fail callback.
+  void Kill();
+  bool dead() const { return dead_.load(); }
+
+  // Clean shutdown (drains the queue).
+  void Shutdown();
+
+ private:
+  void RunTask(TaskSpec spec);
+
+  ClusterNode node_;
+  SkadiRuntime* runtime_ = nullptr;
+  FunctionRegistry* registry_;
+  VirtualClock* clock_;
+  Callbacks callbacks_;
+  ThreadPool pool_;
+  std::atomic<bool> dead_{false};
+  std::atomic<int64_t> tasks_executed_{0};
+
+  struct ActorRecord {
+    std::shared_ptr<void> state;
+    std::mutex serial;  // one actor task at a time
+  };
+  mutable std::mutex actors_mu_;
+  std::unordered_map<ActorId, std::unique_ptr<ActorRecord>> actors_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_RUNTIME_RAYLET_H_

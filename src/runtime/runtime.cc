@@ -1,0 +1,528 @@
+#include "src/runtime/runtime.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace skadi {
+
+SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
+                           RuntimeOptions options)
+    : cluster_(cluster), registry_(registry), options_(options) {
+  // Every node that can run tasks gets a raylet + an ownership table, and
+  // registers a no-op control endpoint so control messages are costed by the
+  // fabric.
+  std::vector<SchedulableNode> schedulable;
+  for (const ClusterNode& node : cluster_->nodes()) {
+    cluster_->fabric().RegisterHandler(node.id, "ctrl", [](const Buffer&) -> Result<Buffer> {
+      return Buffer();
+    });
+    ownership_[node.id] = std::make_unique<OwnershipTable>(node.id);
+    if (!node.is_compute()) {
+      continue;
+    }
+    NodeId node_id = node.id;
+    Raylet::Callbacks callbacks;
+    callbacks.resolve_arg = [this, node_id](const ObjectRef& ref, const TaskSpec& spec) {
+      return ResolveArg(ref, spec, node_id);
+    };
+    callbacks.complete = [this, node_id](const TaskSpec& spec, std::vector<Buffer> outputs) {
+      return CompleteTask(spec, std::move(outputs), node_id);
+    };
+    callbacks.fail = [this](const TaskSpec& spec, const Status& status) {
+      FailTask(spec, status);
+    };
+    raylets_[node.id] = std::make_unique<Raylet>(node, registry_,
+                                                 &cluster_->fabric().clock(),
+                                                 std::move(callbacks), node.default_workers);
+    schedulable.push_back(
+        SchedulableNode{node.id, node.device.kind, node.dpu, node.default_workers});
+  }
+
+  scheduler_ = std::make_unique<Scheduler>(
+      &cluster_->cache(), &metrics(), options_.policy,
+      [this](const TaskSpec& spec, NodeId target) { return DispatchToNode(spec, target); },
+      options_.seed);
+  scheduler_->SetNodes(std::move(schedulable));
+
+  autoscaler_ = std::make_unique<Autoscaler>(options_.autoscaler, &metrics());
+  for (auto& [id, raylet] : raylets_) {
+    raylet->set_runtime(this);
+    autoscaler_->Register(raylet.get());
+  }
+  autoscaler_->Start();
+}
+
+SkadiRuntime::~SkadiRuntime() { Shutdown(); }
+
+void SkadiRuntime::Shutdown() {
+  autoscaler_->Stop();
+  for (auto& [id, raylet] : raylets_) {
+    raylet->Shutdown();
+  }
+}
+
+Raylet* SkadiRuntime::raylet(NodeId node) {
+  auto it = raylets_.find(node);
+  return it == raylets_.end() ? nullptr : it->second.get();
+}
+
+OwnershipTable& SkadiRuntime::ownership(NodeId owner) {
+  auto it = ownership_.find(owner);
+  SKADI_CHECK(it != ownership_.end()) << "no ownership table for " << owner;
+  return *it->second;
+}
+
+int SkadiRuntime::ControlMessage(NodeId from, NodeId to, int64_t payload_bytes) {
+  if (from == to) {
+    return 0;  // in-process: free, uncounted
+  }
+  int hops = 0;
+  auto hop = [&](NodeId src, NodeId dst) {
+    if (src == dst) {
+      return;
+    }
+    // "ctrl" is a registered no-op; the fabric charges latency + payload and
+    // counts the message. Ignore NotFound against just-killed nodes.
+    cluster_->fabric().Call(src, dst, "ctrl", Buffer::Zeros(static_cast<size_t>(payload_bytes)));
+    metrics().GetCounter("runtime.control_hops").Increment();
+    ++hops;
+  };
+
+  if (options_.generation == RuntimeGeneration::kGen1) {
+    // CPU-centric model: a device behind a DPU cannot talk directly to the
+    // rest of the cluster; its control traffic detours through the DPU.
+    const ClusterNode* src_node = cluster_->node(from);
+    const ClusterNode* dst_node = cluster_->node(to);
+    NodeId cursor = from;
+    if (src_node != nullptr && src_node->dpu.valid() && src_node->dpu != to) {
+      hop(cursor, src_node->dpu);
+      cursor = src_node->dpu;
+    }
+    if (dst_node != nullptr && dst_node->dpu.valid() && dst_node->dpu != cursor) {
+      hop(cursor, dst_node->dpu);
+      cursor = dst_node->dpu;
+    }
+    hop(cursor, to);
+  } else {
+    hop(from, to);
+  }
+  return hops;
+}
+
+Result<std::vector<ObjectRef>> SkadiRuntime::Submit(TaskSpec spec) {
+  if (!registry_->Contains(spec.function)) {
+    return Status::NotFound("function '" + spec.function + "' not registered");
+  }
+  if (spec.num_returns < 0) {
+    return Status::InvalidArgument("num_returns must be >= 0");
+  }
+  spec.id = TaskId::Next();
+  spec.owner = cluster_->head();
+  spec.returns.clear();
+  std::vector<ObjectRef> refs;
+  OwnershipTable& table = ownership(spec.owner);
+  for (int i = 0; i < spec.num_returns; ++i) {
+    ObjectId oid = ObjectId::Next();
+    spec.returns.push_back(oid);
+    SKADI_RETURN_IF_ERROR(table.RegisterObject(oid, spec.id));
+    refs.push_back(ObjectRef{oid, spec.owner});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lineage_[spec.id] = spec;
+    for (const ObjectRef& ref : refs) {
+      object_owner_[ref.id] = ref.owner;
+    }
+  }
+  metrics().GetCounter("runtime.tasks_submitted").Increment();
+  SKADI_RETURN_IF_ERROR(scheduler_->Submit(std::move(spec)));
+  return refs;
+}
+
+Result<ObjectRef> SkadiRuntime::Put(Buffer value) {
+  return PutAt(std::move(value), cluster_->head());
+}
+
+Result<ObjectRef> SkadiRuntime::PutAt(Buffer value, NodeId node) {
+  NodeId head = cluster_->head();
+  if (cluster_->node(node) == nullptr) {
+    return Status::NotFound("unknown node " + node.ToString());
+  }
+  ObjectId id = ObjectId::Next();
+  OwnershipTable& table = ownership(head);
+  SKADI_RETURN_IF_ERROR(table.RegisterObject(id, TaskId()));
+  int64_t size = static_cast<int64_t>(value.size());
+  SKADI_RETURN_IF_ERROR(cluster_->cache().Put(id, std::move(value), node));
+  auto consumers = table.MarkReady(id, node, size, cluster_->node(node)->device.id);
+  if (!consumers.ok()) {
+    return consumers.status();
+  }
+  for (NodeId replica : cluster_->cache().Locations(id)) {
+    if (replica != node) {
+      table.AddLocation(id, replica);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    object_owner_[id] = head;
+  }
+  scheduler_->MarkObjectReady(id);
+  return ObjectRef{id, head};
+}
+
+Status SkadiRuntime::DispatchToNode(const TaskSpec& spec, NodeId target) {
+  Raylet* r = raylet(target);
+  if (r == nullptr) {
+    return Status::NotFound("no raylet on " + target.ToString());
+  }
+  if (r->dead() || cluster_->fabric().IsDead(target)) {
+    return Status::Unavailable("raylet on " + target.ToString() + " is dead");
+  }
+
+  // Dispatch control message from the scheduler (head) to the target; inline
+  // argument bytes ride along.
+  int64_t inline_bytes = 64;
+  for (const TaskArg& arg : spec.args) {
+    if (!arg.is_ref()) {
+      inline_bytes += static_cast<int64_t>(arg.value().size());
+    }
+  }
+  ControlMessage(cluster_->head(), target, inline_bytes);
+
+  // Push protocol: register the chosen consumer node with the owner of every
+  // ref argument; anything already ready is pushed right now so the value is
+  // local before the task starts.
+  if (options_.futures == FutureProtocol::kPush) {
+    for (const TaskArg& arg : spec.args) {
+      if (!arg.is_ref()) {
+        continue;
+      }
+      const ObjectRef& ref = arg.ref();
+      ControlMessage(cluster_->head(), ref.owner);
+      auto ready_now = ownership(ref.owner)
+                           .RegisterConsumer(ref.id, ConsumerRegistration{
+                                                         spec.id, target,
+                                                         cluster_->node(target)->device.id});
+      if (ready_now.ok() && *ready_now) {
+        // cache_locally=true: the transfer lands the value in the consumer's
+        // store, making the consume-side read local.
+        cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
+        metrics().GetCounter("runtime.pushes").Increment();
+      }
+    }
+  }
+
+  return r->Enqueue(spec);
+}
+
+Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& spec,
+                                        NodeId at) {
+  // Fast path: the value is already in this node's store (pushed, or a
+  // lucky locality placement).
+  LocalObjectStore* store = cluster_->cache().StoreOf(at);
+  if (store != nullptr && store->Contains(ref.id)) {
+    metrics().GetCounter("runtime.resolve_local_hits").Increment();
+    return cluster_->cache().Get(ref.id, at);
+  }
+
+  if (options_.futures == FutureProtocol::kPush) {
+    // Push mode should have delivered the value before dispatch; reaching
+    // here means the object lives remotely without a local copy (e.g. a
+    // replica eviction). Fall through to a pull-style fetch.
+    metrics().GetCounter("runtime.push_misses").Increment();
+  }
+
+  // Pull protocol: a costed control round trip to the owner's ownership
+  // table, then an on-demand data transfer.
+  ControlMessage(at, ref.owner);
+  metrics().GetCounter("runtime.pull_resolutions").Increment();
+  OwnershipTable& table = ownership(ref.owner);
+  int64_t deadline_ms = options_.default_get_timeout_ms;
+  for (int round = 0; round < 64; ++round) {
+    auto state = table.WaitReady(ref.id, deadline_ms);
+    if (!state.ok()) {
+      return state.status();
+    }
+    if (*state == ObjectState::kReady) {
+      return cluster_->cache().Get(ref.id, at);
+    }
+    // kLost: lineage recovery (if enabled) re-arms the object to pending;
+    // give it a beat and retry.
+    if (options_.recovery == RecoveryMode::kNone) {
+      return Status::DataLoss("argument " + ref.ToString() + " of task " +
+                              spec.id.ToString() + " lost with recovery disabled");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::DataLoss("argument " + ref.ToString() + " unrecoverable");
+}
+
+Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs,
+                                  NodeId at) {
+  const ClusterNode* node = cluster_->node(at);
+  OwnershipTable& table = ownership(spec.owner);
+
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    ObjectId oid = spec.returns[i];
+    int64_t size = static_cast<int64_t>(outputs[i].size());
+
+    Status put = cluster_->cache().Put(oid, std::move(outputs[i]), at);
+    if (!put.ok() && put.code() != StatusCode::kAlreadyExists) {
+      return put;
+    }
+
+    // Record caching-layer replicas BEFORE declaring the object ready, so a
+    // failure observed right after MarkReady already sees every copy (loss
+    // is only declared when the last copy dies).
+    for (NodeId replica : cluster_->cache().Locations(oid)) {
+      if (replica != at) {
+        table.AddLocation(oid, replica);
+      }
+    }
+    // Notify the owner (device-aware: record where the value physically is).
+    ControlMessage(at, spec.owner);
+    auto consumers = table.MarkReady(oid, at, size, node->device.id,
+                                     /*device_handle=*/node->device.id.value());
+    if (!consumers.ok()) {
+      return consumers.status();
+    }
+
+    // Push protocol: proactively ship the value to registered consumers.
+    if (options_.futures == FutureProtocol::kPush) {
+      for (const ConsumerRegistration& consumer : *consumers) {
+        ControlMessage(spec.owner, consumer.node);
+        cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
+        metrics().GetCounter("runtime.pushes").Increment();
+      }
+    }
+
+    // Unblock dependents.
+    ControlMessage(spec.owner, cluster_->head());
+    scheduler_->OnObjectReady(oid);
+  }
+
+  metrics().GetCounter("runtime.tasks_completed").Increment();
+  scheduler_->OnTaskFinished(spec.id);
+  return Status::Ok();
+}
+
+void SkadiRuntime::FailTask(const TaskSpec& spec, const Status& status) {
+  metrics().GetCounter("runtime.tasks_failed").Increment();
+  SKADI_LOG(kInfo) << "task " << spec.id << " (" << spec.function
+                   << ") failed: " << status.ToString();
+  if (status.code() != StatusCode::kAborted) {
+    // Non-abort failures are terminal: mark outputs lost so Get unblocks,
+    // and release parked dependents — their argument resolution will fail
+    // fast and propagate the error instead of hanging the job.
+    for (ObjectId oid : spec.returns) {
+      ownership(spec.owner).MarkLost(oid);
+      scheduler_->OnObjectReady(oid);
+    }
+  }
+  scheduler_->OnTaskFinished(spec.id);
+}
+
+Result<Buffer> SkadiRuntime::Get(const ObjectRef& ref, int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = options_.default_get_timeout_ms;
+  }
+  NodeId head = cluster_->head();
+  OwnershipTable& table = ownership(ref.owner);
+  const int64_t deadline = NowNanos() + timeout_ms * 1000000;
+  while (true) {
+    int64_t remaining_ms = (deadline - NowNanos()) / 1000000;
+    if (remaining_ms <= 0) {
+      return Status::DeadlineExceeded("Get(" + ref.ToString() + ") timed out");
+    }
+    auto state = table.WaitReady(ref.id, remaining_ms);
+    if (!state.ok()) {
+      return state.status();
+    }
+    if (*state == ObjectState::kReady) {
+      if (ref.owner != head) {
+        ControlMessage(head, ref.owner);
+      }
+      return cluster_->cache().Get(ref.id, head);
+    }
+    if (options_.recovery == RecoveryMode::kNone) {
+      return Status::DataLoss("object " + ref.ToString() + " lost");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Status SkadiRuntime::Wait(const std::vector<ObjectRef>& refs, int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = options_.default_get_timeout_ms;
+  }
+  const int64_t deadline = NowNanos() + timeout_ms * 1000000;
+  for (const ObjectRef& ref : refs) {
+    int64_t remaining_ms = (deadline - NowNanos()) / 1000000;
+    if (remaining_ms <= 0) {
+      return Status::DeadlineExceeded("Wait timed out");
+    }
+    auto state = ownership(ref.owner).WaitReady(ref.id, remaining_ms);
+    if (!state.ok()) {
+      return state.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status SkadiRuntime::Release(const ObjectRef& ref) {
+  auto removed = ownership(ref.owner).DecRef(ref.id);
+  if (!removed.ok()) {
+    return removed.status();
+  }
+  if (*removed) {
+    cluster_->cache().Delete(ref.id);
+    std::lock_guard<std::mutex> lock(mu_);
+    object_owner_.erase(ref.id);
+  }
+  return Status::Ok();
+}
+
+Result<ActorId> SkadiRuntime::CreateActor(NodeId node, std::shared_ptr<void> initial_state) {
+  Raylet* r = raylet(node);
+  if (r == nullptr) {
+    return Status::NotFound("no raylet on " + node.ToString());
+  }
+  ActorId actor = ActorId::Next();
+  ControlMessage(cluster_->head(), node);
+  SKADI_RETURN_IF_ERROR(r->CreateActor(actor, std::move(initial_state)));
+  std::lock_guard<std::mutex> lock(mu_);
+  actor_homes_[actor] = node;
+  return actor;
+}
+
+Result<std::vector<ObjectRef>> SkadiRuntime::SubmitActorTask(ActorId actor, TaskSpec spec) {
+  NodeId home;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = actor_homes_.find(actor);
+    if (it == actor_homes_.end()) {
+      return Status::NotFound("actor " + actor.ToString() + " unknown");
+    }
+    home = it->second;
+  }
+  spec.actor = actor;
+  spec.pinned_node = home;
+  return Submit(std::move(spec));
+}
+
+Status SkadiRuntime::KillNode(NodeId node) {
+  Raylet* r = raylet(node);
+  if (r == nullptr) {
+    return Status::NotFound("no raylet on " + node.ToString());
+  }
+  SKADI_LOG(kInfo) << "killing node " << node;
+  metrics().GetCounter("runtime.nodes_killed").Increment();
+
+  // 1. Stop the node: raylet rejects work, fabric rejects messages.
+  r->Kill();
+  cluster_->fabric().MarkDead(node);
+
+  // 2. Its store contents vanish.
+  cluster_->cache().OnNodeFailure(node);
+
+  // 3. Owners learn which objects lost their last copy.
+  std::vector<ObjectId> lost;
+  for (auto& [owner, table] : ownership_) {
+    std::vector<ObjectId> l = table->OnNodeFailure(node);
+    lost.insert(lost.end(), l.begin(), l.end());
+  }
+
+  // 4. Re-produce lost objects via lineage (before re-dispatching, so
+  // re-dispatched consumers park on the re-armed objects instead of reading
+  // kLost).
+  if (options_.recovery == RecoveryMode::kLineage) {
+    RecoverLostObjects(lost);
+  } else {
+    // No recovery: unblock parked dependents so they fail fast on resolve.
+    for (ObjectId oid : lost) {
+      scheduler_->OnObjectReady(oid);
+    }
+  }
+
+  // 5. Fail over in-flight tasks of the dead node.
+  scheduler_->OnNodeFailure(node);
+  return Status::Ok();
+}
+
+void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
+  // Transitive closure over lineage: a lost object's producing task may
+  // consume other lost objects; re-arm and re-submit each producing task
+  // once. Argument waits inside workers order the re-execution correctly.
+  std::vector<ObjectId> frontier = lost;
+  std::unordered_map<TaskId, TaskSpec> to_resubmit;
+
+  while (!frontier.empty()) {
+    ObjectId oid = frontier.back();
+    frontier.pop_back();
+
+    TaskId producer;
+    {
+      // Find the owner of this object to consult lineage.
+      NodeId owner;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto oit = object_owner_.find(oid);
+        if (oit == object_owner_.end()) {
+          continue;
+        }
+        owner = oit->second;
+      }
+      auto produced = ownership(owner).ProducedBy(oid);
+      if (!produced.ok() || !produced->valid()) {
+        // Driver Put without lineage: unrecoverable; leave kLost.
+        metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+        continue;
+      }
+      producer = *produced;
+    }
+
+    TaskSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto lit = lineage_.find(producer);
+      if (lit == lineage_.end()) {
+        metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+        continue;
+      }
+      spec = lit->second;
+    }
+    if (to_resubmit.count(producer) > 0) {
+      continue;
+    }
+
+    // Re-arm every lost return of this producer.
+    for (ObjectId ret : spec.returns) {
+      ownership(spec.owner).MarkPendingForReconstruction(ret, spec.id);
+    }
+
+    // Any lost arguments must be re-produced first; enqueue them too.
+    for (const TaskArg& arg : spec.args) {
+      if (!arg.is_ref()) {
+        continue;
+      }
+      auto reply = ownership(arg.ref().owner).Resolve(arg.ref().id);
+      if (reply.ok() && reply->state == ObjectState::kLost) {
+        frontier.push_back(arg.ref().id);
+      }
+    }
+    to_resubmit.emplace(producer, std::move(spec));
+  }
+
+  for (auto& [task, spec] : to_resubmit) {
+    metrics().GetCounter("runtime.lineage_reexecutions").Increment();
+    scheduler_->Submit(spec);
+  }
+}
+
+int64_t SkadiRuntime::control_hops() const {
+  return const_cast<SkadiRuntime*>(this)->metrics().GetCounter("runtime.control_hops").value();
+}
+
+}  // namespace skadi

@@ -1,0 +1,140 @@
+// SkadiRuntime: the stateful serverless runtime (Figure 2 bottom half).
+//
+// Wires raylets, the centralized scheduler, per-node ownership tables, the
+// caching layer, and the autoscaler over one emulated cluster, and exposes
+// the distributed task API the access layer targets (Submit / Put / Get —
+// the `X.remote()` pseudo-code of Figure 2).
+//
+// Two configuration axes reproduce Figure 3's generations:
+//  * generation: Gen-1 routes control messages of device-resident code
+//    through the complex's DPU (the CPU-centric model); Gen-2 gives every
+//    device its own raylet and direct control paths (device-centric).
+//  * futures: kPull resolves a by-reference argument at consume time with a
+//    control round trip to the owner plus an on-demand transfer; kPush has
+//    the owner proactively push the value to registered consumers the moment
+//    it is produced.
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ownership/ownership_table.h"
+#include "src/runtime/autoscaler.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/raylet.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+
+namespace skadi {
+
+enum class RuntimeGeneration { kGen1, kGen2 };
+enum class FutureProtocol { kPull, kPush };
+enum class RecoveryMode { kNone, kLineage };
+
+struct RuntimeOptions {
+  RuntimeGeneration generation = RuntimeGeneration::kGen2;
+  FutureProtocol futures = FutureProtocol::kPull;
+  SchedulingPolicy policy = SchedulingPolicy::kLocalityAware;
+  RecoveryMode recovery = RecoveryMode::kLineage;
+  AutoscalerOptions autoscaler;
+  uint64_t seed = 17;
+  // Resolve-side timeout for pull-mode argument waits and driver Gets.
+  int64_t default_get_timeout_ms = 30000;
+};
+
+class SkadiRuntime {
+ public:
+  SkadiRuntime(Cluster* cluster, FunctionRegistry* registry, RuntimeOptions options = {});
+  ~SkadiRuntime();
+
+  SkadiRuntime(const SkadiRuntime&) = delete;
+  SkadiRuntime& operator=(const SkadiRuntime&) = delete;
+
+  // --- Distributed task API ---
+
+  // Submits a task; allocates and returns one ObjectRef per declared return.
+  // spec.id/returns/owner are filled in here.
+  Result<std::vector<ObjectRef>> Submit(TaskSpec spec);
+
+  // Stores a driver-side value into the caching layer at the head node.
+  Result<ObjectRef> Put(Buffer value);
+
+  // Stores a value with its primary copy on a specific node (data placement
+  // for locality experiments and table registration).
+  Result<ObjectRef> PutAt(Buffer value, NodeId node);
+
+  // Blocks until the future resolves; fetches the value to the head node.
+  Result<Buffer> Get(const ObjectRef& ref, int64_t timeout_ms = -1);
+
+  // Blocks until all futures leave the pending state.
+  Status Wait(const std::vector<ObjectRef>& refs, int64_t timeout_ms = -1);
+
+  // Drops a driver reference; the object is deleted when the count is zero.
+  Status Release(const ObjectRef& ref);
+
+  // --- Actors ---
+
+  Result<ActorId> CreateActor(NodeId node, std::shared_ptr<void> initial_state);
+  // Convenience: spec.actor + pinned_node are set from the actor's home.
+  Result<std::vector<ObjectRef>> SubmitActorTask(ActorId actor, TaskSpec spec);
+
+  // --- Failure injection + recovery ---
+
+  // Kills a node: raylet stops, its store contents vanish, in-flight tasks
+  // fail over. With RecoveryMode::kLineage, lost objects are re-produced by
+  // re-submitting their lineage task DAG.
+  Status KillNode(NodeId node);
+
+  // --- Introspection ---
+
+  Cluster& cluster() { return *cluster_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  Autoscaler& autoscaler() { return *autoscaler_; }
+  Raylet* raylet(NodeId node);
+  OwnershipTable& ownership(NodeId owner);
+  const RuntimeOptions& options() const { return options_; }
+  MetricsRegistry& metrics() { return cluster_->fabric().metrics(); }
+  NodeId head() const { return cluster_->head(); }
+
+  int64_t control_hops() const;
+
+  // Stops the autoscaler and drains all raylets.
+  void Shutdown();
+
+ private:
+  // One costed control message along the (generation-dependent) path from
+  // `from` to `to`; returns the number of hops charged.
+  int ControlMessage(NodeId from, NodeId to, int64_t payload_bytes = 64);
+
+  // Raylet callbacks.
+  Result<Buffer> ResolveArg(const ObjectRef& ref, const TaskSpec& spec, NodeId at);
+  Status CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs, NodeId at);
+  void FailTask(const TaskSpec& spec, const Status& status);
+
+  Status DispatchToNode(const TaskSpec& spec, NodeId target);
+
+  // Recovery helpers.
+  void RecoverLostObjects(const std::vector<ObjectId>& lost);
+
+  Cluster* cluster_;
+  FunctionRegistry* registry_;
+  RuntimeOptions options_;
+
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<Autoscaler> autoscaler_;
+  std::unordered_map<NodeId, std::unique_ptr<Raylet>> raylets_;
+  std::unordered_map<NodeId, std::unique_ptr<OwnershipTable>> ownership_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TaskId, TaskSpec> lineage_;        // task id -> spec
+  std::unordered_map<ObjectId, NodeId> object_owner_;   // for Release/Get sanity
+  std::unordered_map<ActorId, NodeId> actor_homes_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,334 @@
+#include "src/runtime/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace skadi {
+
+std::string_view SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobin:
+      return "round_robin";
+    case SchedulingPolicy::kRandom:
+      return "random";
+    case SchedulingPolicy::kLoadAware:
+      return "load_aware";
+    case SchedulingPolicy::kLocalityAware:
+      return "locality_aware";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(CachingLayer* cache, MetricsRegistry* metrics,
+                     SchedulingPolicy policy, DispatchFn dispatch, uint64_t seed)
+    : cache_(cache),
+      metrics_(metrics),
+      dispatch_(std::move(dispatch)),
+      rng_(seed),
+      policy_(policy) {}
+
+void Scheduler::SetNodes(std::vector<SchedulableNode> nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_ = std::move(nodes);
+}
+
+void Scheduler::SetPolicy(SchedulingPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = policy;
+}
+
+SchedulingPolicy Scheduler::policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_;
+}
+
+bool Scheduler::DepsReadyLocked(const TaskSpec& spec, int* unresolved) const {
+  int count = 0;
+  for (const TaskArg& arg : spec.args) {
+    if (arg.is_ref() && ready_objects_.count(arg.ref().id) == 0) {
+      ++count;
+    }
+  }
+  if (unresolved != nullptr) {
+    *unresolved = count;
+  }
+  return count == 0;
+}
+
+Result<NodeId> Scheduler::PickNodeLocked(const TaskSpec& spec) {
+  if (spec.pinned_node.has_value()) {
+    for (const SchedulableNode& n : nodes_) {
+      if (n.id == *spec.pinned_node) {
+        return n.id;
+      }
+    }
+    // Actor tasks are meaningless off their home node; plain tasks whose pin
+    // target died (failover re-dispatch) fall back to policy placement.
+    if (spec.actor.valid()) {
+      return Status::Unavailable("pinned node " + spec.pinned_node->ToString() +
+                                 " is not schedulable");
+    }
+  }
+
+  std::vector<const SchedulableNode*> candidates;
+  for (const SchedulableNode& n : nodes_) {
+    if (spec.required_device.has_value() && n.device_kind != *spec.required_device) {
+      continue;
+    }
+    candidates.push_back(&n);
+  }
+  if (candidates.empty()) {
+    return Status::Unavailable("no schedulable node matches task " + spec.id.ToString());
+  }
+
+  switch (policy_) {
+    case SchedulingPolicy::kRoundRobin: {
+      const SchedulableNode* n = candidates[round_robin_next_ % candidates.size()];
+      ++round_robin_next_;
+      return n->id;
+    }
+    case SchedulingPolicy::kRandom:
+      return candidates[rng_.NextBounded(candidates.size())]->id;
+    case SchedulingPolicy::kLoadAware: {
+      const SchedulableNode* best = candidates[0];
+      int64_t best_load = std::numeric_limits<int64_t>::max();
+      for (const SchedulableNode* n : candidates) {
+        auto it = inflight_.find(n->id);
+        int64_t load = it == inflight_.end() ? 0 : it->second;
+        if (load < best_load) {
+          best_load = load;
+          best = n;
+        }
+      }
+      return best->id;
+    }
+    case SchedulingPolicy::kLocalityAware: {
+      // Data-centric: place where the most input bytes already live; break
+      // ties (including the no-ref-args case) by load.
+      std::unordered_map<NodeId, int64_t> local_bytes;
+      for (const TaskArg& arg : spec.args) {
+        if (!arg.is_ref()) {
+          continue;
+        }
+        auto size = cache_->SizeOf(arg.ref().id);
+        if (!size.ok()) {
+          continue;
+        }
+        for (NodeId loc : cache_->Locations(arg.ref().id)) {
+          local_bytes[loc] += *size;
+        }
+      }
+      const SchedulableNode* best = nullptr;
+      int64_t best_bytes = -1;
+      int64_t best_load = std::numeric_limits<int64_t>::max();
+      for (const SchedulableNode* n : candidates) {
+        auto bit = local_bytes.find(n->id);
+        int64_t bytes = bit == local_bytes.end() ? 0 : bit->second;
+        auto lit = inflight_.find(n->id);
+        int64_t load = lit == inflight_.end() ? 0 : lit->second;
+        if (bytes > best_bytes || (bytes == best_bytes && load < best_load)) {
+          best_bytes = bytes;
+          best_load = load;
+          best = n;
+        }
+      }
+      return best->id;
+    }
+  }
+  return Status::Internal("unreachable policy");
+}
+
+Status Scheduler::Submit(TaskSpec spec) {
+  std::vector<TaskSpec> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!spec.gang_group.empty()) {
+      gangs_[spec.gang_group].push_back(std::move(spec));
+      metrics_->GetCounter("scheduler.gang_buffered").Increment();
+      TryDispatchLocked(to_dispatch);
+    } else {
+      int unresolved = 0;
+      if (DepsReadyLocked(spec, &unresolved)) {
+        to_dispatch.push_back(std::move(spec));
+      } else {
+        metrics_->GetCounter("scheduler.parked").Increment();
+        TaskId id = spec.id;
+        for (const TaskArg& arg : spec.args) {
+          if (arg.is_ref() && ready_objects_.count(arg.ref().id) == 0) {
+            waiters_[arg.ref().id].push_back(id);
+          }
+        }
+        parked_[id] = Pending{std::move(spec), unresolved};
+      }
+    }
+  }
+  DispatchAll(std::move(to_dispatch));
+  return Status::Ok();
+}
+
+void Scheduler::TryDispatchLocked(std::vector<TaskSpec>& out_ready) {
+  // Release any gang whose members are all present, dep-ready, and for which
+  // the cluster currently has enough free worker slots (all-or-nothing).
+  for (auto it = gangs_.begin(); it != gangs_.end();) {
+    std::vector<TaskSpec>& members = it->second;
+    if (members.empty() || static_cast<int>(members.size()) < members[0].gang_size) {
+      ++it;
+      continue;
+    }
+    bool deps_ready = true;
+    for (const TaskSpec& m : members) {
+      if (!DepsReadyLocked(m, nullptr)) {
+        deps_ready = false;
+        break;
+      }
+    }
+    if (!deps_ready) {
+      ++it;
+      continue;
+    }
+    int64_t free_slots = 0;
+    for (const SchedulableNode& n : nodes_) {
+      auto lit = inflight_.find(n.id);
+      int64_t load = lit == inflight_.end() ? 0 : lit->second;
+      free_slots += std::max<int64_t>(0, n.workers - load);
+    }
+    if (free_slots < static_cast<int64_t>(members.size())) {
+      ++it;
+      continue;
+    }
+    metrics_->GetCounter("scheduler.gangs_dispatched").Increment();
+    for (TaskSpec& m : members) {
+      out_ready.push_back(std::move(m));
+    }
+    it = gangs_.erase(it);
+  }
+}
+
+void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
+  for (TaskSpec& spec : specs) {
+    // Pick a node, record in-flight state, then dispatch outside the lock.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      NodeId target;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Result<NodeId> picked = PickNodeLocked(spec);
+        if (!picked.ok()) {
+          SKADI_LOG(kWarn) << "task " << spec.id << " unschedulable: "
+                           << picked.status().ToString();
+          metrics_->GetCounter("scheduler.unschedulable").Increment();
+          target = NodeId();
+        } else {
+          target = *picked;
+          inflight_[target] += 1;
+          task_node_[spec.id] = target;
+          inflight_specs_[spec.id] = spec;
+        }
+      }
+      if (!target.valid()) {
+        break;
+      }
+      Status st = dispatch_(spec, target);
+      if (st.ok()) {
+        metrics_->GetCounter("scheduler.dispatched").Increment();
+        break;
+      }
+      // Dispatch failed (node died between pick and send): undo and retry.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_[target] -= 1;
+        task_node_.erase(spec.id);
+        inflight_specs_.erase(spec.id);
+        nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                    [&](const SchedulableNode& n) { return n.id == target; }),
+                     nodes_.end());
+      }
+      metrics_->GetCounter("scheduler.dispatch_retries").Increment();
+    }
+  }
+}
+
+void Scheduler::OnObjectReady(ObjectId id) {
+  std::vector<TaskSpec> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_objects_[id] = true;
+    auto wit = waiters_.find(id);
+    if (wit != waiters_.end()) {
+      for (TaskId task : wit->second) {
+        auto pit = parked_.find(task);
+        if (pit == parked_.end()) {
+          continue;
+        }
+        if (--pit->second.unresolved == 0) {
+          to_dispatch.push_back(std::move(pit->second.spec));
+          parked_.erase(pit);
+        }
+      }
+      waiters_.erase(wit);
+    }
+    TryDispatchLocked(to_dispatch);
+  }
+  DispatchAll(std::move(to_dispatch));
+}
+
+void Scheduler::MarkObjectReady(ObjectId id) { OnObjectReady(id); }
+
+void Scheduler::OnTaskFinished(TaskId task) {
+  std::vector<TaskSpec> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = task_node_.find(task);
+    if (it != task_node_.end()) {
+      inflight_[it->second] -= 1;
+      task_node_.erase(it);
+    }
+    inflight_specs_.erase(task);
+    TryDispatchLocked(to_dispatch);  // freed slots may release a gang
+  }
+  DispatchAll(std::move(to_dispatch));
+}
+
+void Scheduler::OnNodeFailure(NodeId node) {
+  std::vector<TaskSpec> to_redispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                [&](const SchedulableNode& n) { return n.id == node; }),
+                 nodes_.end());
+    for (auto it = task_node_.begin(); it != task_node_.end();) {
+      if (it->second == node) {
+        auto sit = inflight_specs_.find(it->first);
+        if (sit != inflight_specs_.end()) {
+          to_redispatch.push_back(sit->second);
+          inflight_specs_.erase(sit);
+        }
+        it = task_node_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    inflight_.erase(node);
+    metrics_->GetCounter("scheduler.failover_redispatches")
+        .Add(static_cast<int64_t>(to_redispatch.size()));
+  }
+  DispatchAll(std::move(to_redispatch));
+}
+
+size_t Scheduler::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t gang_members = 0;
+  for (const auto& [group, members] : gangs_) {
+    gang_members += members.size();
+  }
+  return parked_.size() + gang_members;
+}
+
+int64_t Scheduler::inflight_on(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(node);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+}  // namespace skadi

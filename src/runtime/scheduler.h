@@ -1,0 +1,116 @@
+// Centralized scheduler of the stateful serverless runtime's control plane.
+//
+// Implements the paper's placement inputs ("the runtime decides the preferred
+// hardware based on memory locality, device availability, network topology",
+// §2.1) as pluggable policies, plus data-centric dependency gating (tasks
+// dispatch when their inputs are ready) and gang scheduling for SPMD
+// sub-graphs (§2.3).
+#ifndef SRC_RUNTIME_SCHEDULER_H_
+#define SRC_RUNTIME_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/caching_layer.h"
+#include "src/common/metrics.h"
+#include "src/common/random.h"
+#include "src/runtime/task.h"
+
+namespace skadi {
+
+enum class SchedulingPolicy {
+  kRoundRobin,
+  kRandom,
+  kLoadAware,       // fewest in-flight tasks
+  kLocalityAware,   // most input bytes already local (data-centric, Whiz-style)
+};
+
+std::string_view SchedulingPolicyName(SchedulingPolicy policy);
+
+// Node facts the scheduler needs; refreshed by the runtime.
+struct SchedulableNode {
+  NodeId id;
+  DeviceKind device_kind = DeviceKind::kCpu;
+  NodeId dpu;  // controlling DPU (for completeness; routing is runtime-side)
+  int workers = 0;
+};
+
+class Scheduler {
+ public:
+  // dispatch: actually sends the spec to the chosen node's raylet (the
+  // runtime wires this through the fabric so dispatch is a costed control
+  // message). Returns non-OK if the node is dead, in which case the task is
+  // re-queued for another placement.
+  using DispatchFn = std::function<Status(const TaskSpec& spec, NodeId target)>;
+
+  Scheduler(CachingLayer* cache, MetricsRegistry* metrics, SchedulingPolicy policy,
+            DispatchFn dispatch, uint64_t seed = 17);
+
+  void SetNodes(std::vector<SchedulableNode> nodes);
+  void SetPolicy(SchedulingPolicy policy);
+  SchedulingPolicy policy() const;
+
+  // Submits a task: dispatches immediately if every ref argument is ready,
+  // otherwise parks it until OnObjectReady unblocks it. Gang members park
+  // until the whole gang is present and has slots.
+  Status Submit(TaskSpec spec);
+
+  // Called by the runtime when an object transitions to ready.
+  void OnObjectReady(ObjectId id);
+
+  // Called when a task finishes or fails (frees its slot).
+  void OnTaskFinished(TaskId task);
+
+  // A node died: its in-flight tasks are re-dispatched elsewhere, and it
+  // leaves the candidate set.
+  void OnNodeFailure(NodeId node);
+
+  // Objects the runtime already knows are ready (pre-existing cache entries).
+  void MarkObjectReady(ObjectId id);
+
+  size_t pending_tasks() const;
+  int64_t inflight_on(NodeId node) const;
+
+ private:
+  struct Pending {
+    TaskSpec spec;
+    int unresolved = 0;
+  };
+
+  // mu_ must be held.
+  void TryDispatchLocked(std::vector<TaskSpec>& out_ready);
+  bool DepsReadyLocked(const TaskSpec& spec, int* unresolved) const;
+  Result<NodeId> PickNodeLocked(const TaskSpec& spec);
+  void DispatchAll(std::vector<TaskSpec> specs);
+
+  CachingLayer* cache_;
+  MetricsRegistry* metrics_;
+  DispatchFn dispatch_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  SchedulingPolicy policy_;
+  std::vector<SchedulableNode> nodes_;
+  size_t round_robin_next_ = 0;
+
+  // Ready-object set and reverse index: object -> parked tasks awaiting it.
+  std::unordered_map<ObjectId, bool> ready_objects_;
+  std::unordered_map<ObjectId, std::vector<TaskId>> waiters_;
+  std::unordered_map<TaskId, Pending> parked_;
+
+  // Gang groups: buffered members until gang_size present + slots free.
+  std::map<std::string, std::vector<TaskSpec>> gangs_;
+
+  // Slot accounting.
+  std::unordered_map<NodeId, int64_t> inflight_;
+  std::unordered_map<TaskId, NodeId> task_node_;
+  std::unordered_map<TaskId, TaskSpec> inflight_specs_;  // for failure redispatch
+};
+
+}  // namespace skadi
+
+#endif  // SRC_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,137 @@
+// Task model of the stateful serverless runtime: the "universal dynamic task
+// execution API" (§1) on which data-parallel, task-parallel, and MPMD
+// patterns are built. Functions exchange data by value (inline Buffer) or by
+// reference (ObjectRef futures), exactly like the pseudo-code in Figure 2.
+#ifndef SRC_RUNTIME_TASK_H_
+#define SRC_RUNTIME_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/id.h"
+#include "src/common/status.h"
+#include "src/hw/device.h"
+#include "src/ownership/object_ref.h"
+
+namespace skadi {
+
+class SkadiRuntime;
+
+// One task argument: an inline value or a future.
+class TaskArg {
+ public:
+  static TaskArg Value(Buffer value) {
+    TaskArg arg;
+    arg.value_ = std::move(value);
+    return arg;
+  }
+  static TaskArg Ref(ObjectRef ref) {
+    TaskArg arg;
+    arg.ref_ = ref;
+    return arg;
+  }
+
+  bool is_ref() const { return ref_.has_value(); }
+  const ObjectRef& ref() const { return *ref_; }
+  const Buffer& value() const { return *value_; }
+
+ private:
+  std::optional<Buffer> value_;
+  std::optional<ObjectRef> ref_;
+};
+
+// The full description of one task invocation. Specs are kept by the driver
+// as lineage: re-submitting a spec re-produces its outputs (§2.1 failure
+// handling option 1).
+struct TaskSpec {
+  TaskId id;
+  JobId job;
+  std::string function;
+  std::vector<TaskArg> args;
+  int num_returns = 1;
+  // Pre-allocated output ids (the ownership protocol: the submitting owner
+  // creates the ids before the task runs).
+  std::vector<ObjectId> returns;
+  // Owner node of the returned objects (normally the driver).
+  NodeId owner;
+
+  // Placement inputs.
+  OpClass op_class = OpClass::kGeneric;
+  // Restrict to a device kind (backend selection from graph lowering);
+  // nullopt = any compute node.
+  std::optional<DeviceKind> required_device;
+  // Hard pin (actor tasks, explicit placement).
+  std::optional<NodeId> pinned_node;
+
+  // Gang scheduling (SPMD sub-graphs, §2.3): members of the same group are
+  // dispatched atomically once `gang_size` of them are submitted and slots
+  // exist for all.
+  std::string gang_group;
+  int gang_size = 0;
+
+  // Actor task: runs serially against the actor's state on its home node.
+  ActorId actor;
+
+  // Modelled compute time override; <0 means "use the cost model with the
+  // actual input bytes". Microbenchmark ops use this for exact durations.
+  int64_t fixed_compute_nanos = -1;
+};
+
+// Execution-time context handed to the function body.
+struct TaskContext {
+  TaskId task;
+  JobId job;
+  NodeId node;
+  DeviceSpec device;
+  SkadiRuntime* runtime = nullptr;
+  // Non-null for actor tasks: the actor's mutable state cell.
+  std::shared_ptr<void>* actor_state = nullptr;
+};
+
+// A task body: consumes materialized argument buffers, returns output
+// buffers (must produce exactly `num_returns`).
+using TaskFunction =
+    std::function<Result<std::vector<Buffer>>(TaskContext&, std::vector<Buffer>&)>;
+
+// Process-wide registry mapping function names to bodies. Registered once at
+// startup (all emulated nodes share the binary, as containers would share an
+// image).
+class FunctionRegistry {
+ public:
+  Status Register(const std::string& name, TaskFunction fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = functions_.emplace(name, std::move(fn));
+    if (!inserted) {
+      return Status::AlreadyExists("function '" + name + "' already registered");
+    }
+    return Status::Ok();
+  }
+
+  Result<TaskFunction> Lookup(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      return Status::NotFound("function '" + name + "' not registered");
+    }
+    return it->second;
+  }
+
+  bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return functions_.count(name) > 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TaskFunction> functions_;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_RUNTIME_TASK_H_

@@ -1,0 +1,74 @@
+#include "src/access/sql_lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(SqlLexerTest, KeywordsCaseInsensitive) {
+  auto tokens = SqlLex("select FROM wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 + end
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+  EXPECT_EQ((*tokens)[3].type, SqlTokenType::kEnd);
+}
+
+TEST(SqlLexerTest, IdentifiersKeepCase) {
+  auto tokens = SqlLex("MyTable my_col");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "MyTable");
+  EXPECT_EQ((*tokens)[1].text, "my_col");
+}
+
+TEST(SqlLexerTest, Numbers) {
+  auto tokens = SqlLex("42 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, SqlTokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 3.5);
+}
+
+TEST(SqlLexerTest, MalformedNumberRejected) {
+  EXPECT_FALSE(SqlLex("1.2.3").ok());
+}
+
+TEST(SqlLexerTest, StringLiterals) {
+  auto tokens = SqlLex("'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+}
+
+TEST(SqlLexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(SqlLex("'oops").ok());
+}
+
+TEST(SqlLexerTest, TwoCharSymbols) {
+  auto tokens = SqlLex("<= >= != <>");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "!=");
+  EXPECT_EQ((*tokens)[3].text, "!=");  // <> normalizes
+}
+
+TEST(SqlLexerTest, UnexpectedCharacterRejected) {
+  auto r = SqlLex("SELECT #");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("position 7"), std::string::npos);
+}
+
+TEST(SqlLexerTest, PositionsTracked) {
+  auto tokens = SqlLex("SELECT x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 7u);
+}
+
+}  // namespace
+}  // namespace skadi

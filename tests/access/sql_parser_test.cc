@@ -1,0 +1,128 @@
+#include "src/access/sql_ast.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(SqlParserTest, SelectStar) {
+  auto s = SqlParse("SELECT * FROM sales");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->select_star);
+  EXPECT_EQ(s->table, "sales");
+  EXPECT_EQ(s->where, nullptr);
+  EXPECT_FALSE(s->limit.has_value());
+}
+
+TEST(SqlParserTest, ProjectionWithAliases) {
+  auto s = SqlParse("SELECT region, amount * price AS total FROM sales");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->items.size(), 2u);
+  EXPECT_EQ(s->items[0].alias, "region");
+  EXPECT_EQ(s->items[1].alias, "total");
+  EXPECT_EQ(s->items[1].expr->ToString(), "(amount * price)");
+}
+
+TEST(SqlParserTest, WhereWithPrecedence) {
+  auto s = SqlParse("SELECT * FROM t WHERE a > 1 AND b < 2 OR c = 3");
+  ASSERT_TRUE(s.ok());
+  // OR binds loosest: ((a>1 AND b<2) OR c=3).
+  EXPECT_EQ(s->where->ToString(), "(((a > 1) AND (b < 2)) OR (c = 3))");
+}
+
+TEST(SqlParserTest, NotAndParens) {
+  auto s = SqlParse("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->ToString(), "NOT (((a = 1) OR (b = 2)))");
+}
+
+TEST(SqlParserTest, Aggregates) {
+  auto s = SqlParse(
+      "SELECT region, COUNT(*), SUM(amount), AVG(price) AS ap FROM sales GROUP BY region");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->items.size(), 4u);
+  EXPECT_FALSE(s->items[0].aggregate.has_value());
+  EXPECT_EQ(s->items[1].aggregate, AggKind::kCount);
+  EXPECT_EQ(s->items[1].alias, "count");
+  EXPECT_EQ(s->items[2].aggregate, AggKind::kSum);
+  EXPECT_EQ(s->items[2].alias, "sum_amount");
+  EXPECT_EQ(s->items[3].aggregate, AggKind::kMean);
+  EXPECT_EQ(s->items[3].alias, "ap");
+  ASSERT_EQ(s->group_by.size(), 1u);
+  EXPECT_EQ(s->group_by[0], "region");
+  EXPECT_TRUE(s->has_aggregates());
+}
+
+TEST(SqlParserTest, AggregateOverExpression) {
+  auto s = SqlParse("SELECT SUM(amount * price) AS revenue FROM sales");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->items[0].aggregate, AggKind::kSum);
+  EXPECT_EQ(s->items[0].expr->ToString(), "(amount * price)");
+}
+
+TEST(SqlParserTest, Join) {
+  auto s = SqlParse("SELECT * FROM sales JOIN regions ON region = name");
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->join.has_value());
+  EXPECT_EQ(s->join->table, "regions");
+  EXPECT_EQ(s->join->left_key, "region");
+  EXPECT_EQ(s->join->right_key, "name");
+}
+
+TEST(SqlParserTest, InnerJoinKeywordAccepted) {
+  auto s = SqlParse("SELECT * FROM a INNER JOIN b ON x = y");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->join.has_value());
+}
+
+TEST(SqlParserTest, OrderByAndLimit) {
+  auto s = SqlParse("SELECT * FROM t ORDER BY a DESC, b LIMIT 10");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->order_by.size(), 2u);
+  EXPECT_EQ(s->order_by[0].column, "a");
+  EXPECT_FALSE(s->order_by[0].ascending);
+  EXPECT_TRUE(s->order_by[1].ascending);
+  EXPECT_EQ(s->limit, 10);
+}
+
+TEST(SqlParserTest, Having) {
+  auto s = SqlParse(
+      "SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING s > 100");
+  ASSERT_TRUE(s.ok());
+  ASSERT_NE(s->having, nullptr);
+  EXPECT_EQ(s->having->ToString(), "(s > 100)");
+}
+
+TEST(SqlParserTest, StringAndBoolLiterals) {
+  auto s = SqlParse("SELECT * FROM t WHERE name = 'east' AND active = TRUE");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s->where->ToString().find("'east'"), std::string::npos);
+  EXPECT_NE(s->where->ToString().find("true"), std::string::npos);
+}
+
+TEST(SqlParserTest, UnaryMinus) {
+  auto s = SqlParse("SELECT * FROM t WHERE a > -5");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->ToString(), "(a > (0 - 5))");
+}
+
+TEST(SqlParserTest, ErrorsArePositioned) {
+  auto s = SqlParse("SELECT FROM t");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("position"), std::string::npos);
+}
+
+TEST(SqlParserTest, MissingFromRejected) {
+  EXPECT_FALSE(SqlParse("SELECT a").ok());
+}
+
+TEST(SqlParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(SqlParse("SELECT * FROM t garbage here").ok());
+}
+
+TEST(SqlParserTest, MissingLimitValueRejected) {
+  EXPECT_FALSE(SqlParse("SELECT * FROM t LIMIT").ok());
+}
+
+}  // namespace
+}  // namespace skadi

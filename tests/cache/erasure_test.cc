@@ -1,0 +1,165 @@
+#include "src/cache/erasure.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace skadi {
+namespace {
+
+Buffer RandomData(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> bytes(size);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  return Buffer(std::move(bytes));
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 13) {
+      EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                Gf256::Mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, InverseRoundTrips) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = Gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  EXPECT_EQ(Gf256::Div(Gf256::Mul(37, 91), 91), 37);
+}
+
+TEST(Gf256Test, MulDistributesOverAdd) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextBounded(256));
+    uint8_t b = static_cast<uint8_t>(rng.NextBounded(256));
+    uint8_t c = static_cast<uint8_t>(rng.NextBounded(256));
+    EXPECT_EQ(Gf256::Mul(a, Gf256::Add(b, c)),
+              Gf256::Add(Gf256::Mul(a, b), Gf256::Mul(a, c)));
+  }
+}
+
+TEST(EcTest, EncodeProducesKPlusMEqualShards) {
+  Buffer data = RandomData(1000, 1);
+  auto shards = EcEncode(data, {4, 2});
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->size(), 6u);
+  for (const Buffer& s : *shards) {
+    EXPECT_EQ(s.size(), 250u);
+  }
+}
+
+TEST(EcTest, DecodeWithAllShards) {
+  Buffer data = RandomData(997, 2);  // non-divisible size exercises padding
+  EcConfig config{4, 2};
+  auto shards = EcEncode(data, config);
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+  auto decoded = EcDecode(slots, config, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(EcTest, DecodeWithAnyTwoShardsLost) {
+  Buffer data = RandomData(4096, 3);
+  EcConfig config{4, 2};
+  auto shards = EcEncode(data, config);
+  ASSERT_TRUE(shards.ok());
+  // Try every pair of losses.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) {
+      std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+      slots[i] = std::nullopt;
+      slots[j] = std::nullopt;
+      auto decoded = EcDecode(slots, config, data.size());
+      ASSERT_TRUE(decoded.ok()) << "lost shards " << i << "," << j;
+      EXPECT_EQ(*decoded, data) << "lost shards " << i << "," << j;
+    }
+  }
+}
+
+TEST(EcTest, ThreeLossesUnrecoverable) {
+  Buffer data = RandomData(512, 4);
+  EcConfig config{4, 2};
+  auto shards = EcEncode(data, config);
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+  slots[0] = std::nullopt;
+  slots[2] = std::nullopt;
+  slots[5] = std::nullopt;
+  auto decoded = EcDecode(slots, config, data.size());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EcTest, InvalidConfigRejected) {
+  Buffer data = RandomData(100, 5);
+  EXPECT_FALSE(EcEncode(data, {0, 2}).ok());
+  EXPECT_FALSE(EcEncode(data, {200, 100}).ok());
+}
+
+TEST(EcTest, WrongSlotCountRejected) {
+  Buffer data = RandomData(100, 6);
+  auto shards = EcEncode(data, {2, 1});
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+  slots.pop_back();
+  EXPECT_EQ(EcDecode(slots, {2, 1}, 100).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EcTest, EmptyBufferRoundTrips) {
+  Buffer data;
+  EcConfig config{3, 2};
+  auto shards = EcEncode(data, config);
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+  auto decoded = EcDecode(slots, config, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 0u);
+}
+
+// Property sweep over (k, m) configurations: losing exactly m shards (the
+// worst tolerable case) always reconstructs.
+class EcSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EcSweep, WorstCaseLossReconstructs) {
+  auto [k, m] = GetParam();
+  Buffer data = RandomData(1024 + static_cast<size_t>(k), static_cast<uint64_t>(k * 100 + m));
+  EcConfig config{k, m};
+  auto shards = EcEncode(data, config);
+  ASSERT_TRUE(shards.ok());
+  // Lose the LAST m shards... and separately the FIRST m (data) shards.
+  for (bool lose_front : {false, true}) {
+    std::vector<std::optional<Buffer>> slots(shards->begin(), shards->end());
+    for (int i = 0; i < m; ++i) {
+      slots[lose_front ? static_cast<size_t>(i) : slots.size() - 1 - static_cast<size_t>(i)] =
+          std::nullopt;
+    }
+    auto decoded = EcDecode(slots, config, data.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EcSweep,
+                         ::testing::Values(std::pair{2, 1}, std::pair{2, 2},
+                                           std::pair{3, 2}, std::pair{4, 2},
+                                           std::pair{4, 3}, std::pair{6, 3},
+                                           std::pair{8, 4}, std::pair{10, 4}));
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,92 @@
+#include "src/common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(BufferTest, EmptyByDefault) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(BufferTest, FromString) {
+  Buffer b = Buffer::FromString("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.AsStringView(), "hello");
+}
+
+TEST(BufferTest, ZerosAllocatesZeroedBytes) {
+  Buffer b = Buffer::Zeros(128);
+  EXPECT_EQ(b.size(), 128u);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.data()[i], 0);
+  }
+}
+
+TEST(BufferTest, CopySharesStorage) {
+  Buffer a = Buffer::FromString("shared");
+  Buffer b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BufferTest, EqualityComparesContents) {
+  EXPECT_EQ(Buffer::FromString("abc"), Buffer::FromString("abc"));
+  EXPECT_FALSE(Buffer::FromString("abc") == Buffer::FromString("abd"));
+  EXPECT_FALSE(Buffer::FromString("abc") == Buffer::FromString("ab"));
+  EXPECT_EQ(Buffer(), Buffer());
+}
+
+TEST(BufferBuilderTest, RoundTripsPrimitives) {
+  BufferBuilder builder;
+  builder.AppendU8(7);
+  builder.AppendU32(0xDEADBEEF);
+  builder.AppendU64(1ULL << 40);
+  builder.AppendI64(-12345);
+  builder.AppendF64(3.5);
+  builder.AppendLengthPrefixedString("skadi");
+  Buffer buffer = builder.Finish();
+
+  BufferReader reader(buffer);
+  EXPECT_EQ(reader.ReadU8(), 7);
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.ReadU64(), 1ULL << 40);
+  EXPECT_EQ(reader.ReadI64(), -12345);
+  EXPECT_EQ(reader.ReadF64(), 3.5);
+  EXPECT_EQ(reader.ReadLengthPrefixedString(), "skadi");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BufferReaderTest, OutOfBoundsReadFailsGracefully) {
+  BufferBuilder builder;
+  builder.AppendU32(1);
+  BufferReader reader(builder.Finish());
+  EXPECT_EQ(reader.ReadU32(), 1u);
+  uint64_t sink = 99;
+  EXPECT_FALSE(reader.ReadBytes(&sink, sizeof(sink)));
+  EXPECT_EQ(sink, 99u);  // untouched
+}
+
+TEST(BufferReaderTest, TruncatedStringClamps) {
+  BufferBuilder builder;
+  builder.AppendU32(100);  // claims 100 bytes
+  builder.AppendBytes("xy", 2);
+  BufferReader reader(builder.Finish());
+  EXPECT_EQ(reader.ReadLengthPrefixedString(), "xy");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BufferBuilderTest, SizeTracksAppends) {
+  BufferBuilder builder;
+  EXPECT_EQ(builder.size(), 0u);
+  builder.AppendU64(1);
+  EXPECT_EQ(builder.size(), 8u);
+  builder.AppendLengthPrefixedString("abc");
+  EXPECT_EQ(builder.size(), 8u + 4u + 3u);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,65 @@
+#include "src/common/hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashString("skadi"), HashString("skadi"));
+  EXPECT_EQ(HashI64(42), HashI64(42));
+}
+
+TEST(HashTest, DistinctInputsRarelyCollide) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(HashI64(i));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(HashTest, SeedChangesResult) {
+  EXPECT_NE(HashString("x", 1), HashString("x", 2));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(PartitionTest, InRange) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(PartitionOf(HashI64(i), 7), 7u);
+  }
+}
+
+// Property: hash partitioning spreads keys roughly evenly. With 100k keys
+// over 16 partitions the expected count is 6250; a 20% band is generous for
+// a decent hash but catches gross bucketing bugs.
+TEST(PartitionTest, RoughlyUniform) {
+  constexpr uint32_t kParts = 16;
+  constexpr int kKeys = 100000;
+  std::vector<int> counts(kParts, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    counts[PartitionOf(HashI64(i), kParts)]++;
+  }
+  const double expected = static_cast<double>(kKeys) / kParts;
+  for (uint32_t p = 0; p < kParts; ++p) {
+    EXPECT_GT(counts[p], expected * 0.8) << "partition " << p;
+    EXPECT_LT(counts[p], expected * 1.2) << "partition " << p;
+  }
+}
+
+// Property: partition assignment is stable — repartitioning with the same n
+// gives identical placement (shuffle consumers rely on this).
+TEST(PartitionTest, StableAcrossCalls) {
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t h = HashString("key" + std::to_string(i));
+    EXPECT_EQ(PartitionOf(h, 9), PartitionOf(h, 9));
+  }
+}
+
+}  // namespace
+}  // namespace skadi

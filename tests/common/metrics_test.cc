@@ -1,0 +1,108 @@
+#include "src/common/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(9);
+  EXPECT_EQ(c.value(), 10);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), 80000);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum_nanos(), 600);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 200.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotonicAndBounding) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i * 1000);  // 1us .. 1ms
+  }
+  int64_t p50 = h.QuantileNanos(0.5);
+  int64_t p99 = h.QuantileNanos(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(p50, 100 * 1000);        // > 100us
+  EXPECT_LE(p99, 4 * 1000 * 1000);   // bucketed upper bound, within 4x
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.QuantileNanos(0.99), 0);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 0.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum_nanos(), 0);
+}
+
+TEST(MetricsRegistryTest, SameNameSameCounter) {
+  MetricsRegistry registry;
+  registry.GetCounter("a").Add(5);
+  registry.GetCounter("a").Add(5);
+  EXPECT_EQ(registry.GetCounter("a").value(), 10);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz").Add(1);
+  registry.GetCounter("aa").Add(2);
+  auto snapshot = registry.SnapshotCounters();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "aa");
+  EXPECT_EQ(snapshot[1].first, "zz");
+}
+
+TEST(MetricsRegistryTest, ResetAllClearsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(3);
+  registry.GetHistogram("h").Record(42);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c").value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h").count(), 0);
+}
+
+TEST(MetricsRegistryTest, ReferencesStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& first = registry.GetCounter("stable");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.GetCounter("stable"));
+}
+
+}  // namespace
+}  // namespace skadi

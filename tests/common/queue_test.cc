@@ -1,0 +1,101 @@
+#include "src/common/queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(BlockingQueueTest, PushPopFifo) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutExpires) {
+  BlockingQueue<int> q;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopWithTimeout(std::chrono::milliseconds(20)).has_value());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::thread popper([&q] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  popper.join();
+}
+
+TEST(BlockingQueueTest, PushAfterCloseFails) {
+  BlockingQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+}
+
+TEST(BlockingQueueTest, DrainsPendingItemsAfterClose) {
+  BlockingQueue<int> q;
+  q.Push(10);
+  q.Push(20);
+  q.Close();
+  EXPECT_EQ(q.Pop(), 10);
+  EXPECT_EQ(q.Pop(), 20);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumersLoseNothing) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v.has_value()) {
+          return;
+        }
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[kProducers + c].join();
+  }
+
+  constexpr int64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,76 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, GrowAddsThreads) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  pool.Grow(3);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, ShrinkReducesLogicalSizeAndKeepsWorking) {
+  ThreadPool pool(4);
+  pool.Shrink(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShrinkNeverDropsBelowOneWorker) {
+  ThreadPool pool(2);
+  pool.Shrink(10);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyOverlaps) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = concurrent.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace skadi

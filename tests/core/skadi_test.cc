@@ -1,0 +1,437 @@
+// End-to-end tests of the Skadi facade: every declarative frontend runs
+// through FlowGraph lowering onto the emulated disaggregated cluster and is
+// checked against a single-node reference computation.
+#include "src/core/skadi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/format/serde.h"
+
+namespace skadi {
+namespace {
+
+class SkadiTest : public ::testing::Test {
+ protected:
+  void Start(SkadiOptions options = DefaultOptions()) {
+    auto skadi = Skadi::Start(options);
+    ASSERT_TRUE(skadi.ok()) << skadi.status().ToString();
+    skadi_ = std::move(skadi).value();
+  }
+
+  static SkadiOptions DefaultOptions() {
+    SkadiOptions options;
+    options.cluster.racks = 2;
+    options.cluster.servers_per_rack = 2;
+    options.cluster.workers_per_server = 2;
+    options.default_parallelism = 2;
+    return options;
+  }
+
+  RecordBatch SalesBatch(int rows, uint64_t seed = 7) {
+    Rng rng(seed);
+    ColumnBuilder regions(DataType::kString);
+    ColumnBuilder amounts(DataType::kInt64);
+    ColumnBuilder prices(DataType::kFloat64);
+    const std::vector<std::string> kRegions = {"east", "west", "north", "south"};
+    for (int i = 0; i < rows; ++i) {
+      regions.AppendString(kRegions[rng.NextBounded(kRegions.size())]);
+      amounts.AppendInt64(static_cast<int64_t>(rng.NextBounded(100)));
+      prices.AppendFloat64(rng.NextDouble() * 10.0);
+    }
+    Schema schema({{"region", DataType::kString},
+                   {"amount", DataType::kInt64},
+                   {"price", DataType::kFloat64}});
+    auto batch = RecordBatch::Make(schema, {regions.Finish(), amounts.Finish(),
+                                            prices.Finish()});
+    return std::move(batch).value();
+  }
+
+  std::unique_ptr<Skadi> skadi_;
+};
+
+TEST_F(SkadiTest, RegisterTableSpreadsPartitions) {
+  Start();
+  ASSERT_TRUE(skadi_->RegisterTable("sales", SalesBatch(100), 4).ok());
+  EXPECT_TRUE(skadi_->HasTable("sales"));
+  auto partitions = skadi_->TablePartitions("sales");
+  ASSERT_EQ(partitions.size(), 4u);
+  // Partitions live on at least two distinct nodes.
+  std::set<NodeId> homes;
+  for (const ObjectRef& ref : partitions) {
+    for (NodeId n : skadi_->cache().Locations(ref.id)) {
+      homes.insert(n);
+    }
+  }
+  EXPECT_GE(homes.size(), 2u);
+}
+
+TEST_F(SkadiTest, DuplicateTableRejected) {
+  Start();
+  ASSERT_TRUE(skadi_->RegisterTable("t", SalesBatch(10)).ok());
+  EXPECT_EQ(skadi_->RegisterTable("t", SalesBatch(10)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SkadiTest, SqlSelectWhere) {
+  Start();
+  RecordBatch sales = SalesBatch(200);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto result = skadi_->Sql("SELECT region, amount FROM sales WHERE amount > 50");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto expected = FilterBatch(
+      sales, *Expr::Binary(BinaryOp::kGt, Expr::Col("amount"), Expr::Int(50)));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(result->num_rows(), expected->num_rows());
+  EXPECT_EQ(result->num_columns(), 2u);
+}
+
+TEST_F(SkadiTest, SqlGroupByMatchesReference) {
+  Start();
+  RecordBatch sales = SalesBatch(400);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto result = skadi_->Sql(
+      "SELECT region, COUNT(*) AS n, SUM(amount) AS total, AVG(price) AS ap "
+      "FROM sales GROUP BY region ORDER BY region");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto reference = GroupAggregateBatch(sales, {"region"},
+                                       {{AggKind::kCount, "*", "n"},
+                                        {AggKind::kSum, "amount", "total"},
+                                        {AggKind::kMean, "price", "ap"}});
+  ASSERT_TRUE(reference.ok());
+  auto sorted_ref = SortBatch(*reference, {{"region", true}});
+  ASSERT_TRUE(sorted_ref.ok());
+
+  ASSERT_EQ(result->num_rows(), sorted_ref->num_rows());
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    EXPECT_EQ(result->ColumnByName("region")->StringAt(i),
+              sorted_ref->ColumnByName("region")->StringAt(i));
+    EXPECT_EQ(result->ColumnByName("n")->Int64At(i),
+              sorted_ref->ColumnByName("n")->Int64At(i));
+    EXPECT_EQ(result->ColumnByName("total")->Int64At(i),
+              sorted_ref->ColumnByName("total")->Int64At(i));
+    EXPECT_NEAR(result->ColumnByName("ap")->Float64At(i),
+                sorted_ref->ColumnByName("ap")->Float64At(i), 1e-9);
+  }
+}
+
+TEST_F(SkadiTest, SqlGlobalAggregate) {
+  Start();
+  RecordBatch sales = SalesBatch(300);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto result = skadi_->Sql("SELECT COUNT(*) AS n, SUM(amount) AS s FROM sales");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1);
+  EXPECT_EQ(result->ColumnByName("n")->Int64At(0), 300);
+
+  auto reference =
+      GroupAggregateBatch(sales, {}, {{AggKind::kSum, "amount", "s"}});
+  EXPECT_EQ(result->ColumnByName("s")->Int64At(0),
+            reference->ColumnByName("s")->Int64At(0));
+}
+
+TEST_F(SkadiTest, SqlJoin) {
+  Start();
+  RecordBatch sales = SalesBatch(100);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+
+  Schema dim_schema({{"name", DataType::kString}, {"zone", DataType::kInt64}});
+  auto dims = RecordBatch::Make(
+      dim_schema, {Column::MakeString({"east", "west"}), Column::MakeInt64({1, 2})});
+  ASSERT_TRUE(skadi_->RegisterTable("dims", *dims, 1).ok());
+
+  auto result = skadi_->Sql(
+      "SELECT region, zone, amount FROM sales JOIN dims ON region = name");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto reference = HashJoinBatch(sales, *dims, {"region"}, {"name"});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(result->num_rows(), reference->num_rows());
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    std::string_view region = result->ColumnByName("region")->StringAt(i);
+    int64_t zone = result->ColumnByName("zone")->Int64At(i);
+    EXPECT_EQ(zone, region == "east" ? 1 : 2);
+  }
+}
+
+TEST_F(SkadiTest, SqlOrderByLimit) {
+  Start();
+  RecordBatch sales = SalesBatch(100);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto result =
+      skadi_->Sql("SELECT amount FROM sales ORDER BY amount DESC LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 5);
+  for (int64_t i = 1; i < 5; ++i) {
+    EXPECT_GE(result->column(0).Int64At(i - 1), result->column(0).Int64At(i));
+  }
+}
+
+TEST_F(SkadiTest, SqlHaving) {
+  Start();
+  RecordBatch sales = SalesBatch(400);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto all = skadi_->Sql("SELECT region, COUNT(*) AS n FROM sales GROUP BY region");
+  ASSERT_TRUE(all.ok());
+  auto filtered = skadi_->Sql(
+      "SELECT region, COUNT(*) AS n FROM sales GROUP BY region HAVING n > 90");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_LE(filtered->num_rows(), all->num_rows());
+  for (int64_t i = 0; i < filtered->num_rows(); ++i) {
+    EXPECT_GT(filtered->ColumnByName("n")->Int64At(i), 90);
+  }
+}
+
+TEST_F(SkadiTest, SqlMissingTableFails) {
+  Start();
+  auto result = skadi_->Sql("SELECT * FROM ghosts");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SkadiTest, SqlUnoptimizedMatchesOptimized) {
+  SkadiOptions unopt = DefaultOptions();
+  unopt.optimize_graph = false;
+  Start(unopt);
+  RecordBatch sales = SalesBatch(150);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto result = skadi_->Sql(
+      "SELECT region, SUM(amount) AS s FROM sales WHERE amount > 10 GROUP BY region "
+      "ORDER BY region");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  Start();  // fresh optimized instance
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+  auto optimized = skadi_->Sql(
+      "SELECT region, SUM(amount) AS s FROM sales WHERE amount > 10 GROUP BY region "
+      "ORDER BY region");
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+  ASSERT_EQ(result->num_rows(), optimized->num_rows());
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    EXPECT_EQ(result->ColumnByName("s")->Int64At(i),
+              optimized->ColumnByName("s")->Int64At(i));
+  }
+}
+
+TEST_F(SkadiTest, MapReduceWordCountStyle) {
+  Start();
+  // "Word count": map projects (region, 1), reduce sums.
+  skadi_->registry().Register(
+      "wc_map", [](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
+        SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
+        SKADI_ASSIGN_OR_RETURN(
+            RecordBatch out,
+            ProjectBatch(batch, {{Expr::Col("region"), "word"}, {Expr::Int(1), "one"}}));
+        return std::vector<Buffer>{SerializeBatchIpc(out)};
+      });
+  skadi_->registry().Register(
+      "wc_reduce",
+      [](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
+        SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
+        SKADI_ASSIGN_OR_RETURN(
+            RecordBatch out,
+            GroupAggregateBatch(batch, {"word"}, {{AggKind::kSum, "one", "count"}}));
+        return std::vector<Buffer>{SerializeBatchIpc(out)};
+      });
+
+  RecordBatch sales = SalesBatch(200);
+  ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());
+
+  MapReduceJob job;
+  job.mapper = "wc_map";
+  job.reducer = "wc_reduce";
+  job.shuffle_keys = {"word"};
+  auto result = skadi_->MapReduce(job, "sales");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto reference = GroupAggregateBatch(
+      sales, {"region"}, {{AggKind::kCount, "*", "count"}});
+  EXPECT_EQ(result->num_rows(), reference->num_rows());
+  int64_t total = 0;
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    total += result->ColumnByName("count")->Int64At(i);
+  }
+  EXPECT_EQ(total, 200);
+}
+
+TEST_F(SkadiTest, TrainLinearModelRecoversWeights) {
+  Start();
+  // y = 3*x0 - 2*x1 + 1 with no noise: gradient descent must converge.
+  Rng rng(11);
+  ColumnBuilder x0(DataType::kFloat64);
+  ColumnBuilder x1(DataType::kFloat64);
+  ColumnBuilder y(DataType::kFloat64);
+  for (int i = 0; i < 256; ++i) {
+    double a = rng.NextDouble() * 2 - 1;
+    double b = rng.NextDouble() * 2 - 1;
+    x0.AppendFloat64(a);
+    x1.AppendFloat64(b);
+    y.AppendFloat64(3 * a - 2 * b + 1);
+  }
+  Schema schema({{"x0", DataType::kFloat64},
+                 {"x1", DataType::kFloat64},
+                 {"y", DataType::kFloat64}});
+  auto data = RecordBatch::Make(schema, {x0.Finish(), x1.Finish(), y.Finish()});
+  ASSERT_TRUE(skadi_->RegisterTable("train", *data, 4).ok());
+
+  MlTrainOptions options;
+  options.epochs = 200;
+  options.learning_rate = 0.5;
+  auto model = skadi_->TrainModel("train", {"x0", "x1"}, "y", options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  EXPECT_NEAR(model->weights.At(0, 0), 3.0, 0.1);
+  EXPECT_NEAR(model->weights.At(1, 0), -2.0, 0.1);
+  EXPECT_NEAR(model->weights.At(2, 0), 1.0, 0.1);
+  // Loss decreases.
+  ASSERT_GE(model->loss_curve.size(), 2u);
+  EXPECT_LT(model->loss_curve.back(), model->loss_curve.front());
+}
+
+TEST_F(SkadiTest, PageRankOnStarGraph) {
+  Start();
+  // Star: all point to vertex 0 => vertex 0 has the highest rank.
+  ColumnBuilder src(DataType::kInt64);
+  ColumnBuilder dst(DataType::kInt64);
+  for (int64_t v = 1; v <= 6; ++v) {
+    src.AppendInt64(v);
+    dst.AppendInt64(0);
+    // Back edges so nothing dangles.
+    src.AppendInt64(0);
+    dst.AppendInt64(v);
+  }
+  Schema schema({{"src", DataType::kInt64}, {"dst", DataType::kInt64}});
+  auto edges = RecordBatch::Make(schema, {src.Finish(), dst.Finish()});
+  ASSERT_TRUE(skadi_->RegisterTable("edges", *edges, 2).ok());
+
+  PageRankOptions options;
+  options.iterations = 15;
+  auto ranks = skadi_->PageRank("edges", options);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  ASSERT_EQ(ranks->num_rows(), 7);
+
+  double rank0 = 0;
+  double sum = 0;
+  double max_other = 0;
+  for (int64_t i = 0; i < ranks->num_rows(); ++i) {
+    double r = ranks->ColumnByName("rank")->Float64At(i);
+    sum += r;
+    if (ranks->ColumnByName("vertex")->Int64At(i) == 0) {
+      rank0 = r;
+    } else {
+      max_other = std::max(max_other, r);
+    }
+  }
+  EXPECT_GT(rank0, 2 * max_other);
+  EXPECT_NEAR(sum, 1.0, 0.01);  // ranks form a distribution
+}
+
+TEST_F(SkadiTest, ConnectedComponentsTwoIslands) {
+  Start();
+  // Components {0,1,2} and {10,11}.
+  ColumnBuilder src(DataType::kInt64);
+  ColumnBuilder dst(DataType::kInt64);
+  auto edge = [&](int64_t a, int64_t b) {
+    src.AppendInt64(a);
+    dst.AppendInt64(b);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(10, 11);
+  Schema schema({{"src", DataType::kInt64}, {"dst", DataType::kInt64}});
+  auto edges = RecordBatch::Make(schema, {src.Finish(), dst.Finish()});
+  ASSERT_TRUE(skadi_->RegisterTable("edges", *edges, 1).ok());
+
+  auto cc = skadi_->ConnectedComponents("edges");
+  ASSERT_TRUE(cc.ok()) << cc.status().ToString();
+  std::map<int64_t, int64_t> component;
+  for (int64_t i = 0; i < cc->num_rows(); ++i) {
+    component[cc->ColumnByName("vertex")->Int64At(i)] =
+        cc->ColumnByName("component")->Int64At(i);
+  }
+  EXPECT_EQ(component[0], 0);
+  EXPECT_EQ(component[1], 0);
+  EXPECT_EQ(component[2], 0);
+  EXPECT_EQ(component[10], 10);
+  EXPECT_EQ(component[11], 10);
+}
+
+TEST_F(SkadiTest, StatsReflectActivity) {
+  Start();
+  ASSERT_TRUE(skadi_->RegisterTable("sales", SalesBatch(100)).ok());
+  auto result = skadi_->Sql("SELECT COUNT(*) AS n FROM sales");
+  ASSERT_TRUE(result.ok());
+  SkadiStats stats = skadi_->GetStats();
+  EXPECT_GT(stats.tasks_submitted, 0);
+  EXPECT_GT(stats.tasks_completed, 0);
+  EXPECT_GT(stats.modelled_nanos, 0);
+}
+
+TEST_F(SkadiTest, ExplainShowsAllThreeTiers) {
+  Start();
+  ASSERT_TRUE(skadi_->RegisterTable("sales", SalesBatch(50)).ok());
+  auto text = skadi_->Explain(
+      "SELECT region, SUM(amount) AS s FROM sales WHERE amount > 5 "
+      "GROUP BY region ORDER BY region");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("== declaration =="), std::string::npos);
+  EXPECT_NE(text->find("== logical graph =="), std::string::npos);
+  EXPECT_NE(text->find("== physical sharded graph =="), std::string::npos);
+  EXPECT_NE(text->find("shuffle"), std::string::npos);   // keyed edge survives
+  EXPECT_NE(text->find("rel.aggregate"), std::string::npos);  // vertex IR shown
+  EXPECT_NE(text->find(" x2"), std::string::npos);       // parallelism subscript
+  // Explain must not execute anything.
+  EXPECT_EQ(skadi_->GetStats().tasks_submitted, 0);
+}
+
+TEST_F(SkadiTest, AdaptiveParallelismSizesFromData) {
+  SkadiOptions options = DefaultOptions();
+  options.adaptive_parallelism = true;
+  options.adaptive_shard_bytes = 4 * 1024;  // tiny shards for the test
+  options.max_parallelism = 4;
+  Start(options);
+
+  // ~22 KiB of data => ceil(22/4) = 6, clamped to max_parallelism = 4.
+  RecordBatch big = SalesBatch(1000);
+  ASSERT_TRUE(skadi_->RegisterTable("big", big).ok());
+  EXPECT_EQ(skadi_->TablePartitions("big").size(), 4u);
+
+  auto result = skadi_->Sql("SELECT region, SUM(amount) AS s FROM big GROUP BY region");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(skadi_->runtime().metrics().GetCounter("core.adaptive_dop_decisions").value(),
+            0);
+
+  // Verify correctness against the reference.
+  auto reference = GroupAggregateBatch(big, {"region"}, {{AggKind::kSum, "amount", "s"}});
+  EXPECT_EQ(result->num_rows(), reference->num_rows());
+}
+
+TEST_F(SkadiTest, ParallelismClampedToPartitionCount) {
+  // A 1-partition table queried under default parallelism 2 must NOT
+  // double-count (the plan is clamped to the partition count).
+  Start();
+  RecordBatch sales = SalesBatch(100);
+  ASSERT_TRUE(skadi_->RegisterTable("one", sales, 1).ok());
+  auto result = skadi_->Sql("SELECT COUNT(*) AS n FROM one");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ColumnByName("n")->Int64At(0), 100);
+}
+
+TEST_F(SkadiTest, AvailableBackendsReflectCluster) {
+  SkadiOptions options = DefaultOptions();
+  options.cluster.device_complexes = 1;
+  options.cluster.gpus_per_complex = 1;
+  options.cluster.fpgas_per_complex = 1;
+  Start(options);
+  auto backends = skadi_->AvailableBackends();
+  std::set<DeviceKind> kinds(backends.begin(), backends.end());
+  EXPECT_TRUE(kinds.count(DeviceKind::kCpu));
+  EXPECT_TRUE(kinds.count(DeviceKind::kGpu));
+  EXPECT_TRUE(kinds.count(DeviceKind::kFpga));
+  EXPECT_FALSE(kinds.count(DeviceKind::kDpu));  // control-plane only
+}
+
+}  // namespace
+}  // namespace skadi

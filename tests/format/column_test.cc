@@ -1,0 +1,140 @@
+#include "src/format/column.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(ColumnTest, MakeInt64) {
+  Column c = Column::MakeInt64({1, 2, 3});
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_EQ(c.Int64At(0), 1);
+  EXPECT_EQ(c.Int64At(2), 3);
+  EXPECT_FALSE(c.has_nulls());
+}
+
+TEST(ColumnTest, MakeFloat64) {
+  Column c = Column::MakeFloat64({1.5, -2.5});
+  EXPECT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.Float64At(1), -2.5);
+}
+
+TEST(ColumnTest, MakeBool) {
+  Column c = Column::MakeBool({1, 0, 1});
+  EXPECT_TRUE(c.BoolAt(0));
+  EXPECT_FALSE(c.BoolAt(1));
+}
+
+TEST(ColumnTest, MakeString) {
+  Column c = Column::MakeString({"alpha", "", "gamma"});
+  EXPECT_EQ(c.type(), DataType::kString);
+  EXPECT_EQ(c.StringAt(0), "alpha");
+  EXPECT_EQ(c.StringAt(1), "");
+  EXPECT_EQ(c.StringAt(2), "gamma");
+}
+
+TEST(ColumnTest, ValidityMarksNulls) {
+  Column c = Column::MakeInt64({10, 20, 30}, {1, 0, 1});
+  EXPECT_TRUE(c.has_nulls());
+  EXPECT_EQ(c.null_count(), 1);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+}
+
+TEST(ColumnTest, AllValidBitmapNormalizedAway) {
+  Column c = Column::MakeInt64({1, 2}, {1, 1});
+  EXPECT_FALSE(c.has_nulls());
+  EXPECT_TRUE(c.validity().empty());
+}
+
+TEST(ColumnTest, TakeGathersAndPreservesNulls) {
+  Column c = Column::MakeInt64({10, 20, 30, 40}, {1, 0, 1, 1});
+  Column t = c.Take({3, 1, 1, 0});
+  EXPECT_EQ(t.length(), 4);
+  EXPECT_EQ(t.Int64At(0), 40);
+  EXPECT_TRUE(t.IsNull(1));
+  EXPECT_TRUE(t.IsNull(2));
+  EXPECT_EQ(t.Int64At(3), 10);
+}
+
+TEST(ColumnTest, TakeEmptyGivesEmptyColumn) {
+  Column c = Column::MakeString({"a", "b"});
+  Column t = c.Take({});
+  EXPECT_EQ(t.length(), 0);
+  EXPECT_EQ(t.type(), DataType::kString);
+}
+
+TEST(ColumnTest, ByteSizeGrowsWithData) {
+  Column small = Column::MakeInt64({1});
+  Column big = Column::MakeInt64(std::vector<int64_t>(1000, 7));
+  EXPECT_GT(big.ByteSize(), small.ByteSize());
+  EXPECT_GE(big.ByteSize(), 8000u);
+}
+
+TEST(ColumnTest, ValueToString) {
+  Column i = Column::MakeInt64({42, 0}, {1, 0});
+  EXPECT_EQ(i.ValueToString(0), "42");
+  EXPECT_EQ(i.ValueToString(1), "null");
+  Column b = Column::MakeBool({1});
+  EXPECT_EQ(b.ValueToString(0), "true");
+  Column s = Column::MakeString({"hey"});
+  EXPECT_EQ(s.ValueToString(0), "hey");
+}
+
+TEST(ColumnBuilderTest, BuildsTypedColumn) {
+  ColumnBuilder b(DataType::kFloat64);
+  b.AppendFloat64(1.0);
+  b.AppendNull();
+  b.AppendFloat64(3.0);
+  Column c = b.Finish();
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_DOUBLE_EQ(c.Float64At(2), 3.0);
+}
+
+TEST(ColumnBuilderTest, StringsWithNulls) {
+  ColumnBuilder b(DataType::kString);
+  b.AppendString("x");
+  b.AppendNull();
+  b.AppendString("zzz");
+  Column c = b.Finish();
+  EXPECT_EQ(c.StringAt(0), "x");
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.StringAt(2), "zzz");
+}
+
+TEST(ColumnBuilderTest, ReusableAfterFinish) {
+  ColumnBuilder b(DataType::kInt64);
+  b.AppendInt64(1);
+  Column first = b.Finish();
+  b.AppendInt64(2);
+  b.AppendInt64(3);
+  Column second = b.Finish();
+  EXPECT_EQ(first.length(), 1);
+  EXPECT_EQ(second.length(), 2);
+  EXPECT_EQ(second.Int64At(0), 2);
+}
+
+TEST(ColumnBuilderTest, AppendFromCopiesValuesAndNulls) {
+  Column src = Column::MakeString({"a", "b"}, {0, 1});
+  ColumnBuilder b(DataType::kString);
+  b.AppendFrom(src, 0);
+  b.AppendFrom(src, 1);
+  Column c = b.Finish();
+  EXPECT_TRUE(c.IsNull(0));
+  EXPECT_EQ(c.StringAt(1), "b");
+}
+
+TEST(ColumnBuilderTest, NoNullsMeansNoValidity) {
+  ColumnBuilder b(DataType::kBool);
+  b.AppendBool(true);
+  b.AppendBool(false);
+  Column c = b.Finish();
+  EXPECT_FALSE(c.has_nulls());
+  EXPECT_TRUE(c.validity().empty());
+}
+
+}  // namespace
+}  // namespace skadi

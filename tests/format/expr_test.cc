@@ -1,0 +1,168 @@
+#include "src/format/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+RecordBatch MakeBatch() {
+  Schema schema({{"i", DataType::kInt64},
+                 {"f", DataType::kFloat64},
+                 {"s", DataType::kString},
+                 {"b", DataType::kBool}});
+  auto batch = RecordBatch::Make(
+      schema,
+      {Column::MakeInt64({1, 2, 3, 4}), Column::MakeFloat64({0.5, 1.0, 1.5, 2.0}),
+       Column::MakeString({"a", "bb", "ccc", "dd"}),
+       Column::MakeBool({1, 0, 1, 0})});
+  return std::move(batch).value();
+}
+
+TEST(ExprTest, ColumnReference) {
+  auto r = EvalExpr(*Expr::Col("i"), MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Int64At(2), 3);
+}
+
+TEST(ExprTest, MissingColumnFails) {
+  auto r = EvalExpr(*Expr::Col("nope"), MakeBatch());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, LiteralBroadcasts) {
+  auto r = EvalExpr(*Expr::Int(7), MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->length(), 4);
+  EXPECT_EQ(r->Int64At(0), 7);
+  EXPECT_EQ(r->Int64At(3), 7);
+}
+
+TEST(ExprTest, IntArithmetic) {
+  auto e = Expr::Binary(BinaryOp::kMul, Expr::Col("i"), Expr::Int(10));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type(), DataType::kInt64);
+  EXPECT_EQ(r->Int64At(3), 40);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToFloat) {
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Col("i"), Expr::Col("f"));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(r->Float64At(1), 3.0);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  auto e = Expr::Binary(BinaryOp::kDiv, Expr::Col("i"), Expr::Int(0));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsNull(0));
+  EXPECT_EQ(r->null_count(), 4);
+}
+
+TEST(ExprTest, ModuloWorks) {
+  auto e = Expr::Binary(BinaryOp::kMod, Expr::Col("i"), Expr::Int(2));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Int64At(0), 1);
+  EXPECT_EQ(r->Int64At(1), 0);
+}
+
+TEST(ExprTest, IntComparison) {
+  auto e = Expr::Binary(BinaryOp::kGe, Expr::Col("i"), Expr::Int(3));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type(), DataType::kBool);
+  EXPECT_FALSE(r->BoolAt(1));
+  EXPECT_TRUE(r->BoolAt(2));
+}
+
+TEST(ExprTest, StringComparison) {
+  auto e = Expr::Binary(BinaryOp::kEq, Expr::Col("s"), Expr::Str("bb"));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BoolAt(1));
+  EXPECT_FALSE(r->BoolAt(0));
+}
+
+TEST(ExprTest, StringOrderingComparison) {
+  auto e = Expr::Binary(BinaryOp::kLt, Expr::Col("s"), Expr::Str("cc"));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BoolAt(0));   // "a" < "cc"
+  EXPECT_TRUE(r->BoolAt(1));   // "bb" < "cc"
+  EXPECT_FALSE(r->BoolAt(2));  // "ccc" > "cc"
+}
+
+TEST(ExprTest, StringArithmeticRejected) {
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Col("s"), Expr::Str("x"));
+  auto r = EvalExpr(*e, MakeBatch());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, LogicalAndOr) {
+  auto ge2 = Expr::Binary(BinaryOp::kGe, Expr::Col("i"), Expr::Int(2));
+  auto both = Expr::Binary(BinaryOp::kAnd, ge2, Expr::Col("b"));
+  auto r = EvalExpr(*both, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->BoolAt(0));  // i=1 fails ge2
+  EXPECT_FALSE(r->BoolAt(1));  // b=false
+  EXPECT_TRUE(r->BoolAt(2));
+
+  auto either = Expr::Binary(BinaryOp::kOr, ge2, Expr::Col("b"));
+  auto r2 = EvalExpr(*either, MakeBatch());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->BoolAt(0));  // b=true
+}
+
+TEST(ExprTest, NotNegates) {
+  auto r = EvalExpr(*Expr::Not(Expr::Col("b")), MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->BoolAt(0));
+  EXPECT_TRUE(r->BoolAt(1));
+}
+
+TEST(ExprTest, NotRequiresBool) {
+  auto r = EvalExpr(*Expr::Not(Expr::Col("i")), MakeBatch());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, NullsPropagate) {
+  Schema schema({{"v", DataType::kInt64}});
+  auto batch =
+      RecordBatch::Make(schema, {Column::MakeInt64({5, 6}, {1, 0})});
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Col("v"), Expr::Int(1));
+  auto r = EvalExpr(*e, std::move(batch).value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Int64At(0), 6);
+  EXPECT_TRUE(r->IsNull(1));
+}
+
+TEST(ExprTest, ToStringRendersTree) {
+  auto e = Expr::Binary(BinaryOp::kGt,
+                        Expr::Binary(BinaryOp::kMul, Expr::Col("price"), Expr::Col("qty")),
+                        Expr::Int(100));
+  EXPECT_EQ(e->ToString(), "((price * qty) > 100)");
+}
+
+TEST(ExprTest, ReferencedColumnsDeduplicated) {
+  auto e = Expr::Binary(BinaryOp::kAdd,
+                        Expr::Binary(BinaryOp::kMul, Expr::Col("a"), Expr::Col("b")),
+                        Expr::Col("a"));
+  auto cols = e->ReferencedColumns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+}
+
+TEST(ExprTest, BoolEquality) {
+  auto e = Expr::Binary(BinaryOp::kNe, Expr::Col("b"), Expr::Bool(false));
+  auto r = EvalExpr(*e, MakeBatch());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BoolAt(0));
+  EXPECT_FALSE(r->BoolAt(1));
+}
+
+}  // namespace
+}  // namespace skadi

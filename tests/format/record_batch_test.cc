@@ -1,0 +1,130 @@
+#include "src/format/record_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+RecordBatch MakeTestBatch() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kFloat64}});
+  auto batch = RecordBatch::Make(
+      schema, {Column::MakeInt64({1, 2, 3}),
+               Column::MakeString({"ann", "bob", "eve"}),
+               Column::MakeFloat64({0.5, 1.5, 2.5})});
+  return std::move(batch).value();
+}
+
+TEST(SchemaTest, IndexOfFindsFields) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.IndexOf("a"), 0u);
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").has_value());
+}
+
+TEST(SchemaTest, ToStringListsFieldsAndTypes) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kBool}});
+  EXPECT_EQ(s.ToString(), "{a: int64, b: bool}");
+}
+
+TEST(RecordBatchTest, MakeValidatesColumnCount) {
+  Schema s({{"a", DataType::kInt64}});
+  auto r = RecordBatch::Make(s, {});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordBatchTest, MakeValidatesTypes) {
+  Schema s({{"a", DataType::kInt64}});
+  auto r = RecordBatch::Make(s, {Column::MakeFloat64({1.0})});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordBatchTest, MakeValidatesLengths) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  auto r = RecordBatch::Make(s, {Column::MakeInt64({1}), Column::MakeInt64({1, 2})});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordBatchTest, BasicAccessors) {
+  RecordBatch b = MakeTestBatch();
+  EXPECT_EQ(b.num_rows(), 3);
+  EXPECT_EQ(b.num_columns(), 3u);
+  EXPECT_EQ(b.column(0).Int64At(1), 2);
+  ASSERT_NE(b.ColumnByName("score"), nullptr);
+  EXPECT_DOUBLE_EQ(b.ColumnByName("score")->Float64At(2), 2.5);
+  EXPECT_EQ(b.ColumnByName("missing"), nullptr);
+}
+
+TEST(RecordBatchTest, EmptyHasSchemaZeroRows) {
+  RecordBatch e = RecordBatch::Empty(
+      Schema({{"x", DataType::kInt64}, {"y", DataType::kString}}));
+  EXPECT_EQ(e.num_rows(), 0);
+  EXPECT_EQ(e.num_columns(), 2u);
+}
+
+TEST(RecordBatchTest, TakeReordersRows) {
+  RecordBatch b = MakeTestBatch();
+  RecordBatch t = b.Take({2, 0});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.column(1).StringAt(0), "eve");
+  EXPECT_EQ(t.column(1).StringAt(1), "ann");
+}
+
+TEST(RecordBatchTest, SliceClampsToBounds) {
+  RecordBatch b = MakeTestBatch();
+  EXPECT_EQ(b.Slice(1, 10).num_rows(), 2);
+  EXPECT_EQ(b.Slice(5, 2).num_rows(), 0);
+  EXPECT_EQ(b.Slice(-1, 2).num_rows(), 2);
+  EXPECT_EQ(b.Slice(0, 2).column(0).Int64At(1), 2);
+}
+
+TEST(RecordBatchTest, ByteSizeIsSumOfColumns) {
+  RecordBatch b = MakeTestBatch();
+  size_t expected = 0;
+  for (size_t c = 0; c < b.num_columns(); ++c) {
+    expected += b.column(c).ByteSize();
+  }
+  EXPECT_EQ(b.ByteSize(), expected);
+}
+
+TEST(RecordBatchTest, ToStringTruncates) {
+  RecordBatch b = MakeTestBatch();
+  std::string s = b.ToString(2);
+  EXPECT_NE(s.find("rows=3"), std::string::npos);
+  EXPECT_NE(s.find("(1 more)"), std::string::npos);
+}
+
+TEST(ConcatBatchesTest, ConcatenatesInOrder) {
+  RecordBatch a = MakeTestBatch();
+  RecordBatch b = MakeTestBatch();
+  auto r = ConcatBatches({a, b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 6);
+  EXPECT_EQ(r->column(0).Int64At(3), 1);  // second copy starts over
+}
+
+TEST(ConcatBatchesTest, RejectsSchemaMismatch) {
+  RecordBatch a = MakeTestBatch();
+  RecordBatch other = RecordBatch::Empty(Schema({{"z", DataType::kBool}}));
+  auto r = ConcatBatches({a, other});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConcatBatchesTest, RejectsEmptyList) {
+  auto r = ConcatBatches({});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConcatBatchesTest, PreservesNulls) {
+  Schema s({{"v", DataType::kInt64}});
+  auto a = RecordBatch::Make(s, {Column::MakeInt64({1, 0}, {1, 0})});
+  auto b = RecordBatch::Make(s, {Column::MakeInt64({3})});
+  auto r = ConcatBatches({std::move(a).value(), std::move(b).value()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->column(0).IsNull(1));
+  EXPECT_EQ(r->column(0).Int64At(2), 3);
+}
+
+}  // namespace
+}  // namespace skadi

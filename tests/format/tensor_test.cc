@@ -1,0 +1,152 @@
+#include "src/format/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndData) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.num_elements(), 6);
+  for (double v : t.data()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  auto bad = Tensor::FromData({2, 2}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto good = Tensor::FromData({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->At(1, 0), 3.0);
+}
+
+TEST(TensorTest, RandomIsDeterministicPerSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  Tensor a = Tensor::Random({3, 3}, r1);
+  Tensor b = Tensor::Random({3, 3}, r2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(TensorTest, RandomRespectsScale) {
+  Rng rng(9);
+  Tensor t = Tensor::Random({10, 10}, rng, 0.1);
+  for (double v : t.data()) {
+    EXPECT_LE(std::abs(v), 0.1);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  auto a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::FromData({2, 2}, {5, 6, 7, 8});
+  auto c = MatMul(*a, *b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->At(0, 0), 19);
+  EXPECT_EQ(c->At(0, 1), 22);
+  EXPECT_EQ(c->At(1, 0), 43);
+  EXPECT_EQ(c->At(1, 1), 50);
+}
+
+TEST(MatMulTest, ShapeMismatchRejected) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 3});
+  EXPECT_EQ(MatMul(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatMulTest, IdentityPreserves) {
+  auto a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto eye = Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  auto c = MatMul(*a, *eye);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->data(), a->data());
+}
+
+TEST(ElementwiseTest, AddSubMul) {
+  auto a = Tensor::FromData({1, 3}, {1, 2, 3});
+  auto b = Tensor::FromData({1, 3}, {10, 20, 30});
+  EXPECT_EQ(Add(*a, *b)->data(), (std::vector<double>{11, 22, 33}));
+  EXPECT_EQ(Sub(*b, *a)->data(), (std::vector<double>{9, 18, 27}));
+  EXPECT_EQ(Mul(*a, *b)->data(), (std::vector<double>{10, 40, 90}));
+}
+
+TEST(ElementwiseTest, ShapeMismatchRejected) {
+  Tensor a = Tensor::Zeros({2, 2});
+  Tensor b = Tensor::Zeros({2, 3});
+  EXPECT_FALSE(Add(a, b).ok());
+}
+
+TEST(AddRowVectorTest, BroadcastsAcrossRows) {
+  auto a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto bias = Tensor::FromData({1, 2}, {10, 20});
+  auto r = AddRowVector(*a, *bias);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0), 11);
+  EXPECT_EQ(r->At(1, 1), 24);
+}
+
+TEST(AddRowVectorTest, WrongLengthRejected) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor bias = Tensor::Zeros({1, 2});
+  EXPECT_FALSE(AddRowVector(a, bias).ok());
+}
+
+TEST(UnaryTest, ScaleReluSigmoid) {
+  auto a = Tensor::FromData({1, 3}, {-1, 0, 2});
+  EXPECT_EQ(Scale(*a, 2.0).data(), (std::vector<double>{-2, 0, 4}));
+  EXPECT_EQ(Relu(*a).data(), (std::vector<double>{0, 0, 2}));
+  Tensor s = Sigmoid(*a);
+  EXPECT_NEAR(s.data()[1], 0.5, 1e-12);
+  EXPECT_GT(s.data()[2], 0.5);
+  EXPECT_LT(s.data()[0], 0.5);
+}
+
+TEST(TransposeTest, SwapsAxes) {
+  auto a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(*a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(0, 1), 4);
+  EXPECT_EQ(t.At(2, 0), 3);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Random({4, 7}, rng);
+  EXPECT_EQ(Transpose(Transpose(a)).data(), a.data());
+}
+
+TEST(ReduceTest, SumMeanColumnMean) {
+  auto a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(ReduceSum(*a), 10.0);
+  EXPECT_EQ(ReduceMean(*a), 2.5);
+  Tensor cm = ColumnMean(*a);
+  EXPECT_EQ(cm.rows(), 1);
+  EXPECT_EQ(cm.At(0, 0), 2.0);
+  EXPECT_EQ(cm.At(0, 1), 3.0);
+}
+
+TEST(ReduceTest, EmptyTensorMeanZero) {
+  Tensor empty;
+  EXPECT_EQ(ReduceMean(empty), 0.0);
+}
+
+// Property: (A*B)^T == B^T * A^T on random matrices.
+TEST(MatMulTest, TransposeProductProperty) {
+  Rng rng(77);
+  Tensor a = Tensor::Random({3, 4}, rng);
+  Tensor b = Tensor::Random({4, 5}, rng);
+  auto ab = MatMul(a, b);
+  ASSERT_TRUE(ab.ok());
+  Tensor lhs = Transpose(*ab);
+  auto rhs = MatMul(Transpose(b), Transpose(a));
+  ASSERT_TRUE(rhs.ok());
+  for (size_t i = 0; i < lhs.data().size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs->data()[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,161 @@
+#include "src/graph/flow_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/dialects.h"
+
+namespace skadi {
+namespace {
+
+std::shared_ptr<IrFunction> FilterFn(int64_t threshold) {
+  auto fn = std::make_shared<IrFunction>("filter" + std::to_string(threshold));
+  ValueId t = fn->AddParam(IrType::Table());
+  ValueId f = EmitFilter(
+      *fn, t, Expr::Binary(BinaryOp::kGt, Expr::Col("x"), Expr::Int(threshold)));
+  fn->SetReturns({f});
+  return fn;
+}
+
+std::shared_ptr<IrFunction> ProjectFn() {
+  auto fn = std::make_shared<IrFunction>("proj");
+  ValueId t = fn->AddParam(IrType::Table());
+  ValueId p = fn->Emit(kOpRelProject, {t}, IrType::Table(),
+                       {{"projections", IrAttr(std::vector<ProjectionSpec>{
+                             {Expr::Col("x"), "x"}})}});
+  fn->SetReturns({p});
+  return fn;
+}
+
+TEST(FlowGraphTest, BuildAndTopoOrder) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", FilterFn(0), OpClass::kFilter);
+  VertexId b = g.AddIrVertex("b", ProjectFn(), OpClass::kProject);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  auto order = g.TopoOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], a);
+  EXPECT_EQ((*order)[1], b);
+  EXPECT_EQ(g.Sources(), std::vector<VertexId>{a});
+  EXPECT_EQ(g.Sinks(), std::vector<VertexId>{b});
+}
+
+TEST(FlowGraphTest, CycleDetected) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", FilterFn(0));
+  VertexId b = g.AddIrVertex("b", ProjectFn());
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  EXPECT_EQ(g.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlowGraphTest, ShuffleEdgeRequiresKeys) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", FilterFn(0));
+  VertexId b = g.AddIrVertex("b", ProjectFn());
+  EXPECT_EQ(g.AddEdge(a, b, EdgeKind::kShuffle).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(g.AddEdge(a, b, EdgeKind::kShuffle, {"x"}).ok());
+}
+
+TEST(FlowGraphTest, EdgeToUnknownVertexRejected) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", FilterFn(0));
+  EXPECT_EQ(g.AddEdge(a, VertexId(987654)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowGraphTest, BuiltinVertexValidates) {
+  FlowGraph g;
+  g.AddBuiltinVertex("custom", "my_fn", OpClass::kGeneric);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(FlowGraphTest, ToStringShowsStructure) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("scan_filter", FilterFn(0));
+  VertexId b = g.AddBuiltinVertex("sinkv", "fn");
+  g.AddEdge(a, b, EdgeKind::kShuffle, {"x"});
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("scan_filter"), std::string::npos);
+  EXPECT_NE(s.find("shuffle"), std::string::npos);
+}
+
+TEST(OptimizeFlowGraphTest, MergesLinearIrChain) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("f1", FilterFn(0), OpClass::kFilter);
+  VertexId b = g.AddIrVertex("f2", FilterFn(2), OpClass::kFilter);
+  VertexId c = g.AddIrVertex("p", ProjectFn(), OpClass::kProject);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 2);
+  EXPECT_EQ(g.vertices().size(), 1u);
+  // Merged IR went through the standard pipeline: filters merged, then
+  // filter+project fused => a single op.
+  EXPECT_EQ(g.vertices()[0].ir->num_ops(), 1u);
+}
+
+TEST(OptimizeFlowGraphTest, ShuffleEdgesBlockMerging) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("f1", FilterFn(0));
+  VertexId b = g.AddIrVertex("f2", FilterFn(2));
+  g.AddEdge(a, b, EdgeKind::kShuffle, {"x"});
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0);
+  EXPECT_EQ(g.vertices().size(), 2u);
+}
+
+TEST(OptimizeFlowGraphTest, FanOutBlocksMerging) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("src", FilterFn(0));
+  VertexId b = g.AddIrVertex("left", FilterFn(1));
+  VertexId c = g.AddIrVertex("right", FilterFn(2));
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0);
+}
+
+TEST(OptimizeFlowGraphTest, BuiltinVerticesNotMerged) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("ir", FilterFn(0));
+  VertexId b = g.AddBuiltinVertex("handcrafted", "fn");
+  g.AddEdge(a, b);
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0);
+}
+
+TEST(OptimizeFlowGraphTest, ConflictingParallelismHintsBlockMerging) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("f1", FilterFn(0));
+  VertexId b = g.AddIrVertex("f2", FilterFn(1));
+  g.vertex(a)->parallelism_hint = 2;
+  g.vertex(b)->parallelism_hint = 4;
+  g.AddEdge(a, b);
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0);
+}
+
+TEST(OptimizeFlowGraphTest, PreservesSurroundingEdges) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("f1", FilterFn(0));
+  VertexId b = g.AddIrVertex("f2", FilterFn(1));
+  VertexId c = g.AddIrVertex("agg", FilterFn(2));
+  g.AddEdge(a, b);
+  g.AddEdge(b, c, EdgeKind::kShuffle, {"x"});
+  auto merged = OptimizeFlowGraph(g);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 1);
+  ASSERT_EQ(g.vertices().size(), 2u);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].kind, EdgeKind::kShuffle);
+}
+
+}  // namespace
+}  // namespace skadi

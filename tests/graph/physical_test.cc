@@ -1,0 +1,146 @@
+// Unit tests of logical -> physical lowering (no execution).
+#include "src/graph/physical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/dialects.h"
+
+namespace skadi {
+namespace {
+
+std::shared_ptr<IrFunction> Identity() {
+  auto fn = std::make_shared<IrFunction>("id");
+  ValueId t = fn->AddParam(IrType::Table());
+  fn->SetReturns({t});
+  return fn;
+}
+
+std::shared_ptr<IrFunction> TwoInput() {
+  auto fn = std::make_shared<IrFunction>("two");
+  ValueId a = fn->AddParam(IrType::Table());
+  ValueId b = fn->AddParam(IrType::Table());
+  ValueId j = EmitJoin(*fn, a, b, {"k"}, {"k"});
+  fn->SetReturns({j});
+  return fn;
+}
+
+TEST(PhysicalLoweringTest, DefaultParallelismApplied) {
+  FlowGraph g;
+  VertexId v = g.AddIrVertex("a", Identity());
+  FunctionRegistry registry;
+  LoweringOptions options;
+  options.default_parallelism = 5;
+  auto physical = LowerToPhysical(g, options, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->plan(v)->parallelism, 5);
+}
+
+TEST(PhysicalLoweringTest, HintOverridesDefault) {
+  FlowGraph g;
+  VertexId v = g.AddIrVertex("a", Identity());
+  g.vertex(v)->parallelism_hint = 3;
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->plan(v)->parallelism, 3);
+}
+
+TEST(PhysicalLoweringTest, NumInputsFromIrParams) {
+  FlowGraph g;
+  VertexId one = g.AddIrVertex("one", Identity());
+  VertexId two = g.AddIrVertex("two", TwoInput());
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->plan(one)->num_inputs, 1);
+  EXPECT_EQ(physical->plan(two)->num_inputs, 2);
+}
+
+TEST(PhysicalLoweringTest, VertexFunctionsRegistered) {
+  FlowGraph g;
+  VertexId v = g.AddIrVertex("a", Identity());
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_TRUE(registry.Contains(physical->plan(v)->task_function));
+}
+
+TEST(PhysicalLoweringTest, ShuffleEdgeRegistersWriter) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", Identity());
+  VertexId b = g.AddIrVertex("b", Identity());
+  g.AddEdge(a, b, EdgeKind::kShuffle, {"k"});
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  ASSERT_EQ(physical->edges.size(), 1u);
+  EXPECT_FALSE(physical->edges[0].shuffle_function.empty());
+  EXPECT_TRUE(registry.Contains(physical->edges[0].shuffle_function));
+}
+
+TEST(PhysicalLoweringTest, ForwardEdgeHasNoWriter) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", Identity());
+  VertexId b = g.AddIrVertex("b", Identity());
+  g.AddEdge(a, b, EdgeKind::kForward);
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_TRUE(physical->edges[0].shuffle_function.empty());
+}
+
+TEST(PhysicalLoweringTest, MissingBuiltinRejected) {
+  FlowGraph g;
+  g.AddBuiltinVertex("v", "never_registered");
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  EXPECT_EQ(physical.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PhysicalLoweringTest, InvalidOptionsRejected) {
+  FlowGraph g;
+  g.AddIrVertex("a", Identity());
+  FunctionRegistry registry;
+  LoweringOptions bad;
+  bad.default_parallelism = 0;
+  EXPECT_FALSE(LowerToPhysical(g, bad, &registry).ok());
+  LoweringOptions no_backends;
+  no_backends.available_backends = {};
+  EXPECT_FALSE(LowerToPhysical(g, no_backends, &registry).ok());
+}
+
+TEST(PhysicalLoweringTest, SourcesAndSinksComputed) {
+  FlowGraph g;
+  VertexId a = g.AddIrVertex("a", Identity());
+  VertexId b = g.AddIrVertex("b", Identity());
+  g.AddEdge(a, b);
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->Sources(), std::vector<VertexId>{a});
+  EXPECT_EQ(physical->Sinks(), std::vector<VertexId>{b});
+}
+
+TEST(PhysicalLoweringTest, ToStringShowsShardCounts) {
+  FlowGraph g;
+  VertexId v = g.AddIrVertex("vertexD", Identity());
+  g.vertex(v)->parallelism_hint = 7;
+  FunctionRegistry registry;
+  auto physical = LowerToPhysical(g, {}, &registry);
+  ASSERT_TRUE(physical.ok());
+  std::string s = physical->ToString();
+  EXPECT_NE(s.find("vertexD"), std::string::npos);
+  EXPECT_NE(s.find("x7"), std::string::npos);
+}
+
+TEST(PhysicalLoweringTest, ArgHeaderRoundTrip) {
+  Buffer header = MakeVertexArgHeader({2, 1, 3});
+  BufferReader r(header);
+  EXPECT_EQ(r.ReadU32(), 3u);
+  EXPECT_EQ(r.ReadU32(), 2u);
+  EXPECT_EQ(r.ReadU32(), 1u);
+  EXPECT_EQ(r.ReadU32(), 3u);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,104 @@
+#include "src/hw/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+constexpr int64_t kMiB = 1024 * 1024;
+
+TEST(CostModelTest, GpuWinsMatmulAtScale) {
+  DeviceSpec cpu = MakeCpuDevice("c");
+  DeviceSpec gpu = MakeGpuDevice("g");
+  EXPECT_TRUE(CostModel::Prefer(gpu, cpu, OpClass::kMatmul, 64 * kMiB));
+}
+
+TEST(CostModelTest, CpuWinsTinyOpsDueToLaunchOverhead) {
+  DeviceSpec cpu = MakeCpuDevice("c");
+  DeviceSpec gpu = MakeGpuDevice("g");
+  // 1 KiB elementwise op: GPU's 50us kernel launch dominates.
+  EXPECT_TRUE(CostModel::Prefer(cpu, gpu, OpClass::kElementwise, 1024));
+}
+
+TEST(CostModelTest, FpgaWinsStreamingFilter) {
+  DeviceSpec fpga = MakeFpgaDevice("f");
+  DeviceSpec cpu = MakeCpuDevice("c");
+  EXPECT_TRUE(CostModel::Prefer(fpga, cpu, OpClass::kFilter, 64 * kMiB));
+}
+
+TEST(CostModelTest, DpuPoorAtCompute) {
+  DeviceSpec dpu = MakeDpuDevice("d");
+  DeviceSpec cpu = MakeCpuDevice("c");
+  EXPECT_TRUE(CostModel::Prefer(cpu, dpu, OpClass::kAggregate, 16 * kMiB));
+}
+
+TEST(CostModelTest, MemoryBladeNeverSelected) {
+  DeviceSpec blade = MakeMemoryBladeDevice("m", 1024 * kMiB);
+  DeviceSpec dpu = MakeDpuDevice("d");
+  EXPECT_TRUE(CostModel::Prefer(dpu, blade, OpClass::kGeneric, kMiB));
+  EXPECT_GT(CostModel::EstimateNanos(blade, OpClass::kGeneric, kMiB),
+            int64_t{1} << 50);
+}
+
+TEST(CostModelTest, EstimateIncludesLaunchOverhead) {
+  DeviceSpec gpu = MakeGpuDevice("g");
+  EXPECT_GE(CostModel::EstimateNanos(gpu, OpClass::kMatmul, 0), gpu.launch_overhead_ns);
+}
+
+TEST(CostModelTest, EstimateMonotonicInBytes) {
+  DeviceSpec cpu = MakeCpuDevice("c");
+  int64_t prev = 0;
+  for (int64_t bytes : {0L, 1024L, kMiB, 64 * kMiB, 1024 * kMiB}) {
+    int64_t est = CostModel::EstimateNanos(cpu, OpClass::kScan, bytes);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+TEST(CostModelTest, NegativeBytesTreatedAsZero) {
+  DeviceSpec cpu = MakeCpuDevice("c");
+  EXPECT_EQ(CostModel::EstimateNanos(cpu, OpClass::kScan, -100),
+            CostModel::EstimateNanos(cpu, OpClass::kScan, 0));
+}
+
+// Property sweep: every compute device kind gives a positive finite estimate
+// for every op class.
+class CostModelSweep : public ::testing::TestWithParam<std::tuple<DeviceKind, OpClass>> {};
+
+TEST_P(CostModelSweep, PositiveFiniteEstimates) {
+  auto [kind, op_class] = GetParam();
+  DeviceSpec spec;
+  switch (kind) {
+    case DeviceKind::kCpu:
+      spec = MakeCpuDevice("c");
+      break;
+    case DeviceKind::kGpu:
+      spec = MakeGpuDevice("g");
+      break;
+    case DeviceKind::kFpga:
+      spec = MakeFpgaDevice("f");
+      break;
+    case DeviceKind::kDpu:
+      spec = MakeDpuDevice("d");
+      break;
+    case DeviceKind::kMemoryBlade:
+      GTEST_SKIP();
+  }
+  int64_t est = CostModel::EstimateNanos(spec, op_class, kMiB);
+  EXPECT_GT(est, 0);
+  EXPECT_LT(est, int64_t{1} << 40);  // < ~18 minutes for 1 MiB: sane
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllOps, CostModelSweep,
+    ::testing::Combine(
+        ::testing::Values(DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kFpga,
+                          DeviceKind::kDpu),
+        ::testing::Values(OpClass::kScan, OpClass::kFilter, OpClass::kProject,
+                          OpClass::kJoin, OpClass::kAggregate, OpClass::kSort,
+                          OpClass::kShuffleWrite, OpClass::kMatmul,
+                          OpClass::kElementwise, OpClass::kReduce,
+                          OpClass::kGraphStep, OpClass::kGeneric)));
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,50 @@
+#include "src/hw/device.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+TEST(DeviceTest, PresetsHaveDistinctIds) {
+  std::set<DeviceId> ids;
+  ids.insert(MakeCpuDevice("c").id);
+  ids.insert(MakeGpuDevice("g").id);
+  ids.insert(MakeFpgaDevice("f").id);
+  ids.insert(MakeDpuDevice("d").id);
+  ids.insert(MakeMemoryBladeDevice("m", 1024).id);
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(DeviceTest, PresetKindsMatch) {
+  EXPECT_EQ(MakeCpuDevice("c").kind, DeviceKind::kCpu);
+  EXPECT_EQ(MakeGpuDevice("g").kind, DeviceKind::kGpu);
+  EXPECT_EQ(MakeFpgaDevice("f").kind, DeviceKind::kFpga);
+  EXPECT_EQ(MakeDpuDevice("d").kind, DeviceKind::kDpu);
+  EXPECT_EQ(MakeMemoryBladeDevice("m", 1024).kind, DeviceKind::kMemoryBlade);
+}
+
+TEST(DeviceTest, MemoryBladeHasNoCompute) {
+  EXPECT_FALSE(MakeMemoryBladeDevice("m", 1024).has_compute());
+  EXPECT_TRUE(MakeCpuDevice("c").has_compute());
+  EXPECT_TRUE(MakeGpuDevice("g").has_compute());
+}
+
+TEST(DeviceTest, MemoryBladeCapacityIsCallerControlled) {
+  EXPECT_EQ(MakeMemoryBladeDevice("m", 123456).memory_bytes, 123456);
+}
+
+TEST(DeviceTest, KindAndOpClassNames) {
+  EXPECT_EQ(DeviceKindName(DeviceKind::kGpu), "gpu");
+  EXPECT_EQ(DeviceKindName(DeviceKind::kMemoryBlade), "memblade");
+  EXPECT_EQ(OpClassName(OpClass::kMatmul), "matmul");
+  EXPECT_EQ(OpClassName(OpClass::kShuffleWrite), "shuffle_write");
+}
+
+TEST(DeviceTest, GpuFasterBaseRateThanCpu) {
+  EXPECT_GT(MakeGpuDevice("g").base_bytes_per_sec, MakeCpuDevice("c").base_bytes_per_sec);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,141 @@
+#include "src/hw/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+NodeInfo MakeServer(int rack) {
+  NodeInfo info;
+  info.id = NodeId::Next();
+  info.role = NodeRole::kServer;
+  info.name = "server";
+  info.rack = rack;
+  info.devices.push_back(MakeCpuDevice("cpu"));
+  return info;
+}
+
+TEST(TopologyTest, AddAndGetNode) {
+  Topology topo;
+  NodeInfo server = MakeServer(0);
+  NodeId id = server.id;
+  ASSERT_TRUE(topo.AddNode(server).ok());
+  const NodeInfo* got = topo.GetNode(id);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->rack, 0);
+  EXPECT_EQ(got->role, NodeRole::kServer);
+}
+
+TEST(TopologyTest, DuplicateAddFails) {
+  Topology topo;
+  NodeInfo server = MakeServer(0);
+  ASSERT_TRUE(topo.AddNode(server).ok());
+  Status s = topo.AddNode(server);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TopologyTest, InvalidIdRejected) {
+  Topology topo;
+  NodeInfo bad;
+  EXPECT_EQ(topo.AddNode(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, ClassifySameNodeIsLocal) {
+  Topology topo;
+  NodeInfo a = MakeServer(0);
+  topo.AddNode(a);
+  EXPECT_EQ(topo.Classify(a.id, a.id), LinkClass::kLocal);
+}
+
+TEST(TopologyTest, ClassifySameRackIsIntraRack) {
+  Topology topo;
+  NodeInfo a = MakeServer(1);
+  NodeInfo b = MakeServer(1);
+  topo.AddNode(a);
+  topo.AddNode(b);
+  EXPECT_EQ(topo.Classify(a.id, b.id), LinkClass::kIntraRack);
+}
+
+TEST(TopologyTest, ClassifyDifferentRackIsInterRack) {
+  Topology topo;
+  NodeInfo a = MakeServer(0);
+  NodeInfo b = MakeServer(1);
+  topo.AddNode(a);
+  topo.AddNode(b);
+  EXPECT_EQ(topo.Classify(a.id, b.id), LinkClass::kInterRack);
+}
+
+TEST(TopologyTest, DurableStoreAlwaysDurableClass) {
+  Topology topo;
+  NodeInfo a = MakeServer(0);
+  NodeInfo durable;
+  durable.id = NodeId::Next();
+  durable.role = NodeRole::kDurableStore;
+  durable.rack = 0;  // same rack: still classified durable
+  topo.AddNode(a);
+  topo.AddNode(durable);
+  EXPECT_EQ(topo.Classify(a.id, durable.id), LinkClass::kDurable);
+  EXPECT_EQ(topo.Classify(durable.id, a.id), LinkClass::kDurable);
+}
+
+TEST(TopologyTest, UnknownNodesClassifyConservatively) {
+  Topology topo;
+  EXPECT_EQ(topo.Classify(NodeId(991), NodeId(992)), LinkClass::kInterRack);
+}
+
+TEST(TopologyTest, TransferCostOrdering) {
+  Topology topo;
+  NodeInfo a = MakeServer(0);
+  NodeInfo b = MakeServer(0);
+  NodeInfo c = MakeServer(1);
+  NodeInfo durable;
+  durable.id = NodeId::Next();
+  durable.role = NodeRole::kDurableStore;
+  topo.AddNode(a);
+  topo.AddNode(b);
+  topo.AddNode(c);
+  topo.AddNode(durable);
+
+  constexpr int64_t kBytes = 16 * 1024 * 1024;
+  int64_t local = topo.TransferNanos(a.id, a.id, kBytes);
+  int64_t rack = topo.TransferNanos(a.id, b.id, kBytes);
+  int64_t cross = topo.TransferNanos(a.id, c.id, kBytes);
+  int64_t to_durable = topo.TransferNanos(a.id, durable.id, kBytes);
+  EXPECT_LT(local, rack);
+  EXPECT_LT(rack, cross);
+  EXPECT_LT(cross, to_durable);
+}
+
+TEST(TopologyTest, SetParamsOverridesDefaults) {
+  Topology topo;
+  topo.SetParams(LinkClass::kIntraRack, {1000, 1e9});
+  LinkParams p = topo.ParamsFor(LinkClass::kIntraRack);
+  EXPECT_EQ(p.latency_ns, 1000);
+  EXPECT_DOUBLE_EQ(p.bandwidth_bytes_per_sec, 1e9);
+}
+
+TEST(TopologyTest, ControlNanosIsLatencyOnly) {
+  Topology topo;
+  NodeInfo a = MakeServer(0);
+  NodeInfo b = MakeServer(0);
+  topo.AddNode(a);
+  topo.AddNode(b);
+  EXPECT_EQ(topo.ControlNanos(a.id, b.id),
+            DefaultLinkParams(LinkClass::kIntraRack).latency_ns);
+}
+
+TEST(TopologyTest, NodesWithRoleFilters) {
+  Topology topo;
+  topo.AddNode(MakeServer(0));
+  topo.AddNode(MakeServer(0));
+  NodeInfo blade;
+  blade.id = NodeId::Next();
+  blade.role = NodeRole::kMemoryBlade;
+  topo.AddNode(blade);
+  EXPECT_EQ(topo.NodesWithRole(NodeRole::kServer).size(), 2u);
+  EXPECT_EQ(topo.NodesWithRole(NodeRole::kMemoryBlade).size(), 1u);
+  EXPECT_EQ(topo.AllNodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace skadi

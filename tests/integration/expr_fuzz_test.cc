@@ -1,0 +1,263 @@
+// Property test: random expression trees evaluated column-at-a-time
+// (EvalExpr) match a straightforward row-at-a-time reference interpreter,
+// including null propagation and int->float promotion.
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/format/expr.h"
+
+namespace skadi {
+namespace {
+
+// A dynamically typed scalar for the reference interpreter.
+struct RefValue {
+  enum class Kind { kNull, kInt, kFloat, kBool } kind = Kind::kNull;
+  int64_t i = 0;
+  double f = 0;
+  bool b = false;
+
+  static RefValue Null() { return {}; }
+  static RefValue Int(int64_t v) { return {Kind::kInt, v, 0, false}; }
+  static RefValue Float(double v) { return {Kind::kFloat, 0, v, false}; }
+  static RefValue Bool(bool v) { return {Kind::kBool, 0, 0, v}; }
+
+  double AsFloat() const { return kind == Kind::kInt ? static_cast<double>(i) : f; }
+  bool numeric() const { return kind == Kind::kInt || kind == Kind::kFloat; }
+};
+
+RefValue RefEval(const Expr& e, const RecordBatch& batch, int64_t row) {
+  switch (e.kind()) {
+    case ExprKind::kColumn: {
+      const Column* col = batch.ColumnByName(e.column_name());
+      if (col->IsNull(row)) {
+        return RefValue::Null();
+      }
+      switch (col->type()) {
+        case DataType::kInt64:
+          return RefValue::Int(col->Int64At(row));
+        case DataType::kFloat64:
+          return RefValue::Float(col->Float64At(row));
+        case DataType::kBool:
+          return RefValue::Bool(col->BoolAt(row));
+        default:
+          return RefValue::Null();
+      }
+    }
+    case ExprKind::kLiteral:
+      switch (e.literal_type()) {
+        case DataType::kInt64:
+          return RefValue::Int(e.int_value());
+        case DataType::kFloat64:
+          return RefValue::Float(e.double_value());
+        case DataType::kBool:
+          return RefValue::Bool(e.bool_value());
+        default:
+          return RefValue::Null();
+      }
+    case ExprKind::kNot: {
+      RefValue v = RefEval(*e.left(), batch, row);
+      return v.kind == RefValue::Kind::kNull ? RefValue::Null() : RefValue::Bool(!v.b);
+    }
+    case ExprKind::kBinary:
+      break;
+  }
+  RefValue l = RefEval(*e.left(), batch, row);
+  RefValue r = RefEval(*e.right(), batch, row);
+  if (l.kind == RefValue::Kind::kNull || r.kind == RefValue::Kind::kNull) {
+    return RefValue::Null();
+  }
+  switch (e.op()) {
+    case BinaryOp::kAnd:
+      return RefValue::Bool(l.b && r.b);
+    case BinaryOp::kOr:
+      return RefValue::Bool(l.b || r.b);
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      bool as_float = l.kind == RefValue::Kind::kFloat || r.kind == RefValue::Kind::kFloat;
+      if (as_float) {
+        double a = l.AsFloat();
+        double b = r.AsFloat();
+        double out = e.op() == BinaryOp::kAdd ? a + b
+                     : e.op() == BinaryOp::kSub ? a - b
+                                                : a * b;
+        return RefValue::Float(out);
+      }
+      int64_t out = e.op() == BinaryOp::kAdd ? l.i + r.i
+                    : e.op() == BinaryOp::kSub ? l.i - r.i
+                                               : l.i * r.i;
+      return RefValue::Int(out);
+    }
+    case BinaryOp::kDiv: {
+      bool as_float = l.kind == RefValue::Kind::kFloat || r.kind == RefValue::Kind::kFloat;
+      if (as_float) {
+        if (r.AsFloat() == 0.0) {
+          return RefValue::Null();
+        }
+        return RefValue::Float(l.AsFloat() / r.AsFloat());
+      }
+      if (r.i == 0) {
+        return RefValue::Null();
+      }
+      return RefValue::Int(l.i / r.i);
+    }
+    default: {  // comparisons
+      double a = l.AsFloat();
+      double b = r.AsFloat();
+      bool out = false;
+      switch (e.op()) {
+        case BinaryOp::kLt:
+          out = a < b;
+          break;
+        case BinaryOp::kLe:
+          out = a <= b;
+          break;
+        case BinaryOp::kGt:
+          out = a > b;
+          break;
+        case BinaryOp::kGe:
+          out = a >= b;
+          break;
+        case BinaryOp::kEq:
+          out = a == b;
+          break;
+        case BinaryOp::kNe:
+          out = a != b;
+          break;
+        default:
+          break;
+      }
+      return RefValue::Bool(out);
+    }
+  }
+}
+
+// Generates a random expression of the given result class.
+// depth limits recursion; kind: 0 = numeric, 1 = boolean.
+ExprPtr RandomExpr(Rng& rng, int depth, int kind) {
+  if (kind == 1) {
+    // boolean
+    if (depth <= 0 || rng.NextBool(0.2)) {
+      return Expr::Col("b");
+    }
+    switch (rng.NextBounded(4)) {
+      case 0:
+        return Expr::Binary(BinaryOp::kAnd, RandomExpr(rng, depth - 1, 1),
+                            RandomExpr(rng, depth - 1, 1));
+      case 1:
+        return Expr::Binary(BinaryOp::kOr, RandomExpr(rng, depth - 1, 1),
+                            RandomExpr(rng, depth - 1, 1));
+      case 2:
+        return Expr::Not(RandomExpr(rng, depth - 1, 1));
+      default: {
+        BinaryOp cmp = static_cast<BinaryOp>(
+            static_cast<int>(BinaryOp::kLt) + static_cast<int>(rng.NextBounded(6)));
+        return Expr::Binary(cmp, RandomExpr(rng, depth - 1, 0),
+                            RandomExpr(rng, depth - 1, 0));
+      }
+    }
+  }
+  // numeric
+  if (depth <= 0 || rng.NextBool(0.3)) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        return Expr::Col("i");
+      case 1:
+        return Expr::Col("f");
+      case 2:
+        return Expr::Int(rng.NextI64InRange(-5, 5));
+      default:
+        return Expr::Float(static_cast<double>(rng.NextI64InRange(-5, 5)) / 2.0);
+    }
+  }
+  BinaryOp op;
+  switch (rng.NextBounded(4)) {
+    case 0:
+      op = BinaryOp::kAdd;
+      break;
+    case 1:
+      op = BinaryOp::kSub;
+      break;
+    case 2:
+      op = BinaryOp::kMul;
+      break;
+    default:
+      op = BinaryOp::kDiv;
+      break;
+  }
+  return Expr::Binary(op, RandomExpr(rng, depth - 1, 0), RandomExpr(rng, depth - 1, 0));
+}
+
+class ExprFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprFuzzTest, ColumnarMatchesRowWise) {
+  Rng rng(GetParam());
+
+  // Random batch with nulls.
+  constexpr int64_t kRows = 200;
+  ColumnBuilder ints(DataType::kInt64);
+  ColumnBuilder floats(DataType::kFloat64);
+  ColumnBuilder bools(DataType::kBool);
+  for (int64_t r = 0; r < kRows; ++r) {
+    if (rng.NextBool(0.1)) {
+      ints.AppendNull();
+    } else {
+      ints.AppendInt64(rng.NextI64InRange(-10, 10));
+    }
+    if (rng.NextBool(0.1)) {
+      floats.AppendNull();
+    } else {
+      floats.AppendFloat64(static_cast<double>(rng.NextI64InRange(-20, 20)) / 4.0);
+    }
+    if (rng.NextBool(0.1)) {
+      bools.AppendNull();
+    } else {
+      bools.AppendBool(rng.NextBool());
+    }
+  }
+  Schema schema({{"i", DataType::kInt64},
+                 {"f", DataType::kFloat64},
+                 {"b", DataType::kBool}});
+  auto batch = RecordBatch::Make(schema, {ints.Finish(), floats.Finish(), bools.Finish()});
+  ASSERT_TRUE(batch.ok());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    ExprPtr expr = RandomExpr(rng, 3, static_cast<int>(rng.NextBounded(2)));
+    SCOPED_TRACE("expr: " + expr->ToString());
+    auto columnar = EvalExpr(*expr, *batch);
+    ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+    ASSERT_EQ(columnar->length(), kRows);
+
+    for (int64_t r = 0; r < kRows; ++r) {
+      RefValue want = RefEval(*expr, *batch, r);
+      if (want.kind == RefValue::Kind::kNull) {
+        EXPECT_TRUE(columnar->IsNull(r)) << "row " << r;
+        continue;
+      }
+      ASSERT_FALSE(columnar->IsNull(r)) << "row " << r;
+      switch (want.kind) {
+        case RefValue::Kind::kInt:
+          ASSERT_EQ(columnar->type(), DataType::kInt64) << "row " << r;
+          EXPECT_EQ(columnar->Int64At(r), want.i) << "row " << r;
+          break;
+        case RefValue::Kind::kFloat:
+          ASSERT_EQ(columnar->type(), DataType::kFloat64) << "row " << r;
+          EXPECT_NEAR(columnar->Float64At(r), want.f, 1e-9) << "row " << r;
+          break;
+        case RefValue::Kind::kBool:
+          ASSERT_EQ(columnar->type(), DataType::kBool) << "row " << r;
+          EXPECT_EQ(columnar->BoolAt(r), want.b) << "row " << r;
+          break;
+        case RefValue::Kind::kNull:
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzzTest, ::testing::Range<uint64_t>(500, 515));
+
+}  // namespace
+}  // namespace skadi

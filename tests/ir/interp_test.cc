@@ -1,0 +1,157 @@
+#include "src/ir/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/dialects.h"
+
+namespace skadi {
+namespace {
+
+RecordBatch SalesBatch() {
+  Schema schema({{"region", DataType::kString},
+                 {"amount", DataType::kInt64}});
+  auto batch = RecordBatch::Make(
+      schema, {Column::MakeString({"east", "west", "east", "north"}),
+               Column::MakeInt64({10, 20, 30, 40})});
+  return std::move(batch).value();
+}
+
+TEST(InterpTest, FilterThenAggregate) {
+  IrFunction fn("q");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId filtered =
+      EmitFilter(fn, t, Expr::Binary(BinaryOp::kGt, Expr::Col("amount"), Expr::Int(15)));
+  ValueId agg = EmitAggregate(fn, filtered, {}, {{AggKind::kSum, "amount", "total"}});
+  fn.SetReturns({agg});
+
+  auto out = EvalIrFunction(fn, {SalesBatch()});
+  ASSERT_TRUE(out.ok());
+  const RecordBatch& result = std::get<RecordBatch>((*out)[0]);
+  EXPECT_EQ(result.ColumnByName("total")->Int64At(0), 90);
+}
+
+TEST(InterpTest, JoinTwoTables) {
+  IrFunction fn("j");
+  ValueId left = fn.AddParam(IrType::Table());
+  ValueId right = fn.AddParam(IrType::Table());
+  ValueId joined = EmitJoin(fn, left, right, {"region"}, {"region"});
+  fn.SetReturns({joined});
+
+  Schema dim_schema({{"region", DataType::kString}, {"zone", DataType::kInt64}});
+  auto dim = RecordBatch::Make(
+      dim_schema, {Column::MakeString({"east", "west"}), Column::MakeInt64({1, 2})});
+
+  auto out = EvalIrFunction(fn, {SalesBatch(), std::move(dim).value()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(std::get<RecordBatch>((*out)[0]).num_rows(), 3);
+}
+
+TEST(InterpTest, SortAndLimit) {
+  IrFunction fn("s");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId sorted = EmitSort(fn, t, {{"amount", false}});
+  ValueId top = EmitLimit(fn, sorted, 2);
+  fn.SetReturns({top});
+  auto out = EvalIrFunction(fn, {SalesBatch()});
+  ASSERT_TRUE(out.ok());
+  const RecordBatch& result = std::get<RecordBatch>((*out)[0]);
+  ASSERT_EQ(result.num_rows(), 2);
+  EXPECT_EQ(result.ColumnByName("amount")->Int64At(0), 40);
+}
+
+TEST(InterpTest, TensorPipeline) {
+  IrFunction fn("ml");
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId w = fn.AddParam(IrType::Tensor());
+  ValueId h = EmitMatmul(fn, x, w);
+  ValueId activated = EmitRelu(fn, h);
+  ValueId loss = EmitReduceMean(fn, activated);
+  fn.SetReturns({loss});
+
+  auto xt = Tensor::FromData({2, 2}, {1, -1, 2, 0});
+  auto wt = Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  auto out = EvalIrFunction(fn, {*xt, *wt});
+  ASSERT_TRUE(out.ok());
+  // matmul = [[1,-1],[2,0]]; relu = [[1,0],[2,0]]; mean = 3/4.
+  EXPECT_DOUBLE_EQ(std::get<double>((*out)[0]), 0.75);
+}
+
+TEST(InterpTest, FusedElementwiseChainMatchesUnfused) {
+  // Build the unfused version.
+  IrFunction unfused("u");
+  ValueId x1 = unfused.AddParam(IrType::Tensor());
+  ValueId s1 = EmitScale(unfused, x1, 2.0);
+  ValueId r1 = EmitRelu(unfused, s1);
+  ValueId g1 = EmitSigmoid(unfused, r1);
+  unfused.SetReturns({g1});
+
+  // Hand-build the fused version.
+  IrFunction fused("f");
+  ValueId x2 = fused.AddParam(IrType::Tensor());
+  ValueId out2 = fused.Emit(
+      kOpFusedElementwise, {x2}, IrType::Tensor(),
+      {{"sub_ops", IrAttr(std::vector<std::string>{
+                       std::string(kOpTensorScale) + ":2.000000", kOpTensorRelu,
+                       kOpTensorSigmoid})}});
+  fused.SetReturns({out2});
+
+  Rng rng(3);
+  Tensor input = Tensor::Random({4, 4}, rng);
+  IrExecStats unfused_stats;
+  IrExecStats fused_stats;
+  auto a = EvalIrFunction(unfused, {input}, &unfused_stats);
+  auto b = EvalIrFunction(fused, {input}, &fused_stats);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Tensor& ta = std::get<Tensor>((*a)[0]);
+  const Tensor& tb = std::get<Tensor>((*b)[0]);
+  for (size_t i = 0; i < ta.data().size(); ++i) {
+    EXPECT_NEAR(ta.data()[i], tb.data()[i], 1e-12);
+  }
+  EXPECT_EQ(unfused_stats.ops_executed, 3);
+  EXPECT_EQ(fused_stats.ops_executed, 1);
+  EXPECT_LT(fused_stats.bytes_materialized, unfused_stats.bytes_materialized);
+}
+
+TEST(InterpTest, ArgCountMismatchRejected) {
+  IrFunction fn("n");
+  fn.AddParam(IrType::Table());
+  fn.SetReturns({fn.params()[0]});
+  auto out = EvalIrFunction(fn, {});
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpTest, TypeMismatchRejected) {
+  IrFunction fn("m");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId r = EmitRelu(fn, t);  // relu over a table: invalid at run time
+  fn.SetReturns({r});
+  auto out = EvalIrFunction(fn, {SalesBatch()});
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpTest, MultipleReturns) {
+  IrFunction fn("multi");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId a = EmitLimit(fn, t, 1);
+  ValueId b = EmitLimit(fn, t, 2);
+  fn.SetReturns({a, b});
+  auto out = EvalIrFunction(fn, {SalesBatch()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(std::get<RecordBatch>((*out)[0]).num_rows(), 1);
+  EXPECT_EQ(std::get<RecordBatch>((*out)[1]).num_rows(), 2);
+}
+
+TEST(InterpTest, StatsCountBytes) {
+  IrFunction fn("bytes");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId limited = EmitLimit(fn, t, 2);
+  fn.SetReturns({limited});
+  IrExecStats stats;
+  ASSERT_TRUE(EvalIrFunction(fn, {SalesBatch()}, &stats).ok());
+  EXPECT_EQ(stats.ops_executed, 1);
+  EXPECT_GT(stats.bytes_materialized, 0);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,89 @@
+#include "src/ir/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/dialects.h"
+
+namespace skadi {
+namespace {
+
+TEST(IrFunctionTest, BuildAndVerify) {
+  IrFunction fn("q");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId filtered =
+      EmitFilter(fn, t, Expr::Binary(BinaryOp::kGt, Expr::Col("x"), Expr::Int(0)));
+  ValueId limited = EmitLimit(fn, filtered, 10);
+  fn.SetReturns({limited});
+  EXPECT_TRUE(fn.Verify().ok());
+  EXPECT_EQ(fn.num_ops(), 2u);
+}
+
+TEST(IrFunctionTest, TypesTracked) {
+  IrFunction fn("t");
+  ValueId a = fn.AddParam(IrType::Tensor());
+  ValueId b = fn.AddParam(IrType::Tensor());
+  ValueId c = EmitMatmul(fn, a, b);
+  ValueId m = EmitReduceMean(fn, c);
+  fn.SetReturns({m});
+  EXPECT_EQ(fn.TypeOf(c)->kind, IrTypeKind::kTensor);
+  EXPECT_EQ(fn.TypeOf(m)->kind, IrTypeKind::kScalar);
+  EXPECT_TRUE(fn.IsParam(a));
+  EXPECT_FALSE(fn.IsParam(c));
+}
+
+TEST(IrFunctionTest, VerifyCatchesUndefinedOperand) {
+  IrFunction fn("bad");
+  fn.AddParam(IrType::Table());
+  // Manually emit an op over a foreign value id.
+  fn.Emit(kOpRelLimit, {ValueId::Next()}, IrType::Table(), {{"n", IrAttr(int64_t{1})}});
+  EXPECT_EQ(fn.Verify().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IrFunctionTest, VerifyCatchesUndefinedReturn) {
+  IrFunction fn("bad2");
+  fn.AddParam(IrType::Table());
+  fn.SetReturns({ValueId::Next()});
+  EXPECT_EQ(fn.Verify().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IrFunctionTest, ToStringMentionsOpsAndBackend) {
+  IrFunction fn("pretty");
+  ValueId a = fn.AddParam(IrType::Tensor());
+  ValueId r = EmitRelu(fn, a);
+  fn.SetReturns({r});
+  fn.mutable_ops()[0].backend = DeviceKind::kGpu;
+  std::string s = fn.ToString();
+  EXPECT_NE(s.find("tensor.relu"), std::string::npos);
+  EXPECT_NE(s.find("on gpu"), std::string::npos);
+  EXPECT_NE(s.find("func @pretty"), std::string::npos);
+}
+
+TEST(IrOpTest, AttrAccessors) {
+  IrFunction fn("attrs");
+  ValueId t = fn.AddParam(IrType::Table());
+  EmitLimit(fn, t, 42);
+  const IrOp& op = fn.ops()[0];
+  EXPECT_TRUE(op.HasAttr("n"));
+  EXPECT_EQ(*op.GetAttr<int64_t>("n"), 42);
+  EXPECT_EQ(op.GetAttr<double>("n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(op.GetAttr<int64_t>("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DialectTest, OpClassMapping) {
+  EXPECT_EQ(OpClassOf(kOpRelFilter), OpClass::kFilter);
+  EXPECT_EQ(OpClassOf(kOpRelJoin), OpClass::kJoin);
+  EXPECT_EQ(OpClassOf(kOpTensorMatmul), OpClass::kMatmul);
+  EXPECT_EQ(OpClassOf(kOpTensorRelu), OpClass::kElementwise);
+  EXPECT_EQ(OpClassOf(kOpFusedElementwise), OpClass::kElementwise);
+  EXPECT_EQ(OpClassOf("mystery.op"), OpClass::kGeneric);
+}
+
+TEST(DialectTest, ElementwiseClassification) {
+  EXPECT_TRUE(IsElementwiseTensorOp(kOpTensorScale));
+  EXPECT_TRUE(IsElementwiseTensorOp(kOpTensorSigmoid));
+  EXPECT_FALSE(IsElementwiseTensorOp(kOpTensorMatmul));
+  EXPECT_FALSE(IsElementwiseTensorOp(kOpRelFilter));
+}
+
+}  // namespace
+}  // namespace skadi

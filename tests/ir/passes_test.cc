@@ -1,0 +1,238 @@
+#include "src/ir/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/dialects.h"
+#include "src/ir/interp.h"
+
+namespace skadi {
+namespace {
+
+RecordBatch NumbersBatch() {
+  Schema schema({{"x", DataType::kInt64}});
+  auto batch = RecordBatch::Make(
+      schema, {Column::MakeInt64({-2, -1, 0, 1, 2, 3, 4, 5})});
+  return std::move(batch).value();
+}
+
+TEST(DceTest, RemovesUnusedOps) {
+  IrFunction fn("dce");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId used = EmitLimit(fn, t, 3);
+  EmitLimit(fn, t, 5);  // dead
+  EmitLimit(fn, used, 1);  // also dead (result unused)
+  fn.SetReturns({used});
+
+  PassStats stats;
+  ASSERT_TRUE(RunDce(fn, &stats).ok());
+  EXPECT_EQ(fn.num_ops(), 1u);
+  EXPECT_EQ(stats.ops_removed, 2);
+}
+
+TEST(DceTest, KeepsTransitivelyUsedOps) {
+  IrFunction fn("keep");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId a = EmitLimit(fn, t, 5);
+  ValueId b = EmitLimit(fn, a, 3);
+  fn.SetReturns({b});
+  ASSERT_TRUE(RunDce(fn).ok());
+  EXPECT_EQ(fn.num_ops(), 2u);
+}
+
+TEST(CseTest, DeduplicatesIdenticalOps) {
+  IrFunction fn("cse");
+  ValueId t = fn.AddParam(IrType::Table());
+  ExprPtr pred = Expr::Binary(BinaryOp::kGt, Expr::Col("x"), Expr::Int(0));
+  ValueId f1 = EmitFilter(fn, t, pred);
+  ValueId f2 = EmitFilter(fn, t, pred);
+  ValueId j = EmitJoin(fn, f1, f2, {"x"}, {"x"});
+  fn.SetReturns({j});
+
+  PassStats stats;
+  ASSERT_TRUE(RunCse(fn, &stats).ok());
+  EXPECT_EQ(stats.ops_removed, 1);
+  EXPECT_EQ(fn.num_ops(), 2u);  // one filter + the join
+  // Join now uses the same value twice.
+  EXPECT_EQ(fn.ops()[1].operands[0], fn.ops()[1].operands[1]);
+}
+
+TEST(CseTest, DifferentAttrsNotMerged) {
+  IrFunction fn("cse2");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId a = EmitLimit(fn, t, 3);
+  ValueId b = EmitLimit(fn, t, 4);
+  fn.SetReturns({a, b});
+  PassStats stats;
+  ASSERT_TRUE(RunCse(fn, &stats).ok());
+  EXPECT_EQ(stats.ops_removed, 0);
+  EXPECT_EQ(fn.num_ops(), 2u);
+}
+
+TEST(MergeFiltersTest, CombinesPredicatesAndPreservesSemantics) {
+  IrFunction fn("mf");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId f1 = EmitFilter(fn, t, Expr::Binary(BinaryOp::kGt, Expr::Col("x"), Expr::Int(0)));
+  ValueId f2 =
+      EmitFilter(fn, f1, Expr::Binary(BinaryOp::kLt, Expr::Col("x"), Expr::Int(4)));
+  fn.SetReturns({f2});
+
+  auto before = EvalIrFunction(fn, {NumbersBatch()});
+  ASSERT_TRUE(before.ok());
+
+  PassStats stats;
+  ASSERT_TRUE(RunMergeFilters(fn, &stats).ok());
+  EXPECT_EQ(stats.ops_fused, 1);
+  EXPECT_EQ(fn.num_ops(), 1u);
+
+  auto after = EvalIrFunction(fn, {NumbersBatch()});
+  ASSERT_TRUE(after.ok());
+  const RecordBatch& b0 = std::get<RecordBatch>((*before)[0]);
+  const RecordBatch& b1 = std::get<RecordBatch>((*after)[0]);
+  ASSERT_EQ(b0.num_rows(), b1.num_rows());
+  EXPECT_EQ(b1.num_rows(), 3);  // 1, 2, 3
+}
+
+TEST(FuseElementwiseTest, FusesUnaryChain) {
+  IrFunction fn("fe");
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId s = EmitScale(fn, x, 3.0);
+  ValueId r = EmitRelu(fn, s);
+  ValueId g = EmitSigmoid(fn, r);
+  fn.SetReturns({g});
+
+  Rng rng(9);
+  Tensor input = Tensor::Random({8, 8}, rng);
+  auto before = EvalIrFunction(fn, {input});
+  ASSERT_TRUE(before.ok());
+
+  PassStats stats;
+  ASSERT_TRUE(RunFuseElementwise(fn, &stats).ok());
+  EXPECT_EQ(fn.num_ops(), 1u);
+  EXPECT_EQ(fn.ops()[0].opcode, kOpFusedElementwise);
+  EXPECT_EQ(stats.ops_fused, 2);
+
+  auto after = EvalIrFunction(fn, {input});
+  ASSERT_TRUE(after.ok());
+  const Tensor& t0 = std::get<Tensor>((*before)[0]);
+  const Tensor& t1 = std::get<Tensor>((*after)[0]);
+  for (size_t i = 0; i < t0.data().size(); ++i) {
+    EXPECT_NEAR(t0.data()[i], t1.data()[i], 1e-9);
+  }
+}
+
+TEST(FuseElementwiseTest, MultiUseIntermediateNotFused) {
+  IrFunction fn("fe2");
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId s = EmitScale(fn, x, 2.0);
+  ValueId r = EmitRelu(fn, s);
+  fn.SetReturns({s, r});  // s used twice (return + relu)
+  ASSERT_TRUE(RunFuseElementwise(fn).ok());
+  EXPECT_EQ(fn.num_ops(), 2u);
+}
+
+TEST(FuseElementwiseTest, BinaryOpsBreakChains) {
+  IrFunction fn("fe3");
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId y = fn.AddParam(IrType::Tensor());
+  ValueId s = EmitScale(fn, x, 2.0);
+  ValueId a = EmitAdd(fn, s, y);  // binary: not fusable into the chain
+  ValueId r = EmitRelu(fn, a);
+  fn.SetReturns({r});
+  ASSERT_TRUE(RunFuseElementwise(fn).ok());
+  // scale stays, add stays, relu stays (relu's producer is binary).
+  EXPECT_EQ(fn.num_ops(), 3u);
+}
+
+TEST(FuseFilterProjectTest, FusesAndPreservesSemantics) {
+  IrFunction fn("fp");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId f = EmitFilter(fn, t, Expr::Binary(BinaryOp::kGe, Expr::Col("x"), Expr::Int(2)));
+  ValueId p = EmitProject(
+      fn, f, {{Expr::Binary(BinaryOp::kMul, Expr::Col("x"), Expr::Int(10)), "x10"}});
+  fn.SetReturns({p});
+
+  auto before = EvalIrFunction(fn, {NumbersBatch()});
+  ASSERT_TRUE(before.ok());
+
+  PassStats stats;
+  ASSERT_TRUE(RunFuseFilterProject(fn, &stats).ok());
+  EXPECT_EQ(stats.ops_fused, 1);
+  EXPECT_EQ(fn.num_ops(), 1u);
+  EXPECT_EQ(fn.ops()[0].opcode, kOpFusedFilterProject);
+
+  auto after = EvalIrFunction(fn, {NumbersBatch()});
+  ASSERT_TRUE(after.ok());
+  const RecordBatch& b = std::get<RecordBatch>((*after)[0]);
+  EXPECT_EQ(b.num_rows(), std::get<RecordBatch>((*before)[0]).num_rows());
+  EXPECT_EQ(b.ColumnByName("x10")->Int64At(0), 20);
+}
+
+TEST(SelectBackendsTest, MatmulPrefersGpuFilterPrefersFpga) {
+  IrFunction fn("sel");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId f = EmitFilter(fn, t, Expr::Bool(true));
+  ValueId m = EmitMatmul(fn, x, x);
+  fn.SetReturns({f, m});
+
+  ASSERT_TRUE(RunSelectBackends(
+                  fn, {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kFpga},
+                  /*assumed_bytes=*/64 << 20)
+                  .ok());
+  EXPECT_EQ(fn.ops()[0].backend, DeviceKind::kFpga);
+  EXPECT_EQ(fn.ops()[1].backend, DeviceKind::kGpu);
+}
+
+TEST(SelectBackendsTest, SingleBackendAlwaysChosen) {
+  IrFunction fn("sel1");
+  ValueId x = fn.AddParam(IrType::Tensor());
+  ValueId m = EmitMatmul(fn, x, x);
+  fn.SetReturns({m});
+  ASSERT_TRUE(RunSelectBackends(fn, {DeviceKind::kCpu}).ok());
+  EXPECT_EQ(fn.ops()[0].backend, DeviceKind::kCpu);
+}
+
+TEST(SelectBackendsTest, NoBackendsRejected) {
+  IrFunction fn("sel0");
+  EXPECT_EQ(RunSelectBackends(fn, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PassManagerTest, StandardPipelineShrinksMixedProgram) {
+  IrFunction fn("std");
+  ValueId t = fn.AddParam(IrType::Table());
+  ValueId x = fn.AddParam(IrType::Tensor());
+  // Relational chain with a redundant duplicate filter.
+  ExprPtr p1 = Expr::Binary(BinaryOp::kGt, Expr::Col("x"), Expr::Int(0));
+  ValueId f1 = EmitFilter(fn, t, p1);
+  ValueId f2 = EmitFilter(fn, f1, Expr::Binary(BinaryOp::kLt, Expr::Col("x"), Expr::Int(5)));
+  ValueId proj = EmitProject(fn, f2, {{Expr::Col("x"), "x"}});
+  // Tensor chain.
+  ValueId s = EmitScale(fn, x, 0.5);
+  ValueId r = EmitRelu(fn, s);
+  // Dead op.
+  EmitLimit(fn, t, 9);
+  fn.SetReturns({proj, r});
+
+  size_t before_ops = fn.num_ops();
+  PassStats stats;
+  ASSERT_TRUE(PassManager::StandardPipeline().Run(fn, &stats).ok());
+  EXPECT_LT(fn.num_ops(), before_ops);
+  // filters merged + filter+project fused => 1 relational op;
+  // scale+relu fused => 1 tensor op; dead limit removed.
+  EXPECT_EQ(fn.num_ops(), 2u);
+  ASSERT_TRUE(fn.Verify().ok());
+
+  auto out = EvalIrFunction(fn, {NumbersBatch(), Tensor::Zeros({2, 2})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(std::get<RecordBatch>((*out)[0]).num_rows(), 4);  // 1..4
+}
+
+TEST(PassManagerTest, UnknownPassRejected) {
+  IrFunction fn("u");
+  PassManager pm;
+  pm.Add("not-a-pass");
+  EXPECT_EQ(pm.Run(fn).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace skadi

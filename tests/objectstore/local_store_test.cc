@@ -1,0 +1,153 @@
+#include "src/objectstore/local_store.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+Buffer MakeData(size_t size, char fill = 'x') {
+  return Buffer(std::vector<uint8_t>(size, static_cast<uint8_t>(fill)));
+}
+
+TEST(LocalStoreTest, PutGetRoundTrip) {
+  LocalObjectStore store(DeviceId::Next(), 1024);
+  ObjectId id = ObjectId::Next();
+  ASSERT_TRUE(store.Put(id, Buffer::FromString("hello")).ok());
+  auto r = store.Get(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsStringView(), "hello");
+  EXPECT_TRUE(store.Contains(id));
+  EXPECT_EQ(store.num_objects(), 1u);
+  EXPECT_EQ(store.used_bytes(), 5);
+}
+
+TEST(LocalStoreTest, DuplicatePutRejected) {
+  LocalObjectStore store(DeviceId::Next(), 1024);
+  ObjectId id = ObjectId::Next();
+  ASSERT_TRUE(store.Put(id, MakeData(10)).ok());
+  EXPECT_EQ(store.Put(id, MakeData(10)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LocalStoreTest, GetMissingFails) {
+  LocalObjectStore store(DeviceId::Next(), 1024);
+  EXPECT_EQ(store.Get(ObjectId::Next()).status().code(), StatusCode::kNotFound);
+}
+
+TEST(LocalStoreTest, DeleteFreesSpace) {
+  LocalObjectStore store(DeviceId::Next(), 1024);
+  ObjectId id = ObjectId::Next();
+  store.Put(id, MakeData(100));
+  EXPECT_EQ(store.used_bytes(), 100);
+  ASSERT_TRUE(store.Delete(id).ok());
+  EXPECT_EQ(store.used_bytes(), 0);
+  EXPECT_FALSE(store.Contains(id));
+  EXPECT_EQ(store.Delete(id).code(), StatusCode::kNotFound);
+}
+
+TEST(LocalStoreTest, ObjectLargerThanCapacityRejected) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  EXPECT_EQ(store.Put(ObjectId::Next(), MakeData(101)).code(),
+            StatusCode::kOutOfMemory);
+}
+
+TEST(LocalStoreTest, FullStoreWithoutSpillHandlerEvictsDropping) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  ObjectId a = ObjectId::Next();
+  ObjectId b = ObjectId::Next();
+  ASSERT_TRUE(store.Put(a, MakeData(60)).ok());
+  ASSERT_TRUE(store.Put(b, MakeData(60)).ok());  // evicts a (no handler = drop)
+  EXPECT_FALSE(store.Contains(a));
+  EXPECT_TRUE(store.Contains(b));
+  EXPECT_EQ(store.evictions(), 1);
+}
+
+TEST(LocalStoreTest, LruOrderRespectsAccess) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  ObjectId a = ObjectId::Next();
+  ObjectId b = ObjectId::Next();
+  ObjectId c = ObjectId::Next();
+  store.Put(a, MakeData(40));
+  store.Put(b, MakeData(40));
+  ASSERT_TRUE(store.Get(a).ok());   // refresh a; b is now LRU
+  store.Put(c, MakeData(40));       // must evict b
+  EXPECT_TRUE(store.Contains(a));
+  EXPECT_FALSE(store.Contains(b));
+  EXPECT_TRUE(store.Contains(c));
+}
+
+TEST(LocalStoreTest, PinnedObjectsNeverEvicted) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  ObjectId a = ObjectId::Next();
+  store.Put(a, MakeData(60));
+  ASSERT_TRUE(store.Pin(a).ok());
+  ObjectId b = ObjectId::Next();
+  EXPECT_EQ(store.Put(b, MakeData(60)).code(), StatusCode::kOutOfMemory);
+  ASSERT_TRUE(store.Unpin(a).ok());
+  EXPECT_TRUE(store.Put(b, MakeData(60)).ok());
+  EXPECT_FALSE(store.Contains(a));
+}
+
+TEST(LocalStoreTest, UnpinWithoutPinFails) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  ObjectId a = ObjectId::Next();
+  store.Put(a, MakeData(10));
+  EXPECT_EQ(store.Unpin(a).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Pin(ObjectId::Next()).code(), StatusCode::kNotFound);
+}
+
+TEST(LocalStoreTest, SpillHandlerReceivesVictims) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  std::vector<ObjectId> spilled;
+  store.set_spill_handler([&spilled](ObjectId id, const Buffer& data) {
+    spilled.push_back(id);
+    EXPECT_EQ(data.size(), 60u);
+    return true;
+  });
+  ObjectId a = ObjectId::Next();
+  store.Put(a, MakeData(60));
+  store.Put(ObjectId::Next(), MakeData(60));
+  ASSERT_EQ(spilled.size(), 1u);
+  EXPECT_EQ(spilled[0], a);
+  EXPECT_EQ(store.spilled_bytes(), 60);
+}
+
+TEST(LocalStoreTest, SpillRejectionCausesOom) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  store.set_spill_handler([](ObjectId, const Buffer&) { return false; });
+  store.Put(ObjectId::Next(), MakeData(60));
+  EXPECT_EQ(store.Put(ObjectId::Next(), MakeData(60)).code(), StatusCode::kOutOfMemory);
+}
+
+TEST(LocalStoreTest, ClearDropsEverything) {
+  LocalObjectStore store(DeviceId::Next(), 1000);
+  for (int i = 0; i < 5; ++i) {
+    store.Put(ObjectId::Next(), MakeData(10));
+  }
+  EXPECT_EQ(store.num_objects(), 5u);
+  store.Clear();
+  EXPECT_EQ(store.num_objects(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0);
+}
+
+TEST(LocalStoreTest, ListReturnsAllIds) {
+  LocalObjectStore store(DeviceId::Next(), 1000);
+  ObjectId a = ObjectId::Next();
+  ObjectId b = ObjectId::Next();
+  store.Put(a, MakeData(1));
+  store.Put(b, MakeData(1));
+  auto ids = store.List();
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(LocalStoreTest, MultipleEvictionsToFitLargeObject) {
+  LocalObjectStore store(DeviceId::Next(), 100);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Put(ObjectId::Next(), MakeData(25)).ok());
+  }
+  ASSERT_TRUE(store.Put(ObjectId::Next(), MakeData(80)).ok());
+  EXPECT_GE(store.evictions(), 3);
+  EXPECT_LE(store.used_bytes(), 100);
+}
+
+}  // namespace
+}  // namespace skadi

@@ -1,0 +1,178 @@
+#include "src/ownership/ownership_table.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+class OwnershipTableTest : public ::testing::Test {
+ protected:
+  OwnershipTableTest() : owner_(NodeId::Next()), table_(owner_) {}
+
+  ObjectId Register() {
+    ObjectId id = ObjectId::Next();
+    EXPECT_TRUE(table_.RegisterObject(id, TaskId::Next()).ok());
+    return id;
+  }
+
+  NodeId owner_;
+  OwnershipTable table_;
+};
+
+TEST_F(OwnershipTableTest, RegisterStartsPending) {
+  ObjectId id = Register();
+  auto reply = table_.Resolve(id);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->state, ObjectState::kPending);
+  EXPECT_FALSE(reply->location.has_value());
+}
+
+TEST_F(OwnershipTableTest, DuplicateRegisterFails) {
+  ObjectId id = Register();
+  EXPECT_EQ(table_.RegisterObject(id, TaskId::Next()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(OwnershipTableTest, MarkReadyRecordsLocationAndDevice) {
+  ObjectId id = Register();
+  NodeId loc = NodeId::Next();
+  DeviceId dev = DeviceId::Next();
+  auto consumers = table_.MarkReady(id, loc, 512, dev, 0xBEEF);
+  ASSERT_TRUE(consumers.ok());
+  EXPECT_TRUE(consumers->empty());
+
+  auto reply = table_.Resolve(id);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->state, ObjectState::kReady);
+  EXPECT_EQ(*reply->location, loc);
+  EXPECT_EQ(reply->size_bytes, 512);
+  EXPECT_EQ(reply->device, dev);
+  EXPECT_EQ(reply->device_handle, 0xBEEFu);
+}
+
+TEST_F(OwnershipTableTest, ResolveUnknownFails) {
+  EXPECT_EQ(table_.Resolve(ObjectId::Next()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OwnershipTableTest, ConsumersRegisteredWhilePendingReturnedOnReady) {
+  ObjectId id = Register();
+  ConsumerRegistration c1{TaskId::Next(), NodeId::Next(), DeviceId::Next()};
+  ConsumerRegistration c2{TaskId::Next(), NodeId::Next(), DeviceId::Next()};
+  auto r1 = table_.RegisterConsumer(id, c1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(*r1);  // pending: parked
+  table_.RegisterConsumer(id, c2);
+
+  auto consumers = table_.MarkReady(id, NodeId::Next(), 1);
+  ASSERT_TRUE(consumers.ok());
+  ASSERT_EQ(consumers->size(), 2u);
+  EXPECT_EQ((*consumers)[0].task, c1.task);
+  EXPECT_EQ((*consumers)[1].task, c2.task);
+}
+
+TEST_F(OwnershipTableTest, ConsumerAfterReadyPushesImmediately) {
+  ObjectId id = Register();
+  table_.MarkReady(id, NodeId::Next(), 1);
+  auto r = table_.RegisterConsumer(id, {TaskId::Next(), NodeId::Next(), DeviceId::Next()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(OwnershipTableTest, NodeFailureMarksLastCopyLost) {
+  ObjectId id = Register();
+  NodeId loc = NodeId::Next();
+  table_.MarkReady(id, loc, 1);
+  auto lost = table_.OnNodeFailure(loc);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], id);
+  EXPECT_EQ(table_.Resolve(id)->state, ObjectState::kLost);
+}
+
+TEST_F(OwnershipTableTest, ReplicaLocationSurvivesFailure) {
+  ObjectId id = Register();
+  NodeId loc1 = NodeId::Next();
+  NodeId loc2 = NodeId::Next();
+  table_.MarkReady(id, loc1, 1);
+  table_.AddLocation(id, loc2);
+  auto lost = table_.OnNodeFailure(loc1);
+  EXPECT_TRUE(lost.empty());
+  auto reply = table_.Resolve(id);
+  EXPECT_EQ(reply->state, ObjectState::kReady);
+  EXPECT_EQ(*reply->location, loc2);
+}
+
+TEST_F(OwnershipTableTest, ReconstructionReArmsLostObject) {
+  ObjectId id = Register();
+  NodeId loc = NodeId::Next();
+  table_.MarkReady(id, loc, 1);
+  table_.OnNodeFailure(loc);
+  TaskId new_task = TaskId::Next();
+  ASSERT_TRUE(table_.MarkPendingForReconstruction(id, new_task).ok());
+  EXPECT_EQ(table_.Resolve(id)->state, ObjectState::kPending);
+  EXPECT_EQ(*table_.ProducedBy(id), new_task);
+}
+
+TEST_F(OwnershipTableTest, ReconstructionRequiresLostState) {
+  ObjectId id = Register();
+  EXPECT_EQ(table_.MarkPendingForReconstruction(id, TaskId::Next()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OwnershipTableTest, WaitReadyBlocksUntilMarkReady) {
+  ObjectId id = Register();
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    table_.MarkReady(id, NodeId::Next(), 1);
+  });
+  auto state = table_.WaitReady(id, 2000);
+  producer.join();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, ObjectState::kReady);
+}
+
+TEST_F(OwnershipTableTest, WaitReadyTimesOut) {
+  ObjectId id = Register();
+  auto state = table_.WaitReady(id, 20);
+  EXPECT_EQ(state.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(OwnershipTableTest, WaitReadyWakesOnLoss) {
+  ObjectId id = Register();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    table_.MarkLost(id);
+  });
+  auto state = table_.WaitReady(id, 2000);
+  killer.join();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, ObjectState::kLost);
+}
+
+TEST_F(OwnershipTableTest, RefCountingRemovesAtZero) {
+  ObjectId id = Register();
+  table_.IncRef(id);  // count = 2
+  auto first = table_.DecRef(id);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(*first);
+  auto second = table_.DecRef(id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*second);
+  EXPECT_FALSE(table_.Contains(id));
+}
+
+TEST_F(OwnershipTableTest, ObjectsInStateFilters) {
+  ObjectId pending = Register();
+  ObjectId ready = Register();
+  table_.MarkReady(ready, NodeId::Next(), 1);
+  auto pendings = table_.ObjectsInState(ObjectState::kPending);
+  auto readys = table_.ObjectsInState(ObjectState::kReady);
+  ASSERT_EQ(pendings.size(), 1u);
+  EXPECT_EQ(pendings[0], pending);
+  ASSERT_EQ(readys.size(), 1u);
+  EXPECT_EQ(readys[0], ready);
+  EXPECT_EQ(table_.size(), 2u);
+}
+
+}  // namespace
+}  // namespace skadi

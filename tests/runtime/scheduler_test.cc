@@ -1,0 +1,258 @@
+// Unit tests of the centralized scheduler's placement policies and gang
+// logic, using a fake dispatch function that records targets.
+#include "src/runtime/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace skadi {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : topo_(std::make_shared<Topology>()) {
+    for (int i = 0; i < 4; ++i) {
+      NodeInfo info;
+      info.id = NodeId::Next();
+      info.role = NodeRole::kServer;
+      info.rack = i / 2;
+      topo_->AddNode(info);
+      node_ids_.push_back(info.id);
+    }
+    fabric_ = std::make_unique<Fabric>(topo_);
+    cache_ = std::make_unique<CachingLayer>(fabric_.get());
+    for (NodeId n : node_ids_) {
+      cache_->RegisterStore(n, std::make_shared<LocalObjectStore>(DeviceId::Next(),
+                                                                  1LL << 30));
+    }
+  }
+
+  std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy,
+                                           DeviceKind kind = DeviceKind::kCpu,
+                                           int workers = 2) {
+    auto scheduler = std::make_unique<Scheduler>(
+        cache_.get(), &metrics_, policy,
+        [this](const TaskSpec& spec, NodeId target) {
+          dispatched_.emplace_back(spec.id, target);
+          return dispatch_result_;
+        });
+    std::vector<SchedulableNode> nodes;
+    for (NodeId n : node_ids_) {
+      nodes.push_back(SchedulableNode{n, kind, NodeId(), workers});
+    }
+    scheduler->SetNodes(std::move(nodes));
+    return scheduler;
+  }
+
+  TaskSpec MakeTask(std::vector<TaskArg> args = {}) {
+    TaskSpec spec;
+    spec.id = TaskId::Next();
+    spec.function = "f";
+    spec.args = std::move(args);
+    return spec;
+  }
+
+  std::shared_ptr<Topology> topo_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<CachingLayer> cache_;
+  MetricsRegistry metrics_;
+  std::vector<NodeId> node_ids_;
+  std::vector<std::pair<TaskId, NodeId>> dispatched_;
+  Status dispatch_result_ = Status::Ok();
+};
+
+TEST_F(SchedulerTest, RoundRobinCycles) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  for (int i = 0; i < 8; ++i) {
+    scheduler->Submit(MakeTask());
+  }
+  ASSERT_EQ(dispatched_.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(dispatched_[static_cast<size_t>(i)].second,
+              node_ids_[static_cast<size_t>(i) % 4]);
+  }
+}
+
+TEST_F(SchedulerTest, LoadAwarePicksIdleNode) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kLoadAware);
+  // Three tasks: all different nodes (load rises as tasks stay in flight).
+  scheduler->Submit(MakeTask());
+  scheduler->Submit(MakeTask());
+  scheduler->Submit(MakeTask());
+  std::set<NodeId> targets;
+  for (auto& [task, node] : dispatched_) {
+    targets.insert(node);
+  }
+  EXPECT_EQ(targets.size(), 3u);
+}
+
+TEST_F(SchedulerTest, LoadRebalancesAfterFinish) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kLoadAware);
+  TaskSpec first = MakeTask();
+  TaskId first_id = first.id;
+  scheduler->Submit(std::move(first));
+  NodeId first_node = dispatched_[0].second;
+  scheduler->OnTaskFinished(first_id);
+  EXPECT_EQ(scheduler->inflight_on(first_node), 0);
+}
+
+TEST_F(SchedulerTest, LocalityFollowsBytes) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kLocalityAware);
+  // Put a big object on node 2, small on node 0.
+  ObjectId big = ObjectId::Next();
+  ObjectId small = ObjectId::Next();
+  cache_->Put(big, Buffer::Zeros(1024 * 1024), node_ids_[2]);
+  cache_->Put(small, Buffer::Zeros(64), node_ids_[0]);
+  scheduler->MarkObjectReady(big);
+  scheduler->MarkObjectReady(small);
+
+  scheduler->Submit(MakeTask({TaskArg::Ref({big, NodeId()}),
+                              TaskArg::Ref({small, NodeId()})}));
+  ASSERT_EQ(dispatched_.size(), 1u);
+  EXPECT_EQ(dispatched_[0].second, node_ids_[2]);
+}
+
+TEST_F(SchedulerTest, PinnedNodeOverridesPolicy) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  TaskSpec spec = MakeTask();
+  spec.pinned_node = node_ids_[3];
+  scheduler->Submit(std::move(spec));
+  EXPECT_EQ(dispatched_[0].second, node_ids_[3]);
+}
+
+TEST_F(SchedulerTest, RequiredDeviceFiltersCandidates) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin, DeviceKind::kCpu);
+  TaskSpec spec = MakeTask();
+  spec.required_device = DeviceKind::kGpu;  // nothing matches
+  scheduler->Submit(std::move(spec));
+  EXPECT_TRUE(dispatched_.empty());
+  EXPECT_EQ(metrics_.GetCounter("scheduler.unschedulable").value(), 1);
+}
+
+TEST_F(SchedulerTest, ParksUntilDependencyReady) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  ObjectId dep = ObjectId::Next();
+  scheduler->Submit(MakeTask({TaskArg::Ref({dep, NodeId()})}));
+  EXPECT_TRUE(dispatched_.empty());
+  EXPECT_EQ(scheduler->pending_tasks(), 1u);
+  scheduler->OnObjectReady(dep);
+  EXPECT_EQ(dispatched_.size(), 1u);
+  EXPECT_EQ(scheduler->pending_tasks(), 0u);
+}
+
+TEST_F(SchedulerTest, MultiDepTaskWaitsForAll) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  ObjectId a = ObjectId::Next();
+  ObjectId b = ObjectId::Next();
+  scheduler->Submit(
+      MakeTask({TaskArg::Ref({a, NodeId()}), TaskArg::Ref({b, NodeId()})}));
+  scheduler->OnObjectReady(a);
+  EXPECT_TRUE(dispatched_.empty());
+  scheduler->OnObjectReady(b);
+  EXPECT_EQ(dispatched_.size(), 1u);
+}
+
+TEST_F(SchedulerTest, GangHeldUntilComplete) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec = MakeTask();
+    spec.gang_group = "g";
+    spec.gang_size = 4;
+    scheduler->Submit(std::move(spec));
+    EXPECT_TRUE(dispatched_.empty());
+  }
+  TaskSpec last = MakeTask();
+  last.gang_group = "g";
+  last.gang_size = 4;
+  scheduler->Submit(std::move(last));
+  EXPECT_EQ(dispatched_.size(), 4u);
+  EXPECT_EQ(metrics_.GetCounter("scheduler.gangs_dispatched").value(), 1);
+}
+
+TEST_F(SchedulerTest, GangWaitsForSlots) {
+  // 4 nodes x 1 worker = 4 slots; occupy 2, gang of 4 must wait.
+  auto scheduler = MakeScheduler(SchedulingPolicy::kLoadAware, DeviceKind::kCpu, 1);
+  TaskSpec f1 = MakeTask();
+  TaskSpec f2 = MakeTask();
+  TaskId f1_id = f1.id;
+  TaskId f2_id = f2.id;
+  scheduler->Submit(std::move(f1));
+  scheduler->Submit(std::move(f2));
+  dispatched_.clear();
+
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec = MakeTask();
+    spec.gang_group = "spmd";
+    spec.gang_size = 4;
+    scheduler->Submit(std::move(spec));
+  }
+  EXPECT_TRUE(dispatched_.empty());  // only 2 free slots
+
+  scheduler->OnTaskFinished(f1_id);
+  EXPECT_TRUE(dispatched_.empty());  // 3 free: still short
+  scheduler->OnTaskFinished(f2_id);
+  EXPECT_EQ(dispatched_.size(), 4u);  // all-or-nothing release
+}
+
+TEST_F(SchedulerTest, TwoGangsDispatchIndependently) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  for (const char* group : {"g1", "g2"}) {
+    for (int i = 0; i < 2; ++i) {
+      TaskSpec spec = MakeTask();
+      spec.gang_group = group;
+      spec.gang_size = 2;
+      scheduler->Submit(std::move(spec));
+    }
+  }
+  EXPECT_EQ(dispatched_.size(), 4u);
+  EXPECT_EQ(metrics_.GetCounter("scheduler.gangs_dispatched").value(), 2);
+}
+
+TEST_F(SchedulerTest, NodeFailureRedispatchesInflight) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  scheduler->Submit(MakeTask());
+  ASSERT_EQ(dispatched_.size(), 1u);
+  NodeId victim = dispatched_[0].second;
+  dispatched_.clear();
+  scheduler->OnNodeFailure(victim);
+  ASSERT_EQ(dispatched_.size(), 1u);
+  EXPECT_NE(dispatched_[0].second, victim);
+}
+
+TEST_F(SchedulerTest, DispatchFailureRetriesElsewhere) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  // First dispatch attempt fails; scheduler must drop the node and retry.
+  int calls = 0;
+  auto failing = std::make_unique<Scheduler>(
+      cache_.get(), &metrics_, SchedulingPolicy::kRoundRobin,
+      [this, &calls](const TaskSpec& spec, NodeId target) -> Status {
+        ++calls;
+        if (calls == 1) {
+          return Status::Unavailable("node died");
+        }
+        dispatched_.emplace_back(spec.id, target);
+        return Status::Ok();
+      });
+  std::vector<SchedulableNode> nodes;
+  for (NodeId n : node_ids_) {
+    nodes.push_back(SchedulableNode{n, DeviceKind::kCpu, NodeId(), 2});
+  }
+  failing->SetNodes(std::move(nodes));
+  failing->Submit(MakeTask());
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(dispatched_.size(), 1u);
+}
+
+TEST_F(SchedulerTest, PolicySwitchAtRuntime) {
+  auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
+  EXPECT_EQ(scheduler->policy(), SchedulingPolicy::kRoundRobin);
+  scheduler->SetPolicy(SchedulingPolicy::kRandom);
+  EXPECT_EQ(scheduler->policy(), SchedulingPolicy::kRandom);
+}
+
+TEST_F(SchedulerTest, PolicyNamesResolve) {
+  EXPECT_EQ(SchedulingPolicyName(SchedulingPolicy::kLocalityAware), "locality_aware");
+  EXPECT_EQ(SchedulingPolicyName(SchedulingPolicy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace skadi
