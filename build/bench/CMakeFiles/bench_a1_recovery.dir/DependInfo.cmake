@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a1_recovery.cc" "bench/CMakeFiles/bench_a1_recovery.dir/bench_a1_recovery.cc.o" "gcc" "bench/CMakeFiles/bench_a1_recovery.dir/bench_a1_recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skadi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/skadi_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/skadi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/skadi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/skadi_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/skadi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/skadi_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skadi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skadi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/skadi_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ownership/CMakeFiles/skadi_ownership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skadi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_recovery.dir/bench_a1_recovery.cc.o"
+  "CMakeFiles/bench_a1_recovery.dir/bench_a1_recovery.cc.o.d"
+  "bench_a1_recovery"
+  "bench_a1_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_format.dir/bench_a3_format.cc.o"
+  "CMakeFiles/bench_a3_format.dir/bench_a3_format.cc.o.d"
+  "bench_a3_format"
+  "bench_a3_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_fusion.dir/bench_a4_fusion.cc.o"
+  "CMakeFiles/bench_a4_fusion.dir/bench_a4_fusion.cc.o.d"
+  "bench_a4_fusion"
+  "bench_a4_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_spill.dir/bench_a5_spill.cc.o"
+  "CMakeFiles/bench_a5_spill.dir/bench_a5_spill.cc.o.d"
+  "bench_a5_spill"
+  "bench_a5_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_futures.dir/bench_fig3_futures.cc.o"
+  "CMakeFiles/bench_fig3_futures.dir/bench_fig3_futures.cc.o.d"
+  "bench_fig3_futures"
+  "bench_fig3_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_multibackend.dir/bench_t1_multibackend.cc.o"
+  "CMakeFiles/bench_t1_multibackend.dir/bench_t1_multibackend.cc.o.d"
+  "bench_t1_multibackend"
+  "bench_t1_multibackend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_multibackend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregation.dir/disaggregation.cpp.o"
+  "CMakeFiles/disaggregation.dir/disaggregation.cpp.o.d"
+  "disaggregation"
+  "disaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

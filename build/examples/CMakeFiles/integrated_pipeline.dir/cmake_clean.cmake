@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrated_pipeline.dir/integrated_pipeline.cpp.o"
+  "CMakeFiles/integrated_pipeline.dir/integrated_pipeline.cpp.o.d"
+  "integrated_pipeline"
+  "integrated_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrated_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

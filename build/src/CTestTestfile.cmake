@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hw")
+subdirs("net")
+subdirs("format")
+subdirs("objectstore")
+subdirs("cache")
+subdirs("ownership")
+subdirs("runtime")
+subdirs("ir")
+subdirs("graph")
+subdirs("access")
+subdirs("core")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/graph_analytics.cc" "src/access/CMakeFiles/skadi_access.dir/graph_analytics.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/graph_analytics.cc.o.d"
+  "/root/repo/src/access/mapreduce.cc" "src/access/CMakeFiles/skadi_access.dir/mapreduce.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/mapreduce.cc.o.d"
+  "/root/repo/src/access/ml.cc" "src/access/CMakeFiles/skadi_access.dir/ml.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/ml.cc.o.d"
+  "/root/repo/src/access/sql_lexer.cc" "src/access/CMakeFiles/skadi_access.dir/sql_lexer.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/access/sql_parser.cc" "src/access/CMakeFiles/skadi_access.dir/sql_parser.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/sql_parser.cc.o.d"
+  "/root/repo/src/access/sql_planner.cc" "src/access/CMakeFiles/skadi_access.dir/sql_planner.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/sql_planner.cc.o.d"
+  "/root/repo/src/access/streaming.cc" "src/access/CMakeFiles/skadi_access.dir/streaming.cc.o" "gcc" "src/access/CMakeFiles/skadi_access.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/skadi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/skadi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/skadi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/skadi_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/skadi_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skadi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skadi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/skadi_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ownership/CMakeFiles/skadi_ownership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skadi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

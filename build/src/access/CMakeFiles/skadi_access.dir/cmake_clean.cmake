@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_access.dir/graph_analytics.cc.o"
+  "CMakeFiles/skadi_access.dir/graph_analytics.cc.o.d"
+  "CMakeFiles/skadi_access.dir/mapreduce.cc.o"
+  "CMakeFiles/skadi_access.dir/mapreduce.cc.o.d"
+  "CMakeFiles/skadi_access.dir/ml.cc.o"
+  "CMakeFiles/skadi_access.dir/ml.cc.o.d"
+  "CMakeFiles/skadi_access.dir/sql_lexer.cc.o"
+  "CMakeFiles/skadi_access.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/skadi_access.dir/sql_parser.cc.o"
+  "CMakeFiles/skadi_access.dir/sql_parser.cc.o.d"
+  "CMakeFiles/skadi_access.dir/sql_planner.cc.o"
+  "CMakeFiles/skadi_access.dir/sql_planner.cc.o.d"
+  "CMakeFiles/skadi_access.dir/streaming.cc.o"
+  "CMakeFiles/skadi_access.dir/streaming.cc.o.d"
+  "libskadi_access.a"
+  "libskadi_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

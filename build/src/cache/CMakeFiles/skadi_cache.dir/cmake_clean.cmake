@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_cache.dir/caching_layer.cc.o"
+  "CMakeFiles/skadi_cache.dir/caching_layer.cc.o.d"
+  "CMakeFiles/skadi_cache.dir/erasure.cc.o"
+  "CMakeFiles/skadi_cache.dir/erasure.cc.o.d"
+  "libskadi_cache.a"
+  "libskadi_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_common.dir/logging.cc.o"
+  "CMakeFiles/skadi_common.dir/logging.cc.o.d"
+  "CMakeFiles/skadi_common.dir/status.cc.o"
+  "CMakeFiles/skadi_common.dir/status.cc.o.d"
+  "libskadi_common.a"
+  "libskadi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_core.dir/skadi.cc.o"
+  "CMakeFiles/skadi_core.dir/skadi.cc.o.d"
+  "libskadi_core.a"
+  "libskadi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskadi_core.a"
+)

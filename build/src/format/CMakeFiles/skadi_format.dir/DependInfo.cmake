@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/column.cc" "src/format/CMakeFiles/skadi_format.dir/column.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/column.cc.o.d"
+  "/root/repo/src/format/compute.cc" "src/format/CMakeFiles/skadi_format.dir/compute.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/compute.cc.o.d"
+  "/root/repo/src/format/expr.cc" "src/format/CMakeFiles/skadi_format.dir/expr.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/expr.cc.o.d"
+  "/root/repo/src/format/record_batch.cc" "src/format/CMakeFiles/skadi_format.dir/record_batch.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/record_batch.cc.o.d"
+  "/root/repo/src/format/serde.cc" "src/format/CMakeFiles/skadi_format.dir/serde.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/serde.cc.o.d"
+  "/root/repo/src/format/tensor.cc" "src/format/CMakeFiles/skadi_format.dir/tensor.cc.o" "gcc" "src/format/CMakeFiles/skadi_format.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skadi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

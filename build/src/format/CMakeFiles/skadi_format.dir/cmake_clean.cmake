@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_format.dir/column.cc.o"
+  "CMakeFiles/skadi_format.dir/column.cc.o.d"
+  "CMakeFiles/skadi_format.dir/compute.cc.o"
+  "CMakeFiles/skadi_format.dir/compute.cc.o.d"
+  "CMakeFiles/skadi_format.dir/expr.cc.o"
+  "CMakeFiles/skadi_format.dir/expr.cc.o.d"
+  "CMakeFiles/skadi_format.dir/record_batch.cc.o"
+  "CMakeFiles/skadi_format.dir/record_batch.cc.o.d"
+  "CMakeFiles/skadi_format.dir/serde.cc.o"
+  "CMakeFiles/skadi_format.dir/serde.cc.o.d"
+  "CMakeFiles/skadi_format.dir/tensor.cc.o"
+  "CMakeFiles/skadi_format.dir/tensor.cc.o.d"
+  "libskadi_format.a"
+  "libskadi_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_graph.dir/executor.cc.o"
+  "CMakeFiles/skadi_graph.dir/executor.cc.o.d"
+  "CMakeFiles/skadi_graph.dir/flow_graph.cc.o"
+  "CMakeFiles/skadi_graph.dir/flow_graph.cc.o.d"
+  "CMakeFiles/skadi_graph.dir/physical.cc.o"
+  "CMakeFiles/skadi_graph.dir/physical.cc.o.d"
+  "libskadi_graph.a"
+  "libskadi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_hw.dir/cost_model.cc.o"
+  "CMakeFiles/skadi_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/skadi_hw.dir/device.cc.o"
+  "CMakeFiles/skadi_hw.dir/device.cc.o.d"
+  "CMakeFiles/skadi_hw.dir/topology.cc.o"
+  "CMakeFiles/skadi_hw.dir/topology.cc.o.d"
+  "libskadi_hw.a"
+  "libskadi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

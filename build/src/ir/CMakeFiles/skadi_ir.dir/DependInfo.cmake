@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dialects.cc" "src/ir/CMakeFiles/skadi_ir.dir/dialects.cc.o" "gcc" "src/ir/CMakeFiles/skadi_ir.dir/dialects.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/skadi_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/skadi_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/skadi_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/skadi_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/passes.cc" "src/ir/CMakeFiles/skadi_ir.dir/passes.cc.o" "gcc" "src/ir/CMakeFiles/skadi_ir.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skadi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/skadi_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skadi_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_ir.dir/dialects.cc.o"
+  "CMakeFiles/skadi_ir.dir/dialects.cc.o.d"
+  "CMakeFiles/skadi_ir.dir/interp.cc.o"
+  "CMakeFiles/skadi_ir.dir/interp.cc.o.d"
+  "CMakeFiles/skadi_ir.dir/ir.cc.o"
+  "CMakeFiles/skadi_ir.dir/ir.cc.o.d"
+  "CMakeFiles/skadi_ir.dir/passes.cc.o"
+  "CMakeFiles/skadi_ir.dir/passes.cc.o.d"
+  "libskadi_ir.a"
+  "libskadi_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_net.dir/fabric.cc.o"
+  "CMakeFiles/skadi_net.dir/fabric.cc.o.d"
+  "libskadi_net.a"
+  "libskadi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

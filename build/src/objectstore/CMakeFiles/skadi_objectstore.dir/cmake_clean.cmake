@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_objectstore.dir/local_store.cc.o"
+  "CMakeFiles/skadi_objectstore.dir/local_store.cc.o.d"
+  "libskadi_objectstore.a"
+  "libskadi_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

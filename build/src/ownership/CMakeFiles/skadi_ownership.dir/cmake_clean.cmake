@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_ownership.dir/ownership_table.cc.o"
+  "CMakeFiles/skadi_ownership.dir/ownership_table.cc.o.d"
+  "libskadi_ownership.a"
+  "libskadi_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skadi_ownership.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/autoscaler.cc" "src/runtime/CMakeFiles/skadi_runtime.dir/autoscaler.cc.o" "gcc" "src/runtime/CMakeFiles/skadi_runtime.dir/autoscaler.cc.o.d"
+  "/root/repo/src/runtime/cluster.cc" "src/runtime/CMakeFiles/skadi_runtime.dir/cluster.cc.o" "gcc" "src/runtime/CMakeFiles/skadi_runtime.dir/cluster.cc.o.d"
+  "/root/repo/src/runtime/raylet.cc" "src/runtime/CMakeFiles/skadi_runtime.dir/raylet.cc.o" "gcc" "src/runtime/CMakeFiles/skadi_runtime.dir/raylet.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/skadi_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/skadi_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/skadi_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/skadi_runtime.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skadi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skadi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skadi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/skadi_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/skadi_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ownership/CMakeFiles/skadi_ownership.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

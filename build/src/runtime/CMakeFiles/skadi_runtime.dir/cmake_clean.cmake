@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skadi_runtime.dir/autoscaler.cc.o"
+  "CMakeFiles/skadi_runtime.dir/autoscaler.cc.o.d"
+  "CMakeFiles/skadi_runtime.dir/cluster.cc.o"
+  "CMakeFiles/skadi_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/skadi_runtime.dir/raylet.cc.o"
+  "CMakeFiles/skadi_runtime.dir/raylet.cc.o.d"
+  "CMakeFiles/skadi_runtime.dir/runtime.cc.o"
+  "CMakeFiles/skadi_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/skadi_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/skadi_runtime.dir/scheduler.cc.o.d"
+  "libskadi_runtime.a"
+  "libskadi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skadi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_test.dir/access/graph_analytics_test.cc.o"
+  "CMakeFiles/access_test.dir/access/graph_analytics_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/mapreduce_test.cc.o"
+  "CMakeFiles/access_test.dir/access/mapreduce_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/ml_test.cc.o"
+  "CMakeFiles/access_test.dir/access/ml_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/sql_lexer_test.cc.o"
+  "CMakeFiles/access_test.dir/access/sql_lexer_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/sql_parser_test.cc.o"
+  "CMakeFiles/access_test.dir/access/sql_parser_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/sql_planner_test.cc.o"
+  "CMakeFiles/access_test.dir/access/sql_planner_test.cc.o.d"
+  "CMakeFiles/access_test.dir/access/streaming_test.cc.o"
+  "CMakeFiles/access_test.dir/access/streaming_test.cc.o.d"
+  "access_test"
+  "access_test.pdb"
+  "access_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

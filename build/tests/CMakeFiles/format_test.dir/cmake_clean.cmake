@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_test.dir/format/column_test.cc.o"
+  "CMakeFiles/format_test.dir/format/column_test.cc.o.d"
+  "CMakeFiles/format_test.dir/format/compute_test.cc.o"
+  "CMakeFiles/format_test.dir/format/compute_test.cc.o.d"
+  "CMakeFiles/format_test.dir/format/expr_test.cc.o"
+  "CMakeFiles/format_test.dir/format/expr_test.cc.o.d"
+  "CMakeFiles/format_test.dir/format/record_batch_test.cc.o"
+  "CMakeFiles/format_test.dir/format/record_batch_test.cc.o.d"
+  "CMakeFiles/format_test.dir/format/serde_test.cc.o"
+  "CMakeFiles/format_test.dir/format/serde_test.cc.o.d"
+  "CMakeFiles/format_test.dir/format/tensor_test.cc.o"
+  "CMakeFiles/format_test.dir/format/tensor_test.cc.o.d"
+  "format_test"
+  "format_test.pdb"
+  "format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_test.dir/ownership/ownership_table_test.cc.o"
+  "CMakeFiles/ownership_test.dir/ownership/ownership_table_test.cc.o.d"
+  "ownership_test"
+  "ownership_test.pdb"
+  "ownership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
