@@ -44,7 +44,7 @@ RecoveryResult RunRecovery(RecoveryKind kind) {
   auto cluster = Cluster::Create(config);
   FunctionRegistry registry;
   RegisterBenchFunctions(registry);
-  registry.Register("bench.produce", [](TaskContext&, std::vector<Buffer>&)
+  (void)registry.Register("bench.produce", [](TaskContext&, std::vector<Buffer>&)
                                          -> Result<std::vector<Buffer>> {
     return std::vector<Buffer>{Buffer::Zeros(kObjectBytes)};
   });

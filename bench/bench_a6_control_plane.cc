@@ -20,7 +20,7 @@ namespace skadi {
 namespace {
 
 void RegisterSleepTask(FunctionRegistry& registry) {
-  registry.Register("bench.sleep2ms", [](TaskContext&, std::vector<Buffer>&)
+  (void)registry.Register("bench.sleep2ms", [](TaskContext&, std::vector<Buffer>&)
                                           -> Result<std::vector<Buffer>> {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     return std::vector<Buffer>{Buffer()};

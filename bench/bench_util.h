@@ -22,11 +22,11 @@ inline Buffer BenchI64Buffer(int64_t v) {
 
 // Registers the small op set the runtime benches use.
 inline void RegisterBenchFunctions(FunctionRegistry& registry) {
-  registry.Register("bench.echo", [](TaskContext&, std::vector<Buffer>& args)
+  (void)registry.Register("bench.echo", [](TaskContext&, std::vector<Buffer>& args)
                                       -> Result<std::vector<Buffer>> {
     return std::vector<Buffer>{args.empty() ? Buffer() : args[0]};
   });
-  registry.Register("bench.passthrough_sized",
+  (void)registry.Register("bench.passthrough_sized",
                     [](TaskContext&, std::vector<Buffer>& args)
                         -> Result<std::vector<Buffer>> {
                       // Emits a buffer the same size as the input (stage

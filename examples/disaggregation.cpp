@@ -86,9 +86,9 @@ int main() {
   spec.num_returns = 1;
   spec.pinned_node = victim;
   auto refs = runtime.Submit(std::move(spec));
-  runtime.Wait({(*refs)[0]}, 10000);
+  (void)runtime.Wait({(*refs)[0]}, 10000);  // demo: Get below reports the outcome
   std::cout << "  value computed on " << victim.ToString() << "; killing the node...\n";
-  runtime.KillNode(victim);
+  (void)runtime.KillNode(victim);  // demo: failure handling shown via recovery below
   auto recovered = runtime.Get((*refs)[0], 15000);
   if (recovered.ok()) {
     std::cout << "  recovered by lineage re-execution: " << I64Of(*recovered) << " ("

@@ -12,7 +12,7 @@ CachingLayer::CachingLayer(Fabric* fabric, CachingLayerOptions options)
 
 void CachingLayer::RegisterStore(NodeId node, std::shared_ptr<LocalObjectStore> store,
                                  bool is_memory_blade) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stores_[node] = std::move(store);
   if (is_memory_blade) {
     blades_.insert(node);
@@ -20,12 +20,12 @@ void CachingLayer::RegisterStore(NodeId node, std::shared_ptr<LocalObjectStore> 
 }
 
 void CachingLayer::RegisterDurableNode(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   durable_node_ = node;
 }
 
 LocalObjectStore* CachingLayer::StoreOf(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = stores_.find(node);
   return it == stores_.end() ? nullptr : it->second.get();
 }
@@ -49,7 +49,7 @@ std::vector<NodeId> CachingLayer::PickReplicaTargetsLocked(NodeId primary,
 }
 
 Status CachingLayer::Put(ObjectId id, Buffer data, NodeId at) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto sit = stores_.find(at);
   if (sit == stores_.end()) {
     return Status::NotFound("no store registered for " + at.ToString());
@@ -87,7 +87,7 @@ Status CachingLayer::Put(ObjectId id, Buffer data, NodeId at) {
 
   DirEntry entry;
   entry.size = static_cast<int64_t>(data.size());
-  lock.unlock();
+  lock.Unlock();
 
   SKADI_RETURN_IF_ERROR(primary_store->Put(id, data));
   entry.locations.insert(at);
@@ -107,13 +107,13 @@ Status CachingLayer::Put(ObjectId id, Buffer data, NodeId at) {
     }
   }
 
-  lock.lock();
+  lock.Lock();
   directory_[id] = std::move(entry);
   return Status::Ok();
 }
 
 Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     return Status::NotFound("object " + id.ToString() + " not in caching layer");
@@ -139,16 +139,20 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
   }
 
   if (!source.valid()) {
-    // No live replica: attempt EC reconstruction.
+    // No live replica: attempt EC reconstruction. Snapshot the shard map
+    // under mu_ and decode unlocked so we never call into a store while
+    // holding the directory lock.
     if (entry.ec != nullptr) {
-      return TryEcReconstructLocked(id, entry, at);
+      EcFetchPlan plan = SnapshotEcLocked(entry);
+      lock.Unlock();
+      return TryEcReconstruct(plan, id, at);
     }
     return Status::DataLoss("object " + id.ToString() +
                             " has no live copies and no EC shards");
   }
 
   LocalObjectStore* src_store = stores_.at(source).get();
-  lock.unlock();
+  lock.Unlock();
 
   SKADI_ASSIGN_OR_RETURN(Buffer data, src_store->Get(id));
   if (source != at) {
@@ -156,7 +160,7 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
     if (cache_locally) {
       LocalObjectStore* dst_store = StoreOf(at);
       if (dst_store != nullptr && dst_store->Put(id, data).ok()) {
-        std::lock_guard<std::mutex> relock(mu_);
+        MutexLock relock(mu_);
         auto dit = directory_.find(id);
         if (dit != directory_.end()) {
           dit->second.locations.insert(at);
@@ -167,24 +171,36 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
   return data;
 }
 
-Result<Buffer> CachingLayer::TryEcReconstructLocked(ObjectId /*id*/, DirEntry& entry,
-                                                    NodeId at) {
-  EcInfo& ec = *entry.ec;
-  std::vector<std::optional<Buffer>> shards(ec.shards.size());
+CachingLayer::EcFetchPlan CachingLayer::SnapshotEcLocked(const DirEntry& entry) const {
+  const EcInfo& ec = *entry.ec;
+  EcFetchPlan plan;
+  plan.config = ec.config;
+  plan.original_size = ec.original_size;
+  plan.shards = ec.shards;
+  plan.shard_alive = ec.shard_alive;
+  plan.shard_stores.resize(ec.shards.size());
+  for (size_t i = 0; i < ec.shards.size(); ++i) {
+    auto sit = stores_.find(ec.shards[i].first);
+    if (sit != stores_.end()) {
+      plan.shard_stores[i] = sit->second;
+    }
+  }
+  return plan;
+}
+
+Result<Buffer> CachingLayer::TryEcReconstruct(const EcFetchPlan& plan, ObjectId /*id*/,
+                                              NodeId at) {
+  std::vector<std::optional<Buffer>> shards(plan.shards.size());
   int found = 0;
-  for (size_t i = 0; i < ec.shards.size() && found < ec.config.data_shards; ++i) {
-    if (!ec.shard_alive[i]) {
+  for (size_t i = 0; i < plan.shards.size() && found < plan.config.data_shards; ++i) {
+    if (!plan.shard_alive[i] || plan.shard_stores[i] == nullptr) {
       continue;
     }
-    auto [node, shard_id] = ec.shards[i];
+    auto [node, shard_id] = plan.shards[i];
     if (fabric_->IsDead(node)) {
       continue;
     }
-    auto sit = stores_.find(node);
-    if (sit == stores_.end()) {
-      continue;
-    }
-    Result<Buffer> shard = sit->second->Get(shard_id);
+    Result<Buffer> shard = plan.shard_stores[i]->Get(shard_id);
     if (!shard.ok()) {
       continue;
     }
@@ -192,12 +208,13 @@ Result<Buffer> CachingLayer::TryEcReconstructLocked(ObjectId /*id*/, DirEntry& e
     shards[i] = std::move(shard).value();
     ++found;
   }
-  SKADI_ASSIGN_OR_RETURN(Buffer data, EcDecode(shards, ec.config, ec.original_size));
+  SKADI_ASSIGN_OR_RETURN(Buffer data,
+                         EcDecode(shards, plan.config, plan.original_size));
   return data;
 }
 
 Status CachingLayer::Delete(ObjectId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     return Status::NotFound("object " + id.ToString() + " not in caching layer");
@@ -205,10 +222,14 @@ Status CachingLayer::Delete(ObjectId id) {
   DirEntry entry = std::move(it->second);
   directory_.erase(it);
 
+  // Collect the per-store deletions under mu_, execute them after releasing
+  // it: store locks are ordered before mu_ (spill handlers lock mu_ while
+  // their store's lock is held).
+  std::vector<std::pair<std::shared_ptr<LocalObjectStore>, ObjectId>> drops;
   for (NodeId node : entry.locations) {
     auto sit = stores_.find(node);
     if (sit != stores_.end()) {
-      sit->second->Delete(id);  // best effort; store may have evicted it
+      drops.emplace_back(sit->second, id);
     }
   }
   if (entry.ec != nullptr) {
@@ -216,20 +237,25 @@ Status CachingLayer::Delete(ObjectId id) {
       auto [node, shard_id] = entry.ec->shards[i];
       auto sit = stores_.find(node);
       if (sit != stores_.end()) {
-        sit->second->Delete(shard_id);
+        drops.emplace_back(sit->second, shard_id);
       }
     }
+  }
+  lock.Unlock();
+
+  for (auto& [store, victim] : drops) {
+    (void)store->Delete(victim);  // best effort; store may have evicted it
   }
   return Status::Ok();
 }
 
 bool CachingLayer::Exists(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return directory_.count(id) > 0;
 }
 
 Result<int64_t> CachingLayer::SizeOf(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     return Status::NotFound("object " + id.ToString() + " not in caching layer");
@@ -238,7 +264,7 @@ Result<int64_t> CachingLayer::SizeOf(ObjectId id) const {
 }
 
 std::vector<NodeId> CachingLayer::Locations(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     return {};
@@ -252,7 +278,7 @@ Status CachingLayer::Migrate(ObjectId id, NodeId to) {
   if (dst == nullptr) {
     return Status::NotFound("no store registered for " + to.ToString());
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     return Status::NotFound("object " + id.ToString() + " vanished during migration");
@@ -261,17 +287,17 @@ Status CachingLayer::Migrate(ObjectId id, NodeId to) {
     return Status::Ok();  // already there
   }
   std::set<NodeId> old_locations = it->second.locations;
-  lock.unlock();
+  lock.Unlock();
 
   SKADI_RETURN_IF_ERROR(dst->Put(id, data));
   for (NodeId node : old_locations) {
     LocalObjectStore* store = StoreOf(node);
     if (store != nullptr) {
-      store->Delete(id);
+      (void)store->Delete(id);  // best effort; the copy may already be gone
     }
   }
 
-  lock.lock();
+  lock.Lock();
   it = directory_.find(id);
   if (it != directory_.end()) {
     it->second.locations.clear();
@@ -283,7 +309,7 @@ Status CachingLayer::Migrate(ObjectId id, NodeId to) {
 Status CachingLayer::PutEc(ObjectId id, Buffer data, const EcConfig& config) {
   SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> shards, EcEncode(data, config));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (directory_.count(id) > 0) {
     return Status::AlreadyExists("object " + id.ToString() + " already in caching layer");
   }
@@ -320,7 +346,7 @@ Status CachingLayer::PutEc(ObjectId id, Buffer data, const EcConfig& config) {
   entry.size = static_cast<int64_t>(data.size());
   entry.ec = std::move(ec);
   directory_[id] = std::move(entry);
-  lock.unlock();
+  lock.Unlock();
 
   for (auto& [node, shard] : placements) {
     LocalObjectStore* store = StoreOf(node);
@@ -336,14 +362,14 @@ Status CachingLayer::PutEc(ObjectId id, Buffer data, const EcConfig& config) {
 Status CachingLayer::PutDurable(const std::string& key, Buffer data, NodeId from) {
   NodeId durable;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     durable = durable_node_;
   }
   if (!durable.valid()) {
     return Status::FailedPrecondition("no durable storage node registered");
   }
   fabric_->TransferBytes(from, durable, static_cast<int64_t>(data.size()));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   durable_contents_[key] = std::move(data);
   return Status::Ok();
 }
@@ -352,7 +378,7 @@ Result<Buffer> CachingLayer::GetDurable(const std::string& key, NodeId to) {
   Buffer data;
   NodeId durable;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     durable = durable_node_;
     if (!durable.valid()) {
       return Status::FailedPrecondition("no durable storage node registered");
@@ -368,7 +394,7 @@ Result<Buffer> CachingLayer::GetDurable(const std::string& key, NodeId to) {
 }
 
 Status CachingLayer::EnableSpillToBlade(NodeId node) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto sit = stores_.find(node);
   if (sit == stores_.end()) {
     return Status::NotFound("no store registered for " + node.ToString());
@@ -377,39 +403,47 @@ Status CachingLayer::EnableSpillToBlade(NodeId node) {
     return Status::FailedPrecondition("no memory blades registered");
   }
   LocalObjectStore* store = sit->second.get();
-  lock.unlock();
+  lock.Unlock();
 
   store->set_spill_handler([this, node](ObjectId id, const Buffer& data) {
-    // Pick the blade with the most free space.
-    NodeId best_blade;
-    int64_t best_free = -1;
+    // Runs with the spilling store's lock held, so mu_ may be taken here but
+    // no store method may be called while mu_ is held. Snapshot the live
+    // blades under mu_, then query their occupancy unlocked.
+    std::vector<std::pair<NodeId, std::shared_ptr<LocalObjectStore>>> candidates;
     {
-      std::lock_guard<std::mutex> lock2(mu_);
+      MutexLock lock2(mu_);
       for (NodeId blade : blades_) {
         if (fabric_->IsDead(blade)) {
           continue;
         }
         auto it = stores_.find(blade);
-        if (it == stores_.end()) {
-          continue;
+        if (it != stores_.end()) {
+          candidates.emplace_back(blade, it->second);
         }
-        int64_t free = it->second->capacity_bytes() - it->second->used_bytes();
-        if (free > best_free) {
-          best_free = free;
-          best_blade = blade;
-        }
+      }
+    }
+    // Pick the blade with the most free space.
+    NodeId best_blade;
+    std::shared_ptr<LocalObjectStore> blade_store;
+    int64_t best_free = -1;
+    for (auto& [blade, blade_candidate] : candidates) {
+      int64_t free =
+          blade_candidate->capacity_bytes() - blade_candidate->used_bytes();
+      if (free > best_free) {
+        best_free = free;
+        best_blade = blade;
+        blade_store = blade_candidate;
       }
     }
     if (!best_blade.valid() || best_free < static_cast<int64_t>(data.size())) {
       return false;
     }
-    LocalObjectStore* blade_store = StoreOf(best_blade);
     fabric_->TransferBytes(node, best_blade, static_cast<int64_t>(data.size()));
     fabric_->metrics().GetCounter("cache.spill_bytes").Add(static_cast<int64_t>(data.size()));
     if (!blade_store->Put(id, data).ok()) {
       return false;
     }
-    std::lock_guard<std::mutex> lock2(mu_);
+    MutexLock lock2(mu_);
     auto dit = directory_.find(id);
     if (dit != directory_.end()) {
       dit->second.locations.erase(node);
@@ -421,25 +455,32 @@ Status CachingLayer::EnableSpillToBlade(NodeId node) {
 }
 
 void CachingLayer::OnNodeFailure(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto sit = stores_.find(node);
-  if (sit != stores_.end()) {
-    sit->second->Clear();
-  }
-  for (auto& [id, entry] : directory_) {
-    entry.locations.erase(node);
-    if (entry.ec != nullptr) {
-      for (size_t i = 0; i < entry.ec->shards.size(); ++i) {
-        if (entry.ec->shards[i].first == node) {
-          entry.ec->shard_alive[i] = false;
+  std::shared_ptr<LocalObjectStore> dead_store;
+  {
+    MutexLock lock(mu_);
+    auto sit = stores_.find(node);
+    if (sit != stores_.end()) {
+      dead_store = sit->second;
+    }
+    for (auto& [id, entry] : directory_) {
+      entry.locations.erase(node);
+      if (entry.ec != nullptr) {
+        for (size_t i = 0; i < entry.ec->shards.size(); ++i) {
+          if (entry.ec->shards[i].first == node) {
+            entry.ec->shard_alive[i] = false;
+          }
         }
       }
     }
   }
+  // Clear outside mu_: store locks order before the directory lock.
+  if (dead_store != nullptr) {
+    dead_store->Clear();
+  }
 }
 
 std::vector<ObjectId> CachingLayer::LostObjects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ObjectId> lost;
   for (const auto& [id, entry] : directory_) {
     bool has_copy = false;

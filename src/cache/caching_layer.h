@@ -8,7 +8,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -17,6 +16,7 @@
 #include "src/cache/erasure.h"
 #include "src/common/buffer.h"
 #include "src/common/id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/net/fabric.h"
 #include "src/objectstore/local_store.h"
@@ -110,20 +110,36 @@ class CachingLayer {
   };
 
   // Picks replication targets: non-blade nodes != primary, deterministic
-  // order. mu_ must be held.
-  std::vector<NodeId> PickReplicaTargetsLocked(NodeId primary, int count) const;
+  // order.
+  std::vector<NodeId> PickReplicaTargetsLocked(NodeId primary, int count) const
+      REQUIRES(mu_);
 
-  Result<Buffer> TryEcReconstructLocked(ObjectId id, DirEntry& entry, NodeId at);
+  // Snapshot of an entry's EC metadata plus the stores holding its shards,
+  // taken under mu_ so the decode itself can run unlocked. Store methods are
+  // never called while mu_ is held: the spill handler locks mu_ while its
+  // store's lock is held, so calling into a store under mu_ would create a
+  // lock-order cycle (store -> cache -> store).
+  struct EcFetchPlan {
+    EcConfig config;
+    size_t original_size = 0;
+    std::vector<std::pair<NodeId, ObjectId>> shards;
+    std::vector<bool> shard_alive;
+    std::vector<std::shared_ptr<LocalObjectStore>> shard_stores;
+  };
+  EcFetchPlan SnapshotEcLocked(const DirEntry& entry) const REQUIRES(mu_);
+
+  Result<Buffer> TryEcReconstruct(const EcFetchPlan& plan, ObjectId id, NodeId at)
+      EXCLUDES(mu_);
 
   Fabric* fabric_;
   CachingLayerOptions options_;
 
-  mutable std::mutex mu_;
-  std::map<NodeId, std::shared_ptr<LocalObjectStore>> stores_;
-  std::set<NodeId> blades_;
-  NodeId durable_node_;
-  std::unordered_map<ObjectId, DirEntry> directory_;
-  std::unordered_map<std::string, Buffer> durable_contents_;
+  mutable Mutex mu_;
+  std::map<NodeId, std::shared_ptr<LocalObjectStore>> stores_ GUARDED_BY(mu_);
+  std::set<NodeId> blades_ GUARDED_BY(mu_);
+  NodeId durable_node_ GUARDED_BY(mu_);
+  std::unordered_map<ObjectId, DirEntry> directory_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Buffer> durable_contents_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

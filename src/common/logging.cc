@@ -1,5 +1,7 @@
 #include "src/common/logging.h"
 
+#include "src/common/mutex.h"
+
 namespace skadi {
 
 std::atomic<int>& GlobalLogLevel() {
@@ -24,8 +26,8 @@ std::string_view LogLevelName(LogLevel level) {
 }
 
 namespace {
-std::mutex& LogMutex() {
-  static std::mutex mu;
+Mutex& LogMutex() {
+  static Mutex mu("log");
   return mu;
 }
 
@@ -47,7 +49,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::cerr << stream_.str() << "\n";
   }
   if (level_ == LogLevel::kFatal) {

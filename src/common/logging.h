@@ -6,7 +6,6 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 

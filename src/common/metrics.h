@@ -9,9 +9,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace skadi {
 
@@ -90,7 +91,7 @@ class Histogram {
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = counters_[name];
     if (!slot) {
       slot = std::make_unique<Counter>();
@@ -99,7 +100,7 @@ class MetricsRegistry {
   }
 
   Histogram& GetHistogram(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = histograms_[name];
     if (!slot) {
       slot = std::make_unique<Histogram>();
@@ -109,7 +110,7 @@ class MetricsRegistry {
 
   // Snapshot of all counter values, sorted by name.
   std::vector<std::pair<std::string, int64_t>> SnapshotCounters() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::pair<std::string, int64_t>> out;
     out.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
@@ -119,7 +120,7 @@ class MetricsRegistry {
   }
 
   void ResetAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [name, counter] : counters_) {
       counter->Reset();
     }
@@ -129,9 +130,9 @@ class MetricsRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -1,0 +1,174 @@
+#include "src/common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace skadi {
+
+namespace {
+
+// Mutexes currently held by this thread, in acquisition order.
+std::vector<const DebugMutex*>& HeldStack() {
+  static thread_local std::vector<const DebugMutex*> held;
+  return held;
+}
+
+std::string LabelOf(const DebugMutex* m, const char* name) {
+  if (name != nullptr) {
+    return name;
+  }
+  std::ostringstream out;
+  out << "mutex@" << static_cast<const void*>(m);
+  return out.str();
+}
+
+}  // namespace
+
+struct LockOrderRegistry::Impl {
+  std::mutex mu;  // lint:allow raw-mutex (checker internals)
+  // edge a -> b: b was acquired while a was held.
+  std::unordered_map<const DebugMutex*, std::set<const DebugMutex*>> edges;
+  std::unordered_map<const DebugMutex*, std::string> labels;
+  std::function<void(const std::string&)> handler;
+
+  // True if `to` can reach `from` over recorded edges (i.e. inserting the
+  // edge from->to would close a cycle). Iterative DFS; mu must be held.
+  bool Reaches(const DebugMutex* start, const DebugMutex* goal,
+               std::vector<const DebugMutex*>* path) {
+    std::vector<const DebugMutex*> stack{start};
+    std::set<const DebugMutex*> visited;
+    std::unordered_map<const DebugMutex*, const DebugMutex*> parent;
+    while (!stack.empty()) {
+      const DebugMutex* node = stack.back();
+      stack.pop_back();
+      if (!visited.insert(node).second) {
+        continue;
+      }
+      if (node == goal) {
+        for (const DebugMutex* p = goal; p != start; p = parent.at(p)) {
+          path->push_back(p);
+        }
+        path->push_back(start);
+        return true;
+      }
+      auto it = edges.find(node);
+      if (it == edges.end()) {
+        continue;
+      }
+      for (const DebugMutex* next : it->second) {
+        if (visited.count(next) == 0) {
+          parent.emplace(next, node);
+          stack.push_back(next);
+        }
+      }
+    }
+    return false;
+  }
+
+  std::string Label(const DebugMutex* m) {
+    auto it = labels.find(m);
+    return it != labels.end() ? it->second : LabelOf(m, nullptr);
+  }
+};
+
+LockOrderRegistry& LockOrderRegistry::Instance() {
+  static LockOrderRegistry* registry = new LockOrderRegistry();  // lint:allow naked-new (leaked singleton)
+  return *registry;
+}
+
+LockOrderRegistry::Impl& LockOrderRegistry::impl() {
+  static Impl* impl = new Impl();  // lint:allow naked-new (leaked singleton)
+  return *impl;
+}
+
+void LockOrderRegistry::SetCycleHandler(std::function<void(const std::string&)> handler) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);  // lint:allow raw-mutex (checker internals)
+  i.handler = std::move(handler);
+}
+
+void LockOrderRegistry::Clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);  // lint:allow raw-mutex (checker internals)
+  i.edges.clear();
+  i.labels.clear();
+}
+
+void LockOrderRegistry::BeforeLock(const DebugMutex* m) {
+  const std::vector<const DebugMutex*>& held = HeldStack();
+  if (held.empty()) {
+    return;
+  }
+  Impl& i = impl();
+  std::string report;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);  // lint:allow raw-mutex (checker internals)
+    i.labels.emplace(m, LabelOf(m, m->name()));
+    for (const DebugMutex* prior : held) {
+      i.labels.emplace(prior, LabelOf(prior, prior->name()));
+      if (prior == m) {
+        report = "recursive acquisition of " + i.Label(m);
+        break;
+      }
+      if (i.edges[prior].count(m) > 0) {
+        continue;  // edge already known (and known acyclic)
+      }
+      // Would prior->m close a cycle, i.e. is prior reachable from m?
+      std::vector<const DebugMutex*> path;
+      if (i.Reaches(m, prior, &path)) {
+        std::ostringstream out;
+        out << "lock-order cycle detected: acquiring " << i.Label(m) << " while holding "
+            << i.Label(prior) << ", but the reverse order was already observed: ";
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          out << i.Label(*it) << " -> ";
+        }
+        out << i.Label(m);
+        report = out.str();
+        break;
+      }
+      i.edges[prior].insert(m);
+    }
+  }
+  if (!report.empty()) {
+    std::function<void(const std::string&)> handler;
+    {
+      std::lock_guard<std::mutex> lock(i.mu);  // lint:allow raw-mutex (checker internals)
+      handler = i.handler;
+    }
+    if (handler) {
+      handler(report);
+    } else {
+      std::fprintf(stderr, "[FATAL skadi::LockOrderRegistry] %s\n", report.c_str());
+      std::abort();
+    }
+  }
+}
+
+void LockOrderRegistry::AfterLock(const DebugMutex* m) { HeldStack().push_back(m); }
+
+void LockOrderRegistry::AfterUnlock(const DebugMutex* m) {
+  std::vector<const DebugMutex*>& held = HeldStack();
+  // Locks are almost always released in reverse order; scan from the back.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == m) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockOrderRegistry::OnDestroy(const DebugMutex* m) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);  // lint:allow raw-mutex (checker internals)
+  i.edges.erase(m);
+  for (auto& [from, to] : i.edges) {
+    to.erase(m);
+  }
+  i.labels.erase(m);
+}
+
+}  // namespace skadi

@@ -4,11 +4,11 @@
 #define SRC_COMMON_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/common/mutex.h"
 
 namespace skadi {
 
@@ -18,20 +18,22 @@ class BlockingQueue {
   // Pushes an item; returns false if the queue has been closed.
   bool Push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) {
         return false;
       }
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      cv_.Wait(lock);
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -42,9 +44,12 @@ class BlockingQueue {
 
   // Like Pop but gives up after `timeout`; nullopt on timeout or closed+empty.
   std::optional<T> PopWithTimeout(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
     if (items_.empty()) {
       return std::nullopt;
@@ -56,7 +61,7 @@ class BlockingQueue {
 
   // Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -66,7 +71,7 @@ class BlockingQueue {
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -76,22 +81,22 @@ class BlockingQueue {
   // still be popped until drained.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace skadi

@@ -35,7 +35,9 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the OK path (no allocation).
-class Status {
+// [[nodiscard]]: silently dropping a Status hides failures; intentional
+// best-effort call sites must spell out `(void)`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -95,7 +97,7 @@ class Status {
 // A value of type T or an error Status. Never holds an OK status without a
 // value; constructing from an OK status is a programming error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : payload_(std::in_place_index<0>, std::move(value)) {}

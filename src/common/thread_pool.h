@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/queue.h"
 
 namespace skadi {
@@ -26,7 +27,7 @@ class ThreadPool {
 
   // Adds `n` worker threads.
   void Grow(size_t n) {
-    std::lock_guard<std::mutex> lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     for (size_t i = 0; i < n; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
     }
@@ -54,7 +55,7 @@ class ThreadPool {
   // Stops accepting work, drains the queue, joins all threads. Idempotent.
   void Shutdown() {
     queue_.Close();
-    std::lock_guard<std::mutex> lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     for (auto& t : threads_) {
       if (t.joinable()) {
         t.join();
@@ -83,8 +84,8 @@ class ThreadPool {
   }
 
   BlockingQueue<std::function<void()>> queue_;
-  std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  Mutex threads_mu_;
+  std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
   std::atomic<size_t> num_threads_{0};
   std::atomic<size_t> retire_requests_{0};
 };

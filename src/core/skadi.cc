@@ -50,7 +50,7 @@ Status Skadi::RegisterTable(const std::string& name, const RecordBatch& batch,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tables_.count(name) > 0) {
       return Status::AlreadyExists("table '" + name + "' already registered");
     }
@@ -78,18 +78,18 @@ Status Skadi::RegisterTable(const std::string& name, const RecordBatch& batch,
     info.partitions.push_back(ref);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_.emplace(name, std::move(info));
   return Status::Ok();
 }
 
 bool Skadi::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(name) > 0;
 }
 
 std::vector<ObjectRef> Skadi::TablePartitions(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? std::vector<ObjectRef>{} : it->second.partitions;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/access/graph_analytics.h"
+#include "src/common/mutex.h"
 #include "src/access/mapreduce.h"
 #include "src/access/ml.h"
 #include "src/access/sql_planner.h"
@@ -134,8 +135,8 @@ class Skadi {
   FunctionRegistry registry_;
   std::unique_ptr<SkadiRuntime> runtime_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, TableInfo> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, TableInfo> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -55,7 +55,7 @@ Topology::Topology() {
 }
 
 Status Topology::AddNode(NodeInfo info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!info.id.valid()) {
     return Status::InvalidArgument("node id must be valid");
   }
@@ -67,13 +67,13 @@ Status Topology::AddNode(NodeInfo info) {
 }
 
 const NodeInfo* Topology::GetNode(NodeId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : &it->second;
 }
 
 std::vector<NodeId> Topology::AllNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& [id, info] : nodes_) {
@@ -83,7 +83,7 @@ std::vector<NodeId> Topology::AllNodes() const {
 }
 
 std::vector<NodeId> Topology::NodesWithRole(NodeRole role) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<NodeId> out;
   for (const auto& [id, info] : nodes_) {
     if (info.role == role) {
@@ -97,7 +97,7 @@ LinkClass Topology::Classify(NodeId src, NodeId dst) const {
   if (src == dst) {
     return LinkClass::kLocal;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto sit = nodes_.find(src);
   auto dit = nodes_.find(dst);
   if (sit == nodes_.end() || dit == nodes_.end()) {
@@ -114,12 +114,12 @@ LinkClass Topology::Classify(NodeId src, NodeId dst) const {
 }
 
 LinkParams Topology::ParamsFor(LinkClass link_class) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return params_[static_cast<int>(link_class)];
 }
 
 void Topology::SetParams(LinkClass link_class, LinkParams params) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   params_[static_cast<int>(link_class)] = params;
 }
 

@@ -6,7 +6,6 @@
 #define SRC_HW_TOPOLOGY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "src/common/id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/hw/device.h"
 
@@ -82,9 +82,9 @@ class Topology {
   int64_t ControlNanos(NodeId src, NodeId dst) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, NodeInfo> nodes_;
-  LinkParams params_[5];
+  mutable Mutex mu_;
+  std::unordered_map<NodeId, NodeInfo> nodes_ GUARDED_BY(mu_);
+  LinkParams params_[5] GUARDED_BY(mu_);
 };
 
 // Default link parameters, order-of-magnitude realistic for a 2023 data

@@ -5,7 +5,7 @@ namespace skadi {
 Fabric::Fabric(std::shared_ptr<Topology> topology) : topology_(std::move(topology)) {}
 
 Status Fabric::RegisterHandler(NodeId node, const std::string& service, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& services = handlers_[node];
   auto [it, inserted] = services.emplace(service, std::move(handler));
   if (!inserted) {
@@ -37,7 +37,7 @@ Result<Buffer> Fabric::Call(NodeId src, NodeId dst, const std::string& service,
                             Buffer request) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (dead_nodes_.count(dst) > 0) {
       return Status::Unavailable("node " + dst.ToString() + " is dead");
     }
@@ -64,7 +64,7 @@ Result<Buffer> Fabric::Call(NodeId src, NodeId dst, const std::string& service,
 Status Fabric::Send(NodeId src, NodeId dst, const std::string& service, Buffer request) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (dead_nodes_.count(dst) > 0) {
       return Status::Unavailable("node " + dst.ToString() + " is dead");
     }
@@ -85,7 +85,7 @@ Status Fabric::Send(NodeId src, NodeId dst, const std::string& service, Buffer r
 
 int64_t Fabric::TransferBytes(NodeId src, NodeId dst, int64_t bytes) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // A transfer from/to a dead node silently accounts nothing; callers check
     // liveness before initiating transfers, this is a backstop.
     if (dead_nodes_.count(src) > 0 || dead_nodes_.count(dst) > 0) {
@@ -103,17 +103,17 @@ int64_t Fabric::TransferBytes(NodeId src, NodeId dst, int64_t bytes) {
 }
 
 void Fabric::MarkDead(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   dead_nodes_.insert(node);
 }
 
 void Fabric::Revive(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   dead_nodes_.erase(node);
 }
 
 bool Fabric::IsDead(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dead_nodes_.count(node) > 0;
 }
 

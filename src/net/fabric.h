@@ -17,7 +17,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -26,6 +25,7 @@
 #include "src/common/clock.h"
 #include "src/common/id.h"
 #include "src/common/metrics.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/hw/topology.h"
 
@@ -84,10 +84,11 @@ class Fabric {
   VirtualClock clock_;
   MetricsRegistry metrics_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // (node, service) -> handler
-  std::unordered_map<NodeId, std::unordered_map<std::string, Handler>> handlers_;
-  std::unordered_set<NodeId> dead_nodes_;
+  std::unordered_map<NodeId, std::unordered_map<std::string, Handler>> handlers_
+      GUARDED_BY(mu_);
+  std::unordered_set<NodeId> dead_nodes_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -3,7 +3,7 @@
 namespace skadi {
 
 Status LocalObjectStore::Put(ObjectId id, Buffer data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (objects_.count(id) > 0) {
     return Status::AlreadyExists("object " + id.ToString() + " already stored");
   }
@@ -57,7 +57,7 @@ Status LocalObjectStore::EvictLocked(int64_t needed) {
 }
 
 Result<Buffer> LocalObjectStore::Get(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + id.ToString() + " not in store on " +
@@ -71,12 +71,12 @@ Result<Buffer> LocalObjectStore::Get(ObjectId id) {
 }
 
 bool LocalObjectStore::Contains(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.count(id) > 0;
 }
 
 Status LocalObjectStore::Delete(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + id.ToString() + " not in store");
@@ -88,7 +88,7 @@ Status LocalObjectStore::Delete(ObjectId id) {
 }
 
 Status LocalObjectStore::Pin(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("cannot pin missing object " + id.ToString());
@@ -98,7 +98,7 @@ Status LocalObjectStore::Pin(ObjectId id) {
 }
 
 Status LocalObjectStore::Unpin(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("cannot unpin missing object " + id.ToString());
@@ -111,17 +111,17 @@ Status LocalObjectStore::Unpin(ObjectId id) {
 }
 
 int64_t LocalObjectStore::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return used_bytes_;
 }
 
 size_t LocalObjectStore::num_objects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
 std::vector<ObjectId> LocalObjectStore::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ObjectId> out;
   out.reserve(objects_.size());
   for (const auto& [id, entry] : objects_) {
@@ -131,17 +131,17 @@ std::vector<ObjectId> LocalObjectStore::List() const {
 }
 
 int64_t LocalObjectStore::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 
 int64_t LocalObjectStore::spilled_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spilled_bytes_;
 }
 
 void LocalObjectStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   objects_.clear();
   lru_.clear();
   used_bytes_ = 0;

@@ -9,12 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace skadi {
@@ -33,7 +33,7 @@ class LocalObjectStore {
   int64_t capacity_bytes() const { return capacity_bytes_; }
 
   void set_spill_handler(SpillHandler handler) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spill_handler_ = std::move(handler);
   }
 
@@ -72,19 +72,19 @@ class LocalObjectStore {
     std::list<ObjectId>::iterator lru_pos;
   };
 
-  // Evicts unpinned LRU entries until `needed` bytes fit. mu_ must be held.
-  Status EvictLocked(int64_t needed);
+  // Evicts unpinned LRU entries until `needed` bytes fit.
+  Status EvictLocked(int64_t needed) REQUIRES(mu_);
 
   DeviceId device_;
   int64_t capacity_bytes_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, Entry> objects_;
-  std::list<ObjectId> lru_;  // front = least recently used
-  int64_t used_bytes_ = 0;
-  int64_t evictions_ = 0;
-  int64_t spilled_bytes_ = 0;
-  SpillHandler spill_handler_;
+  mutable Mutex mu_;
+  std::unordered_map<ObjectId, Entry> objects_ GUARDED_BY(mu_);
+  std::list<ObjectId> lru_ GUARDED_BY(mu_);  // front = least recently used
+  int64_t used_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GUARDED_BY(mu_) = 0;
+  int64_t spilled_bytes_ GUARDED_BY(mu_) = 0;
+  SpillHandler spill_handler_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

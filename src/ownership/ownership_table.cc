@@ -5,7 +5,7 @@
 namespace skadi {
 
 Status OwnershipTable::RegisterObject(ObjectId id, TaskId produced_by) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (records_.count(id) > 0) {
     return Status::AlreadyExists("object " + id.ToString() + " already owned");
   }
@@ -22,7 +22,7 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     uint64_t device_handle) {
   std::vector<ConsumerRegistration> consumers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = records_.find(id);
     if (it == records_.end()) {
       return Status::NotFound("object " + id.ToString() + " not owned by " +
@@ -36,12 +36,12 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     record.device_handle = device_handle;
     consumers.swap(record.pending_consumers);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return consumers;
 }
 
 Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
@@ -53,7 +53,7 @@ Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
 std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
   std::vector<ObjectId> lost;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, record] : records_) {
       if (record.locations.erase(node) > 0 && record.locations.empty() &&
           record.state == ObjectState::kReady) {
@@ -63,14 +63,14 @@ std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
     }
   }
   if (!lost.empty()) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   return lost;
 }
 
 Status OwnershipTable::MarkLost(ObjectId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = records_.find(id);
     if (it == records_.end()) {
       return Status::NotFound("object " + id.ToString() + " not owned");
@@ -78,12 +78,12 @@ Status OwnershipTable::MarkLost(ObjectId id) {
     it->second.state = ObjectState::kLost;
     it->second.locations.clear();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
 Status OwnershipTable::MarkPendingForReconstruction(ObjectId id, TaskId new_task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
@@ -98,7 +98,7 @@ Status OwnershipTable::MarkPendingForReconstruction(ObjectId id, TaskId new_task
 }
 
 Result<bool> OwnershipTable::RegisterConsumer(ObjectId id, ConsumerRegistration consumer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
@@ -111,7 +111,7 @@ Result<bool> OwnershipTable::RegisterConsumer(ObjectId id, ConsumerRegistration 
 }
 
 Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned by " +
@@ -130,26 +130,39 @@ Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const 
 }
 
 Result<ObjectState> OwnershipTable::WaitReady(ObjectId id, int64_t timeout_ms) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto done = [&]() {
+  const bool bounded = timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(mu_);
+  for (;;) {
     auto it = records_.find(id);
-    return it == records_.end() || it->second.state != ObjectState::kPending;
-  };
-  if (timeout_ms <= 0) {
-    cv_.wait(lock, done);
-  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done)) {
-    return Status::DeadlineExceeded("object " + id.ToString() + " still pending after " +
-                                    std::to_string(timeout_ms) + "ms");
+    if (it == records_.end()) {
+      return Status::NotFound("object " + id.ToString() + " was released while waiting");
+    }
+    if (it->second.state != ObjectState::kPending) {
+      return it->second.state;
+    }
+    if (!bounded) {
+      cv_.Wait(lock);
+    } else if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      // Final re-check: the state may have flipped right at the deadline.
+      it = records_.find(id);
+      if (it == records_.end()) {
+        return Status::NotFound("object " + id.ToString() +
+                                " was released while waiting");
+      }
+      if (it->second.state != ObjectState::kPending) {
+        return it->second.state;
+      }
+      return Status::DeadlineExceeded("object " + id.ToString() +
+                                      " still pending after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
   }
-  auto it = records_.find(id);
-  if (it == records_.end()) {
-    return Status::NotFound("object " + id.ToString() + " was released while waiting");
-  }
-  return it->second.state;
 }
 
 Result<TaskId> OwnershipTable::ProducedBy(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
@@ -158,7 +171,7 @@ Result<TaskId> OwnershipTable::ProducedBy(ObjectId id) const {
 }
 
 Status OwnershipTable::IncRef(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
@@ -168,32 +181,32 @@ Status OwnershipTable::IncRef(ObjectId id) {
 }
 
 Result<bool> OwnershipTable::DecRef(ObjectId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   if (--it->second.ref_count <= 0) {
     records_.erase(it);
-    lock.unlock();
-    cv_.notify_all();
+    lock.Unlock();
+    cv_.NotifyAll();
     return true;
   }
   return false;
 }
 
 bool OwnershipTable::Contains(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.count(id) > 0;
 }
 
 size_t OwnershipTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 
 std::vector<ObjectId> OwnershipTable::ObjectsInState(ObjectState state) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [id, record] : records_) {
     if (record.state == state) {

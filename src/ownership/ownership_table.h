@@ -12,15 +12,14 @@
 #ifndef SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
 #define SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/ownership/object_ref.h"
 
@@ -123,9 +122,9 @@ class OwnershipTable {
 
  private:
   NodeId owner_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::unordered_map<ObjectId, OwnershipRecord> records_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::unordered_map<ObjectId, OwnershipRecord> records_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -26,7 +26,7 @@ void Autoscaler::Stop() {
 }
 
 void Autoscaler::Tick() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int64_t tick_nanos = static_cast<int64_t>(options_.tick_interval_ms) * 1000000;
   for (TrackedRaylet& tracked : tracked_) {
     Raylet* raylet = tracked.raylet;

@@ -7,11 +7,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/mutex.h"
 #include "src/runtime/raylet.h"
 
 namespace skadi {
@@ -35,7 +35,7 @@ class Autoscaler {
   ~Autoscaler() { Stop(); }
 
   void Register(Raylet* raylet) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tracked_.push_back(TrackedRaylet{raylet, 0});
   }
 
@@ -58,8 +58,8 @@ class Autoscaler {
   AutoscalerOptions options_;
   MetricsRegistry* metrics_;
 
-  std::mutex mu_;
-  std::vector<TrackedRaylet> tracked_;
+  Mutex mu_;
+  std::vector<TrackedRaylet> tracked_ GUARDED_BY(mu_);
 
   std::atomic<bool> running_{false};
   std::thread thread_;

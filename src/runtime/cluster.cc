@@ -1,5 +1,7 @@
 #include "src/runtime/cluster.h"
 
+#include "src/common/logging.h"
+
 namespace skadi {
 
 namespace {
@@ -19,7 +21,8 @@ ClusterNode MakeNode(NodeRole role, int rack, DeviceSpec device, int64_t store_b
   info.name = device.name;
   info.rack = rack;
   info.devices.push_back(device);
-  topology.AddNode(info);
+  Status added = topology.AddNode(info);
+  SKADI_CHECK(added.ok()) << "duplicate node id: " << added.ToString();
   return node;
 }
 

@@ -82,7 +82,7 @@ void Raylet::RunTask(TaskSpec spec) {
     if (spec.actor.valid()) {
       ActorRecord* record = nullptr;
       {
-        std::lock_guard<std::mutex> lock(actors_mu_);
+        MutexLock lock(actors_mu_);
         auto it = actors_.find(spec.actor);
         if (it == actors_.end()) {
           return Status::NotFound("actor " + spec.actor.ToString() + " not on " +
@@ -90,7 +90,7 @@ void Raylet::RunTask(TaskSpec spec) {
         }
         record = it->second.get();
       }
-      std::lock_guard<std::mutex> serial(record->serial);
+      MutexLock serial(record->serial);
       ctx.actor_state = &record->state;
       return (*fn)(ctx, args);
     }
@@ -122,9 +122,8 @@ void Raylet::RunTask(TaskSpec spec) {
 }
 
 Status Raylet::CreateActor(ActorId actor, std::shared_ptr<void> initial_state) {
-  std::lock_guard<std::mutex> lock(actors_mu_);
-  auto record = std::make_unique<ActorRecord>();
-  record->state = std::move(initial_state);
+  MutexLock lock(actors_mu_);
+  auto record = std::make_unique<ActorRecord>(std::move(initial_state));
   auto [it, inserted] = actors_.emplace(actor, std::move(record));
   if (!inserted) {
     return Status::AlreadyExists("actor " + actor.ToString() + " already on " +
@@ -134,7 +133,7 @@ Status Raylet::CreateActor(ActorId actor, std::shared_ptr<void> initial_state) {
 }
 
 bool Raylet::HasActor(ActorId actor) const {
-  std::lock_guard<std::mutex> lock(actors_mu_);
+  MutexLock lock(actors_mu_);
   return actors_.count(actor) > 0;
 }
 

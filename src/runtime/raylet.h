@@ -12,10 +12,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 #include "src/hw/cost_model.h"
 #include "src/runtime/cluster.h"
@@ -85,11 +85,14 @@ class Raylet {
   std::atomic<int64_t> tasks_executed_{0};
 
   struct ActorRecord {
-    std::shared_ptr<void> state;
-    std::mutex serial;  // one actor task at a time
+    explicit ActorRecord(std::shared_ptr<void> initial_state)
+        : state(std::move(initial_state)) {}
+    Mutex serial;  // one actor task at a time
+    std::shared_ptr<void> state GUARDED_BY(serial);
   };
-  mutable std::mutex actors_mu_;
-  std::unordered_map<ActorId, std::unique_ptr<ActorRecord>> actors_;
+  mutable Mutex actors_mu_;
+  std::unordered_map<ActorId, std::unique_ptr<ActorRecord>> actors_
+      GUARDED_BY(actors_mu_);
 };
 
 }  // namespace skadi

@@ -15,9 +15,11 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
   // fabric.
   std::vector<SchedulableNode> schedulable;
   for (const ClusterNode& node : cluster_->nodes()) {
-    cluster_->fabric().RegisterHandler(node.id, "ctrl", [](const Buffer&) -> Result<Buffer> {
-      return Buffer();
-    });
+    Status ctrl_registered =
+        cluster_->fabric().RegisterHandler(node.id, "ctrl", [](const Buffer&) -> Result<Buffer> {
+          return Buffer();
+        });
+    SKADI_CHECK(ctrl_registered.ok()) << ctrl_registered.ToString();
     ownership_[node.id] = std::make_unique<OwnershipTable>(node.id);
     if (!node.is_compute()) {
       continue;
@@ -85,7 +87,8 @@ int SkadiRuntime::ControlMessage(NodeId from, NodeId to, int64_t payload_bytes) 
     }
     // "ctrl" is a registered no-op; the fabric charges latency + payload and
     // counts the message. Ignore NotFound against just-killed nodes.
-    cluster_->fabric().Call(src, dst, "ctrl", Buffer::Zeros(static_cast<size_t>(payload_bytes)));
+    (void)cluster_->fabric().Call(src, dst, "ctrl",
+                                  Buffer::Zeros(static_cast<size_t>(payload_bytes)));
     metrics().GetCounter("runtime.control_hops").Increment();
     ++hops;
   };
@@ -130,7 +133,7 @@ Result<std::vector<ObjectRef>> SkadiRuntime::Submit(TaskSpec spec) {
     refs.push_back(ObjectRef{oid, spec.owner});
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lineage_[spec.id] = spec;
     for (const ObjectRef& ref : refs) {
       object_owner_[ref.id] = ref.owner;
@@ -161,11 +164,12 @@ Result<ObjectRef> SkadiRuntime::PutAt(Buffer value, NodeId node) {
   }
   for (NodeId replica : cluster_->cache().Locations(id)) {
     if (replica != node) {
-      table.AddLocation(id, replica);
+      // Best-effort replica bookkeeping: the record may already be gone.
+      (void)table.AddLocation(id, replica);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     object_owner_[id] = head;
   }
   scheduler_->MarkObjectReady(id);
@@ -208,7 +212,7 @@ Status SkadiRuntime::DispatchToNode(const TaskSpec& spec, NodeId target) {
       if (ready_now.ok() && *ready_now) {
         // cache_locally=true: the transfer lands the value in the consumer's
         // store, making the consume-side read local.
-        cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
+        (void)cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
         metrics().GetCounter("runtime.pushes").Increment();
       }
     }
@@ -278,7 +282,8 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
     // is only declared when the last copy dies).
     for (NodeId replica : cluster_->cache().Locations(oid)) {
       if (replica != at) {
-        table.AddLocation(oid, replica);
+        // Best-effort replica bookkeeping: the record may already be gone.
+        (void)table.AddLocation(oid, replica);
       }
     }
     // Notify the owner (device-aware: record where the value physically is).
@@ -293,7 +298,7 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
     if (options_.futures == FutureProtocol::kPush) {
       for (const ConsumerRegistration& consumer : *consumers) {
         ControlMessage(spec.owner, consumer.node);
-        cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
+        (void)cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
         metrics().GetCounter("runtime.pushes").Increment();
       }
     }
@@ -317,7 +322,7 @@ void SkadiRuntime::FailTask(const TaskSpec& spec, const Status& status) {
     // and release parked dependents — their argument resolution will fail
     // fast and propagate the error instead of hanging the job.
     for (ObjectId oid : spec.returns) {
-      ownership(spec.owner).MarkLost(oid);
+      (void)ownership(spec.owner).MarkLost(oid);  // record may already be released
       scheduler_->OnObjectReady(oid);
     }
   }
@@ -377,8 +382,8 @@ Status SkadiRuntime::Release(const ObjectRef& ref) {
     return removed.status();
   }
   if (*removed) {
-    cluster_->cache().Delete(ref.id);
-    std::lock_guard<std::mutex> lock(mu_);
+    (void)cluster_->cache().Delete(ref.id);  // best effort; may be uncached
+    MutexLock lock(mu_);
     object_owner_.erase(ref.id);
   }
   return Status::Ok();
@@ -392,7 +397,7 @@ Result<ActorId> SkadiRuntime::CreateActor(NodeId node, std::shared_ptr<void> ini
   ActorId actor = ActorId::Next();
   ControlMessage(cluster_->head(), node);
   SKADI_RETURN_IF_ERROR(r->CreateActor(actor, std::move(initial_state)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   actor_homes_[actor] = node;
   return actor;
 }
@@ -400,7 +405,7 @@ Result<ActorId> SkadiRuntime::CreateActor(NodeId node, std::shared_ptr<void> ini
 Result<std::vector<ObjectRef>> SkadiRuntime::SubmitActorTask(ActorId actor, TaskSpec spec) {
   NodeId home;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = actor_homes_.find(actor);
     if (it == actor_homes_.end()) {
       return Status::NotFound("actor " + actor.ToString() + " unknown");
@@ -467,7 +472,7 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
       // Find the owner of this object to consult lineage.
       NodeId owner;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto oit = object_owner_.find(oid);
         if (oit == object_owner_.end()) {
           continue;
@@ -485,7 +490,7 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
 
     TaskSpec spec;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto lit = lineage_.find(producer);
       if (lit == lineage_.end()) {
         metrics().GetCounter("runtime.unrecoverable_objects").Increment();
@@ -499,7 +504,8 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
 
     // Re-arm every lost return of this producer.
     for (ObjectId ret : spec.returns) {
-      ownership(spec.owner).MarkPendingForReconstruction(ret, spec.id);
+      // Only returns still recorded as lost re-arm; others were re-created.
+      (void)ownership(spec.owner).MarkPendingForReconstruction(ret, spec.id);
     }
 
     // Any lost arguments must be re-produced first; enqueue them too.
@@ -517,7 +523,10 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
 
   for (auto& [task, spec] : to_resubmit) {
     metrics().GetCounter("runtime.lineage_reexecutions").Increment();
-    scheduler_->Submit(spec);
+    Status resubmitted = scheduler_->Submit(spec);
+    if (!resubmitted.ok()) {
+      metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+    }
   }
 }
 

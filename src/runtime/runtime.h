@@ -17,11 +17,11 @@
 #define SRC_RUNTIME_RUNTIME_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/ownership/ownership_table.h"
 #include "src/runtime/autoscaler.h"
 #include "src/runtime/cluster.h"
@@ -129,10 +129,12 @@ class SkadiRuntime {
   std::unordered_map<NodeId, std::unique_ptr<Raylet>> raylets_;
   std::unordered_map<NodeId, std::unique_ptr<OwnershipTable>> ownership_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<TaskId, TaskSpec> lineage_;        // task id -> spec
-  std::unordered_map<ObjectId, NodeId> object_owner_;   // for Release/Get sanity
-  std::unordered_map<ActorId, NodeId> actor_homes_;
+  mutable Mutex mu_;
+  // task id -> spec
+  std::unordered_map<TaskId, TaskSpec> lineage_ GUARDED_BY(mu_);
+  // for Release/Get sanity
+  std::unordered_map<ObjectId, NodeId> object_owner_ GUARDED_BY(mu_);
+  std::unordered_map<ActorId, NodeId> actor_homes_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

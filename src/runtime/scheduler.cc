@@ -30,17 +30,17 @@ Scheduler::Scheduler(CachingLayer* cache, MetricsRegistry* metrics,
       policy_(policy) {}
 
 void Scheduler::SetNodes(std::vector<SchedulableNode> nodes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_ = std::move(nodes);
 }
 
 void Scheduler::SetPolicy(SchedulingPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   policy_ = policy;
 }
 
 SchedulingPolicy Scheduler::policy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return policy_;
 }
 
@@ -143,7 +143,7 @@ Result<NodeId> Scheduler::PickNodeLocked(const TaskSpec& spec) {
 Status Scheduler::Submit(TaskSpec spec) {
   std::vector<TaskSpec> to_dispatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!spec.gang_group.empty()) {
       gangs_[spec.gang_group].push_back(std::move(spec));
       metrics_->GetCounter("scheduler.gang_buffered").Increment();
@@ -212,7 +212,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
     for (int attempt = 0; attempt < 8; ++attempt) {
       NodeId target;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         Result<NodeId> picked = PickNodeLocked(spec);
         if (!picked.ok()) {
           SKADI_LOG(kWarn) << "task " << spec.id << " unschedulable: "
@@ -236,7 +236,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
       }
       // Dispatch failed (node died between pick and send): undo and retry.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         inflight_[target] -= 1;
         task_node_.erase(spec.id);
         inflight_specs_.erase(spec.id);
@@ -252,7 +252,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
 void Scheduler::OnObjectReady(ObjectId id) {
   std::vector<TaskSpec> to_dispatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ready_objects_[id] = true;
     auto wit = waiters_.find(id);
     if (wit != waiters_.end()) {
@@ -278,7 +278,7 @@ void Scheduler::MarkObjectReady(ObjectId id) { OnObjectReady(id); }
 void Scheduler::OnTaskFinished(TaskId task) {
   std::vector<TaskSpec> to_dispatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = task_node_.find(task);
     if (it != task_node_.end()) {
       inflight_[it->second] -= 1;
@@ -293,7 +293,7 @@ void Scheduler::OnTaskFinished(TaskId task) {
 void Scheduler::OnNodeFailure(NodeId node) {
   std::vector<TaskSpec> to_redispatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
                                 [&](const SchedulableNode& n) { return n.id == node; }),
                  nodes_.end());
@@ -317,7 +317,7 @@ void Scheduler::OnNodeFailure(NodeId node) {
 }
 
 size_t Scheduler::pending_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t gang_members = 0;
   for (const auto& [group, members] : gangs_) {
     gang_members += members.size();
@@ -326,7 +326,7 @@ size_t Scheduler::pending_tasks() const {
 }
 
 int64_t Scheduler::inflight_on(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = inflight_.find(node);
   return it == inflight_.end() ? 0 : it->second;
 }

@@ -10,13 +10,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cache/caching_layer.h"
 #include "src/common/metrics.h"
+#include "src/common/mutex.h"
 #include "src/common/random.h"
 #include "src/runtime/task.h"
 
@@ -81,34 +81,34 @@ class Scheduler {
     int unresolved = 0;
   };
 
-  // mu_ must be held.
-  void TryDispatchLocked(std::vector<TaskSpec>& out_ready);
-  bool DepsReadyLocked(const TaskSpec& spec, int* unresolved) const;
-  Result<NodeId> PickNodeLocked(const TaskSpec& spec);
-  void DispatchAll(std::vector<TaskSpec> specs);
+  void TryDispatchLocked(std::vector<TaskSpec>& out_ready) REQUIRES(mu_);
+  bool DepsReadyLocked(const TaskSpec& spec, int* unresolved) const REQUIRES(mu_);
+  Result<NodeId> PickNodeLocked(const TaskSpec& spec) REQUIRES(mu_);
+  void DispatchAll(std::vector<TaskSpec> specs) EXCLUDES(mu_);
 
   CachingLayer* cache_;
   MetricsRegistry* metrics_;
   DispatchFn dispatch_;
-  Rng rng_;
 
-  mutable std::mutex mu_;
-  SchedulingPolicy policy_;
-  std::vector<SchedulableNode> nodes_;
-  size_t round_robin_next_ = 0;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  SchedulingPolicy policy_ GUARDED_BY(mu_);
+  std::vector<SchedulableNode> nodes_ GUARDED_BY(mu_);
+  size_t round_robin_next_ GUARDED_BY(mu_) = 0;
 
   // Ready-object set and reverse index: object -> parked tasks awaiting it.
-  std::unordered_map<ObjectId, bool> ready_objects_;
-  std::unordered_map<ObjectId, std::vector<TaskId>> waiters_;
-  std::unordered_map<TaskId, Pending> parked_;
+  std::unordered_map<ObjectId, bool> ready_objects_ GUARDED_BY(mu_);
+  std::unordered_map<ObjectId, std::vector<TaskId>> waiters_ GUARDED_BY(mu_);
+  std::unordered_map<TaskId, Pending> parked_ GUARDED_BY(mu_);
 
   // Gang groups: buffered members until gang_size present + slots free.
-  std::map<std::string, std::vector<TaskSpec>> gangs_;
+  std::map<std::string, std::vector<TaskSpec>> gangs_ GUARDED_BY(mu_);
 
   // Slot accounting.
-  std::unordered_map<NodeId, int64_t> inflight_;
-  std::unordered_map<TaskId, NodeId> task_node_;
-  std::unordered_map<TaskId, TaskSpec> inflight_specs_;  // for failure redispatch
+  std::unordered_map<NodeId, int64_t> inflight_ GUARDED_BY(mu_);
+  std::unordered_map<TaskId, NodeId> task_node_ GUARDED_BY(mu_);
+  // Specs kept for failure redispatch.
+  std::unordered_map<TaskId, TaskSpec> inflight_specs_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -7,7 +7,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -15,6 +14,7 @@
 
 #include "src/common/buffer.h"
 #include "src/common/id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/hw/device.h"
 #include "src/ownership/object_ref.h"
@@ -105,7 +105,7 @@ using TaskFunction =
 class FunctionRegistry {
  public:
   Status Register(const std::string& name, TaskFunction fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = functions_.emplace(name, std::move(fn));
     if (!inserted) {
       return Status::AlreadyExists("function '" + name + "' already registered");
@@ -114,7 +114,7 @@ class FunctionRegistry {
   }
 
   Result<TaskFunction> Lookup(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = functions_.find(name);
     if (it == functions_.end()) {
       return Status::NotFound("function '" + name + "' not registered");
@@ -123,13 +123,13 @@ class FunctionRegistry {
   }
 
   bool Contains(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return functions_.count(name) > 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, TaskFunction> functions_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, TaskFunction> functions_ GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

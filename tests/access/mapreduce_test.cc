@@ -49,22 +49,22 @@ class MapReduceExecTest : public ::testing::Test {
     runtime_ = std::make_unique<SkadiRuntime>(cluster_.get(), &registry_);
 
     // Word-count style: mapper emits (word, 1), reducer sums per partition.
-    registry_.Register("mr.map", [](TaskContext&, std::vector<Buffer>& args)
+    ASSERT_TRUE(registry_.Register("mr.map", [](TaskContext&, std::vector<Buffer>& args)
                                      -> Result<std::vector<Buffer>> {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
       SKADI_ASSIGN_OR_RETURN(
           RecordBatch out,
           ProjectBatch(batch, {{Expr::Col("word"), "word"}, {Expr::Int(1), "one"}}));
       return std::vector<Buffer>{SerializeBatchIpc(out)};
-    });
-    registry_.Register("mr.reduce", [](TaskContext&, std::vector<Buffer>& args)
+    }).ok());
+    ASSERT_TRUE(registry_.Register("mr.reduce", [](TaskContext&, std::vector<Buffer>& args)
                                         -> Result<std::vector<Buffer>> {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
       SKADI_ASSIGN_OR_RETURN(
           RecordBatch out,
           GroupAggregateBatch(batch, {"word"}, {{AggKind::kSum, "one", "count"}}));
       return std::vector<Buffer>{SerializeBatchIpc(out)};
-    });
+    }).ok());
   }
 
   ObjectRef PutWords(const std::vector<std::string>& words) {

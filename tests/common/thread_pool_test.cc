@@ -12,7 +12,7 @@ TEST(ThreadPoolTest, RunsSubmittedWork) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   }
   pool.Shutdown();
   EXPECT_EQ(count.load(), 100);
@@ -38,7 +38,7 @@ TEST(ThreadPoolTest, ShrinkReducesLogicalSizeAndKeepsWorking) {
   EXPECT_EQ(pool.num_threads(), 2u);
   std::atomic<int> count{0};
   for (int i = 0; i < 50; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   }
   pool.Shutdown();
   EXPECT_EQ(count.load(), 50);
@@ -49,7 +49,7 @@ TEST(ThreadPoolTest, ShrinkNeverDropsBelowOneWorker) {
   pool.Shrink(10);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<bool> ran{false};
-  pool.Submit([&ran] { ran = true; });
+  ASSERT_TRUE(pool.Submit([&ran] { ran = true; }));
   pool.Shutdown();
   EXPECT_TRUE(ran.load());
 }
@@ -59,14 +59,14 @@ TEST(ThreadPoolTest, ParallelismActuallyOverlaps) {
   std::atomic<int> concurrent{0};
   std::atomic<int> peak{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       int now = concurrent.fetch_add(1) + 1;
       int old_peak = peak.load();
       while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       concurrent.fetch_sub(1);
-    });
+    }));
   }
   pool.Shutdown();
   EXPECT_GE(peak.load(), 2);

@@ -218,15 +218,15 @@ TEST_F(SkadiTest, SqlUnoptimizedMatchesOptimized) {
 TEST_F(SkadiTest, MapReduceWordCountStyle) {
   Start();
   // "Word count": map projects (region, 1), reduce sums.
-  skadi_->registry().Register(
+  ASSERT_TRUE(skadi_->registry().Register(
       "wc_map", [](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
         SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
         SKADI_ASSIGN_OR_RETURN(
             RecordBatch out,
             ProjectBatch(batch, {{Expr::Col("region"), "word"}, {Expr::Int(1), "one"}}));
         return std::vector<Buffer>{SerializeBatchIpc(out)};
-      });
-  skadi_->registry().Register(
+      }).ok());
+  ASSERT_TRUE(skadi_->registry().Register(
       "wc_reduce",
       [](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
         SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
@@ -234,7 +234,7 @@ TEST_F(SkadiTest, MapReduceWordCountStyle) {
             RecordBatch out,
             GroupAggregateBatch(batch, {"word"}, {{AggKind::kSum, "one", "count"}}));
         return std::vector<Buffer>{SerializeBatchIpc(out)};
-      });
+      }).ok());
 
   RecordBatch sales = SalesBatch(200);
   ASSERT_TRUE(skadi_->RegisterTable("sales", sales).ok());

@@ -179,7 +179,7 @@ TEST_F(GraphExecTest, BroadcastFansInAllShards) {
 }
 
 TEST_F(GraphExecTest, BuiltinVertexRuns) {
-  registry_.Register("double_rows", [](TaskContext&, std::vector<Buffer>& args)
+  ASSERT_TRUE(registry_.Register("double_rows", [](TaskContext&, std::vector<Buffer>& args)
                                         -> Result<std::vector<Buffer>> {
     SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
     SKADI_ASSIGN_OR_RETURN(
@@ -187,7 +187,7 @@ TEST_F(GraphExecTest, BuiltinVertexRuns) {
         ProjectBatch(batch, {{Expr::Binary(BinaryOp::kMul, Expr::Col("x"), Expr::Int(2)),
                               "x2"}}));
     return std::vector<Buffer>{SerializeBatchIpc(out)};
-  });
+  }).ok());
 
   FlowGraph g;
   VertexId v = g.AddBuiltinVertex("doubler", "double_rows", OpClass::kProject);
@@ -276,7 +276,7 @@ TEST_F(GraphExecTest, ForwardParallelismMismatchRejected) {
   VertexId b = g.AddIrVertex("f2", FilterGt(1));
   g.vertex(a)->parallelism_hint = 2;
   g.vertex(b)->parallelism_hint = 3;
-  g.AddEdge(a, b);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
   auto physical = LowerToPhysical(g, {}, &registry_);
   ASSERT_TRUE(physical.ok());
   GraphExecutor executor(runtime_.get());

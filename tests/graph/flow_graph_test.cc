@@ -45,8 +45,8 @@ TEST(FlowGraphTest, CycleDetected) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("a", FilterFn(0));
   VertexId b = g.AddIrVertex("b", ProjectFn());
-  g.AddEdge(a, b);
-  g.AddEdge(b, a);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
   EXPECT_EQ(g.Validate().code(), StatusCode::kFailedPrecondition);
 }
 
@@ -74,7 +74,7 @@ TEST(FlowGraphTest, ToStringShowsStructure) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("scan_filter", FilterFn(0));
   VertexId b = g.AddBuiltinVertex("sinkv", "fn");
-  g.AddEdge(a, b, EdgeKind::kShuffle, {"x"});
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kShuffle, {"x"}).ok());
   std::string s = g.ToString();
   EXPECT_NE(s.find("scan_filter"), std::string::npos);
   EXPECT_NE(s.find("shuffle"), std::string::npos);
@@ -85,8 +85,8 @@ TEST(OptimizeFlowGraphTest, MergesLinearIrChain) {
   VertexId a = g.AddIrVertex("f1", FilterFn(0), OpClass::kFilter);
   VertexId b = g.AddIrVertex("f2", FilterFn(2), OpClass::kFilter);
   VertexId c = g.AddIrVertex("p", ProjectFn(), OpClass::kProject);
-  g.AddEdge(a, b);
-  g.AddEdge(b, c);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
 
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
@@ -101,7 +101,7 @@ TEST(OptimizeFlowGraphTest, ShuffleEdgesBlockMerging) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("f1", FilterFn(0));
   VertexId b = g.AddIrVertex("f2", FilterFn(2));
-  g.AddEdge(a, b, EdgeKind::kShuffle, {"x"});
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kShuffle, {"x"}).ok());
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(*merged, 0);
@@ -113,8 +113,8 @@ TEST(OptimizeFlowGraphTest, FanOutBlocksMerging) {
   VertexId a = g.AddIrVertex("src", FilterFn(0));
   VertexId b = g.AddIrVertex("left", FilterFn(1));
   VertexId c = g.AddIrVertex("right", FilterFn(2));
-  g.AddEdge(a, b);
-  g.AddEdge(a, c);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(a, c).ok());
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(*merged, 0);
@@ -124,7 +124,7 @@ TEST(OptimizeFlowGraphTest, BuiltinVerticesNotMerged) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("ir", FilterFn(0));
   VertexId b = g.AddBuiltinVertex("handcrafted", "fn");
-  g.AddEdge(a, b);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(*merged, 0);
@@ -136,7 +136,7 @@ TEST(OptimizeFlowGraphTest, ConflictingParallelismHintsBlockMerging) {
   VertexId b = g.AddIrVertex("f2", FilterFn(1));
   g.vertex(a)->parallelism_hint = 2;
   g.vertex(b)->parallelism_hint = 4;
-  g.AddEdge(a, b);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(*merged, 0);
@@ -147,8 +147,8 @@ TEST(OptimizeFlowGraphTest, PreservesSurroundingEdges) {
   VertexId a = g.AddIrVertex("f1", FilterFn(0));
   VertexId b = g.AddIrVertex("f2", FilterFn(1));
   VertexId c = g.AddIrVertex("agg", FilterFn(2));
-  g.AddEdge(a, b);
-  g.AddEdge(b, c, EdgeKind::kShuffle, {"x"});
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, EdgeKind::kShuffle, {"x"}).ok());
   auto merged = OptimizeFlowGraph(g);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(*merged, 1);

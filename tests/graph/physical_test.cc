@@ -69,7 +69,7 @@ TEST(PhysicalLoweringTest, ShuffleEdgeRegistersWriter) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("a", Identity());
   VertexId b = g.AddIrVertex("b", Identity());
-  g.AddEdge(a, b, EdgeKind::kShuffle, {"k"});
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kShuffle, {"k"}).ok());
   FunctionRegistry registry;
   auto physical = LowerToPhysical(g, {}, &registry);
   ASSERT_TRUE(physical.ok());
@@ -82,7 +82,7 @@ TEST(PhysicalLoweringTest, ForwardEdgeHasNoWriter) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("a", Identity());
   VertexId b = g.AddIrVertex("b", Identity());
-  g.AddEdge(a, b, EdgeKind::kForward);
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kForward).ok());
   FunctionRegistry registry;
   auto physical = LowerToPhysical(g, {}, &registry);
   ASSERT_TRUE(physical.ok());
@@ -113,7 +113,7 @@ TEST(PhysicalLoweringTest, SourcesAndSinksComputed) {
   FlowGraph g;
   VertexId a = g.AddIrVertex("a", Identity());
   VertexId b = g.AddIrVertex("b", Identity());
-  g.AddEdge(a, b);
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
   FunctionRegistry registry;
   auto physical = LowerToPhysical(g, {}, &registry);
   ASSERT_TRUE(physical.ok());

@@ -43,7 +43,7 @@ TEST(TopologyTest, InvalidIdRejected) {
 TEST(TopologyTest, ClassifySameNodeIsLocal) {
   Topology topo;
   NodeInfo a = MakeServer(0);
-  topo.AddNode(a);
+  ASSERT_TRUE(topo.AddNode(a).ok());
   EXPECT_EQ(topo.Classify(a.id, a.id), LinkClass::kLocal);
 }
 
@@ -51,8 +51,8 @@ TEST(TopologyTest, ClassifySameRackIsIntraRack) {
   Topology topo;
   NodeInfo a = MakeServer(1);
   NodeInfo b = MakeServer(1);
-  topo.AddNode(a);
-  topo.AddNode(b);
+  ASSERT_TRUE(topo.AddNode(a).ok());
+  ASSERT_TRUE(topo.AddNode(b).ok());
   EXPECT_EQ(topo.Classify(a.id, b.id), LinkClass::kIntraRack);
 }
 
@@ -60,8 +60,8 @@ TEST(TopologyTest, ClassifyDifferentRackIsInterRack) {
   Topology topo;
   NodeInfo a = MakeServer(0);
   NodeInfo b = MakeServer(1);
-  topo.AddNode(a);
-  topo.AddNode(b);
+  ASSERT_TRUE(topo.AddNode(a).ok());
+  ASSERT_TRUE(topo.AddNode(b).ok());
   EXPECT_EQ(topo.Classify(a.id, b.id), LinkClass::kInterRack);
 }
 
@@ -72,8 +72,8 @@ TEST(TopologyTest, DurableStoreAlwaysDurableClass) {
   durable.id = NodeId::Next();
   durable.role = NodeRole::kDurableStore;
   durable.rack = 0;  // same rack: still classified durable
-  topo.AddNode(a);
-  topo.AddNode(durable);
+  ASSERT_TRUE(topo.AddNode(a).ok());
+  ASSERT_TRUE(topo.AddNode(durable).ok());
   EXPECT_EQ(topo.Classify(a.id, durable.id), LinkClass::kDurable);
   EXPECT_EQ(topo.Classify(durable.id, a.id), LinkClass::kDurable);
 }
@@ -91,10 +91,10 @@ TEST(TopologyTest, TransferCostOrdering) {
   NodeInfo durable;
   durable.id = NodeId::Next();
   durable.role = NodeRole::kDurableStore;
-  topo.AddNode(a);
-  topo.AddNode(b);
-  topo.AddNode(c);
-  topo.AddNode(durable);
+  ASSERT_TRUE(topo.AddNode(a).ok());
+  ASSERT_TRUE(topo.AddNode(b).ok());
+  ASSERT_TRUE(topo.AddNode(c).ok());
+  ASSERT_TRUE(topo.AddNode(durable).ok());
 
   constexpr int64_t kBytes = 16 * 1024 * 1024;
   int64_t local = topo.TransferNanos(a.id, a.id, kBytes);
@@ -118,20 +118,20 @@ TEST(TopologyTest, ControlNanosIsLatencyOnly) {
   Topology topo;
   NodeInfo a = MakeServer(0);
   NodeInfo b = MakeServer(0);
-  topo.AddNode(a);
-  topo.AddNode(b);
+  ASSERT_TRUE(topo.AddNode(a).ok());
+  ASSERT_TRUE(topo.AddNode(b).ok());
   EXPECT_EQ(topo.ControlNanos(a.id, b.id),
             DefaultLinkParams(LinkClass::kIntraRack).latency_ns);
 }
 
 TEST(TopologyTest, NodesWithRoleFilters) {
   Topology topo;
-  topo.AddNode(MakeServer(0));
-  topo.AddNode(MakeServer(0));
+  ASSERT_TRUE(topo.AddNode(MakeServer(0)).ok());
+  ASSERT_TRUE(topo.AddNode(MakeServer(0)).ok());
   NodeInfo blade;
   blade.id = NodeId::Next();
   blade.role = NodeRole::kMemoryBlade;
-  topo.AddNode(blade);
+  ASSERT_TRUE(topo.AddNode(blade).ok());
   EXPECT_EQ(topo.NodesWithRole(NodeRole::kServer).size(), 2u);
   EXPECT_EQ(topo.NodesWithRole(NodeRole::kMemoryBlade).size(), 1u);
   EXPECT_EQ(topo.AllNodes().size(), 3u);

@@ -3,9 +3,13 @@
 // racing live traffic. These tests assert invariants (no lost updates, no
 // crashes, failures surface as clean statuses), not timing.
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "src/common/mutex.h"
 
 #include "tests/runtime/runtime_test_util.h"
 
@@ -181,12 +185,12 @@ TEST_F(StressTest, KillNodeDuringSteadyTraffic) {
 
 TEST_F(StressTest, ManyActorsConcurrentCounters) {
   Build();
-  registry_.Register("ctr_add", [](TaskContext& ctx, std::vector<Buffer>& args)
+  ASSERT_TRUE(registry_.Register("ctr_add", [](TaskContext& ctx, std::vector<Buffer>& args)
                                     -> Result<std::vector<Buffer>> {
     auto* value = static_cast<int64_t*>(ctx.actor_state->get());
     *value += I64Of(args[0]);
     return std::vector<Buffer>{I64Buffer(*value)};
-  });
+  }).ok());
 
   constexpr int kActors = 6;
   constexpr int kCallsPerActor = 25;
@@ -199,8 +203,15 @@ TEST_F(StressTest, ManyActorsConcurrentCounters) {
     actors.push_back(*actor);
   }
 
+  // Failures are collected as strings: gtest assertions are not reliable off
+  // the main thread, and sanitizer runs need the long Wait timeout.
   std::vector<std::thread> callers;
-  std::atomic<int> errors{0};
+  Mutex errors_mu;
+  std::vector<std::string> errors;
+  auto record = [&](std::string message) {
+    MutexLock lock(errors_mu);
+    errors.push_back(std::move(message));
+  };
   for (int a = 0; a < kActors; ++a) {
     callers.emplace_back([&, a] {
       std::vector<ObjectRef> refs;
@@ -208,25 +219,31 @@ TEST_F(StressTest, ManyActorsConcurrentCounters) {
         auto r = runtime_->SubmitActorTask(actors[static_cast<size_t>(a)],
                                            Call("ctr_add", {TaskArg::Value(I64Buffer(1))}));
         if (!r.ok()) {
-          errors.fetch_add(1);
+          record("submit: " + r.status().ToString());
           return;
         }
         refs.push_back((*r)[0]);
       }
-      if (!runtime_->Wait(refs, 30000).ok()) {
-        errors.fetch_add(1);
+      Status waited = runtime_->Wait(refs, 120000);
+      if (!waited.ok()) {
+        record("wait: " + waited.ToString());
         return;
       }
       auto last = runtime_->Get(refs.back());
-      if (!last.ok() || I64Of(*last) != kCallsPerActor) {
-        errors.fetch_add(1);
+      if (!last.ok()) {
+        record("get: " + last.status().ToString());
+      } else if (I64Of(*last) != kCallsPerActor) {
+        record("final counter " + std::to_string(I64Of(*last)) + " != " +
+               std::to_string(kCallsPerActor));
       }
     });
   }
   for (auto& t : callers) {
     t.join();
   }
-  EXPECT_EQ(errors.load(), 0);
+  for (const std::string& e : errors) {
+    ADD_FAILURE() << e;
+  }
 }
 
 TEST_F(StressTest, MetricsConsistentAfterLoad) {

@@ -19,7 +19,7 @@ class FabricTest : public ::testing::Test {
     info.id = NodeId::Next();
     info.role = NodeRole::kServer;
     info.rack = rack;
-    topo_->AddNode(info);
+    EXPECT_TRUE(topo_->AddNode(info).ok());
     return info.id;
   }
 
@@ -29,9 +29,9 @@ class FabricTest : public ::testing::Test {
 };
 
 TEST_F(FabricTest, CallInvokesHandlerAndReturnsReply) {
-  fabric_->RegisterHandler(b_, "echo", [](const Buffer& req) -> Result<Buffer> {
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "echo", [](const Buffer& req) -> Result<Buffer> {
     return Buffer::FromString("re:" + std::string(req.AsStringView()));
-  });
+  }).ok());
   auto reply = fabric_->Call(a_, b_, "echo", Buffer::FromString("ping"));
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->AsStringView(), "re:ping");
@@ -50,8 +50,8 @@ TEST_F(FabricTest, DuplicateServiceRegistrationFails) {
 }
 
 TEST_F(FabricTest, DeadNodeRejectsCalls) {
-  fabric_->RegisterHandler(b_, "svc",
-                           [](const Buffer&) -> Result<Buffer> { return Buffer(); });
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "svc",
+                           [](const Buffer&) -> Result<Buffer> { return Buffer(); }).ok());
   fabric_->MarkDead(b_);
   EXPECT_TRUE(fabric_->IsDead(b_));
   EXPECT_EQ(fabric_->Call(a_, b_, "svc", Buffer()).status().code(),
@@ -62,18 +62,18 @@ TEST_F(FabricTest, DeadNodeRejectsCalls) {
 }
 
 TEST_F(FabricTest, CallCountsRoundTripMessages) {
-  fabric_->RegisterHandler(b_, "svc",
-                           [](const Buffer&) -> Result<Buffer> { return Buffer(); });
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "svc",
+                           [](const Buffer&) -> Result<Buffer> { return Buffer(); }).ok());
   int64_t before = fabric_->messages(LinkClass::kIntraRack);
-  fabric_->Call(a_, b_, "svc", Buffer::FromString("x"));
+  (void)fabric_->Call(a_, b_, "svc", Buffer::FromString("x"));  // counting, not using the reply
   EXPECT_EQ(fabric_->messages(LinkClass::kIntraRack), before + 2);  // req + reply
   EXPECT_EQ(fabric_->metrics().GetCounter("fabric.control_messages").value(), 2);
 }
 
 TEST_F(FabricTest, SendCountsOneWayMessage) {
-  fabric_->RegisterHandler(b_, "svc",
-                           [](const Buffer&) -> Result<Buffer> { return Buffer(); });
-  fabric_->Send(a_, b_, "svc", Buffer::FromString("x"));
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "svc",
+                           [](const Buffer&) -> Result<Buffer> { return Buffer(); }).ok());
+  (void)fabric_->Send(a_, b_, "svc", Buffer::FromString("x"));  // counting, not using the status
   EXPECT_EQ(fabric_->metrics().GetCounter("fabric.control_messages").value(), 1);
 }
 
@@ -107,19 +107,19 @@ TEST_F(FabricTest, TotalAggregatesAcrossLinkClasses) {
 }
 
 TEST_F(FabricTest, HandlerErrorPropagates) {
-  fabric_->RegisterHandler(b_, "fail", [](const Buffer&) -> Result<Buffer> {
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "fail", [](const Buffer&) -> Result<Buffer> {
     return Status::Internal("boom");
-  });
+  }).ok());
   auto reply = fabric_->Call(a_, b_, "fail", Buffer());
   EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
   EXPECT_EQ(reply.status().message(), "boom");
 }
 
 TEST_F(FabricTest, VirtualClockAccumulatesPerCall) {
-  fabric_->RegisterHandler(b_, "svc",
-                           [](const Buffer&) -> Result<Buffer> { return Buffer(); });
+  ASSERT_TRUE(fabric_->RegisterHandler(b_, "svc",
+                           [](const Buffer&) -> Result<Buffer> { return Buffer(); }).ok());
   int64_t t0 = fabric_->clock().total_nanos();
-  fabric_->Call(a_, b_, "svc", Buffer::FromString("x"));
+  (void)fabric_->Call(a_, b_, "svc", Buffer::FromString("x"));  // timing, not using the reply
   int64_t t1 = fabric_->clock().total_nanos();
   // At least two intra-rack latencies charged.
   EXPECT_GE(t1 - t0, 2 * DefaultLinkParams(LinkClass::kIntraRack).latency_ns);

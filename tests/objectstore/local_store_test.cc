@@ -36,7 +36,7 @@ TEST(LocalStoreTest, GetMissingFails) {
 TEST(LocalStoreTest, DeleteFreesSpace) {
   LocalObjectStore store(DeviceId::Next(), 1024);
   ObjectId id = ObjectId::Next();
-  store.Put(id, MakeData(100));
+  ASSERT_TRUE(store.Put(id, MakeData(100)).ok());
   EXPECT_EQ(store.used_bytes(), 100);
   ASSERT_TRUE(store.Delete(id).ok());
   EXPECT_EQ(store.used_bytes(), 0);
@@ -66,10 +66,10 @@ TEST(LocalStoreTest, LruOrderRespectsAccess) {
   ObjectId a = ObjectId::Next();
   ObjectId b = ObjectId::Next();
   ObjectId c = ObjectId::Next();
-  store.Put(a, MakeData(40));
-  store.Put(b, MakeData(40));
+  ASSERT_TRUE(store.Put(a, MakeData(40)).ok());
+  ASSERT_TRUE(store.Put(b, MakeData(40)).ok());
   ASSERT_TRUE(store.Get(a).ok());   // refresh a; b is now LRU
-  store.Put(c, MakeData(40));       // must evict b
+  ASSERT_TRUE(store.Put(c, MakeData(40)).ok());       // must evict b
   EXPECT_TRUE(store.Contains(a));
   EXPECT_FALSE(store.Contains(b));
   EXPECT_TRUE(store.Contains(c));
@@ -78,7 +78,7 @@ TEST(LocalStoreTest, LruOrderRespectsAccess) {
 TEST(LocalStoreTest, PinnedObjectsNeverEvicted) {
   LocalObjectStore store(DeviceId::Next(), 100);
   ObjectId a = ObjectId::Next();
-  store.Put(a, MakeData(60));
+  ASSERT_TRUE(store.Put(a, MakeData(60)).ok());
   ASSERT_TRUE(store.Pin(a).ok());
   ObjectId b = ObjectId::Next();
   EXPECT_EQ(store.Put(b, MakeData(60)).code(), StatusCode::kOutOfMemory);
@@ -90,7 +90,7 @@ TEST(LocalStoreTest, PinnedObjectsNeverEvicted) {
 TEST(LocalStoreTest, UnpinWithoutPinFails) {
   LocalObjectStore store(DeviceId::Next(), 100);
   ObjectId a = ObjectId::Next();
-  store.Put(a, MakeData(10));
+  ASSERT_TRUE(store.Put(a, MakeData(10)).ok());
   EXPECT_EQ(store.Unpin(a).code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(store.Pin(ObjectId::Next()).code(), StatusCode::kNotFound);
 }
@@ -104,8 +104,8 @@ TEST(LocalStoreTest, SpillHandlerReceivesVictims) {
     return true;
   });
   ObjectId a = ObjectId::Next();
-  store.Put(a, MakeData(60));
-  store.Put(ObjectId::Next(), MakeData(60));
+  ASSERT_TRUE(store.Put(a, MakeData(60)).ok());
+  ASSERT_TRUE(store.Put(ObjectId::Next(), MakeData(60)).ok());
   ASSERT_EQ(spilled.size(), 1u);
   EXPECT_EQ(spilled[0], a);
   EXPECT_EQ(store.spilled_bytes(), 60);
@@ -114,14 +114,14 @@ TEST(LocalStoreTest, SpillHandlerReceivesVictims) {
 TEST(LocalStoreTest, SpillRejectionCausesOom) {
   LocalObjectStore store(DeviceId::Next(), 100);
   store.set_spill_handler([](ObjectId, const Buffer&) { return false; });
-  store.Put(ObjectId::Next(), MakeData(60));
+  ASSERT_TRUE(store.Put(ObjectId::Next(), MakeData(60)).ok());
   EXPECT_EQ(store.Put(ObjectId::Next(), MakeData(60)).code(), StatusCode::kOutOfMemory);
 }
 
 TEST(LocalStoreTest, ClearDropsEverything) {
   LocalObjectStore store(DeviceId::Next(), 1000);
   for (int i = 0; i < 5; ++i) {
-    store.Put(ObjectId::Next(), MakeData(10));
+    ASSERT_TRUE(store.Put(ObjectId::Next(), MakeData(10)).ok());
   }
   EXPECT_EQ(store.num_objects(), 5u);
   store.Clear();
@@ -133,8 +133,8 @@ TEST(LocalStoreTest, ListReturnsAllIds) {
   LocalObjectStore store(DeviceId::Next(), 1000);
   ObjectId a = ObjectId::Next();
   ObjectId b = ObjectId::Next();
-  store.Put(a, MakeData(1));
-  store.Put(b, MakeData(1));
+  ASSERT_TRUE(store.Put(a, MakeData(1)).ok());
+  ASSERT_TRUE(store.Put(b, MakeData(1)).ok());
   auto ids = store.List();
   EXPECT_EQ(ids.size(), 2u);
 }

@@ -62,7 +62,7 @@ TEST_F(OwnershipTableTest, ConsumersRegisteredWhilePendingReturnedOnReady) {
   auto r1 = table_.RegisterConsumer(id, c1);
   ASSERT_TRUE(r1.ok());
   EXPECT_FALSE(*r1);  // pending: parked
-  table_.RegisterConsumer(id, c2);
+  ASSERT_TRUE(table_.RegisterConsumer(id, c2).ok());
 
   auto consumers = table_.MarkReady(id, NodeId::Next(), 1);
   ASSERT_TRUE(consumers.ok());
@@ -73,7 +73,7 @@ TEST_F(OwnershipTableTest, ConsumersRegisteredWhilePendingReturnedOnReady) {
 
 TEST_F(OwnershipTableTest, ConsumerAfterReadyPushesImmediately) {
   ObjectId id = Register();
-  table_.MarkReady(id, NodeId::Next(), 1);
+  ASSERT_TRUE(table_.MarkReady(id, NodeId::Next(), 1).ok());
   auto r = table_.RegisterConsumer(id, {TaskId::Next(), NodeId::Next(), DeviceId::Next()});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(*r);
@@ -82,7 +82,7 @@ TEST_F(OwnershipTableTest, ConsumerAfterReadyPushesImmediately) {
 TEST_F(OwnershipTableTest, NodeFailureMarksLastCopyLost) {
   ObjectId id = Register();
   NodeId loc = NodeId::Next();
-  table_.MarkReady(id, loc, 1);
+  ASSERT_TRUE(table_.MarkReady(id, loc, 1).ok());
   auto lost = table_.OnNodeFailure(loc);
   ASSERT_EQ(lost.size(), 1u);
   EXPECT_EQ(lost[0], id);
@@ -93,8 +93,8 @@ TEST_F(OwnershipTableTest, ReplicaLocationSurvivesFailure) {
   ObjectId id = Register();
   NodeId loc1 = NodeId::Next();
   NodeId loc2 = NodeId::Next();
-  table_.MarkReady(id, loc1, 1);
-  table_.AddLocation(id, loc2);
+  ASSERT_TRUE(table_.MarkReady(id, loc1, 1).ok());
+  ASSERT_TRUE(table_.AddLocation(id, loc2).ok());
   auto lost = table_.OnNodeFailure(loc1);
   EXPECT_TRUE(lost.empty());
   auto reply = table_.Resolve(id);
@@ -105,7 +105,7 @@ TEST_F(OwnershipTableTest, ReplicaLocationSurvivesFailure) {
 TEST_F(OwnershipTableTest, ReconstructionReArmsLostObject) {
   ObjectId id = Register();
   NodeId loc = NodeId::Next();
-  table_.MarkReady(id, loc, 1);
+  ASSERT_TRUE(table_.MarkReady(id, loc, 1).ok());
   table_.OnNodeFailure(loc);
   TaskId new_task = TaskId::Next();
   ASSERT_TRUE(table_.MarkPendingForReconstruction(id, new_task).ok());
@@ -123,7 +123,7 @@ TEST_F(OwnershipTableTest, WaitReadyBlocksUntilMarkReady) {
   ObjectId id = Register();
   std::thread producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    table_.MarkReady(id, NodeId::Next(), 1);
+    (void)table_.MarkReady(id, NodeId::Next(), 1);  // asserts don't work off-thread
   });
   auto state = table_.WaitReady(id, 2000);
   producer.join();
@@ -141,7 +141,7 @@ TEST_F(OwnershipTableTest, WaitReadyWakesOnLoss) {
   ObjectId id = Register();
   std::thread killer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    table_.MarkLost(id);
+    ASSERT_TRUE(table_.MarkLost(id).ok());
   });
   auto state = table_.WaitReady(id, 2000);
   killer.join();
@@ -151,7 +151,7 @@ TEST_F(OwnershipTableTest, WaitReadyWakesOnLoss) {
 
 TEST_F(OwnershipTableTest, RefCountingRemovesAtZero) {
   ObjectId id = Register();
-  table_.IncRef(id);  // count = 2
+  ASSERT_TRUE(table_.IncRef(id).ok());  // count = 2
   auto first = table_.DecRef(id);
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(*first);
@@ -164,7 +164,7 @@ TEST_F(OwnershipTableTest, RefCountingRemovesAtZero) {
 TEST_F(OwnershipTableTest, ObjectsInStateFilters) {
   ObjectId pending = Register();
   ObjectId ready = Register();
-  table_.MarkReady(ready, NodeId::Next(), 1);
+  ASSERT_TRUE(table_.MarkReady(ready, NodeId::Next(), 1).ok());
   auto pendings = table_.ObjectsInState(ObjectState::kPending);
   auto readys = table_.ObjectsInState(ObjectState::kReady);
   ASSERT_EQ(pendings.size(), 1u);

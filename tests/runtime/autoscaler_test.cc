@@ -15,13 +15,13 @@ class AutoscalerTest : public ::testing::Test {
     node_.role = NodeRole::kServer;
     node_.device = MakeCpuDevice("as-test");
     node_.store = std::make_shared<LocalObjectStore>(node_.device.id, 1 << 20);
-    registry_.Register("hold", [this](TaskContext&, std::vector<Buffer>&)
+    EXPECT_TRUE(registry_.Register("hold", [this](TaskContext&, std::vector<Buffer>&)
                                    -> Result<std::vector<Buffer>> {
       while (hold_.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       return std::vector<Buffer>{Buffer()};
-    });
+    }).ok());
 
     Raylet::Callbacks callbacks;
     callbacks.resolve_arg = [](const ObjectRef&, const TaskSpec&) -> Result<Buffer> {
@@ -39,7 +39,7 @@ class AutoscalerTest : public ::testing::Test {
     for (int i = 0; i < n; ++i) {
       TaskSpec spec = Call("hold", {});
       spec.id = TaskId::Next();
-      raylet_->Enqueue(spec);
+      ASSERT_TRUE(raylet_->Enqueue(spec).ok());
     }
   }
 

@@ -25,7 +25,7 @@ class RayletTest : public ::testing::Test {
     Raylet::Callbacks callbacks;
     callbacks.resolve_arg = [this](const ObjectRef& ref, const TaskSpec&)
         -> Result<Buffer> {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = resolvable_.find(ref.id);
       if (it == resolvable_.end()) {
         return Status::NotFound("no such object");
@@ -33,31 +33,36 @@ class RayletTest : public ::testing::Test {
       return it->second;
     };
     callbacks.complete = [this](const TaskSpec& spec, std::vector<Buffer> outputs) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       completed_.emplace_back(spec.id, std::move(outputs));
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::Ok();
     };
     callbacks.fail = [this](const TaskSpec& spec, const Status& status) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       failed_.emplace_back(spec.id, status);
-      cv_.notify_all();
+      cv_.NotifyAll();
     };
     return std::make_unique<Raylet>(node_, &registry_, &clock_, callbacks, workers);
   }
 
   // Waits until `n` completions+failures accumulated.
   void AwaitOutcomes(size_t n, int timeout_ms = 5000) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                 [&] { return completed_.size() + failed_.size() >= n; });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    MutexLock lock(mu_);
+    while (completed_.size() + failed_.size() < n) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
   }
 
   ClusterNode node_;
   FunctionRegistry registry_;
   VirtualClock clock_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   std::map<ObjectId, Buffer> resolvable_;
   std::vector<std::pair<TaskId, std::vector<Buffer>>> completed_;
   std::vector<std::pair<TaskId, Status>> failed_;
@@ -80,7 +85,7 @@ TEST_F(RayletTest, ResolvesRefArgsThroughCallback) {
   resolvable_[dep] = I64Buffer(41);
   TaskSpec spec = Call("inc_i64", {TaskArg::Ref({dep, NodeId::Next()})});
   spec.id = TaskId::Next();
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_EQ(I64Of(completed_[0].second[0]), 42);
@@ -90,7 +95,7 @@ TEST_F(RayletTest, UnresolvableArgFailsTask) {
   auto raylet = MakeRaylet();
   TaskSpec spec = Call("inc_i64", {TaskArg::Ref({ObjectId::Next(), NodeId::Next()})});
   spec.id = TaskId::Next();
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   ASSERT_EQ(failed_.size(), 1u);
   EXPECT_EQ(failed_[0].second.code(), StatusCode::kNotFound);
@@ -101,7 +106,7 @@ TEST_F(RayletTest, UnknownFunctionFails) {
   auto raylet = MakeRaylet();
   TaskSpec spec = Call("mystery", {});
   spec.id = TaskId::Next();
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   ASSERT_EQ(failed_.size(), 1u);
   EXPECT_EQ(failed_[0].second.code(), StatusCode::kNotFound);
@@ -112,7 +117,7 @@ TEST_F(RayletTest, WrongReturnCountFails) {
   TaskSpec spec = Call("echo", {TaskArg::Value(Buffer::FromString("x"))});
   spec.id = TaskId::Next();
   spec.num_returns = 2;  // echo produces 1
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   ASSERT_EQ(failed_.size(), 1u);
   EXPECT_EQ(failed_[0].second.code(), StatusCode::kInternal);
@@ -123,7 +128,7 @@ TEST_F(RayletTest, ChargesFixedComputeNanos) {
   TaskSpec spec = Call("echo", {TaskArg::Value(Buffer())});
   spec.id = TaskId::Next();
   spec.fixed_compute_nanos = 123456;
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   EXPECT_EQ(clock_.total_nanos(), 123456);
 }
@@ -133,7 +138,7 @@ TEST_F(RayletTest, ChargesCostModelByDefault) {
   TaskSpec spec = Call("echo", {TaskArg::Value(Buffer::Zeros(1 << 20))});
   spec.id = TaskId::Next();
   spec.op_class = OpClass::kScan;
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   EXPECT_EQ(clock_.total_nanos(),
             CostModel::EstimateNanos(node_.device, OpClass::kScan, 1 << 20));
@@ -142,23 +147,23 @@ TEST_F(RayletTest, ChargesCostModelByDefault) {
 TEST_F(RayletTest, KilledRayletAbortsQueuedTasks) {
   auto raylet = MakeRaylet(1);
   // One long task occupies the worker, several queue behind it.
-  registry_.Register("block_20ms", [](TaskContext&, std::vector<Buffer>&)
+  ASSERT_TRUE(registry_.Register("block_20ms", [](TaskContext&, std::vector<Buffer>&)
                                        -> Result<std::vector<Buffer>> {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     return std::vector<Buffer>{Buffer()};
-  });
+  }).ok());
   TaskSpec blocker = Call("block_20ms", {});
   blocker.id = TaskId::Next();
-  raylet->Enqueue(blocker);
+  ASSERT_TRUE(raylet->Enqueue(blocker).ok());
   for (int i = 0; i < 3; ++i) {
     TaskSpec spec = Call("echo", {TaskArg::Value(Buffer())});
     spec.id = TaskId::Next();
-    raylet->Enqueue(spec);
+    ASSERT_TRUE(raylet->Enqueue(spec).ok());
   }
   raylet->Kill();
   EXPECT_TRUE(raylet->dead());
   AwaitOutcomes(4);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Everything after the kill aborts; the blocker may complete or abort
   // depending on timing.
   EXPECT_GE(failed_.size(), 3u);
@@ -179,12 +184,12 @@ TEST_F(RayletTest, WorkerGrowthIncreasesParallelism) {
 
 TEST_F(RayletTest, ActorStatePersistsAcrossTasks) {
   auto raylet = MakeRaylet();
-  registry_.Register("append_char", [](TaskContext& ctx, std::vector<Buffer>& args)
+  ASSERT_TRUE(registry_.Register("append_char", [](TaskContext& ctx, std::vector<Buffer>& args)
                                         -> Result<std::vector<Buffer>> {
     auto* s = static_cast<std::string*>(ctx.actor_state->get());
     s->append(args[0].AsStringView());
     return std::vector<Buffer>{Buffer::FromString(*s)};
-  });
+  }).ok());
   ActorId actor = ActorId::Next();
   ASSERT_TRUE(raylet->CreateActor(actor, std::make_shared<std::string>()).ok());
   EXPECT_TRUE(raylet->HasActor(actor));
@@ -194,10 +199,10 @@ TEST_F(RayletTest, ActorStatePersistsAcrossTasks) {
     TaskSpec spec = Call("append_char", {TaskArg::Value(Buffer::FromString(c))});
     spec.id = TaskId::Next();
     spec.actor = actor;
-    raylet->Enqueue(spec);
+    ASSERT_TRUE(raylet->Enqueue(spec).ok());
   }
   AwaitOutcomes(3);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSERT_EQ(completed_.size(), 3u);
   EXPECT_EQ(completed_[2].second[0].AsStringView(), "abc");
 }
@@ -207,7 +212,7 @@ TEST_F(RayletTest, ActorTaskWithoutActorFails) {
   TaskSpec spec = Call("echo", {TaskArg::Value(Buffer())});
   spec.id = TaskId::Next();
   spec.actor = ActorId::Next();
-  raylet->Enqueue(spec);
+  ASSERT_TRUE(raylet->Enqueue(spec).ok());
   AwaitOutcomes(1);
   ASSERT_EQ(failed_.size(), 1u);
   EXPECT_EQ(failed_[0].second.code(), StatusCode::kNotFound);

@@ -176,7 +176,7 @@ TEST_F(RuntimeTest, LocalityPolicyPlacesComputeAtData) {
   ObjectId big = ObjectId::Next();
   ASSERT_TRUE(cluster_->cache().Put(big, Buffer::Zeros(8 * 1024 * 1024), target).ok());
   ASSERT_TRUE(runtime_->ownership(cluster_->head()).RegisterObject(big, TaskId()).ok());
-  runtime_->ownership(cluster_->head()).MarkReady(big, target, 8 * 1024 * 1024);
+  ASSERT_TRUE(runtime_->ownership(cluster_->head()).MarkReady(big, target, 8 * 1024 * 1024).ok());
   runtime_->scheduler().MarkObjectReady(big);
 
   int64_t executed_before = runtime_->raylet(target)->tasks_executed();
@@ -247,12 +247,12 @@ struct CounterState {
 
 TEST_F(RuntimeTest, ActorTasksMutateStateSerially) {
   Build();
-  registry_.Register("counter_add", [](TaskContext& ctx, std::vector<Buffer>& args)
+  ASSERT_TRUE(registry_.Register("counter_add", [](TaskContext& ctx, std::vector<Buffer>& args)
                                         -> Result<std::vector<Buffer>> {
     auto* state = static_cast<CounterState*>(ctx.actor_state->get());
     state->value += I64Of(args[0]);
     return std::vector<Buffer>{I64Buffer(state->value)};
-  });
+  }).ok());
 
   NodeId home = cluster_->ComputeNodes()[1];
   auto actor = runtime_->CreateActor(home, std::make_shared<CounterState>());
@@ -345,11 +345,11 @@ TEST_F(RuntimeTest, AutoscalerGrowsUnderLoad) {
   config.workers_per_server = 1;
   Build(options, config);
 
-  registry_.Register("sleep_5ms", [](TaskContext&, std::vector<Buffer>&)
+  ASSERT_TRUE(registry_.Register("sleep_5ms", [](TaskContext&, std::vector<Buffer>&)
                                       -> Result<std::vector<Buffer>> {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     return std::vector<Buffer>{Buffer()};
-  });
+  }).ok());
 
   std::vector<ObjectRef> refs;
   for (int i = 0; i < 40; ++i) {
@@ -446,11 +446,11 @@ TEST_F(RuntimeTest, InFlightTasksFailOverToSurvivors) {
   options.recovery = RecoveryMode::kLineage;
   Build(options);
 
-  registry_.Register("slow_inc", [](TaskContext&, std::vector<Buffer>& args)
+  ASSERT_TRUE(registry_.Register("slow_inc", [](TaskContext&, std::vector<Buffer>& args)
                                      -> Result<std::vector<Buffer>> {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     return std::vector<Buffer>{I64Buffer(I64Of(args[0]) + 1)};
-  });
+  }).ok());
 
   NodeId victim;
   for (NodeId n : cluster_->ComputeNodes()) {
@@ -477,7 +477,7 @@ TEST_F(RuntimeTest, InFlightTasksFailOverToSurvivors) {
   Status st = runtime_->Wait(refs, 5000);
   if (st.ok()) {
     for (const ObjectRef& ref : refs) {
-      runtime_->Get(ref, 1000);
+      (void)runtime_->Get(ref, 1000);  // value may be lost mid-failover; only liveness matters
     }
   }
   SUCCEED();

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 
+#include "src/common/logging.h"
 #include "src/runtime/runtime.h"
 
 namespace skadi {
@@ -29,49 +30,55 @@ inline int64_t I64Of(const Buffer& buffer) {
 //   sum_all(xs...) -> int64 sum of all args
 //   make_zeros [1 arg: int64 n] -> buffer of n zero bytes
 //   fail_always -> kInternal
+// Fixtures rebuild clusters against one long-lived registry, so a function
+// may already be present; anything else is a hard failure.
+inline void CheckRegistered(const Status& s) {
+  SKADI_CHECK(s.ok() || s.code() == StatusCode::kAlreadyExists) << s.ToString();
+}
+
 inline void RegisterTestFunctions(FunctionRegistry& registry) {
-  registry.Register("echo", [](TaskContext&, std::vector<Buffer>& args)
+  CheckRegistered(registry.Register("echo", [](TaskContext&, std::vector<Buffer>& args)
                                 -> Result<std::vector<Buffer>> {
     if (args.size() != 1) {
       return Status::InvalidArgument("echo takes 1 arg");
     }
     return std::vector<Buffer>{args[0]};
-  });
-  registry.Register("concat", [](TaskContext&, std::vector<Buffer>& args)
+  }));
+  CheckRegistered(registry.Register("concat", [](TaskContext&, std::vector<Buffer>& args)
                                   -> Result<std::vector<Buffer>> {
     BufferBuilder b;
     for (const Buffer& a : args) {
       b.AppendBytes(a.data(), a.size());
     }
     return std::vector<Buffer>{b.Finish()};
-  });
-  registry.Register("add_i64", [](TaskContext&, std::vector<Buffer>& args)
+  }));
+  CheckRegistered(registry.Register("add_i64", [](TaskContext&, std::vector<Buffer>& args)
                                    -> Result<std::vector<Buffer>> {
     if (args.size() != 2) {
       return Status::InvalidArgument("add_i64 takes 2 args");
     }
     return std::vector<Buffer>{I64Buffer(I64Of(args[0]) + I64Of(args[1]))};
-  });
-  registry.Register("inc_i64", [](TaskContext&, std::vector<Buffer>& args)
+  }));
+  CheckRegistered(registry.Register("inc_i64", [](TaskContext&, std::vector<Buffer>& args)
                                    -> Result<std::vector<Buffer>> {
     return std::vector<Buffer>{I64Buffer(I64Of(args[0]) + 1)};
-  });
-  registry.Register("sum_all", [](TaskContext&, std::vector<Buffer>& args)
+  }));
+  CheckRegistered(registry.Register("sum_all", [](TaskContext&, std::vector<Buffer>& args)
                                    -> Result<std::vector<Buffer>> {
     int64_t sum = 0;
     for (const Buffer& a : args) {
       sum += I64Of(a);
     }
     return std::vector<Buffer>{I64Buffer(sum)};
-  });
-  registry.Register("make_zeros", [](TaskContext&, std::vector<Buffer>& args)
+  }));
+  CheckRegistered(registry.Register("make_zeros", [](TaskContext&, std::vector<Buffer>& args)
                                       -> Result<std::vector<Buffer>> {
     return std::vector<Buffer>{Buffer::Zeros(static_cast<size_t>(I64Of(args[0])))};
-  });
-  registry.Register("fail_always", [](TaskContext&, std::vector<Buffer>&)
+  }));
+  CheckRegistered(registry.Register("fail_always", [](TaskContext&, std::vector<Buffer>&)
                                        -> Result<std::vector<Buffer>> {
     return Status::Internal("deliberate failure");
-  });
+  }));
 }
 
 // Builds a TaskSpec for a one-return function call.

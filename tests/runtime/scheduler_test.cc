@@ -15,7 +15,7 @@ class SchedulerTest : public ::testing::Test {
       info.id = NodeId::Next();
       info.role = NodeRole::kServer;
       info.rack = i / 2;
-      topo_->AddNode(info);
+      EXPECT_TRUE(topo_->AddNode(info).ok());
       node_ids_.push_back(info.id);
     }
     fabric_ = std::make_unique<Fabric>(topo_);
@@ -63,7 +63,7 @@ class SchedulerTest : public ::testing::Test {
 TEST_F(SchedulerTest, RoundRobinCycles) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
   for (int i = 0; i < 8; ++i) {
-    scheduler->Submit(MakeTask());
+    ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
   }
   ASSERT_EQ(dispatched_.size(), 8u);
   for (int i = 0; i < 8; ++i) {
@@ -75,9 +75,9 @@ TEST_F(SchedulerTest, RoundRobinCycles) {
 TEST_F(SchedulerTest, LoadAwarePicksIdleNode) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kLoadAware);
   // Three tasks: all different nodes (load rises as tasks stay in flight).
-  scheduler->Submit(MakeTask());
-  scheduler->Submit(MakeTask());
-  scheduler->Submit(MakeTask());
+  ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
+  ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
+  ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
   std::set<NodeId> targets;
   for (auto& [task, node] : dispatched_) {
     targets.insert(node);
@@ -89,7 +89,7 @@ TEST_F(SchedulerTest, LoadRebalancesAfterFinish) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kLoadAware);
   TaskSpec first = MakeTask();
   TaskId first_id = first.id;
-  scheduler->Submit(std::move(first));
+  ASSERT_TRUE(scheduler->Submit(std::move(first)).ok());
   NodeId first_node = dispatched_[0].second;
   scheduler->OnTaskFinished(first_id);
   EXPECT_EQ(scheduler->inflight_on(first_node), 0);
@@ -100,13 +100,13 @@ TEST_F(SchedulerTest, LocalityFollowsBytes) {
   // Put a big object on node 2, small on node 0.
   ObjectId big = ObjectId::Next();
   ObjectId small = ObjectId::Next();
-  cache_->Put(big, Buffer::Zeros(1024 * 1024), node_ids_[2]);
-  cache_->Put(small, Buffer::Zeros(64), node_ids_[0]);
+  ASSERT_TRUE(cache_->Put(big, Buffer::Zeros(1024 * 1024), node_ids_[2]).ok());
+  ASSERT_TRUE(cache_->Put(small, Buffer::Zeros(64), node_ids_[0]).ok());
   scheduler->MarkObjectReady(big);
   scheduler->MarkObjectReady(small);
 
-  scheduler->Submit(MakeTask({TaskArg::Ref({big, NodeId()}),
-                              TaskArg::Ref({small, NodeId()})}));
+  ASSERT_TRUE(scheduler->Submit(MakeTask({TaskArg::Ref({big, NodeId()}),
+                              TaskArg::Ref({small, NodeId()})})).ok());
   ASSERT_EQ(dispatched_.size(), 1u);
   EXPECT_EQ(dispatched_[0].second, node_ids_[2]);
 }
@@ -115,7 +115,7 @@ TEST_F(SchedulerTest, PinnedNodeOverridesPolicy) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
   TaskSpec spec = MakeTask();
   spec.pinned_node = node_ids_[3];
-  scheduler->Submit(std::move(spec));
+  ASSERT_TRUE(scheduler->Submit(std::move(spec)).ok());
   EXPECT_EQ(dispatched_[0].second, node_ids_[3]);
 }
 
@@ -123,7 +123,7 @@ TEST_F(SchedulerTest, RequiredDeviceFiltersCandidates) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin, DeviceKind::kCpu);
   TaskSpec spec = MakeTask();
   spec.required_device = DeviceKind::kGpu;  // nothing matches
-  scheduler->Submit(std::move(spec));
+  ASSERT_TRUE(scheduler->Submit(std::move(spec)).ok());
   EXPECT_TRUE(dispatched_.empty());
   EXPECT_EQ(metrics_.GetCounter("scheduler.unschedulable").value(), 1);
 }
@@ -131,7 +131,7 @@ TEST_F(SchedulerTest, RequiredDeviceFiltersCandidates) {
 TEST_F(SchedulerTest, ParksUntilDependencyReady) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
   ObjectId dep = ObjectId::Next();
-  scheduler->Submit(MakeTask({TaskArg::Ref({dep, NodeId()})}));
+  ASSERT_TRUE(scheduler->Submit(MakeTask({TaskArg::Ref({dep, NodeId()})})).ok());
   EXPECT_TRUE(dispatched_.empty());
   EXPECT_EQ(scheduler->pending_tasks(), 1u);
   scheduler->OnObjectReady(dep);
@@ -143,8 +143,8 @@ TEST_F(SchedulerTest, MultiDepTaskWaitsForAll) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
   ObjectId a = ObjectId::Next();
   ObjectId b = ObjectId::Next();
-  scheduler->Submit(
-      MakeTask({TaskArg::Ref({a, NodeId()}), TaskArg::Ref({b, NodeId()})}));
+  ASSERT_TRUE(scheduler->Submit(
+      MakeTask({TaskArg::Ref({a, NodeId()}), TaskArg::Ref({b, NodeId()})})).ok());
   scheduler->OnObjectReady(a);
   EXPECT_TRUE(dispatched_.empty());
   scheduler->OnObjectReady(b);
@@ -157,13 +157,13 @@ TEST_F(SchedulerTest, GangHeldUntilComplete) {
     TaskSpec spec = MakeTask();
     spec.gang_group = "g";
     spec.gang_size = 4;
-    scheduler->Submit(std::move(spec));
+    ASSERT_TRUE(scheduler->Submit(std::move(spec)).ok());
     EXPECT_TRUE(dispatched_.empty());
   }
   TaskSpec last = MakeTask();
   last.gang_group = "g";
   last.gang_size = 4;
-  scheduler->Submit(std::move(last));
+  ASSERT_TRUE(scheduler->Submit(std::move(last)).ok());
   EXPECT_EQ(dispatched_.size(), 4u);
   EXPECT_EQ(metrics_.GetCounter("scheduler.gangs_dispatched").value(), 1);
 }
@@ -175,15 +175,15 @@ TEST_F(SchedulerTest, GangWaitsForSlots) {
   TaskSpec f2 = MakeTask();
   TaskId f1_id = f1.id;
   TaskId f2_id = f2.id;
-  scheduler->Submit(std::move(f1));
-  scheduler->Submit(std::move(f2));
+  ASSERT_TRUE(scheduler->Submit(std::move(f1)).ok());
+  ASSERT_TRUE(scheduler->Submit(std::move(f2)).ok());
   dispatched_.clear();
 
   for (int i = 0; i < 4; ++i) {
     TaskSpec spec = MakeTask();
     spec.gang_group = "spmd";
     spec.gang_size = 4;
-    scheduler->Submit(std::move(spec));
+    ASSERT_TRUE(scheduler->Submit(std::move(spec)).ok());
   }
   EXPECT_TRUE(dispatched_.empty());  // only 2 free slots
 
@@ -200,7 +200,7 @@ TEST_F(SchedulerTest, TwoGangsDispatchIndependently) {
       TaskSpec spec = MakeTask();
       spec.gang_group = group;
       spec.gang_size = 2;
-      scheduler->Submit(std::move(spec));
+      ASSERT_TRUE(scheduler->Submit(std::move(spec)).ok());
     }
   }
   EXPECT_EQ(dispatched_.size(), 4u);
@@ -209,7 +209,7 @@ TEST_F(SchedulerTest, TwoGangsDispatchIndependently) {
 
 TEST_F(SchedulerTest, NodeFailureRedispatchesInflight) {
   auto scheduler = MakeScheduler(SchedulingPolicy::kRoundRobin);
-  scheduler->Submit(MakeTask());
+  ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
   ASSERT_EQ(dispatched_.size(), 1u);
   NodeId victim = dispatched_[0].second;
   dispatched_.clear();
@@ -237,7 +237,7 @@ TEST_F(SchedulerTest, DispatchFailureRetriesElsewhere) {
     nodes.push_back(SchedulableNode{n, DeviceKind::kCpu, NodeId(), 2});
   }
   failing->SetNodes(std::move(nodes));
-  failing->Submit(MakeTask());
+  ASSERT_TRUE(failing->Submit(MakeTask()).ok());
   EXPECT_EQ(calls, 2);
   ASSERT_EQ(dispatched_.size(), 1u);
 }

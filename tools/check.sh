@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local verification matrix: default build, ThreadSanitizer build,
+# AddressSanitizer build (each with the whole ctest suite, which includes the
+# repo_lint test), in separate build trees so they don't clobber each other.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_mode() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> [$name] configure ($dir)"
+  cmake -B "$dir" -S . "$@" > /dev/null
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$JOBS" > /dev/null
+  echo "==> [$name] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_mode default  build-check
+run_mode thread   build-tsan  -DSKADI_SANITIZE=thread
+run_mode address  build-asan  -DSKADI_SANITIZE=address
+
+echo "==> all modes passed"

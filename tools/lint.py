@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Skadi repo lint: style and concurrency-hygiene checks.
+
+Registered as the `repo_lint` ctest test, so a violation fails the suite.
+
+Checks:
+  include-guard     every header has `#pragma once` or a classic
+                    `#ifndef SRC_..._H_` include guard.
+  naked-new         `new` / `delete` outside smart-pointer wrappers. Escape
+                    hatch: `// lint:allow naked-new (<reason>)` on the line.
+  raw-mutex         direct use of std::mutex / std::condition_variable /
+                    std::lock_guard / std::unique_lock anywhere but the
+                    annotated wrappers in src/common/mutex.{h,cc}. Escape
+                    hatch: `// lint:allow raw-mutex (<reason>)`.
+  guarded-by        a file that declares `Mutex foo_;` members must use
+                    GUARDED_BY / REQUIRES somewhere — catches adding a lock
+                    without annotating what it protects.
+  discarded-status  statement-level calls of known Status/Result-returning
+                    methods whose return value is ignored (belt to the
+                    [[nodiscard]] suspenders on Status/Result; catches
+                    pre-C++17 compilers and expression-statement casts).
+
+Usage: lint.py [--root REPO_ROOT] [paths...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+HEADER_EXTS = (".h", ".hpp")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# Files allowed to use raw std primitives: the wrappers themselves.
+RAW_MUTEX_ALLOWED = {
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "mutex.cc"),
+    os.path.join("src", "common", "thread_annotations.h"),
+}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
+
+NAKED_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T`, not placement-new syntax noise
+NAKED_DELETE_RE = re.compile(r"\bdelete\b")
+SMART_WRAP_RE = re.compile(
+    r"std::(unique_ptr|shared_ptr|make_unique|make_shared)|absl::make_unique")
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?(?:skadi::)?Mutex\s+\w+_?\s*;")
+GUARD_ANNOT_RE = re.compile(r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE)\s*\(")
+INCLUDE_GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b", re.MULTILINE)
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+
+# Statement-level `foo.Bar(...);` / `foo->Bar(...);` / `Bar(...);` calls to
+# these names with the result ignored are reported. Populated from the public
+# Status/Result-returning surface of src/ headers.
+STATUS_RETURNING = {
+    # LocalObjectStore / CachingLayer
+    "Put", "Pin", "Unpin", "PutEc", "PutDurable", "Migrate", "EnableSpillToBlade",
+    # OwnershipTable
+    "RegisterObject", "AddLocation", "MarkLost", "MarkPendingForReconstruction",
+    "IncRef", "DecRef",
+    # Fabric / scheduler / raylet / runtime. "Register" is absent: it
+    # collides with void Autoscaler::Register; FunctionRegistry::Register
+    # discards are caught by [[nodiscard]] at compile time instead.
+    "RegisterHandler", "Submit", "Enqueue", "CreateActor",
+    "AddNode", "RegisterTable",
+}
+# `Delete` / `Get` / `Send` etc. are deliberately absent: best-effort deletes
+# and fire-and-forget sends are common and (void)-cast where intentional.
+
+STRING_OR_COMMENT_RE = re.compile(
+    r'"(?:\\.|[^"\\])*"|\'(?:\\.|[^\'\\])*\'|//[^\n]*|/\*.*?\*/', re.DOTALL)
+
+
+def strip_strings_and_comments(text):
+    """Blanks out string/char literals and comments, preserving offsets."""
+    def repl(m):
+        s = m.group(0)
+        return "".join(c if c == "\n" else " " for c in s)
+    return STRING_OR_COMMENT_RE.sub(repl, text)
+
+
+def line_allows(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, path, lineno, rule, message):
+        rel = os.path.relpath(path, self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path):
+        rel = os.path.relpath(path, self.root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        stripped = strip_strings_and_comments(raw)
+        raw_lines = raw.splitlines()
+        lines = stripped.splitlines()
+
+        if path.endswith(HEADER_EXTS):
+            self.check_include_guard(path, raw)
+        self.check_naked_new(path, raw_lines, lines)
+        if rel not in RAW_MUTEX_ALLOWED:
+            self.check_raw_mutex(path, raw_lines, lines)
+        if path.endswith(HEADER_EXTS):
+            self.check_guarded_by(path, raw_lines, lines)
+        self.check_discarded_status(path, raw_lines, lines)
+
+    def check_include_guard(self, path, raw):
+        if not (INCLUDE_GUARD_RE.search(raw) or PRAGMA_ONCE_RE.search(raw)):
+            self.report(path, 1, "include-guard",
+                        "header has neither an include guard nor #pragma once")
+
+    def check_naked_new(self, path, raw_lines, lines):
+        for i, line in enumerate(lines, 1):
+            raw_line = raw_lines[i - 1]
+            if line_allows(raw_line, "naked-new"):
+                continue
+            if NAKED_NEW_RE.search(line):
+                if SMART_WRAP_RE.search(line):
+                    continue  # new inside unique_ptr<T>(new T) on one line
+                self.report(path, i, "naked-new",
+                            "naked `new`; use std::make_unique/make_shared "
+                            "(or annotate `// lint:allow naked-new (reason)`)")
+            if NAKED_DELETE_RE.search(line):
+                # `= delete;` declarations and deleted functions are fine.
+                if re.search(r"=\s*delete\b", line):
+                    continue
+                self.report(path, i, "naked-new",
+                            "naked `delete`; prefer owning smart pointers "
+                            "(or annotate `// lint:allow naked-new (reason)`)")
+
+    def check_raw_mutex(self, path, raw_lines, lines):
+        for i, line in enumerate(lines, 1):
+            raw_line = raw_lines[i - 1]
+            if line_allows(raw_line, "raw-mutex"):
+                continue
+            m = RAW_MUTEX_RE.search(line)
+            if m:
+                self.report(path, i, "raw-mutex",
+                            f"direct use of {m.group(0)}; use skadi::Mutex / "
+                            "MutexLock / CondVar from src/common/mutex.h")
+
+    def check_guarded_by(self, path, raw_lines, lines):
+        mutex_decl_line = None
+        for i, line in enumerate(lines, 1):
+            if MUTEX_MEMBER_RE.search(line) and not line_allows(raw_lines[i - 1],
+                                                                "unguarded-mutex"):
+                mutex_decl_line = mutex_decl_line or i
+        if mutex_decl_line is None:
+            return
+        body = "\n".join(lines)
+        if not GUARD_ANNOT_RE.search(body):
+            self.report(path, mutex_decl_line, "guarded-by",
+                        "file declares a Mutex member but contains no "
+                        "GUARDED_BY/REQUIRES annotations")
+
+    def check_discarded_status(self, path, raw_lines, lines):
+        call_re = re.compile(
+            r"^\s*(?:[A-Za-z_][\w]*(?:\.|->|::))*(" +
+            "|".join(sorted(STATUS_RETURNING)) + r")\s*\(")
+        for i, line in enumerate(lines, 1):
+            raw_line = raw_lines[i - 1]
+            if line_allows(raw_line, "discarded-status"):
+                continue
+            m = call_re.match(line)
+            if not m:
+                continue
+            # A statement that is just the call: `x.Put(...);` / `p->Put(...);`
+            # or a call spanning lines that begins a statement (the anchored
+            # regex already rejects `return x.Put(...)`, assignments, and
+            # macro-wrapped calls). Heuristic guard: the previous non-blank
+            # stripped line must end a statement/block, so continuations of a
+            # larger expression are skipped.
+            j = i - 2
+            while j >= 0 and not lines[j].strip():
+                j -= 1
+            if j >= 0:
+                prev = lines[j].rstrip()
+                if prev and prev[-1] not in "{};:)" :
+                    continue  # continuation of a larger expression
+            self.report(path, i, "discarded-status",
+                        f"result of {m.group(1)}() is discarded; handle it, "
+                        "propagate it, or cast to (void) with a comment")
+
+
+def collect_files(root, paths):
+    if paths:
+        for p in paths:
+            if os.path.isfile(p):
+                yield os.path.abspath(p)
+        return
+    for d in LINT_DIRS:
+        top = os.path.join(root, d)
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint.py: no src/ under --root {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    n = 0
+    for path in collect_files(root, args.paths):
+        linter.lint_file(path)
+        n += 1
+
+    for finding in linter.findings:
+        print(finding)
+    print(f"lint.py: {n} files checked, {len(linter.findings)} finding(s)")
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
