@@ -332,6 +332,12 @@ Result<SqlPlan> PlanSql(const SqlSelect& select, const SqlPlannerOptions& option
   } else {
     SKADI_ASSIGN_OR_RETURN(plan, PlanSimpleSelect(select, options));
   }
+  if (options.intra_op_threads < 0) {
+    return Status::InvalidArgument("intra_op_threads must be >= 0");
+  }
+  for (const FlowVertex& v : plan.graph.vertices()) {
+    plan.graph.vertex(v.id)->compute_threads_hint = options.intra_op_threads;
+  }
   SKADI_RETURN_IF_ERROR(plan.graph.Validate());
   return plan;
 }

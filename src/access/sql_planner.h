@@ -30,6 +30,10 @@ struct SqlPlan {
 
 struct SqlPlannerOptions {
   int parallelism = 2;  // shard count of scan and (grouped) aggregate stages
+  // Morsel threads each plan vertex may use inside its kernels
+  // (FlowVertex::compute_threads_hint). 0 = inherit the executing raylet's
+  // worker budget at run time.
+  int intra_op_threads = 0;
 };
 
 Result<SqlPlan> PlanSql(const SqlSelect& select, const SqlPlannerOptions& options = {});

@@ -141,6 +141,22 @@ Result<Skadi::PreparedSql> Skadi::PrepareSql(const std::string& query) {
       planner_options.parallelism = static_cast<int>(main_partitions);
     }
   }
+  // DOP-aware intra-op budget: the worker threads left per shard once the
+  // cluster is split `parallelism` ways. Wide plans get narrow kernels (the
+  // shards already saturate the workers); narrow plans get wide kernels.
+  {
+    int64_t total_workers = 0;
+    for (const ClusterNode& node : cluster_->nodes()) {
+      if (node.is_compute()) {
+        total_workers += std::max(0, node.default_workers);
+      }
+    }
+    if (total_workers > 0) {
+      int64_t per_shard = total_workers / std::max(1, planner_options.parallelism);
+      planner_options.intra_op_threads = static_cast<int>(
+          std::min<int64_t>(std::max<int64_t>(1, per_shard), 8));
+    }
+  }
   SKADI_ASSIGN_OR_RETURN(SqlPlan plan, PlanSql(select, planner_options));
 
   // Bind table sources before any structural rewrite invalidates ids? The

@@ -1,5 +1,8 @@
 #include "src/format/column.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace skadi {
 
 std::string_view DataTypeName(DataType type) {
@@ -82,6 +85,23 @@ Column Column::MakeString(std::vector<std::string> values, std::vector<uint8_t> 
   return c;
 }
 
+Column Column::MakeStringFromOffsets(std::vector<uint32_t> offsets,
+                                     std::vector<char> bytes,
+                                     std::vector<uint8_t> validity) {
+  assert(!offsets.empty() && offsets.front() == 0);
+  assert(offsets.back() == bytes.size());
+  Column c;
+  c.type_ = DataType::kString;
+  c.length_ = static_cast<int64_t>(offsets.size()) - 1;
+  c.string_offsets_ = std::move(offsets);
+  c.string_bytes_ = std::move(bytes);
+  assert(validity.empty() ||
+         validity.size() == static_cast<size_t>(c.length_));
+  c.validity_ = std::move(validity);
+  c.CountNulls();
+  return c;
+}
+
 size_t Column::ByteSize() const {
   size_t bytes = 0;
   bytes += ints_.size() * sizeof(int64_t);
@@ -94,12 +114,123 @@ size_t Column::ByteSize() const {
 }
 
 Column Column::Take(const std::vector<int64_t>& indices) const {
-  ColumnBuilder builder(type_);
-  for (int64_t i : indices) {
-    assert(i >= 0 && i < length_);
-    builder.AppendFrom(*this, i);
+  const size_t n = indices.size();
+  // Contiguous ascending selections (whole-batch filters, slices expressed as
+  // index lists) are a straight subrange copy.
+  if (n > 0 && indices.back() == indices.front() + static_cast<int64_t>(n) - 1) {
+    bool contiguous = true;
+    for (size_t i = 1; i < n; ++i) {
+      if (indices[i] != indices[i - 1] + 1) {
+        contiguous = false;
+        break;
+      }
+    }
+    if (contiguous) {
+      return SliceRange(indices.front(), static_cast<int64_t>(n));
+    }
   }
-  return builder.Finish();
+
+  Column c;
+  c.type_ = type_;
+  c.length_ = static_cast<int64_t>(n);
+  switch (type_) {
+    case DataType::kInt64: {
+      c.ints_.resize(n);
+      const int64_t* src = ints_.data();
+      for (size_t i = 0; i < n; ++i) {
+        assert(indices[i] >= 0 && indices[i] < length_);
+        c.ints_[i] = src[indices[i]];
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      c.doubles_.resize(n);
+      const double* src = doubles_.data();
+      for (size_t i = 0; i < n; ++i) {
+        assert(indices[i] >= 0 && indices[i] < length_);
+        c.doubles_[i] = src[indices[i]];
+      }
+      break;
+    }
+    case DataType::kBool: {
+      c.bools_.resize(n);
+      const uint8_t* src = bools_.data();
+      for (size_t i = 0; i < n; ++i) {
+        assert(indices[i] >= 0 && indices[i] < length_);
+        c.bools_[i] = src[indices[i]];
+      }
+      break;
+    }
+    case DataType::kString: {
+      // Pass 1: exact byte total so the data buffer is sized once.
+      const uint32_t* offsets = string_offsets_.data();
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        assert(indices[i] >= 0 && indices[i] < length_);
+        total += offsets[indices[i] + 1] - offsets[indices[i]];
+      }
+      c.string_offsets_.resize(n + 1);
+      c.string_bytes_.resize(total);
+      // Pass 2: copy each row's bytes and write rebased offsets.
+      const char* src = string_bytes_.data();
+      char* dst = c.string_bytes_.data();
+      uint32_t pos = 0;
+      c.string_offsets_[0] = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t begin = offsets[indices[i]];
+        uint32_t len = offsets[indices[i] + 1] - begin;
+        std::memcpy(dst + pos, src + begin, len);
+        pos += len;
+        c.string_offsets_[i + 1] = pos;
+      }
+      break;
+    }
+  }
+  if (!validity_.empty()) {
+    c.validity_.resize(n);
+    const uint8_t* src = validity_.data();
+    for (size_t i = 0; i < n; ++i) {
+      c.validity_[i] = src[indices[i]];
+    }
+  }
+  c.CountNulls();
+  return c;
+}
+
+Column Column::SliceRange(int64_t offset, int64_t length) const {
+  offset = std::max<int64_t>(0, std::min(offset, length_));
+  length = std::max<int64_t>(0, std::min(length, length_ - offset));
+  const size_t b = static_cast<size_t>(offset);
+  const size_t e = b + static_cast<size_t>(length);
+  Column c;
+  c.type_ = type_;
+  c.length_ = length;
+  switch (type_) {
+    case DataType::kInt64:
+      c.ints_.assign(ints_.begin() + b, ints_.begin() + e);
+      break;
+    case DataType::kFloat64:
+      c.doubles_.assign(doubles_.begin() + b, doubles_.begin() + e);
+      break;
+    case DataType::kBool:
+      c.bools_.assign(bools_.begin() + b, bools_.begin() + e);
+      break;
+    case DataType::kString: {
+      const uint32_t base = string_offsets_[b];
+      c.string_offsets_.resize(static_cast<size_t>(length) + 1);
+      for (size_t i = 0; i <= static_cast<size_t>(length); ++i) {
+        c.string_offsets_[i] = string_offsets_[b + i] - base;
+      }
+      c.string_bytes_.assign(string_bytes_.begin() + base,
+                             string_bytes_.begin() + string_offsets_[e]);
+      break;
+    }
+  }
+  if (!validity_.empty()) {
+    c.validity_.assign(validity_.begin() + b, validity_.begin() + e);
+  }
+  c.CountNulls();
+  return c;
 }
 
 std::string Column::ValueToString(int64_t i) const {

@@ -30,6 +30,12 @@ class Column {
                          std::vector<uint8_t> validity = {});
   static Column MakeString(std::vector<std::string> values,
                            std::vector<uint8_t> validity = {});
+  // Adopts an Arrow-layout string column directly (offsets has length+1
+  // entries, offsets[0] == 0, monotonic, back() == bytes.size()); lets serde
+  // and vectorized gathers skip per-row rebuilds. Invariants are asserted.
+  static Column MakeStringFromOffsets(std::vector<uint32_t> offsets,
+                                      std::vector<char> bytes,
+                                      std::vector<uint8_t> validity = {});
 
   DataType type() const { return type_; }
   int64_t length() const { return length_; }
@@ -74,8 +80,13 @@ class Column {
   const std::vector<uint8_t>& validity() const { return validity_; }
 
   // Gathers rows at `indices` into a new column. Out-of-range indices are a
-  // programming error (asserted).
+  // programming error (asserted). Typed bulk gather; contiguous ascending
+  // runs degrade to SliceRange copies.
   Column Take(const std::vector<int64_t>& indices) const;
+
+  // Rows [offset, offset+length) as a new column (copies; clamps to bounds).
+  // Bulk subrange copies, no per-row appends.
+  Column SliceRange(int64_t offset, int64_t length) const;
 
   // Value at row i rendered as text ("null" for nulls); for debugging/tests.
   std::string ValueToString(int64_t i) const;

@@ -2,6 +2,18 @@
 // (Figure 2's cudf/misc op boxes) that FlowGraph vertices and IR lowering
 // bind to; they run on host threads while the hw::CostModel charges the
 // placed device's modelled time.
+//
+// The primary kernels are vectorized: inner loops run over raw typed column
+// arrays with validity handled outside the loop, and keyed kernels hash raw
+// values directly (src/format/row_hash.h) instead of materializing a string
+// key per row. Passing ComputeOptions{num_threads > 1} additionally engages
+// morsel-driven intra-kernel parallelism (src/common/morsel_pool.h): the row
+// range is split into morsels, workers keep thread-local partial state, and
+// partials are merged deterministically.
+//
+// The original row-at-a-time implementations are retained in the
+// skadi::reference namespace as the oracle for parity tests and as the
+// baseline for bench_kernels.
 #ifndef SRC_FORMAT_COMPUTE_H_
 #define SRC_FORMAT_COMPUTE_H_
 
@@ -14,8 +26,27 @@
 
 namespace skadi {
 
+// Intra-kernel execution knobs. Defaults reproduce the sequential behavior;
+// raylets hand their worker budget down through TaskContext::compute_threads
+// and task bodies forward it here.
+struct ComputeOptions {
+  // Max workers (including the calling thread) a kernel may use.
+  int num_threads = 1;
+  // Rows per morsel for work-stealing loops.
+  int64_t morsel_rows = 64 * 1024;
+  // Batches smaller than this stay on the single-threaded path even when
+  // num_threads > 1 (fan-out overhead dominates below it).
+  int64_t parallel_threshold_rows = 32 * 1024;
+
+  // True when this kernel invocation may engage the morsel pool for `rows`.
+  bool ShouldParallelize(int64_t rows) const {
+    return num_threads > 1 && rows >= parallel_threshold_rows;
+  }
+};
+
 // Rows where `predicate` evaluates to true (nulls drop).
-Result<RecordBatch> FilterBatch(const RecordBatch& batch, const Expr& predicate);
+Result<RecordBatch> FilterBatch(const RecordBatch& batch, const Expr& predicate,
+                                const ComputeOptions& options = {});
 
 struct ProjectionSpec {
   ExprPtr expr;
@@ -24,14 +55,15 @@ struct ProjectionSpec {
 
 // Computes one output column per projection.
 Result<RecordBatch> ProjectBatch(const RecordBatch& batch,
-                                 const std::vector<ProjectionSpec>& projections);
+                                 const std::vector<ProjectionSpec>& projections,
+                                 const ComputeOptions& options = {});
 
 // Splits rows into `num_partitions` batches by hashing the key columns.
 // Deterministic: same inputs always land in the same partition (shuffle
-// producers and consumers rely on this).
+// producers and consumers rely on this), independent of options.num_threads.
 Result<std::vector<RecordBatch>> HashPartitionBatch(
     const RecordBatch& batch, const std::vector<std::string>& key_columns,
-    uint32_t num_partitions);
+    uint32_t num_partitions, const ComputeOptions& options = {});
 
 enum class AggKind { kCount, kSum, kMin, kMax, kMean };
 
@@ -47,10 +79,13 @@ struct AggregateSpec {
 // Nulls in aggregated columns are skipped; null group keys form their own
 // group. Output schema: group columns then one column per aggregate
 // (kCount -> int64; kSum -> input type; kMin/kMax -> input type;
-// kMean -> float64).
+// kMean -> float64). Single-threaded runs emit groups in first-occurrence
+// order; morsel-parallel runs emit a deterministic chunk-merge order (float
+// sums may differ in the last bits from the sequential accumulation order).
 Result<RecordBatch> GroupAggregateBatch(const RecordBatch& batch,
                                         const std::vector<std::string>& group_by,
-                                        const std::vector<AggregateSpec>& aggregates);
+                                        const std::vector<AggregateSpec>& aggregates,
+                                        const ComputeOptions& options = {});
 
 struct SortKey {
   std::string column;
@@ -65,10 +100,33 @@ Result<RecordBatch> SortBatch(const RecordBatch& batch, const std::vector<SortKe
 // clash with left names get a "_r" suffix. Null keys never match.
 Result<RecordBatch> HashJoinBatch(const RecordBatch& left, const RecordBatch& right,
                                   const std::vector<std::string>& left_keys,
-                                  const std::vector<std::string>& right_keys);
+                                  const std::vector<std::string>& right_keys,
+                                  const ComputeOptions& options = {});
 
 // First `n` rows.
 RecordBatch LimitBatch(const RecordBatch& batch, int64_t n);
+
+// Retained row-at-a-time scalar implementations (src/format/
+// compute_reference.cc). Same contracts as the vectorized kernels above,
+// including identical hash-partition assignment; used as parity oracles and
+// benchmark baselines. Do not use on hot paths.
+namespace reference {
+
+Result<RecordBatch> FilterBatch(const RecordBatch& batch, const Expr& predicate);
+
+Result<std::vector<RecordBatch>> HashPartitionBatch(
+    const RecordBatch& batch, const std::vector<std::string>& key_columns,
+    uint32_t num_partitions);
+
+Result<RecordBatch> GroupAggregateBatch(const RecordBatch& batch,
+                                        const std::vector<std::string>& group_by,
+                                        const std::vector<AggregateSpec>& aggregates);
+
+Result<RecordBatch> HashJoinBatch(const RecordBatch& left, const RecordBatch& right,
+                                  const std::vector<std::string>& left_keys,
+                                  const std::vector<std::string>& right_keys);
+
+}  // namespace reference
 
 }  // namespace skadi
 

@@ -102,9 +102,13 @@ RecordBatch RecordBatch::Slice(int64_t offset, int64_t length) const {
   if (offset + length > num_rows_) {
     length = num_rows_ - offset;
   }
-  std::vector<int64_t> indices(static_cast<size_t>(length));
-  std::iota(indices.begin(), indices.end(), offset);
-  return Take(indices);
+  std::vector<Column> columns;
+  columns.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    columns.push_back(c.SliceRange(offset, length));
+  }
+  auto result = Make(schema_, std::move(columns));
+  return std::move(result).value();
 }
 
 std::string RecordBatch::ToString(int64_t max_rows) const {

@@ -1,0 +1,141 @@
+#include "src/format/row_hash.h"
+
+#include <cstring>
+
+namespace skadi {
+
+namespace {
+
+inline uint64_t Float64Bits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Mixes one column's value at `row` into `h`. Kept in one place so the
+// row-at-a-time and column-at-a-time paths cannot drift apart.
+inline uint64_t MixColumnValue(uint64_t h, const Column& col, int64_t row) {
+  if (col.IsNull(row)) {
+    return HashCombine(h, kNullKeyHash);
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      return HashCombine(h, HashI64(col.Int64At(row)));
+    case DataType::kFloat64:
+      return HashCombine(h, MixU64(Float64Bits(col.Float64At(row))));
+    case DataType::kString:
+      return HashCombine(h, HashString(col.StringAt(row)));
+    case DataType::kBool:
+      return HashCombine(h, HashI64(col.BoolAt(row) ? 1 : 0));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashKeyRow(const std::vector<const Column*>& keys, int64_t row) {
+  uint64_t h = kFnvOffsetBasis;
+  for (const Column* col : keys) {
+    h = MixColumnValue(h, *col, row);
+  }
+  return h;
+}
+
+void HashKeyRows(const std::vector<const Column*>& keys, int64_t begin, int64_t end,
+                 uint64_t* out) {
+  const int64_t n = end - begin;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = kFnvOffsetBasis;
+  }
+  // Column-at-a-time: one type dispatch per column, tight typed loops inside.
+  for (const Column* col : keys) {
+    const bool has_nulls = col->has_nulls();
+    const uint8_t* validity = has_nulls ? col->validity().data() : nullptr;
+    switch (col->type()) {
+      case DataType::kInt64: {
+        const int64_t* values = col->ints().data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t r = begin + i;
+          uint64_t vh = (validity != nullptr && validity[r] == 0) ? kNullKeyHash
+                                                                  : HashI64(values[r]);
+          out[i] = HashCombine(out[i], vh);
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        const double* values = col->doubles().data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t r = begin + i;
+          uint64_t vh = (validity != nullptr && validity[r] == 0)
+                            ? kNullKeyHash
+                            : MixU64(Float64Bits(values[r]));
+          out[i] = HashCombine(out[i], vh);
+        }
+        break;
+      }
+      case DataType::kString: {
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t r = begin + i;
+          uint64_t vh = (validity != nullptr && validity[r] == 0)
+                            ? kNullKeyHash
+                            : HashString(col->StringAt(r));
+          out[i] = HashCombine(out[i], vh);
+        }
+        break;
+      }
+      case DataType::kBool: {
+        const uint8_t* values = col->bools().data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t r = begin + i;
+          uint64_t vh = (validity != nullptr && validity[r] == 0)
+                            ? kNullKeyHash
+                            : HashI64(values[r] != 0 ? 1 : 0);
+          out[i] = HashCombine(out[i], vh);
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool KeyRowsEqual(const std::vector<const Column*>& a, int64_t ra,
+                  const std::vector<const Column*>& b, int64_t rb) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    const Column& ca = *a[k];
+    const Column& cb = *b[k];
+    bool na = ca.IsNull(ra);
+    bool nb = cb.IsNull(rb);
+    if (na || nb) {
+      if (na != nb) {
+        return false;
+      }
+      continue;
+    }
+    switch (ca.type()) {
+      case DataType::kInt64:
+        if (ca.Int64At(ra) != cb.Int64At(rb)) {
+          return false;
+        }
+        break;
+      case DataType::kFloat64:
+        if (Float64Bits(ca.Float64At(ra)) != Float64Bits(cb.Float64At(rb))) {
+          return false;
+        }
+        break;
+      case DataType::kString:
+        if (ca.StringAt(ra) != cb.StringAt(rb)) {
+          return false;
+        }
+        break;
+      case DataType::kBool:
+        if (ca.BoolAt(ra) != cb.BoolAt(rb)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace skadi

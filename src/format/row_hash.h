@@ -1,0 +1,45 @@
+// Typed per-row key hashing and row equality over key column sets.
+//
+// Replaces the old per-row `EncodeKey` std::string materialization: hashes
+// are combined directly from raw column values (one mix per column, zero
+// heap allocations), and candidate matches are verified with a typed
+// value-by-value comparison. Both the vectorized kernels and the retained
+// scalar references use these, so hash-partition assignment is identical
+// across implementations.
+//
+// Semantics (must stay in sync between HashKeyRow/HashKeyRows/KeyRowsEqual):
+//   - null gets its own tag and equals only null;
+//   - float64 hashes and compares by bit pattern (-0.0 != 0.0, NaN == NaN
+//     for identical payloads), matching the old textual encoding's intent;
+//   - bool/int64/string hash their raw values.
+#ifndef SRC_FORMAT_ROW_HASH_H_
+#define SRC_FORMAT_ROW_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/format/column.h"
+
+namespace skadi {
+
+// Tag mixed in for a null key value; any fixed odd constant distinct from
+// value hashes works, collisions are resolved by KeyRowsEqual anyway.
+inline constexpr uint64_t kNullKeyHash = 0x9ae16a3b2f90404fULL;
+
+// Hash of one row's key tuple (row-at-a-time; scalar reference path).
+uint64_t HashKeyRow(const std::vector<const Column*>& keys, int64_t row);
+
+// Hashes rows [begin, end) column-at-a-time into out[0 .. end-begin).
+// Produces bit-identical results to calling HashKeyRow per row.
+void HashKeyRows(const std::vector<const Column*>& keys, int64_t begin, int64_t end,
+                 uint64_t* out);
+
+// True when row `ra` of key set `a` equals row `rb` of key set `b`
+// value-by-value (nulls equal nulls). Key sets must be type-aligned.
+bool KeyRowsEqual(const std::vector<const Column*>& a, int64_t ra,
+                  const std::vector<const Column*>& b, int64_t rb);
+
+}  // namespace skadi
+
+#endif  // SRC_FORMAT_ROW_HASH_H_

@@ -111,17 +111,18 @@ Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer) {
             offsets.size() != num_rows + 1) {
           return Status::InvalidArgument("truncated IPC batch (string column)");
         }
-        // Rebuild through the builder to keep Column's invariants internal.
-        ColumnBuilder builder(DataType::kString);
+        // Validate the wire offsets, then adopt the buffers directly instead
+        // of re-appending every row through a builder.
+        if (offsets.front() != 0 || offsets.back() != bytes.size()) {
+          return Status::InvalidArgument("corrupt IPC batch (string offsets)");
+        }
         for (uint64_t i = 0; i < num_rows; ++i) {
-          if (!validity.empty() && validity[i] == 0) {
-            builder.AppendNull();
-          } else {
-            builder.AppendString(
-                std::string_view(bytes.data() + offsets[i], offsets[i + 1] - offsets[i]));
+          if (offsets[i] > offsets[i + 1]) {
+            return Status::InvalidArgument("corrupt IPC batch (string offsets)");
           }
         }
-        col = builder.Finish();
+        col = Column::MakeStringFromOffsets(std::move(offsets), std::move(bytes),
+                                            std::move(validity));
         break;
       }
       default:

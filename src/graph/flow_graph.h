@@ -40,6 +40,9 @@ struct FlowVertex {
   int parallelism_hint = 0;
   // Pin the vertex to a device kind; nullopt lets lowering pick by cost.
   std::optional<DeviceKind> backend_hint;
+  // Intra-task morsel threads for this vertex's kernels; 0 = inherit the
+  // executing raylet's worker budget (TaskContext::compute_threads).
+  int compute_threads_hint = 0;
 
   bool is_ir() const { return ir != nullptr; }
 };

@@ -230,9 +230,11 @@ Result<PhysicalGraph> LowerToPhysical(const FlowGraph& graph, const LoweringOpti
       }
 
       plan.task_function = "vtx." + std::to_string(lowering_id) + "." + vid.ToString();
+      const int threads_hint = vertex->compute_threads_hint;
       SKADI_RETURN_IF_ERROR(registry->Register(
           plan.task_function,
-          [ir](TaskContext&, std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
+          [ir, threads_hint](TaskContext& ctx,
+                             std::vector<Buffer>& args) -> Result<std::vector<Buffer>> {
             SKADI_ASSIGN_OR_RETURN(auto groups, SplitGroups(args));
             if (groups.size() != ir->params().size()) {
               return Status::InvalidArgument(
@@ -248,7 +250,14 @@ Result<PhysicalGraph> LowerToPhysical(const FlowGraph& graph, const LoweringOpti
               SKADI_ASSIGN_OR_RETURN(IrRuntimeValue value, DecodeIrValue(merged, type.kind));
               values.push_back(std::move(value));
             }
-            SKADI_ASSIGN_OR_RETURN(auto outputs, EvalIrFunction(*ir, std::move(values)));
+            // Vertex hint wins; otherwise the raylet's worker budget flows
+            // into the kernels' morsel parallelism.
+            IrEvalOptions eval_options;
+            eval_options.compute.num_threads =
+                threads_hint > 0 ? threads_hint : ctx.compute_threads;
+            SKADI_ASSIGN_OR_RETURN(
+                auto outputs,
+                EvalIrFunction(*ir, std::move(values), nullptr, eval_options));
             if (outputs.empty()) {
               return Status::Internal("vertex '" + ir->name() + "' produced no outputs");
             }
@@ -299,14 +308,16 @@ Result<PhysicalGraph> LowerToPhysical(const FlowGraph& graph, const LoweringOpti
                               std::to_string(edge_index);
       SKADI_RETURN_IF_ERROR(registry->Register(
           edge.shuffle_function,
-          [keys, dst_parallelism](TaskContext&, std::vector<Buffer>& args)
+          [keys, dst_parallelism](TaskContext& ctx, std::vector<Buffer>& args)
               -> Result<std::vector<Buffer>> {
             if (args.size() != 1) {
               return Status::InvalidArgument("shuffle writer takes one batch");
             }
             SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(args[0]));
-            SKADI_ASSIGN_OR_RETURN(auto partitions,
-                                   HashPartitionBatch(batch, keys, dst_parallelism));
+            ComputeOptions copts;
+            copts.num_threads = ctx.compute_threads;
+            SKADI_ASSIGN_OR_RETURN(
+                auto partitions, HashPartitionBatch(batch, keys, dst_parallelism, copts));
             std::vector<Buffer> out;
             out.reserve(partitions.size());
             for (const RecordBatch& p : partitions) {

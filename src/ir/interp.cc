@@ -54,7 +54,9 @@ Result<Tensor> ApplyFusedStep(Tensor input, const std::string& step) {
 
 Result<std::vector<IrRuntimeValue>> EvalIrFunction(const IrFunction& fn,
                                                    std::vector<IrRuntimeValue> args,
-                                                   IrExecStats* stats) {
+                                                   IrExecStats* stats,
+                                                   const IrEvalOptions& options) {
+  const ComputeOptions& copts = options.compute;
   SKADI_RETURN_IF_ERROR(fn.Verify());
   if (args.size() != fn.params().size()) {
     return Status::InvalidArgument("function '" + fn.name() + "' takes " +
@@ -79,34 +81,34 @@ Result<std::vector<IrRuntimeValue>> EvalIrFunction(const IrFunction& fn,
     if (opcode == kOpRelFilter) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, AsBatch(*in[0], opcode));
       SKADI_ASSIGN_OR_RETURN(ExprPtr pred, op.GetAttr<ExprPtr>("pred"));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch out, FilterBatch(batch, *pred));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch out, FilterBatch(batch, *pred, copts));
       result = std::move(out);
     } else if (opcode == kOpRelProject) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, AsBatch(*in[0], opcode));
       SKADI_ASSIGN_OR_RETURN(auto projections,
                              op.GetAttr<std::vector<ProjectionSpec>>("projections"));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch out, ProjectBatch(batch, projections));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch out, ProjectBatch(batch, projections, copts));
       result = std::move(out);
     } else if (opcode == kOpFusedFilterProject) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, AsBatch(*in[0], opcode));
       SKADI_ASSIGN_OR_RETURN(ExprPtr pred, op.GetAttr<ExprPtr>("pred"));
       SKADI_ASSIGN_OR_RETURN(auto projections,
                              op.GetAttr<std::vector<ProjectionSpec>>("projections"));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch filtered, FilterBatch(batch, *pred));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch out, ProjectBatch(filtered, projections));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch filtered, FilterBatch(batch, *pred, copts));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch out, ProjectBatch(filtered, projections, copts));
       result = std::move(out);
     } else if (opcode == kOpRelAggregate) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, AsBatch(*in[0], opcode));
       SKADI_ASSIGN_OR_RETURN(auto group_by, op.GetAttr<std::vector<std::string>>("group_by"));
       SKADI_ASSIGN_OR_RETURN(auto aggs, op.GetAttr<std::vector<AggregateSpec>>("aggs"));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch out, GroupAggregateBatch(batch, group_by, aggs));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch out, GroupAggregateBatch(batch, group_by, aggs, copts));
       result = std::move(out);
     } else if (opcode == kOpRelJoin) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch left, AsBatch(*in[0], opcode));
       SKADI_ASSIGN_OR_RETURN(RecordBatch right, AsBatch(*in[1], opcode));
       SKADI_ASSIGN_OR_RETURN(auto lk, op.GetAttr<std::vector<std::string>>("left_keys"));
       SKADI_ASSIGN_OR_RETURN(auto rk, op.GetAttr<std::vector<std::string>>("right_keys"));
-      SKADI_ASSIGN_OR_RETURN(RecordBatch out, HashJoinBatch(left, right, lk, rk));
+      SKADI_ASSIGN_OR_RETURN(RecordBatch out, HashJoinBatch(left, right, lk, rk, copts));
       result = std::move(out);
     } else if (opcode == kOpRelSort) {
       SKADI_ASSIGN_OR_RETURN(RecordBatch batch, AsBatch(*in[0], opcode));

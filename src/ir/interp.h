@@ -7,6 +7,7 @@
 
 #include <variant>
 
+#include "src/format/compute.h"
 #include "src/format/record_batch.h"
 #include "src/format/tensor.h"
 #include "src/ir/ir.h"
@@ -25,10 +26,16 @@ struct IrExecStats {
 // Approximate size of a runtime value (for stats and cost charging).
 int64_t IrValueBytes(const IrRuntimeValue& value);
 
+// Execution knobs threaded from the task layer into the relational kernels.
+struct IrEvalOptions {
+  ComputeOptions compute;
+};
+
 // Runs the function with `args` bound to its parameters (positional).
 Result<std::vector<IrRuntimeValue>> EvalIrFunction(const IrFunction& fn,
                                                    std::vector<IrRuntimeValue> args,
-                                                   IrExecStats* stats = nullptr);
+                                                   IrExecStats* stats = nullptr,
+                                                   const IrEvalOptions& options = {});
 
 }  // namespace skadi
 

@@ -1,5 +1,7 @@
 #include "src/runtime/raylet.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace skadi {
@@ -77,6 +79,9 @@ void Raylet::RunTask(TaskSpec spec) {
   ctx.node = node_.id;
   ctx.device = node_.device;
   ctx.runtime = runtime_;
+  // The node's worker-pool width is the task's intra-kernel thread budget; a
+  // static bound (not live occupancy) so results are reproducible.
+  ctx.compute_threads = std::max(1, static_cast<int>(num_workers()));
 
   Result<std::vector<Buffer>> outputs = [&]() -> Result<std::vector<Buffer>> {
     if (spec.actor.valid()) {

@@ -1,5 +1,6 @@
 #include "src/runtime/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -244,6 +245,7 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
   metrics().GetCounter("runtime.pull_resolutions").Increment();
   OwnershipTable& table = ownership(ref.owner);
   int64_t deadline_ms = options_.default_get_timeout_ms;
+  std::chrono::milliseconds backoff(1);
   for (int round = 0; round < 64; ++round) {
     auto state = table.WaitReady(ref.id, deadline_ms);
     if (!state.ok()) {
@@ -252,13 +254,15 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
     if (*state == ObjectState::kReady) {
       return cluster_->cache().Get(ref.id, at);
     }
-    // kLost: lineage recovery (if enabled) re-arms the object to pending;
-    // give it a beat and retry.
+    // kLost: lineage recovery (if enabled) re-arms the object to pending.
+    // Capped exponential backoff: early retries catch a fast re-execution,
+    // later ones stop hammering the ownership table while lineage replays.
     if (options_.recovery == RecoveryMode::kNone) {
       return Status::DataLoss("argument " + ref.ToString() + " of task " +
                               spec.id.ToString() + " lost with recovery disabled");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(16));
   }
   return Status::DataLoss("argument " + ref.ToString() + " unrecoverable");
 }
@@ -336,6 +340,7 @@ Result<Buffer> SkadiRuntime::Get(const ObjectRef& ref, int64_t timeout_ms) {
   NodeId head = cluster_->head();
   OwnershipTable& table = ownership(ref.owner);
   const int64_t deadline = NowNanos() + timeout_ms * 1000000;
+  std::chrono::milliseconds backoff(1);
   while (true) {
     int64_t remaining_ms = (deadline - NowNanos()) / 1000000;
     if (remaining_ms <= 0) {
@@ -354,7 +359,9 @@ Result<Buffer> SkadiRuntime::Get(const ObjectRef& ref, int64_t timeout_ms) {
     if (options_.recovery == RecoveryMode::kNone) {
       return Status::DataLoss("object " + ref.ToString() + " lost");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Lost-object retry with capped exponential backoff (see ResolveArg).
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(16));
   }
 }
 

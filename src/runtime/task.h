@@ -90,6 +90,11 @@ struct TaskContext {
   NodeId node;
   DeviceSpec device;
   SkadiRuntime* runtime = nullptr;
+  // Intra-task compute budget: how many threads the task body may hand to
+  // morsel-parallel kernels (ComputeOptions::num_threads). Set by the raylet
+  // from its worker-pool width; deliberately not a live load measure so task
+  // results stay deterministic run to run.
+  int compute_threads = 1;
   // Non-null for actor tasks: the actor's mutable state cell.
   std::shared_ptr<void>* actor_state = nullptr;
 };

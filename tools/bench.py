@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Runs bench_kernels and writes BENCH_kernels.json at the repo root.
+
+The JSON captures, per kernel and row count, the three execution modes
+(0 = scalar reference, 1 = vectorized, 2 = vectorized + morsel parallel)
+with wall time, throughput, and the derived speedups vs. the scalar
+reference — the numbers quoted in EXPERIMENTS.md's Experiment K table.
+
+Usage:
+  tools/bench.py [--build-dir build] [--out BENCH_kernels.json]
+                 [--smoke] [--filter REGEX] [--repetitions N]
+
+--smoke sets SKADI_BENCH_SMOKE=1 (64k rows, one iteration per benchmark);
+used by tools/check.sh to exercise the kernels under sanitizers without
+paying full benchmark time.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MODE_NAMES = {0: "scalar_reference", 1: "vectorized", 2: "morsel_parallel"}
+
+
+def parse_name(name):
+    """'BM_KernelGroupBy/rows:2000000/mode:1' -> (kernel, rows, mode).
+
+    Aggregate rows ('..._mean') return None so only raw/mean-free entries
+    are collected (with --repetitions we keep the '_mean' aggregate instead).
+    """
+    m = re.match(r"(BM_\w+)/rows:(\d+)/mode:(\d+)(?:/iterations:\d+)?(?:_(\w+))?$", name)
+    if not m:
+        return None
+    kernel, rows, mode, agg = m.group(1), int(m.group(2)), int(m.group(3)), m.group(4)
+    return kernel, rows, mode, agg
+
+
+def run_benchmark(binary, out_json, bench_filter, repetitions, smoke):
+    cmd = [
+        binary,
+        f"--benchmark_out={out_json}",
+        "--benchmark_out_format=json",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    env = dict(os.environ)
+    if smoke:
+        env["SKADI_BENCH_SMOKE"] = "1"
+    subprocess.run(cmd, check=True, env=env)
+
+
+def collect(raw, repetitions):
+    """Groups google-benchmark entries into kernel/rows rows with one column
+    per mode, then derives speedups vs. mode 0."""
+    want_agg = "mean" if repetitions > 1 else None
+    table = {}
+    for entry in raw.get("benchmarks", []):
+        parsed = parse_name(entry["name"])
+        if parsed is None:
+            continue
+        kernel, rows, mode, agg = parsed
+        if agg != want_agg:
+            continue
+        key = (kernel, rows)
+        row = table.setdefault(key, {"kernel": kernel, "rows": rows, "modes": {}})
+        row["modes"][MODE_NAMES[mode]] = {
+            "wall_ms": entry["real_time"],
+            "cpu_ms": entry["cpu_time"],
+            "rows_per_sec": entry.get("rows_per_sec"),
+            "key_allocs_avoided": entry.get("key_allocs_avoided"),
+        }
+    results = []
+    for key in sorted(table):
+        row = table[key]
+        ref = row["modes"].get("scalar_reference")
+        if ref and ref["wall_ms"] > 0:
+            for mode_name in ("vectorized", "morsel_parallel"):
+                mode = row["modes"].get(mode_name)
+                if mode and mode["wall_ms"] > 0:
+                    mode["speedup_vs_scalar"] = round(ref["wall_ms"] / mode["wall_ms"], 2)
+        results.append(row)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--filter", default="")
+    parser.add_argument("--repetitions", type=int, default=1)
+    args = parser.parse_args()
+
+    binary = os.path.join(REPO_ROOT, args.build_dir, "bench", "bench_kernels")
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found; build the repo first "
+                 f"(cmake -B {args.build_dir} -S . && cmake --build {args.build_dir})")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        run_benchmark(binary, tmp_path, args.filter, args.repetitions, args.smoke)
+        with open(tmp_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+    out = {
+        "benchmark": "bench_kernels",
+        "context": raw.get("context", {}),
+        "smoke": args.smoke,
+        "repetitions": args.repetitions,
+        "results": collect(raw, args.repetitions),
+    }
+    out_path = os.path.join(REPO_ROOT, args.out)
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(out['results'])} kernel/size rows)")
+
+
+if __name__ == "__main__":
+    main()

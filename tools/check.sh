@@ -18,6 +18,10 @@ run_mode() {
   cmake --build "$dir" -j "$JOBS" > /dev/null
   echo "==> [$name] ctest"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  # One-iteration kernel smoke (64k rows, all modes): exercises the morsel
+  # pool and vectorized kernels under each sanitizer without full bench time.
+  echo "==> [$name] bench_kernels smoke"
+  SKADI_BENCH_SMOKE=1 "$dir/bench/bench_kernels" > /dev/null
 }
 
 run_mode default  build-check
