@@ -5,15 +5,35 @@
 // hence reducing the cost paid per transfer."
 //
 // Workload: encode+decode a (int64, string, float64) batch through (a) the
-// columnar IPC path (block copies of column buffers) and (b) the row
-// marshalling codec (per-value type tags), swept over row count.
-// Metric: real wall time; throughput in MB/s.
-// Expected shape: IPC is several times faster and the gap widens with batch
-// size; row marshalling burns CPU per value.
+// columnar IPC path (aligned layout; deserialize returns views into the wire
+// buffer, zero-copy) and (b) the row marshalling codec (per-value type
+// tags), swept over row count up to 2M.
+// Metric: real wall time; throughput in MB/s; payload_copies counts Buffer
+// copy-constructions per iteration (the zero-copy deserialize reports 0).
+// Expected shape: IPC round trip is several times faster and the gap widens
+// with batch size; the deserialize-only comparison is starker still since
+// the IPC read side does no per-row work at all.
+//
+// SKADI_BENCH_SMOKE=1 shrinks sizes to 10k rows and runs one iteration per
+// benchmark — used by tools/check.sh so the sanitizer matrix exercises the
+// aliasing serde paths without paying full benchmark time.
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 
 namespace skadi {
 namespace {
+
+bool SmokeMode() { return std::getenv("SKADI_BENCH_SMOKE") != nullptr; }
+
+void RegisterSizes(benchmark::internal::Benchmark* b) {
+  if (SmokeMode()) {
+    b->Arg(10000)->Iterations(1);
+  } else {
+    b->Arg(10000)->Arg(100000)->Arg(1000000)->Arg(2000000);
+  }
+  b->Unit(benchmark::kMillisecond);
+}
 
 RecordBatch MakeWideBatch(int64_t rows) {
   Rng rng(7);
@@ -58,12 +78,44 @@ void BM_RowCodecRoundTrip(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(batch.num_rows());
 }
 
-BENCHMARK(BM_IpcRoundTrip)->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RowCodecRoundTrip)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IpcRoundTrip)->Apply(RegisterSizes);
+BENCHMARK(BM_RowCodecRoundTrip)->Apply(RegisterSizes);
+
+// Deserialize-only: the consumer-side cost of reading an already-sealed
+// object, the path Get + task-argument binding pays per consumer. The IPC
+// side is zero-copy (header parse + view construction), so payload_copies
+// must report 0 and the time should be near-constant in batch size except
+// for the string-offset validation scan.
+void BM_IpcDeserialize(benchmark::State& state) {
+  RecordBatch batch = MakeWideBatch(state.range(0));
+  Buffer wire = SerializeBatchIpc(batch);
+  Buffer::ResetCopyStats();
+  for (auto _ : state) {
+    auto decoded = DeserializeBatchIpc(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(wire.size()) * state.iterations());
+  state.counters["rows"] = static_cast<double>(batch.num_rows());
+  state.counters["payload_copies"] = static_cast<double>(Buffer::copy_count()) /
+                                     static_cast<double>(state.iterations());
+}
+
+void BM_RowCodecDeserialize(benchmark::State& state) {
+  RecordBatch batch = MakeWideBatch(state.range(0));
+  Buffer wire = SerializeBatchRowCodec(batch);
+  Buffer::ResetCopyStats();
+  for (auto _ : state) {
+    auto decoded = DeserializeBatchRowCodec(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(wire.size()) * state.iterations());
+  state.counters["rows"] = static_cast<double>(batch.num_rows());
+  state.counters["payload_copies"] = static_cast<double>(Buffer::copy_count()) /
+                                     static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_IpcDeserialize)->Apply(RegisterSizes);
+BENCHMARK(BM_RowCodecDeserialize)->Apply(RegisterSizes);
 
 // The cross-device angle: cost of one producer->consumer exchange through
 // the caching layer when the payload needs no re-encoding (shared format)
@@ -91,8 +143,17 @@ void BM_ExchangeMarshalled(benchmark::State& state) {
                           state.iterations());
 }
 
-BENCHMARK(BM_ExchangeSharedFormat)->Arg(100000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ExchangeMarshalled)->Arg(100000)->Unit(benchmark::kMillisecond);
+void RegisterExchangeSizes(benchmark::internal::Benchmark* b) {
+  if (SmokeMode()) {
+    b->Arg(10000)->Iterations(1);
+  } else {
+    b->Arg(100000);
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_ExchangeSharedFormat)->Apply(RegisterExchangeSizes);
+BENCHMARK(BM_ExchangeMarshalled)->Apply(RegisterExchangeSizes);
 
 }  // namespace
 }  // namespace skadi

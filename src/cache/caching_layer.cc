@@ -152,19 +152,72 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
   }
 
   LocalObjectStore* src_store = stores_.at(source).get();
+
+  if (source == at) {
+    // Local hit: no fabric transfer, no coalescing needed. The returned
+    // Buffer shares the store entry's refcounted storage.
+    lock.Unlock();
+    return src_store->Get(id);
+  }
+
+  // Remote fetch: single-flight per (at, id). A fetch already in flight
+  // makes this call a follower — it waits for the leader's result instead
+  // of paying a second fabric transfer for the same bytes.
+  const std::pair<NodeId, ObjectId> key(at, id);
+  auto fit = inflight_.find(key);
+  if (fit != inflight_.end()) {
+    std::shared_ptr<Flight> flight = fit->second;
+    lock.Unlock();
+    fabric_->metrics().GetCounter("cache.coalesced_fetches").Add(1);
+    MutexLock flock(flight->mu);
+    while (!flight->done) {
+      flight->cv.Wait(flock);
+    }
+    if (!flight->status.ok()) {
+      return flight->status;
+    }
+    return flight->data;  // shares storage with the leader's copy
+  }
+
+  auto flight = std::make_shared<Flight>();
+  inflight_[key] = flight;
   lock.Unlock();
 
+  Result<Buffer> fetched = FetchRemote(id, source, at, src_store, cache_locally);
+
+  // Publish the result to followers, then retire the flight. Both steps take
+  // exactly one lock at a time (flight->mu, then mu_), so no ordering edge
+  // against store locks is created.
+  {
+    MutexLock flock(flight->mu);
+    if (fetched.ok()) {
+      flight->data = *fetched;
+    } else {
+      flight->status = fetched.status();
+    }
+    flight->done = true;
+    flight->cv.NotifyAll();
+  }
+  {
+    MutexLock relock(mu_);
+    inflight_.erase(key);
+  }
+  return fetched;
+}
+
+Result<Buffer> CachingLayer::FetchRemote(ObjectId id, NodeId source, NodeId at,
+                                         LocalObjectStore* src_store,
+                                         bool cache_locally) {
   SKADI_ASSIGN_OR_RETURN(Buffer data, src_store->Get(id));
-  if (source != at) {
-    fabric_->TransferBytes(source, at, static_cast<int64_t>(data.size()));
-    if (cache_locally) {
-      LocalObjectStore* dst_store = StoreOf(at);
-      if (dst_store != nullptr && dst_store->Put(id, data).ok()) {
-        MutexLock relock(mu_);
-        auto dit = directory_.find(id);
-        if (dit != directory_.end()) {
-          dit->second.locations.insert(at);
-        }
+  fabric_->TransferBytes(source, at, static_cast<int64_t>(data.size()));
+  fabric_->metrics().GetCounter("cache.remote_fetches").Add(1);
+  if (cache_locally) {
+    LocalObjectStore* dst_store = StoreOf(at);
+    if (dst_store != nullptr && dst_store->Put(id, data).ok()) {
+      MutexLock relock(mu_);
+      auto dit = directory_.find(id);
+      if (dit != directory_.end()) {
+        dit->second.locations.insert(at);
       }
     }
   }

@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cache/erasure.h"
@@ -53,6 +54,11 @@ class CachingLayer {
   // `cache_locally`, the fetched copy is inserted into at's store and
   // becomes a new location. Falls back to EC decode if all replicas are
   // gone but shards survive.
+  //
+  // Remote fetches are single-flight per (at, id): concurrent readers on the
+  // same node coalesce onto one fabric transfer and share the resulting
+  // Buffer (zero-copy — Buffers alias refcounted storage). Followers inherit
+  // the leader's result, including its cache_locally decision.
   Result<Buffer> Get(ObjectId id, NodeId at, bool cache_locally = false);
 
   // Removes all copies and shards.
@@ -131,6 +137,24 @@ class CachingLayer {
   Result<Buffer> TryEcReconstruct(const EcFetchPlan& plan, ObjectId id, NodeId at)
       EXCLUDES(mu_);
 
+  // One in-flight remote fetch, shared by a leader (who performs it) and any
+  // followers that arrived while it ran. Followers wait on `cv` holding only
+  // `mu` — never the directory lock — so completion cannot deadlock against
+  // store locks or mu_.
+  struct Flight {
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu);
+    Buffer data GUARDED_BY(mu);
+  };
+
+  // Performs the remote fetch for Get (store read + fabric transfer +
+  // optional local caching). Called without mu_ held.
+  Result<Buffer> FetchRemote(ObjectId id, NodeId source, NodeId at,
+                             LocalObjectStore* src_store, bool cache_locally)
+      EXCLUDES(mu_);
+
   Fabric* fabric_;
   CachingLayerOptions options_;
 
@@ -140,6 +164,9 @@ class CachingLayer {
   NodeId durable_node_ GUARDED_BY(mu_);
   std::unordered_map<ObjectId, DirEntry> directory_ GUARDED_BY(mu_);
   std::unordered_map<std::string, Buffer> durable_contents_ GUARDED_BY(mu_);
+  // Remote fetches currently in flight, keyed by (destination, object).
+  std::map<std::pair<NodeId, ObjectId>, std::shared_ptr<Flight>> inflight_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

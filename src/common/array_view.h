@@ -1,0 +1,71 @@
+// ArrayView<T>: a non-owning, immutable view over a contiguous typed array.
+//
+// Columns and tensors expose their storage through ArrayView so the same
+// accessor works whether the bytes live in an owned std::vector or alias a
+// sealed object-store Buffer (the zero-copy IPC path). The view itself never
+// keeps anything alive — whoever hands one out must hold the owner.
+#ifndef SRC_COMMON_ARRAY_VIEW_H_
+#define SRC_COMMON_ARRAY_VIEW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace skadi {
+
+template <typename T>
+class ArrayView {
+ public:
+  constexpr ArrayView() = default;
+  constexpr ArrayView(const T* data, size_t size) : data_(data), size_(size) {}
+  // Implicit from a vector: lets owned storage flow through view-typed APIs.
+  ArrayView(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  ArrayView subview(size_t offset, size_t count) const {
+    return ArrayView(data_ + offset, count);
+  }
+
+  // Content equality (like the std::vector semantics this replaces).
+  friend bool operator==(const ArrayView& a, const ArrayView& b) {
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    if (a.data_ == b.data_) {
+      return true;
+    }
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  friend bool operator==(const ArrayView& a, const std::vector<T>& b) {
+    return a == ArrayView(b);
+  }
+  friend bool operator==(const std::vector<T>& a, const ArrayView& b) {
+    return ArrayView(a) == b;
+  }
+  friend bool operator!=(const ArrayView& a, const ArrayView& b) { return !(a == b); }
+
+  // Materializes an owned copy (the explicit escape hatch when a caller
+  // really needs to outlive the view's owner).
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace skadi
+
+#endif  // SRC_COMMON_ARRAY_VIEW_H_

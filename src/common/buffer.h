@@ -4,9 +4,18 @@
 // stores, and shipped over the fabric. It is immutable after construction so
 // it can be shared across threads and "transferred" zero-copy inside the
 // emulated cluster while the fabric charges the modelled cost.
+//
+// A Buffer is a (owner, data, size) triple: `owner` is a type-erased
+// shared_ptr keeping the backing storage alive, `data`/`size` a window into
+// it. Slice() and Wrap() create aliasing buffers that share the owner
+// without touching the bytes — the primitive under the zero-copy IPC path
+// (deserialized columns alias the sealed store buffer). Because owners are
+// refcounted, an aliasing view keeps the bytes alive even after the object
+// store evicts or deletes the entry that originally held them.
 #ifndef SRC_COMMON_BUFFER_H_
 #define SRC_COMMON_BUFFER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -21,16 +30,27 @@ class Buffer {
   Buffer() = default;
 
   // Takes ownership of `bytes`.
-  explicit Buffer(std::vector<uint8_t> bytes)
-      : data_(std::make_shared<const std::vector<uint8_t>>(std::move(bytes))) {}
+  explicit Buffer(std::vector<uint8_t> bytes) {
+    auto owned = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
 
+  // Copying constructors. These are the only Buffer entry points that
+  // memcpy payload bytes; the debug copy counter below tallies them so
+  // benches and tests can prove a path is copy-free. Hot paths should use
+  // Slice/Wrap/BufferBuilder::Finish instead (enforced by tools/lint.py's
+  // zero-copy-hot-path rule for serde/objectstore/cache code).
   static Buffer FromString(std::string_view s) {
+    CountCopy(s.size());
     std::vector<uint8_t> bytes(s.size());
     std::memcpy(bytes.data(), s.data(), s.size());
     return Buffer(std::move(bytes));
   }
 
   static Buffer FromBytes(const void* data, size_t size) {
+    CountCopy(size);
     std::vector<uint8_t> bytes(size);
     if (size > 0) {
       std::memcpy(bytes.data(), data, size);
@@ -41,9 +61,31 @@ class Buffer {
   // An all-zero buffer of the given size (used by workload generators).
   static Buffer Zeros(size_t size) { return Buffer(std::vector<uint8_t>(size)); }
 
-  const uint8_t* data() const { return data_ ? data_->data() : nullptr; }
-  size_t size() const { return data_ ? data_->size() : 0; }
-  bool empty() const { return size() == 0; }
+  // Wraps foreign storage without copying: `owner` keeps [data, data+size)
+  // alive for as long as any wrapping Buffer (or slice of one) exists.
+  static Buffer Wrap(std::shared_ptr<const void> owner, const void* data, size_t size) {
+    Buffer b;
+    b.owner_ = std::move(owner);
+    b.data_ = static_cast<const uint8_t*>(data);
+    b.size_ = size;
+    return b;
+  }
+
+  // Zero-copy sub-range sharing this buffer's ownership. Out-of-range
+  // offsets/lengths clamp to the buffer bounds.
+  Buffer Slice(size_t offset, size_t length) const {
+    offset = offset > size_ ? size_ : offset;
+    length = length > size_ - offset ? size_ - offset : length;
+    return Wrap(owner_, data_ + offset, length);
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // The refcounted handle keeping the bytes alive; aliased into Columns and
+  // Tensors by the zero-copy deserializers.
+  const std::shared_ptr<const void>& owner() const { return owner_; }
 
   std::string_view AsStringView() const {
     return std::string_view(reinterpret_cast<const char*>(data()), size());
@@ -60,8 +102,29 @@ class Buffer {
     return size() == 0 || std::memcmp(data(), other.data(), size()) == 0;
   }
 
+  // --- Debug copy accounting (cheap enough to keep on in release) ---
+  // Counts payload-copying constructions (FromBytes/FromString) so the
+  // zero-copy bench and the aliasing tests can assert a data path performed
+  // no memcpy. Process-wide, relaxed atomics.
+  static uint64_t copy_count() { return copy_count_.load(std::memory_order_relaxed); }
+  static uint64_t copy_bytes() { return copy_bytes_.load(std::memory_order_relaxed); }
+  static void ResetCopyStats() {
+    copy_count_.store(0, std::memory_order_relaxed);
+    copy_bytes_.store(0, std::memory_order_relaxed);
+  }
+
  private:
-  std::shared_ptr<const std::vector<uint8_t>> data_;
+  static void CountCopy(size_t bytes) {
+    copy_count_.fetch_add(1, std::memory_order_relaxed);
+    copy_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  inline static std::atomic<uint64_t> copy_count_{0};
+  inline static std::atomic<uint64_t> copy_bytes_{0};
+
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 // Append-only builder producing a Buffer. Provides primitive-typed appends
@@ -74,6 +137,18 @@ class BufferBuilder {
   void AppendBytes(const void* data, size_t size) {
     const uint8_t* p = static_cast<const uint8_t*>(data);
     bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  // Appends `n` zero bytes (alignment padding in the IPC layout).
+  void AppendZeros(size_t n) { bytes_.resize(bytes_.size() + n, 0); }
+
+  // Pads with zeros so the next append lands at a multiple of `alignment`
+  // relative to the buffer start. `alignment` must be a power of two.
+  void AlignTo(size_t alignment) {
+    size_t rem = bytes_.size() & (alignment - 1);
+    if (rem != 0) {
+      AppendZeros(alignment - rem);
+    }
   }
 
   template <typename T>
@@ -102,8 +177,8 @@ class BufferBuilder {
 };
 
 // Sequential reader over a Buffer; the inverse of BufferBuilder.
-// Out-of-bounds reads are programming errors and assert in debug builds;
-// in release they clamp and return zero values.
+// Out-of-bounds reads return false/zero values and latch the `corrupt` flag
+// so decoders can distinguish "exhausted cleanly" from "wire data lied".
 class BufferReader {
  public:
   explicit BufferReader(Buffer buffer) : buffer_(std::move(buffer)) {}
@@ -112,8 +187,13 @@ class BufferReader {
   size_t offset() const { return offset_; }
   bool exhausted() const { return remaining() == 0; }
 
+  // True once any read ran past the end of the buffer (truncated or
+  // corrupt input). Sticky.
+  bool corrupt() const { return corrupt_; }
+
   bool ReadBytes(void* out, size_t size) {
     if (remaining() < size) {
+      corrupt_ = true;
       return false;
     }
     std::memcpy(out, buffer_.data() + offset_, size);
@@ -135,19 +215,26 @@ class BufferReader {
   int64_t ReadI64() { return ReadPod<int64_t>(); }
   double ReadF64() { return ReadPod<double>(); }
 
-  std::string ReadLengthPrefixedString() {
+  // Reads a u32 length prefix then that many bytes into `out`. A length
+  // larger than the remaining bytes is corruption: returns false, leaves
+  // `out` empty, latches corrupt(), and does not consume the partial
+  // payload (callers must stop decoding rather than truncate data).
+  bool ReadLengthPrefixedString(std::string& out) {
+    out.clear();
     uint32_t n = ReadU32();
-    if (remaining() < n) {
-      n = static_cast<uint32_t>(remaining());
+    if (corrupt_ || remaining() < n) {
+      corrupt_ = true;
+      return false;
     }
-    std::string s(reinterpret_cast<const char*>(buffer_.data() + offset_), n);
+    out.assign(reinterpret_cast<const char*>(buffer_.data() + offset_), n);
     offset_ += n;
-    return s;
+    return true;
   }
 
  private:
   Buffer buffer_;
   size_t offset_ = 0;
+  bool corrupt_ = false;
 };
 
 }  // namespace skadi

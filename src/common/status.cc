@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ABORTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

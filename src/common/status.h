@@ -27,6 +27,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kAborted,          // task/job cancelled or killed by failure injection
   kDataLoss,         // object irrecoverably lost (no lineage, no replica)
+  kCorruption,       // wire/stored bytes fail structural validation
   kUnimplemented,
   kInternal,
 };
@@ -70,6 +71,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -19,6 +19,17 @@ std::string_view DataTypeName(DataType type) {
   return "?";
 }
 
+void Column::AdoptStorage(std::shared_ptr<Storage> storage) {
+  ints_ = storage->ints;
+  doubles_ = storage->doubles;
+  bools_ = storage->bools;
+  string_offsets_ = storage->string_offsets;
+  string_bytes_ = storage->string_bytes;
+  validity_ = storage->validity;
+  storage_ = std::move(storage);
+  owner_ = storage_;
+}
+
 void Column::CountNulls() {
   null_count_ = 0;
   for (uint8_t v : validity_) {
@@ -27,7 +38,18 @@ void Column::CountNulls() {
     }
   }
   if (null_count_ == 0) {
-    validity_.clear();  // normalize: all-valid bitmap == no bitmap
+    validity_ = {};  // normalize: all-valid bitmap == no bitmap
+  }
+}
+
+void Column::SetNullCount(int64_t null_count) {
+  if (null_count < 0) {
+    CountNulls();
+    return;
+  }
+  null_count_ = null_count;
+  if (null_count_ == 0) {
+    validity_ = {};
   }
 }
 
@@ -35,9 +57,11 @@ Column Column::MakeInt64(std::vector<int64_t> values, std::vector<uint8_t> valid
   Column c;
   c.type_ = DataType::kInt64;
   c.length_ = static_cast<int64_t>(values.size());
-  c.ints_ = std::move(values);
-  assert(validity.empty() || validity.size() == c.ints_.size());
-  c.validity_ = std::move(validity);
+  assert(validity.empty() || validity.size() == values.size());
+  auto storage = std::make_shared<Storage>();
+  storage->ints = std::move(values);
+  storage->validity = std::move(validity);
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   return c;
 }
@@ -46,9 +70,11 @@ Column Column::MakeFloat64(std::vector<double> values, std::vector<uint8_t> vali
   Column c;
   c.type_ = DataType::kFloat64;
   c.length_ = static_cast<int64_t>(values.size());
-  c.doubles_ = std::move(values);
-  assert(validity.empty() || validity.size() == c.doubles_.size());
-  c.validity_ = std::move(validity);
+  assert(validity.empty() || validity.size() == values.size());
+  auto storage = std::make_shared<Storage>();
+  storage->doubles = std::move(values);
+  storage->validity = std::move(validity);
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   return c;
 }
@@ -57,9 +83,11 @@ Column Column::MakeBool(std::vector<uint8_t> values, std::vector<uint8_t> validi
   Column c;
   c.type_ = DataType::kBool;
   c.length_ = static_cast<int64_t>(values.size());
-  c.bools_ = std::move(values);
-  assert(validity.empty() || validity.size() == c.bools_.size());
-  c.validity_ = std::move(validity);
+  assert(validity.empty() || validity.size() == values.size());
+  auto storage = std::make_shared<Storage>();
+  storage->bools = std::move(values);
+  storage->validity = std::move(validity);
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   return c;
 }
@@ -68,19 +96,21 @@ Column Column::MakeString(std::vector<std::string> values, std::vector<uint8_t> 
   Column c;
   c.type_ = DataType::kString;
   c.length_ = static_cast<int64_t>(values.size());
-  c.string_offsets_.reserve(values.size() + 1);
-  c.string_offsets_.push_back(0);
+  assert(validity.empty() || validity.size() == values.size());
+  auto storage = std::make_shared<Storage>();
+  storage->string_offsets.reserve(values.size() + 1);
+  storage->string_offsets.push_back(0);
   size_t total = 0;
   for (const std::string& s : values) {
     total += s.size();
   }
-  c.string_bytes_.reserve(total);
+  storage->string_bytes.reserve(total);
   for (const std::string& s : values) {
-    c.string_bytes_.insert(c.string_bytes_.end(), s.begin(), s.end());
-    c.string_offsets_.push_back(static_cast<uint32_t>(c.string_bytes_.size()));
+    storage->string_bytes.insert(storage->string_bytes.end(), s.begin(), s.end());
+    storage->string_offsets.push_back(static_cast<uint32_t>(storage->string_bytes.size()));
   }
-  assert(validity.empty() || validity.size() == values.size());
-  c.validity_ = std::move(validity);
+  storage->validity = std::move(validity);
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   return c;
 }
@@ -93,12 +123,72 @@ Column Column::MakeStringFromOffsets(std::vector<uint32_t> offsets,
   Column c;
   c.type_ = DataType::kString;
   c.length_ = static_cast<int64_t>(offsets.size()) - 1;
-  c.string_offsets_ = std::move(offsets);
-  c.string_bytes_ = std::move(bytes);
-  assert(validity.empty() ||
-         validity.size() == static_cast<size_t>(c.length_));
-  c.validity_ = std::move(validity);
+  assert(validity.empty() || validity.size() == static_cast<size_t>(c.length_));
+  auto storage = std::make_shared<Storage>();
+  storage->string_offsets = std::move(offsets);
+  storage->string_bytes = std::move(bytes);
+  storage->validity = std::move(validity);
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
+  return c;
+}
+
+Column Column::ViewInt64(std::shared_ptr<const void> owner, const int64_t* values,
+                         int64_t length, const uint8_t* validity, int64_t null_count) {
+  Column c;
+  c.type_ = DataType::kInt64;
+  c.length_ = length;
+  c.owner_ = std::move(owner);
+  c.ints_ = {values, static_cast<size_t>(length)};
+  if (validity != nullptr) {
+    c.validity_ = {validity, static_cast<size_t>(length)};
+  }
+  c.SetNullCount(null_count);
+  return c;
+}
+
+Column Column::ViewFloat64(std::shared_ptr<const void> owner, const double* values,
+                           int64_t length, const uint8_t* validity, int64_t null_count) {
+  Column c;
+  c.type_ = DataType::kFloat64;
+  c.length_ = length;
+  c.owner_ = std::move(owner);
+  c.doubles_ = {values, static_cast<size_t>(length)};
+  if (validity != nullptr) {
+    c.validity_ = {validity, static_cast<size_t>(length)};
+  }
+  c.SetNullCount(null_count);
+  return c;
+}
+
+Column Column::ViewBool(std::shared_ptr<const void> owner, const uint8_t* values,
+                        int64_t length, const uint8_t* validity, int64_t null_count) {
+  Column c;
+  c.type_ = DataType::kBool;
+  c.length_ = length;
+  c.owner_ = std::move(owner);
+  c.bools_ = {values, static_cast<size_t>(length)};
+  if (validity != nullptr) {
+    c.validity_ = {validity, static_cast<size_t>(length)};
+  }
+  c.SetNullCount(null_count);
+  return c;
+}
+
+Column Column::ViewString(std::shared_ptr<const void> owner, const uint32_t* offsets,
+                          int64_t length, const char* bytes, const uint8_t* validity,
+                          int64_t null_count) {
+  assert(offsets != nullptr && offsets[0] == 0);
+  Column c;
+  c.type_ = DataType::kString;
+  c.length_ = length;
+  c.owner_ = std::move(owner);
+  c.string_offsets_ = {offsets, static_cast<size_t>(length) + 1};
+  c.string_bytes_ = {bytes, static_cast<size_t>(offsets[length])};
+  if (validity != nullptr) {
+    c.validity_ = {validity, static_cast<size_t>(length)};
+  }
+  c.SetNullCount(null_count);
   return c;
 }
 
@@ -116,7 +206,7 @@ size_t Column::ByteSize() const {
 Column Column::Take(const std::vector<int64_t>& indices) const {
   const size_t n = indices.size();
   // Contiguous ascending selections (whole-batch filters, slices expressed as
-  // index lists) are a straight subrange copy.
+  // index lists) degrade to a zero-copy/bulk slice.
   if (n > 0 && indices.back() == indices.front() + static_cast<int64_t>(n) - 1) {
     bool contiguous = true;
     for (size_t i = 1; i < n; ++i) {
@@ -133,31 +223,32 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
   Column c;
   c.type_ = type_;
   c.length_ = static_cast<int64_t>(n);
+  auto storage = std::make_shared<Storage>();
   switch (type_) {
     case DataType::kInt64: {
-      c.ints_.resize(n);
+      storage->ints.resize(n);
       const int64_t* src = ints_.data();
       for (size_t i = 0; i < n; ++i) {
         assert(indices[i] >= 0 && indices[i] < length_);
-        c.ints_[i] = src[indices[i]];
+        storage->ints[i] = src[indices[i]];
       }
       break;
     }
     case DataType::kFloat64: {
-      c.doubles_.resize(n);
+      storage->doubles.resize(n);
       const double* src = doubles_.data();
       for (size_t i = 0; i < n; ++i) {
         assert(indices[i] >= 0 && indices[i] < length_);
-        c.doubles_[i] = src[indices[i]];
+        storage->doubles[i] = src[indices[i]];
       }
       break;
     }
     case DataType::kBool: {
-      c.bools_.resize(n);
+      storage->bools.resize(n);
       const uint8_t* src = bools_.data();
       for (size_t i = 0; i < n; ++i) {
         assert(indices[i] >= 0 && indices[i] < length_);
-        c.bools_[i] = src[indices[i]];
+        storage->bools[i] = src[indices[i]];
       }
       break;
     }
@@ -169,30 +260,31 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
         assert(indices[i] >= 0 && indices[i] < length_);
         total += offsets[indices[i] + 1] - offsets[indices[i]];
       }
-      c.string_offsets_.resize(n + 1);
-      c.string_bytes_.resize(total);
+      storage->string_offsets.resize(n + 1);
+      storage->string_bytes.resize(total);
       // Pass 2: copy each row's bytes and write rebased offsets.
       const char* src = string_bytes_.data();
-      char* dst = c.string_bytes_.data();
+      char* dst = storage->string_bytes.data();
       uint32_t pos = 0;
-      c.string_offsets_[0] = 0;
+      storage->string_offsets[0] = 0;
       for (size_t i = 0; i < n; ++i) {
         uint32_t begin = offsets[indices[i]];
         uint32_t len = offsets[indices[i] + 1] - begin;
         std::memcpy(dst + pos, src + begin, len);
         pos += len;
-        c.string_offsets_[i + 1] = pos;
+        storage->string_offsets[i + 1] = pos;
       }
       break;
     }
   }
   if (!validity_.empty()) {
-    c.validity_.resize(n);
+    storage->validity.resize(n);
     const uint8_t* src = validity_.data();
     for (size_t i = 0; i < n; ++i) {
-      c.validity_[i] = src[indices[i]];
+      storage->validity[i] = src[indices[i]];
     }
   }
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   return c;
 }
@@ -206,28 +298,46 @@ Column Column::SliceRange(int64_t offset, int64_t length) const {
   c.type_ = type_;
   c.length_ = length;
   switch (type_) {
+    // Fixed-width slices alias the parent's storage: same refcounted owner,
+    // views shifted into the subrange. No bytes move; the slice keeps the
+    // whole parent allocation alive (documented in DESIGN.md's zero-copy
+    // model — morsel-sized slices of long-lived batches are fine, tiny
+    // slices of huge transient batches should Take() instead).
     case DataType::kInt64:
-      c.ints_.assign(ints_.begin() + b, ints_.begin() + e);
+      c.owner_ = owner_;
+      c.storage_ = storage_;
+      c.ints_ = ints_.subview(b, static_cast<size_t>(length));
       break;
     case DataType::kFloat64:
-      c.doubles_.assign(doubles_.begin() + b, doubles_.begin() + e);
+      c.owner_ = owner_;
+      c.storage_ = storage_;
+      c.doubles_ = doubles_.subview(b, static_cast<size_t>(length));
       break;
     case DataType::kBool:
-      c.bools_.assign(bools_.begin() + b, bools_.begin() + e);
+      c.owner_ = owner_;
+      c.storage_ = storage_;
+      c.bools_ = bools_.subview(b, static_cast<size_t>(length));
       break;
     case DataType::kString: {
+      // Strings copy: offsets must be rebased to start at 0.
+      auto storage = std::make_shared<Storage>();
       const uint32_t base = string_offsets_[b];
-      c.string_offsets_.resize(static_cast<size_t>(length) + 1);
+      storage->string_offsets.resize(static_cast<size_t>(length) + 1);
       for (size_t i = 0; i <= static_cast<size_t>(length); ++i) {
-        c.string_offsets_[i] = string_offsets_[b + i] - base;
+        storage->string_offsets[i] = string_offsets_[b + i] - base;
       }
-      c.string_bytes_.assign(string_bytes_.begin() + base,
-                             string_bytes_.begin() + string_offsets_[e]);
-      break;
+      storage->string_bytes.assign(string_bytes_.begin() + base,
+                                   string_bytes_.begin() + string_offsets_[e]);
+      if (!validity_.empty()) {
+        storage->validity.assign(validity_.begin() + b, validity_.begin() + e);
+      }
+      c.AdoptStorage(std::move(storage));
+      c.CountNulls();
+      return c;
     }
   }
   if (!validity_.empty()) {
-    c.validity_.assign(validity_.begin() + b, validity_.begin() + e);
+    c.validity_ = validity_.subview(b, static_cast<size_t>(length));
   }
   c.CountNulls();
   return c;
@@ -327,18 +437,24 @@ Column ColumnBuilder::Finish() {
   Column c;
   c.type_ = type_;
   c.length_ = length_;
-  c.ints_ = std::move(ints_);
-  c.doubles_ = std::move(doubles_);
-  c.bools_ = std::move(bools_);
-  c.string_offsets_ = std::move(string_offsets_);
-  c.string_bytes_ = std::move(string_bytes_);
+  auto storage = std::make_shared<Column::Storage>();
+  storage->ints = std::move(ints_);
+  storage->doubles = std::move(doubles_);
+  storage->bools = std::move(bools_);
+  storage->string_offsets = std::move(string_offsets_);
+  storage->string_bytes = std::move(string_bytes_);
   if (saw_null_) {
-    c.validity_ = std::move(validity_);
+    storage->validity = std::move(validity_);
   }
+  c.AdoptStorage(std::move(storage));
   c.CountNulls();
   // Reset to a valid empty state.
   length_ = 0;
   saw_null_ = false;
+  ints_.clear();
+  doubles_.clear();
+  bools_.clear();
+  string_bytes_.clear();
   string_offsets_ = {0};
   validity_.clear();
   return c;

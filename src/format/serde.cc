@@ -1,132 +1,339 @@
 #include "src/format/serde.h"
 
+#include <cstring>
+
 namespace skadi {
 
 namespace {
-constexpr uint32_t kIpcMagic = 0x53414249;  // "SABI"
-constexpr uint32_t kRowMagic = 0x53524F57;  // "SROW"
-constexpr uint32_t kTensorMagic = 0x53544E53;
+constexpr uint32_t kIpcMagic = 0x53414232;     // "SAB2" (v2: aligned, zero-copy)
+constexpr uint32_t kRowMagic = 0x53524F57;     // "SROW"
+constexpr uint32_t kTensorMagic = 0x53544E32;  // "STN2"
 
-template <typename T>
-void AppendVector(BufferBuilder& b, const std::vector<T>& v) {
-  b.AppendU64(v.size());
-  if (!v.empty()) {
-    b.AppendBytes(v.data(), v.size() * sizeof(T));
-  }
+// Column buffers are laid out at 64-byte-aligned offsets behind the header,
+// so deserialized views are cache-line aligned and safely aligned for any
+// fixed-width element type (the Buffer base itself is at least
+// max_align_t-aligned).
+constexpr size_t kBufferAlign = 64;
+
+constexpr size_t AlignUp(size_t n) {
+  return (n + kBufferAlign - 1) & ~(kBufferAlign - 1);
 }
 
+// Wire descriptor of one column buffer: absolute offset + byte length.
+struct BufDesc {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+void AppendDesc(BufferBuilder& b, const BufDesc& d) {
+  b.AppendU64(d.offset);
+  b.AppendU64(d.size);
+}
+
+BufDesc ReadDesc(BufferReader& r) {
+  BufDesc d;
+  d.offset = r.ReadU64();
+  d.size = r.ReadU64();
+  return d;
+}
+
+// Bounds-checks a descriptor against the enclosing buffer and returns the
+// start of its bytes (nullptr for an empty descriptor).
+const uint8_t* DescPtr(const Buffer& buffer, const BufDesc& d, bool* ok) {
+  if (d.size == 0) {
+    return nullptr;
+  }
+  if (d.offset > buffer.size() || d.size > buffer.size() - d.offset) {
+    *ok = false;
+    return nullptr;
+  }
+  return buffer.data() + d.offset;
+}
+
+// True when `p` may be read as T[] without misaligned access. Buffers built
+// by SerializeBatchIpc always pass; hand-sliced buffers may not, in which
+// case the deserializer falls back to copying that column.
 template <typename T>
-bool ReadVector(BufferReader& r, std::vector<T>& out) {
-  uint64_t n = r.ReadU64();
-  if (r.remaining() < n * sizeof(T)) {
-    return false;
+bool AlignedFor(const uint8_t* p) {
+  return (reinterpret_cast<uintptr_t>(p) & (alignof(T) - 1)) == 0;
+}
+
+// Serialization layout pass: assigns aligned offsets to `n` buffers of the
+// given sizes, starting after the header.
+class LayoutPlanner {
+ public:
+  explicit LayoutPlanner(size_t header_size) : cursor_(header_size) {}
+
+  BufDesc Place(size_t size) {
+    BufDesc d;
+    if (size == 0) {
+      return d;  // empty buffers take no space and carry no offset
+    }
+    d.offset = AlignUp(cursor_);
+    d.size = size;
+    cursor_ = static_cast<size_t>(d.offset) + size;
+    return d;
   }
-  out.resize(n);
-  if (n > 0) {
-    r.ReadBytes(out.data(), n * sizeof(T));
+
+  size_t total() const { return cursor_; }
+
+ private:
+  size_t cursor_;
+};
+
+// Appends the buffer bytes for one descriptor: pad to its offset, copy.
+void EmitBuffer(BufferBuilder& b, const BufDesc& d, const void* data) {
+  if (d.size == 0) {
+    return;
   }
-  return true;
+  b.AppendZeros(static_cast<size_t>(d.offset) - b.size());
+  b.AppendBytes(data, static_cast<size_t>(d.size));
 }
 }  // namespace
 
+// --- IPC (columnar, aligned, zero-copy on read) path ---
+//
+// Wire layout:
+//   header:
+//     u32 magic ("SAB2"), u32 num_columns, u64 num_rows, u64 total_size
+//     per column: name (u32 len + bytes), u8 type, u64 null_count,
+//                 validity desc, then 1 (fixed-width) or 2 (string
+//                 offsets+bytes) data descs; each desc = u64 offset,u64 size
+//   data region: each column buffer at a 64-byte-aligned absolute offset.
+// Encoding is one layout memcpy per buffer; decoding builds Columns whose
+// storage views alias the input Buffer (zero copies for fixed-width data,
+// validity bitmaps, string offsets and string bytes alike).
 Buffer SerializeBatchIpc(const RecordBatch& batch) {
-  BufferBuilder b;
-  b.Reserve(batch.ByteSize() + 64);
-  b.AppendU32(kIpcMagic);
-  b.AppendU32(static_cast<uint32_t>(batch.num_columns()));
-  b.AppendU64(static_cast<uint64_t>(batch.num_rows()));
-  for (size_t c = 0; c < batch.num_columns(); ++c) {
+  const size_t cols = batch.num_columns();
+  // Header size: fixed preamble + per-column metadata.
+  size_t header_size = 4 + 4 + 8 + 8;
+  for (size_t c = 0; c < cols; ++c) {
     const Field& field = batch.schema().field(c);
-    b.AppendLengthPrefixedString(field.name);
-    b.AppendU8(static_cast<uint8_t>(field.type));
+    header_size += 4 + field.name.size() + 1 + 8;  // name, type, null_count
+    header_size += 16;                             // validity desc
+    header_size += field.type == DataType::kString ? 32 : 16;
+  }
+
+  // Layout pass: aligned offsets for every column buffer, in column order.
+  LayoutPlanner planner(header_size);
+  struct ColPlan {
+    BufDesc validity;
+    BufDesc data;   // fixed-width values, or string offsets
+    BufDesc extra;  // string bytes
+  };
+  std::vector<ColPlan> plans(cols);
+  for (size_t c = 0; c < cols; ++c) {
     const Column& col = batch.column(c);
-    AppendVector(b, col.validity());
-    switch (field.type) {
+    plans[c].validity = planner.Place(col.validity().size());
+    switch (col.type()) {
       case DataType::kInt64:
-        AppendVector(b, col.ints());
+        plans[c].data = planner.Place(col.ints().size() * sizeof(int64_t));
         break;
       case DataType::kFloat64:
-        AppendVector(b, col.doubles());
+        plans[c].data = planner.Place(col.doubles().size() * sizeof(double));
         break;
       case DataType::kBool:
-        AppendVector(b, col.bools());
+        plans[c].data = planner.Place(col.bools().size());
         break;
       case DataType::kString:
-        AppendVector(b, col.string_offsets());
-        AppendVector(b, col.string_bytes());
+        plans[c].data = planner.Place(col.string_offsets().size() * sizeof(uint32_t));
+        plans[c].extra = planner.Place(col.string_bytes().size());
+        break;
+    }
+  }
+
+  // Emit pass.
+  BufferBuilder b;
+  b.Reserve(planner.total());
+  b.AppendU32(kIpcMagic);
+  b.AppendU32(static_cast<uint32_t>(cols));
+  b.AppendU64(static_cast<uint64_t>(batch.num_rows()));
+  b.AppendU64(planner.total());
+  for (size_t c = 0; c < cols; ++c) {
+    const Field& field = batch.schema().field(c);
+    const Column& col = batch.column(c);
+    b.AppendLengthPrefixedString(field.name);
+    b.AppendU8(static_cast<uint8_t>(field.type));
+    b.AppendU64(static_cast<uint64_t>(col.null_count()));
+    AppendDesc(b, plans[c].validity);
+    AppendDesc(b, plans[c].data);
+    if (field.type == DataType::kString) {
+      AppendDesc(b, plans[c].extra);
+    }
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    const Column& col = batch.column(c);
+    EmitBuffer(b, plans[c].validity, col.validity().data());
+    switch (col.type()) {
+      case DataType::kInt64:
+        EmitBuffer(b, plans[c].data, col.ints().data());
+        break;
+      case DataType::kFloat64:
+        EmitBuffer(b, plans[c].data, col.doubles().data());
+        break;
+      case DataType::kBool:
+        EmitBuffer(b, plans[c].data, col.bools().data());
+        break;
+      case DataType::kString:
+        EmitBuffer(b, plans[c].data, col.string_offsets().data());
+        EmitBuffer(b, plans[c].extra, col.string_bytes().data());
         break;
     }
   }
   return b.Finish();
 }
 
+namespace {
+// Copy fallback for a misaligned fixed-width buffer (hand-sliced input).
+template <typename T>
+std::vector<T> CopyAs(const uint8_t* p, size_t bytes) {
+  std::vector<T> out(bytes / sizeof(T));
+  if (bytes > 0) {
+    std::memcpy(out.data(), p, bytes);
+  }
+  return out;
+}
+}  // namespace
+
 Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer) {
   BufferReader r(buffer);
   if (r.ReadU32() != kIpcMagic) {
     return Status::InvalidArgument("not an IPC-encoded batch (bad magic)");
   }
-  uint32_t num_columns = r.ReadU32();
-  uint64_t num_rows = r.ReadU64();
+  const uint32_t num_columns = r.ReadU32();
+  const uint64_t num_rows = r.ReadU64();
+  const uint64_t total_size = r.ReadU64();
+  if (total_size > buffer.size()) {
+    return Status::Corruption("truncated IPC batch (header claims " +
+                              std::to_string(total_size) + " bytes, have " +
+                              std::to_string(buffer.size()) + ")");
+  }
+
   std::vector<Field> fields;
   std::vector<Column> columns;
   fields.reserve(num_columns);
   columns.reserve(num_columns);
   for (uint32_t c = 0; c < num_columns; ++c) {
-    std::string name = r.ReadLengthPrefixedString();
-    DataType type = static_cast<DataType>(r.ReadU8());
-    std::vector<uint8_t> validity;
-    if (!ReadVector(r, validity)) {
-      return Status::InvalidArgument("truncated IPC batch (validity)");
+    std::string name;
+    if (!r.ReadLengthPrefixedString(name)) {
+      return Status::Corruption("corrupt IPC batch (column name)");
     }
+    DataType type = static_cast<DataType>(r.ReadU8());
+    const uint64_t null_count = r.ReadU64();
+    const BufDesc validity_desc = ReadDesc(r);
+    const BufDesc data_desc = ReadDesc(r);
+    BufDesc extra_desc;
+    if (type == DataType::kString) {
+      extra_desc = ReadDesc(r);
+    }
+    if (r.corrupt()) {
+      return Status::Corruption("truncated IPC batch (column header)");
+    }
+    if (null_count > num_rows) {
+      return Status::Corruption("corrupt IPC batch (null count)");
+    }
+
+    bool bounds_ok = true;
+    const uint8_t* validity = DescPtr(buffer, validity_desc, &bounds_ok);
+    const uint8_t* data = DescPtr(buffer, data_desc, &bounds_ok);
+    const uint8_t* extra = DescPtr(buffer, extra_desc, &bounds_ok);
+    if (!bounds_ok) {
+      return Status::Corruption("truncated IPC batch (buffer out of bounds)");
+    }
+    if (validity_desc.size != 0 && validity_desc.size != num_rows) {
+      return Status::Corruption("corrupt IPC batch (validity size)");
+    }
+    if (null_count > 0 && validity == nullptr && num_rows > 0) {
+      return Status::Corruption("corrupt IPC batch (nulls without bitmap)");
+    }
+
+    // Views alias the input; the Column holds buffer.owner() so the bytes
+    // outlive the store entry / the caller's Buffer handle.
     Column col;
     switch (type) {
       case DataType::kInt64: {
-        std::vector<int64_t> v;
-        if (!ReadVector(r, v) || v.size() != num_rows) {
-          return Status::InvalidArgument("truncated IPC batch (int64 column)");
+        if (data_desc.size != num_rows * sizeof(int64_t)) {
+          return Status::Corruption("corrupt IPC batch (int64 column size)");
         }
-        col = Column::MakeInt64(std::move(v), std::move(validity));
+        if (data == nullptr || AlignedFor<int64_t>(data)) {
+          col = Column::ViewInt64(buffer.owner(), reinterpret_cast<const int64_t*>(data),
+                                  static_cast<int64_t>(num_rows), validity,
+                                  static_cast<int64_t>(null_count));
+        } else {
+          col = Column::MakeInt64(
+              CopyAs<int64_t>(data, data_desc.size),
+              validity ? CopyAs<uint8_t>(validity, num_rows) : std::vector<uint8_t>{});
+        }
         break;
       }
       case DataType::kFloat64: {
-        std::vector<double> v;
-        if (!ReadVector(r, v) || v.size() != num_rows) {
-          return Status::InvalidArgument("truncated IPC batch (float column)");
+        if (data_desc.size != num_rows * sizeof(double)) {
+          return Status::Corruption("corrupt IPC batch (float column size)");
         }
-        col = Column::MakeFloat64(std::move(v), std::move(validity));
+        if (data == nullptr || AlignedFor<double>(data)) {
+          col = Column::ViewFloat64(buffer.owner(), reinterpret_cast<const double*>(data),
+                                    static_cast<int64_t>(num_rows), validity,
+                                    static_cast<int64_t>(null_count));
+        } else {
+          col = Column::MakeFloat64(
+              CopyAs<double>(data, data_desc.size),
+              validity ? CopyAs<uint8_t>(validity, num_rows) : std::vector<uint8_t>{});
+        }
         break;
       }
       case DataType::kBool: {
-        std::vector<uint8_t> v;
-        if (!ReadVector(r, v) || v.size() != num_rows) {
-          return Status::InvalidArgument("truncated IPC batch (bool column)");
+        if (data_desc.size != num_rows) {
+          return Status::Corruption("corrupt IPC batch (bool column size)");
         }
-        col = Column::MakeBool(std::move(v), std::move(validity));
+        col = Column::ViewBool(buffer.owner(), data, static_cast<int64_t>(num_rows),
+                               validity, static_cast<int64_t>(null_count));
         break;
       }
       case DataType::kString: {
-        std::vector<uint32_t> offsets;
-        std::vector<char> bytes;
-        if (!ReadVector(r, offsets) || !ReadVector(r, bytes) ||
-            offsets.size() != num_rows + 1) {
-          return Status::InvalidArgument("truncated IPC batch (string column)");
+        if (data_desc.size != (num_rows + 1) * sizeof(uint32_t)) {
+          return Status::Corruption("corrupt IPC batch (string offsets size)");
         }
-        // Validate the wire offsets, then adopt the buffers directly instead
-        // of re-appending every row through a builder.
-        if (offsets.front() != 0 || offsets.back() != bytes.size()) {
-          return Status::InvalidArgument("corrupt IPC batch (string offsets)");
+        if (data != nullptr && !AlignedFor<uint32_t>(data)) {
+          // Misaligned hand-built input: copy this column.
+          std::vector<uint32_t> offsets = CopyAs<uint32_t>(data, data_desc.size);
+          if (offsets.front() != 0 || offsets.back() != extra_desc.size) {
+            return Status::Corruption("corrupt IPC batch (string offsets)");
+          }
+          for (uint64_t i = 0; i < num_rows; ++i) {
+            if (offsets[i] > offsets[i + 1]) {
+              return Status::Corruption("corrupt IPC batch (string offsets)");
+            }
+          }
+          std::vector<char> bytes(extra_desc.size);
+          if (extra != nullptr) {
+            std::memcpy(bytes.data(), extra, extra_desc.size);
+          }
+          col = Column::MakeStringFromOffsets(
+              std::move(offsets), std::move(bytes),
+              validity ? CopyAs<uint8_t>(validity, num_rows) : std::vector<uint8_t>{});
+          break;
+        }
+        const uint32_t* offsets = reinterpret_cast<const uint32_t*>(data);
+        // Validate the wire offsets once; afterwards the column views them
+        // in place (no per-row rebuild, no byte copies).
+        if (offsets == nullptr) {
+          return Status::Corruption("corrupt IPC batch (missing string offsets)");
+        }
+        if (offsets[0] != 0 || offsets[num_rows] != extra_desc.size) {
+          return Status::Corruption("corrupt IPC batch (string offsets)");
         }
         for (uint64_t i = 0; i < num_rows; ++i) {
           if (offsets[i] > offsets[i + 1]) {
-            return Status::InvalidArgument("corrupt IPC batch (string offsets)");
+            return Status::Corruption("corrupt IPC batch (string offsets)");
           }
         }
-        col = Column::MakeStringFromOffsets(std::move(offsets), std::move(bytes),
-                                            std::move(validity));
+        col = Column::ViewString(buffer.owner(), offsets, static_cast<int64_t>(num_rows),
+                                 reinterpret_cast<const char*>(extra), validity,
+                                 static_cast<int64_t>(null_count));
         break;
       }
       default:
-        return Status::InvalidArgument("unknown column type tag in IPC batch");
+        return Status::Corruption("unknown column type tag in IPC batch");
     }
     fields.push_back({std::move(name), type});
     columns.push_back(std::move(col));
@@ -134,11 +341,24 @@ Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer) {
   return RecordBatch::Make(Schema(std::move(fields)), std::move(columns));
 }
 
+// Tensor wire layout mirrors the batch: small header (magic, rank, dims,
+// element count, data desc), then the element buffer at an aligned offset;
+// deserialized tensors view it in place.
 Buffer SerializeTensor(const Tensor& tensor) {
+  const size_t header_size = 4 + 8 + tensor.shape().size() * 8 + 16;
+  LayoutPlanner planner(header_size);
+  ArrayView<double> data = tensor.data();
+  BufDesc data_desc = planner.Place(data.size() * sizeof(double));
+
   BufferBuilder b;
+  b.Reserve(planner.total());
   b.AppendU32(kTensorMagic);
-  AppendVector(b, tensor.shape());
-  AppendVector(b, tensor.data());
+  b.AppendU64(tensor.shape().size());
+  for (int64_t d : tensor.shape()) {
+    b.AppendI64(d);
+  }
+  AppendDesc(b, data_desc);
+  EmitBuffer(b, data_desc, data.data());
   return b.Finish();
 }
 
@@ -147,13 +367,32 @@ Result<Tensor> DeserializeTensor(const Buffer& buffer) {
   if (r.ReadU32() != kTensorMagic) {
     return Status::InvalidArgument("not a tensor buffer (bad magic)");
   }
-  std::vector<int64_t> shape;
-  std::vector<double> data;
-  if (!ReadVector(r, shape) || !ReadVector(r, data)) {
-    return Status::InvalidArgument("truncated tensor buffer");
+  const uint64_t rank = r.ReadU64();
+  if (rank > 8 || r.remaining() < rank * 8) {
+    return Status::Corruption("corrupt tensor buffer (rank)");
   }
-  return Tensor::FromData(std::move(shape), std::move(data));
+  std::vector<int64_t> shape(rank);
+  for (uint64_t i = 0; i < rank; ++i) {
+    shape[i] = r.ReadI64();
+  }
+  const BufDesc data_desc = ReadDesc(r);
+  if (r.corrupt()) {
+    return Status::Corruption("truncated tensor buffer");
+  }
+  bool bounds_ok = true;
+  const uint8_t* data = DescPtr(buffer, data_desc, &bounds_ok);
+  if (!bounds_ok || data_desc.size % sizeof(double) != 0) {
+    return Status::Corruption("truncated tensor buffer (data)");
+  }
+  const size_t n = data_desc.size / sizeof(double);
+  if (data == nullptr || AlignedFor<double>(data)) {
+    return Tensor::View(std::move(shape), buffer.owner(),
+                        reinterpret_cast<const double*>(data), n);
+  }
+  return Tensor::FromData(std::move(shape), CopyAs<double>(data, data_desc.size));
 }
+
+// --- Row-marshalling baseline (unchanged format) ---
 
 Buffer SerializeBatchRowCodec(const RecordBatch& batch) {
   BufferBuilder b;
@@ -204,12 +443,16 @@ Result<RecordBatch> DeserializeBatchRowCodec(const Buffer& buffer) {
   std::vector<ColumnBuilder> builders;
   builders.reserve(num_columns);
   for (uint32_t c = 0; c < num_columns; ++c) {
-    std::string name = r.ReadLengthPrefixedString();
+    std::string name;
+    if (!r.ReadLengthPrefixedString(name)) {
+      return Status::Corruption("corrupt row-codec batch (column name)");
+    }
     DataType type = static_cast<DataType>(r.ReadU8());
     fields.push_back({std::move(name), type});
     builders.emplace_back(type);
   }
   uint64_t num_rows = r.ReadU64();
+  std::string scratch;
   for (uint64_t row = 0; row < num_rows; ++row) {
     for (uint32_t c = 0; c < num_columns; ++c) {
       uint8_t tag = r.ReadU8();
@@ -233,9 +476,17 @@ Result<RecordBatch> DeserializeBatchRowCodec(const Buffer& buffer) {
           builders[c].AppendBool(r.ReadU8() != 0);
           break;
         case DataType::kString:
-          builders[c].AppendString(r.ReadLengthPrefixedString());
+          if (!r.ReadLengthPrefixedString(scratch)) {
+            return Status::Corruption("corrupt row-codec batch (string at row " +
+                                      std::to_string(row) + ")");
+          }
+          builders[c].AppendString(scratch);
           break;
       }
+    }
+    if (r.corrupt()) {
+      return Status::Corruption("truncated row-codec batch at row " +
+                                std::to_string(row));
     }
   }
   std::vector<Column> columns;

@@ -2,13 +2,19 @@
 // caching-layer claim (2): "a shared format enables functions running on
 // heterogeneous devices to exchange data without costly data marshalling".
 //
-//   * IPC path (the Arrow stand-in): the columnar buffers are block-copied
-//     with a small header. Encoding cost is O(bytes) memcpy.
+//   * IPC path (the Arrow stand-in): column buffers are laid out at
+//     64-byte-aligned offsets behind a descriptor header. Encoding is one
+//     block memcpy per buffer; decoding is ZERO-copy — the returned batch's
+//     columns (fixed-width values, validity bitmaps, string offsets/bytes)
+//     are views into the input Buffer, kept alive by its refcounted owner.
+//     Misaligned hand-built inputs fall back to copying per column.
 //   * Row-marshalling path (the baseline): every row is encoded value by
 //     value with type tags — the per-value branching and string handling a
 //     naive cross-system exchange pays.
 //
-// bench_a3_format measures the two side by side.
+// Both decoders distinguish malformed framing (kInvalidArgument: wrong
+// magic, tag mismatch) from truncated/lying wire data (kCorruption).
+// bench_a3_format measures the paths side by side.
 #ifndef SRC_FORMAT_SERDE_H_
 #define SRC_FORMAT_SERDE_H_
 

@@ -43,7 +43,19 @@ Result<Tensor> Tensor::FromData(std::vector<int64_t> shape, std::vector<double> 
   return t;
 }
 
-int64_t Tensor::num_elements() const { return static_cast<int64_t>(data_.size()); }
+Result<Tensor> Tensor::View(std::vector<int64_t> shape, std::shared_ptr<const void> owner,
+                            const double* data, size_t n) {
+  if (ElementCount(shape) != static_cast<int64_t>(n)) {
+    return Status::InvalidArgument("tensor view size " + std::to_string(n) +
+                                   " does not match shape element count " +
+                                   std::to_string(ElementCount(shape)));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.owner_ = std::move(owner);
+  t.view_ = {data, n};
+  return t;
+}
 
 std::string Tensor::ShapeToString() const {
   std::ostringstream os;

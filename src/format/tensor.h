@@ -2,13 +2,22 @@
 // These back the tensor dialect of the IR (matmul / elementwise / reduce);
 // FlowGraph vertices lowered to "GPU" or "FPGA" run these on host threads
 // while the cost model charges the device's modelled time.
+//
+// A Tensor's elements either live in an owned vector (Zeros/Random/FromData)
+// or alias foreign storage kept alive by a refcounted owner handle (View —
+// the zero-copy IPC deserializer points tensors straight into the sealed
+// store buffer). Views are immutable; mutable_data() materializes an owned
+// copy first (copy-on-write), so kernels that build fresh outputs never pay
+// for it.
 #ifndef SRC_FORMAT_TENSOR_H_
 #define SRC_FORMAT_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/array_view.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 
@@ -24,25 +33,49 @@ class Tensor {
   static Tensor Random(std::vector<int64_t> shape, Rng& rng, double scale = 1.0);
   // Wraps explicit data; data.size() must equal the shape's element count.
   static Result<Tensor> FromData(std::vector<int64_t> shape, std::vector<double> data);
+  // Zero-copy: elements alias [data, data+n) kept alive by `owner` (e.g. a
+  // Buffer::owner() handle). n must equal the shape's element count.
+  static Result<Tensor> View(std::vector<int64_t> shape,
+                             std::shared_ptr<const void> owner, const double* data,
+                             size_t n);
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
-  int64_t num_elements() const;
+  int64_t num_elements() const { return static_cast<int64_t>(data().size()); }
   int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
   int64_t cols() const { return rank() < 2 ? 1 : shape_[1]; }
-  size_t ByteSize() const { return data_.size() * sizeof(double); }
+  size_t ByteSize() const { return data().size() * sizeof(double); }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  ArrayView<double> data() const {
+    return owner_ != nullptr ? view_ : ArrayView<double>(data_);
+  }
+  // Mutable access to the elements. On a view tensor this first copies the
+  // aliased elements into owned storage (the tensor stops aliasing its
+  // source); owned tensors return their vector directly as before.
+  std::vector<double>& mutable_data() {
+    if (owner_ != nullptr) {
+      data_.assign(view_.begin(), view_.end());
+      owner_ = nullptr;
+      view_ = {};
+    }
+    return data_;
+  }
 
-  double At(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * cols() + c)]; }
-  void Set(int64_t r, int64_t c, double v) { data_[static_cast<size_t>(r * cols() + c)] = v; }
+  // True when the elements alias foreign storage (diagnostic only).
+  bool is_view() const { return owner_ != nullptr; }
+
+  double At(int64_t r, int64_t c) const { return data()[static_cast<size_t>(r * cols() + c)]; }
+  void Set(int64_t r, int64_t c, double v) {
+    mutable_data()[static_cast<size_t>(r * cols() + c)] = v;
+  }
 
   std::string ShapeToString() const;
 
  private:
   std::vector<int64_t> shape_;
-  std::vector<double> data_;
+  std::vector<double> data_;                // owned storage (empty in view mode)
+  std::shared_ptr<const void> owner_;       // non-null => elements alias view_
+  ArrayView<double> view_;
 };
 
 // C = A x B. Requires A.cols == B.rows.

@@ -48,8 +48,11 @@ Result<std::vector<std::vector<Buffer>>> SplitGroups(std::vector<Buffer>& args) 
   return groups;
 }
 
-// Merges a group into one value buffer: single buffers pass through;
-// multi-buffer groups must be IPC batches and are concatenated.
+// Merges a group into one value buffer: single buffers pass through
+// (zero-copy — the handle aliases the producer's sealed buffer end to end);
+// multi-buffer groups must be IPC batches and are concatenated. The
+// deserialize side is itself zero-copy, so the concat reads column views
+// straight out of the wire buffers and only the merged result is new bytes.
 Result<Buffer> MergeGroup(std::vector<Buffer>& group) {
   if (group.empty()) {
     return Status::InvalidArgument("empty input group");

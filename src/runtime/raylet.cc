@@ -36,7 +36,23 @@ void Raylet::RunTask(TaskSpec spec) {
   }
 
   // Materialize arguments. By-value args are free (shipped with the spec);
-  // by-reference args go through the future-resolution protocol.
+  // by-reference args go through the future-resolution protocol. Resolved
+  // ref-args are pinned in the local store for the duration of the body
+  // (including the complete/fail callback) so the entries stay resident
+  // while in use; the RAII guard unpins on every exit path.
+  struct PinGuard {
+    Raylet* raylet;
+    NodeId node;
+    std::vector<ObjectRef> pinned;
+    ~PinGuard() {
+      if (raylet->callbacks_.unpin_arg) {
+        for (const ObjectRef& ref : pinned) {
+          raylet->callbacks_.unpin_arg(ref, node);
+        }
+      }
+    }
+  } pins{this, node_.id, {}};
+
   std::vector<Buffer> args;
   args.reserve(spec.args.size());
   int64_t input_bytes = 0;
@@ -50,6 +66,9 @@ void Raylet::RunTask(TaskSpec spec) {
     if (!resolved.ok()) {
       callbacks_.fail(spec, resolved.status());
       return;
+    }
+    if (callbacks_.pin_arg && callbacks_.pin_arg(arg.ref(), node_.id)) {
+      pins.pinned.push_back(arg.ref());
     }
     input_bytes += static_cast<int64_t>(resolved->size());
     args.push_back(std::move(resolved).value());

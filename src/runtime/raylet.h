@@ -28,6 +28,15 @@ class Raylet {
   struct Callbacks {
     // Materializes a by-reference argument for a task running on this node.
     std::function<Result<Buffer>(const ObjectRef& ref, const TaskSpec& spec)> resolve_arg;
+    // Pins/unpins a resolved by-reference argument in this node's object
+    // store around the task body. Resolved Buffers alias the store entry's
+    // storage zero-copy, so the bytes themselves survive eviction either
+    // way; pinning keeps the *entry* resident so concurrent readers and
+    // re-executions don't pay a refetch while the argument is hot. pin_arg
+    // returns false when the object is not resident locally (remote fetch
+    // without local caching) — only successful pins are unpinned. Optional.
+    std::function<bool(const ObjectRef& ref, NodeId at)> pin_arg;
+    std::function<void(const ObjectRef& ref, NodeId at)> unpin_arg;
     // Stores outputs, updates ownership, and triggers pushes. Called on the
     // worker thread after the body returns.
     std::function<Status(const TaskSpec& spec, std::vector<Buffer> outputs)> complete;

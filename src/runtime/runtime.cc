@@ -30,6 +30,12 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
     callbacks.resolve_arg = [this, node_id](const ObjectRef& ref, const TaskSpec& spec) {
       return ResolveArg(ref, spec, node_id);
     };
+    callbacks.pin_arg = [this](const ObjectRef& ref, NodeId at) {
+      return PinArg(ref, at);
+    };
+    callbacks.unpin_arg = [this](const ObjectRef& ref, NodeId at) {
+      UnpinArg(ref, at);
+    };
     callbacks.complete = [this, node_id](const TaskSpec& spec, std::vector<Buffer> outputs) {
       return CompleteTask(spec, std::move(outputs), node_id);
     };
@@ -265,6 +271,24 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
     backoff = std::min(backoff * 2, std::chrono::milliseconds(16));
   }
   return Status::DataLoss("argument " + ref.ToString() + " unrecoverable");
+}
+
+bool SkadiRuntime::PinArg(const ObjectRef& ref, NodeId at) {
+  // Best effort: the argument may have been resolved from a remote replica
+  // without a local copy, in which case there is no entry to pin. The
+  // resolved Buffer still aliases refcounted storage, so the task's bytes
+  // are safe regardless; pinning only protects store residency.
+  LocalObjectStore* store = cluster_->cache().StoreOf(at);
+  return store != nullptr && store->Pin(ref.id).ok();
+}
+
+void SkadiRuntime::UnpinArg(const ObjectRef& ref, NodeId at) {
+  LocalObjectStore* store = cluster_->cache().StoreOf(at);
+  if (store != nullptr) {
+    // The entry may have been deleted while pinned (explicit Delete ignores
+    // pins); that is fine — the Buffer keeps the bytes alive.
+    (void)store->Unpin(ref.id);
+  }
 }
 
 Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs,

@@ -112,6 +112,10 @@ class SkadiRuntime {
 
   // Raylet callbacks.
   Result<Buffer> ResolveArg(const ObjectRef& ref, const TaskSpec& spec, NodeId at);
+  // Pins/unpins a resolved ref-arg's entry in at's store for the duration of
+  // the task body (Raylet::Callbacks::pin_arg contract).
+  bool PinArg(const ObjectRef& ref, NodeId at);
+  void UnpinArg(const ObjectRef& ref, NodeId at);
   Status CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs, NodeId at);
   void FailTask(const TaskSpec& spec, const Status& status);
 

@@ -24,6 +24,13 @@ namespace skadi {
 class SkadiRuntime;
 
 // One task argument: an inline value or a future.
+//
+// Binding is zero-copy throughout: a Value arg carries a Buffer handle
+// (refcounted storage, no payload copy), and a Ref arg resolves to a Buffer
+// aliasing the object store entry's storage. The raylet pins ref-args in the
+// local store for the duration of the body (Raylet::Callbacks::pin_arg);
+// even without a pin, the resolved handle keeps the bytes alive across
+// eviction — eviction drops the store entry, not the shared storage.
 class TaskArg {
  public:
   static TaskArg Value(Buffer value) {

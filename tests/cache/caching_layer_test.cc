@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+
 namespace skadi {
 namespace {
 
@@ -244,6 +247,52 @@ TEST_F(CachingLayerTest, SpillWithoutBladesFails) {
   auto layer = std::make_unique<CachingLayer>(fabric_.get());
   layer->RegisterStore(a_, std::make_shared<LocalObjectStore>(DeviceId::Next(), kMiB));
   EXPECT_EQ(layer->EnableSpillToBlade(a_).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CachingLayerTest, ConcurrentRemoteGetsAreSingleFlight) {
+  auto layer = MakeLayer();
+  ObjectId id = ObjectId::Next();
+  std::string payload(512 * 1024, 'x');
+  ASSERT_TRUE(layer->Put(id, Buffer::FromString(payload), a_).ok());
+  fabric_->metrics().GetCounter("cache.remote_fetches").Reset();
+  fabric_->metrics().GetCounter("cache.coalesced_fetches").Reset();
+
+  constexpr int kReaders = 16;
+  std::vector<std::thread> readers;
+  std::vector<Result<Buffer>> results(kReaders, Status::Internal("unset"));
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] { results[i] = layer->Get(id, b_); });
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  for (int i = 0; i < kReaders; ++i) {
+    ASSERT_TRUE(results[i].ok()) << "reader " << i;
+    EXPECT_EQ(results[i]->size(), payload.size());
+  }
+  // Every Get either led a fetch or coalesced onto one; the deterministic
+  // invariant is the sum (exact split depends on thread interleaving).
+  int64_t leaders = fabric_->metrics().GetCounter("cache.remote_fetches").value();
+  int64_t followers = fabric_->metrics().GetCounter("cache.coalesced_fetches").value();
+  EXPECT_EQ(leaders + followers, kReaders);
+  EXPECT_GE(leaders, 1);
+  // Coalesced readers share storage with their leader's buffer: at most
+  // `leaders` distinct data pointers among the results.
+  std::set<const uint8_t*> distinct;
+  for (const auto& r : results) {
+    distinct.insert(r->data());
+  }
+  EXPECT_LE(static_cast<int64_t>(distinct.size()), leaders);
+}
+
+TEST_F(CachingLayerTest, SingleFlightPropagatesFailureToFollowers) {
+  auto layer = MakeLayer();
+  ObjectId id = ObjectId::Next();
+  // Nothing stored: every Get must fail fast with NotFound, including any
+  // that would have coalesced (no flight exists for a directory miss).
+  auto r = layer->Get(id, b_);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(CachingLayerTest, ReplicationSkipsBladesAndDeadNodes) {

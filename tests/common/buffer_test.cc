@@ -56,8 +56,11 @@ TEST(BufferBuilderTest, RoundTripsPrimitives) {
   EXPECT_EQ(reader.ReadU64(), 1ULL << 40);
   EXPECT_EQ(reader.ReadI64(), -12345);
   EXPECT_EQ(reader.ReadF64(), 3.5);
-  EXPECT_EQ(reader.ReadLengthPrefixedString(), "skadi");
+  std::string s;
+  EXPECT_TRUE(reader.ReadLengthPrefixedString(s));
+  EXPECT_EQ(s, "skadi");
   EXPECT_TRUE(reader.exhausted());
+  EXPECT_FALSE(reader.corrupt());
 }
 
 TEST(BufferReaderTest, OutOfBoundsReadFailsGracefully) {
@@ -65,18 +68,37 @@ TEST(BufferReaderTest, OutOfBoundsReadFailsGracefully) {
   builder.AppendU32(1);
   BufferReader reader(builder.Finish());
   EXPECT_EQ(reader.ReadU32(), 1u);
+  EXPECT_FALSE(reader.corrupt());
   uint64_t sink = 99;
   EXPECT_FALSE(reader.ReadBytes(&sink, sizeof(sink)));
   EXPECT_EQ(sink, 99u);  // untouched
+  EXPECT_TRUE(reader.corrupt());  // latched
 }
 
-TEST(BufferReaderTest, TruncatedStringClamps) {
+TEST(BufferReaderTest, TruncatedStringIsCorruption) {
   BufferBuilder builder;
   builder.AppendU32(100);  // claims 100 bytes
   builder.AppendBytes("xy", 2);
   BufferReader reader(builder.Finish());
-  EXPECT_EQ(reader.ReadLengthPrefixedString(), "xy");
-  EXPECT_TRUE(reader.exhausted());
+  std::string out = "sentinel";
+  // A lying length prefix must not silently clamp to the available bytes.
+  EXPECT_FALSE(reader.ReadLengthPrefixedString(out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(reader.corrupt());
+  // The partial payload is not consumed: decoding stops here.
+  EXPECT_EQ(reader.remaining(), 2u);
+}
+
+TEST(BufferReaderTest, CorruptFlagStaysLatched) {
+  BufferBuilder builder;
+  builder.AppendU32(7);
+  BufferReader reader(builder.Finish());
+  (void)reader.ReadU64();  // overruns: only 4 bytes present
+  EXPECT_TRUE(reader.corrupt());
+  BufferReader fresh{Buffer()};
+  std::string out;
+  EXPECT_FALSE(fresh.ReadLengthPrefixedString(out));
+  EXPECT_TRUE(fresh.corrupt());
 }
 
 TEST(BufferBuilderTest, SizeTracksAppends) {
@@ -86,6 +108,90 @@ TEST(BufferBuilderTest, SizeTracksAppends) {
   EXPECT_EQ(builder.size(), 8u);
   builder.AppendLengthPrefixedString("abc");
   EXPECT_EQ(builder.size(), 8u + 4u + 3u);
+}
+
+TEST(BufferBuilderTest, AlignToPadsWithZeros) {
+  BufferBuilder builder;
+  builder.AppendU8(0xFF);
+  builder.AlignTo(64);
+  EXPECT_EQ(builder.size(), 64u);
+  builder.AlignTo(64);  // already aligned: no-op
+  EXPECT_EQ(builder.size(), 64u);
+  builder.AppendZeros(3);
+  EXPECT_EQ(builder.size(), 67u);
+  Buffer b = builder.Finish();
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_EQ(b.data()[i], 0);
+  }
+}
+
+// --- Aliasing (Slice/Wrap) and lifetime ---
+
+TEST(BufferSliceTest, SliceAliasesWithoutCopying) {
+  Buffer whole = Buffer::FromString("0123456789");
+  Buffer::ResetCopyStats();
+  Buffer mid = whole.Slice(3, 4);
+  EXPECT_EQ(mid.AsStringView(), "3456");
+  EXPECT_EQ(mid.data(), whole.data() + 3);  // same storage, no copy
+  EXPECT_EQ(Buffer::copy_count(), 0u);
+}
+
+TEST(BufferSliceTest, SliceClampsToBounds) {
+  Buffer whole = Buffer::FromString("abcdef");
+  EXPECT_EQ(whole.Slice(4, 100).AsStringView(), "ef");
+  EXPECT_EQ(whole.Slice(100, 5).size(), 0u);
+  EXPECT_EQ(whole.Slice(0, 100).AsStringView(), "abcdef");
+}
+
+TEST(BufferSliceTest, SliceKeepsParentStorageAlive) {
+  Buffer slice;
+  {
+    Buffer whole = Buffer::FromString("the parent dies first");
+    slice = whole.Slice(4, 6);
+  }  // `whole` destroyed; slice still owns the bytes via the shared owner
+  EXPECT_EQ(slice.AsStringView(), "parent");
+}
+
+TEST(BufferSliceTest, SliceOfSliceSharesRootOwner) {
+  Buffer root = Buffer::FromString("abcdefgh");
+  Buffer inner = root.Slice(2, 6).Slice(1, 3);
+  EXPECT_EQ(inner.AsStringView(), "def");
+  EXPECT_EQ(inner.owner(), root.owner());
+}
+
+TEST(BufferWrapTest, WrapAliasesForeignStorage) {
+  auto vec = std::make_shared<std::vector<uint8_t>>(std::vector<uint8_t>{1, 2, 3, 4});
+  const uint8_t* raw = vec->data();
+  Buffer b = Buffer::Wrap(vec, raw, vec->size());
+  vec.reset();  // buffer holds the only reference now
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.data()[2], 3);
+}
+
+TEST(BufferCopyStatsTest, CountsOnlyCopyingConstructors) {
+  Buffer::ResetCopyStats();
+  Buffer a = Buffer::FromString("12345");
+  EXPECT_EQ(Buffer::copy_count(), 1u);
+  EXPECT_EQ(Buffer::copy_bytes(), 5u);
+  Buffer b = Buffer::FromBytes(a.data(), a.size());
+  EXPECT_EQ(Buffer::copy_count(), 2u);
+  EXPECT_EQ(Buffer::copy_bytes(), 10u);
+  // Handle copies, slices, wraps, and builder finishes are all copy-free.
+  Buffer c = a;
+  Buffer d = a.Slice(1, 2);
+  Buffer e = Buffer::Wrap(a.owner(), a.data(), a.size());
+  BufferBuilder builder;
+  builder.AppendU64(42);
+  Buffer f = builder.Finish();
+  (void)c;
+  (void)d;
+  (void)e;
+  (void)f;
+  EXPECT_EQ(Buffer::copy_count(), 2u);
+  Buffer::ResetCopyStats();
+  EXPECT_EQ(Buffer::copy_count(), 0u);
+  EXPECT_EQ(Buffer::copy_bytes(), 0u);
 }
 
 }  // namespace

@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Runs bench_kernels and writes BENCH_kernels.json at the repo root.
+"""Runs a bench binary and writes its BENCH_*.json at the repo root.
 
-The JSON captures, per kernel and row count, the three execution modes
-(0 = scalar reference, 1 = vectorized, 2 = vectorized + morsel parallel)
-with wall time, throughput, and the derived speedups vs. the scalar
-reference — the numbers quoted in EXPERIMENTS.md's Experiment K table.
+Targets (--bench):
+  kernels (default) -> bench_kernels -> BENCH_kernels.json: per kernel and
+    row count, the three execution modes (0 = scalar reference,
+    1 = vectorized, 2 = vectorized + morsel parallel) with wall time,
+    throughput, and speedups vs. the scalar reference — the numbers quoted
+    in EXPERIMENTS.md's Experiment K table.
+  serde -> bench_a3_format -> BENCH_serde.json: per row count, the IPC
+    (zero-copy deserialize) and row-codec paths with wall time, MB/s,
+    payload copy counts, and the IPC-vs-row-codec speedups — the numbers
+    quoted in EXPERIMENTS.md's Experiment A3 table.
 
 Usage:
-  tools/bench.py [--build-dir build] [--out BENCH_kernels.json]
+  tools/bench.py [--bench kernels|serde] [--build-dir build] [--out FILE]
                  [--smoke] [--filter REGEX] [--repetitions N]
 
---smoke sets SKADI_BENCH_SMOKE=1 (64k rows, one iteration per benchmark);
-used by tools/check.sh to exercise the kernels under sanitizers without
-paying full benchmark time.
+--smoke sets SKADI_BENCH_SMOKE=1 (small inputs, one iteration per
+benchmark); used by tools/check.sh to exercise these paths under sanitizers
+without paying full benchmark time.
 """
 
 import argparse
@@ -91,16 +97,70 @@ def collect(raw, repetitions):
     return results
 
 
+def parse_serde_name(name, repetitions):
+    """'BM_IpcDeserialize/2000000' -> (bench, rows); None for aggregates we
+    don't want (mirrors parse_name's repetition handling)."""
+    m = re.match(r"(BM_\w+)/(\d+)(?:/iterations:\d+)?(?:_(\w+))?$", name)
+    if not m:
+        return None
+    want_agg = "mean" if repetitions > 1 else None
+    if m.group(3) != want_agg:
+        return None
+    return m.group(1), int(m.group(2))
+
+
+def collect_serde(raw, repetitions):
+    """Groups bench_a3_format entries by row count, one column per codec
+    path, then derives the IPC-vs-row-codec speedups."""
+    table = {}
+    for entry in raw.get("benchmarks", []):
+        parsed = parse_serde_name(entry["name"], repetitions)
+        if parsed is None:
+            continue
+        bench, rows = parsed
+        row = table.setdefault(rows, {"rows": rows, "paths": {}})
+        row["paths"][bench] = {
+            "wall_ms": entry["real_time"],
+            "cpu_ms": entry["cpu_time"],
+            "mb_per_sec": round(entry["bytes_per_second"] / 1e6, 1)
+            if entry.get("bytes_per_second")
+            else None,
+            "payload_copies": entry.get("payload_copies"),
+        }
+    results = []
+    for rows in sorted(table):
+        row = table[rows]
+        for ipc, baseline, label in (
+            ("BM_IpcDeserialize", "BM_RowCodecDeserialize", "deserialize_speedup"),
+            ("BM_IpcRoundTrip", "BM_RowCodecRoundTrip", "roundtrip_speedup"),
+        ):
+            fast = row["paths"].get(ipc)
+            slow = row["paths"].get(baseline)
+            if fast and slow and fast["wall_ms"] > 0:
+                row[label] = round(slow["wall_ms"] / fast["wall_ms"], 2)
+        results.append(row)
+    return results
+
+
+BENCH_TARGETS = {
+    "kernels": ("bench_kernels", "BENCH_kernels.json", collect),
+    "serde": ("bench_a3_format", "BENCH_serde.json", collect_serde),
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", choices=sorted(BENCH_TARGETS), default="kernels")
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument("--out", default=None)
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--filter", default="")
     parser.add_argument("--repetitions", type=int, default=1)
     args = parser.parse_args()
 
-    binary = os.path.join(REPO_ROOT, args.build_dir, "bench", "bench_kernels")
+    binary_name, default_out, collector = BENCH_TARGETS[args.bench]
+    out_name = args.out or default_out
+    binary = os.path.join(REPO_ROOT, args.build_dir, "bench", binary_name)
     if not os.path.exists(binary):
         sys.exit(f"error: {binary} not found; build the repo first "
                  f"(cmake -B {args.build_dir} -S . && cmake --build {args.build_dir})")
@@ -115,17 +175,17 @@ def main():
         os.unlink(tmp_path)
 
     out = {
-        "benchmark": "bench_kernels",
+        "benchmark": binary_name,
         "context": raw.get("context", {}),
         "smoke": args.smoke,
         "repetitions": args.repetitions,
-        "results": collect(raw, args.repetitions),
+        "results": collector(raw, args.repetitions),
     }
-    out_path = os.path.join(REPO_ROOT, args.out)
+    out_path = os.path.join(REPO_ROOT, out_name)
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
-    print(f"wrote {out_path} ({len(out['results'])} kernel/size rows)")
+    print(f"wrote {out_path} ({len(out['results'])} result rows)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ run_mode() {
   # pool and vectorized kernels under each sanitizer without full bench time.
   echo "==> [$name] bench_kernels smoke"
   SKADI_BENCH_SMOKE=1 "$dir/bench/bench_kernels" > /dev/null
+  # One-iteration serde smoke (10k rows): drives the aliasing IPC
+  # serialize/deserialize paths under each sanitizer (zero-copy views,
+  # lifetime via refcounted owners).
+  echo "==> [$name] bench_a3_format smoke"
+  SKADI_BENCH_SMOKE=1 "$dir/bench/bench_a3_format" > /dev/null
 }
 
 run_mode default  build-check

@@ -19,6 +19,13 @@ Checks:
                     methods whose return value is ignored (belt to the
                     [[nodiscard]] suspenders on Status/Result; catches
                     pre-C++17 compilers and expression-statement casts).
+  zero-copy-hot-path
+                    Buffer::FromBytes / Buffer::FromString in the data-plane
+                    hot path (src/format/serde.cc, src/objectstore/,
+                    src/cache/). Those constructors memcpy the payload; the
+                    hot path must alias instead (Buffer::Wrap / Slice,
+                    BufferReader views). Escape hatch:
+                    `// lint:allow zero-copy-hot-path (<reason>)`.
 
 Usage: lint.py [--root REPO_ROOT] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -41,6 +48,15 @@ RAW_MUTEX_ALLOWED = {
 }
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
+
+# Data-plane hot path: files where a payload memcpy is a perf regression, not
+# a style nit. Buffer::FromBytes/FromString copy; these files must alias.
+ZERO_COPY_HOT_PATHS = (
+    os.path.join("src", "format", "serde.cc"),
+    os.path.join("src", "objectstore") + os.sep,
+    os.path.join("src", "cache") + os.sep,
+)
+COPYING_CTOR_RE = re.compile(r"\bBuffer::From(Bytes|String)\s*\(")
 
 NAKED_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T`, not placement-new syntax noise
 NAKED_DELETE_RE = re.compile(r"\bdelete\b")
@@ -114,6 +130,9 @@ class Linter:
         if path.endswith(HEADER_EXTS):
             self.check_guarded_by(path, raw_lines, lines)
         self.check_discarded_status(path, raw_lines, lines)
+        if rel in ZERO_COPY_HOT_PATHS or any(
+                rel.startswith(p) for p in ZERO_COPY_HOT_PATHS if p.endswith(os.sep)):
+            self.check_zero_copy_hot_path(path, raw_lines, lines)
 
     def check_include_guard(self, path, raw):
         if not (INCLUDE_GUARD_RE.search(raw) or PRAGMA_ONCE_RE.search(raw)):
@@ -163,6 +182,18 @@ class Linter:
             self.report(path, mutex_decl_line, "guarded-by",
                         "file declares a Mutex member but contains no "
                         "GUARDED_BY/REQUIRES annotations")
+
+    def check_zero_copy_hot_path(self, path, raw_lines, lines):
+        for i, line in enumerate(lines, 1):
+            raw_line = raw_lines[i - 1]
+            if line_allows(raw_line, "zero-copy-hot-path"):
+                continue
+            m = COPYING_CTOR_RE.search(line)
+            if m:
+                self.report(path, i, "zero-copy-hot-path",
+                            f"Buffer::From{m.group(1)}() copies the payload; the "
+                            "data plane must alias (Buffer::Wrap/Slice) — or "
+                            "annotate `// lint:allow zero-copy-hot-path (reason)`")
 
     def check_discarded_status(self, path, raw_lines, lines):
         call_re = re.compile(
