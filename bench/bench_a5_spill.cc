@@ -46,6 +46,7 @@ SpillResult RunSpill(double working_set_factor, bool with_blade) {
   std::vector<ObjectId> ids;
   for (int i = 0; i < num_objects; ++i) {
     ObjectId id = ObjectId::Next();
+    // analyze:allow status-propagation (OOM failures are the measured quantity)
     Status st = cluster->cache().Put(id, Buffer::Zeros(kObjectBytes), node);
     if (st.ok()) {
       ids.push_back(id);

@@ -1,0 +1,188 @@
+// Standalone driver for fuzz targets when libFuzzer is unavailable (gcc
+// builds). Speaks enough of libFuzzer's CLI that scripts work against
+// either binary:
+//
+//   fuzz_serde [-runs=N] [-max_total_time=SECONDS] [-seed=N] corpus_dir...
+//
+// Every corpus file is replayed first (so regression inputs always run),
+// then a deterministic mutation loop derives new inputs from random corpus
+// seeds: bit flips, byte writes, 4/8-byte "interesting value" overwrites
+// (0, ~0, off-by-one sizes, 2^61 — the values length-validation bugs love),
+// truncations, extensions, and two-seed splices. Not coverage-guided; the
+// seed corpus carries the structure, mutations probe the edges around it.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+constexpr size_t kMaxInputBytes = 1 << 16;
+
+const uint64_t kInteresting[] = {
+    0,          1,          0x7f,       0x80,        0xff,
+    0x7fff,     0x8000,     0xffff,     0x7fffffff,  0x80000000ull,
+    0xffffffffull,          (1ull << 61),            ~0ull,
+    (1ull << 62) - 1,       64,         4096,
+};
+
+Input Mutate(const std::vector<Input>& corpus, std::mt19937_64& rng) {
+  Input v = corpus[rng() % corpus.size()];
+  int steps = 1 + static_cast<int>(rng() % 8);
+  for (int s = 0; s < steps; ++s) {
+    switch (rng() % 7) {
+      case 0:  // bit flip
+        if (!v.empty()) {
+          v[rng() % v.size()] ^= static_cast<uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      case 1:  // random byte
+        if (!v.empty()) {
+          v[rng() % v.size()] = static_cast<uint8_t>(rng());
+        }
+        break;
+      case 2: {  // interesting 4-or-8-byte overwrite at random offset
+        uint64_t val = kInteresting[rng() % (sizeof(kInteresting) /
+                                             sizeof(kInteresting[0]))];
+        size_t width = (rng() % 2) ? 8 : 4;
+        if (v.size() >= width) {
+          size_t off = rng() % (v.size() - width + 1);
+          std::memcpy(v.data() + off, &val, width);
+        }
+        break;
+      }
+      case 3:  // truncate
+        if (v.size() > 1) {
+          v.resize(1 + rng() % (v.size() - 1));
+        }
+        break;
+      case 4: {  // extend with random bytes
+        size_t extra = 1 + rng() % 64;
+        if (v.size() + extra <= kMaxInputBytes) {
+          for (size_t i = 0; i < extra; ++i) {
+            v.push_back(static_cast<uint8_t>(rng()));
+          }
+        }
+        break;
+      }
+      case 5: {  // splice with another seed
+        const Input& other = corpus[rng() % corpus.size()];
+        if (!other.empty() && !v.empty()) {
+          size_t cut = rng() % v.size();
+          size_t take = rng() % other.size();
+          v.resize(cut);
+          v.insert(v.end(), other.begin(), other.begin() + take);
+          if (v.size() > kMaxInputBytes) {
+            v.resize(kMaxInputBytes);
+          }
+        }
+        break;
+      }
+      default:  // rotate the decoder selector byte
+        if (!v.empty()) {
+          v[0] = static_cast<uint8_t>(rng() % 3);
+        }
+        break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = -1;
+  long long max_seconds = -1;
+  uint64_t seed = 20260807;
+  std::vector<std::string> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stoll(arg.substr(6));
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::stoll(arg.substr(16));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::stoull(arg.substr(6)));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fuzz: ignoring unsupported flag %s\n",
+                   arg.c_str());
+    } else {
+      corpus_paths.push_back(arg);
+    }
+  }
+  if (runs < 0 && max_seconds < 0) {
+    runs = 10000;  // bounded default so a bare invocation terminates
+  }
+
+  std::vector<Input> corpus;
+  for (const std::string& p : corpus_paths) {
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::directory_iterator(p)) {
+        if (e.is_regular_file()) {
+          files.push_back(e.path());
+        }
+      }
+    } else if (fs::exists(p)) {
+      files.push_back(p);
+    }
+    for (const auto& f : files) {
+      std::ifstream in(f, std::ios::binary);
+      Input bytes((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+      if (bytes.size() <= kMaxInputBytes) {
+        corpus.push_back(std::move(bytes));
+      }
+    }
+  }
+  if (corpus.empty()) {
+    // No seeds: still useful — start from tiny junk inputs.
+    corpus.push_back({0});
+    corpus.push_back({1});
+    corpus.push_back({2});
+  }
+
+  std::fprintf(stderr, "fuzz: %zu corpus input(s), seed=%llu\n",
+               corpus.size(), static_cast<unsigned long long>(seed));
+  for (const Input& in : corpus) {
+    LLVMFuzzerTestOneInput(in.data(), in.size());
+  }
+
+  std::mt19937_64 rng(seed);
+  auto start = std::chrono::steady_clock::now();
+  long long done = 0;
+  while (true) {
+    if (runs >= 0 && done >= runs) {
+      break;
+    }
+    if (max_seconds >= 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      if (elapsed >= max_seconds) {
+        break;
+      }
+    }
+    Input in = Mutate(corpus, rng);
+    LLVMFuzzerTestOneInput(in.data(), in.size());
+    ++done;
+  }
+
+  auto secs = std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  std::fprintf(stderr, "fuzz: %lld mutated runs in %.1fs (%.0f/s), clean\n",
+               done, secs, secs > 0 ? done / secs : 0.0);
+  return 0;
+}

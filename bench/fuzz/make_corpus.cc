@@ -1,0 +1,72 @@
+// Writes a seed corpus of VALID wire payloads for fuzz_serde into the
+// directory given as argv[1]. Each file is framed exactly like a fuzz input:
+// byte 0 selects the decoder (0 = IPC batch, 1 = tensor, 2 = row codec),
+// the rest is a payload produced by the real serializers — so mutations
+// start from deep inside the accepting region instead of dying at the magic
+// check.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/format/serde.h"
+
+namespace skadi {
+namespace {
+
+RecordBatch MixedBatch() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kFloat64},
+                 {"flag", DataType::kBool}});
+  auto batch = RecordBatch::Make(
+      schema, {Column::MakeInt64({1, 2, 3}, {1, 0, 1}),
+               Column::MakeString({"ann", "", "eve"}),
+               Column::MakeFloat64({0.5, 1.5, 2.5}),
+               Column::MakeBool({1, 0, 1}, {1, 1, 0})});
+  return std::move(batch).value();
+}
+
+RecordBatch EmptyBatch() {
+  return RecordBatch::Empty(
+      Schema({{"a", DataType::kInt64}, {"s", DataType::kString}}));
+}
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               uint8_t mode, const Buffer& payload) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.put(static_cast<char>(mode));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+}  // namespace
+}  // namespace skadi
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus_dir>\n", argv[0]);
+    return 2;
+  }
+  namespace fs = std::filesystem;
+  fs::path dir(argv[1]);
+  fs::create_directories(dir);
+
+  using namespace skadi;
+  RecordBatch mixed = MixedBatch();
+  RecordBatch empty = EmptyBatch();
+  Tensor matrix = Tensor::Zeros({3, 4});
+  Tensor vec = Tensor::Zeros({7});
+
+  WriteSeed(dir, "ipc_mixed", 0, SerializeBatchIpc(mixed));
+  WriteSeed(dir, "ipc_empty", 0, SerializeBatchIpc(empty));
+  WriteSeed(dir, "tensor_rank2", 1, SerializeTensor(matrix));
+  WriteSeed(dir, "tensor_rank1", 1, SerializeTensor(vec));
+  WriteSeed(dir, "row_mixed", 2, SerializeBatchRowCodec(mixed));
+  WriteSeed(dir, "row_empty", 2, SerializeBatchRowCodec(empty));
+
+  std::fprintf(stderr, "make_corpus: 6 seed inputs in %s\n",
+               dir.string().c_str());
+  return 0;
+}

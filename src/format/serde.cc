@@ -195,6 +195,14 @@ std::vector<T> CopyAs(const uint8_t* p, size_t bytes) {
 }
 }  // namespace
 
+namespace {
+// Minimum wire bytes one IPC column header occupies (empty name): u32 name
+// length + u8 type + u64 null count + two {offset,size} descriptors.
+constexpr uint64_t kMinIpcColumnHeaderBytes = 4 + 1 + 8 + 16 + 16;
+// Minimum wire bytes one row-codec column header occupies (empty name).
+constexpr uint64_t kMinRowColumnHeaderBytes = 4 + 1;
+}  // namespace
+
 Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer) {
   BufferReader r(buffer);
   if (r.ReadU32() != kIpcMagic) {
@@ -207,6 +215,22 @@ Result<RecordBatch> DeserializeBatchIpc(const Buffer& buffer) {
     return Status::Corruption("truncated IPC batch (header claims " +
                               std::to_string(total_size) + " bytes, have " +
                               std::to_string(buffer.size()) + ")");
+  }
+  // A lying column count must not size allocations: every column needs at
+  // least kMinIpcColumnHeaderBytes of header, so bound it by the bytes
+  // actually present before the reserve() below.
+  if (num_columns > r.remaining() / kMinIpcColumnHeaderBytes) {
+    return Status::Corruption("corrupt IPC batch (column count " +
+                              std::to_string(num_columns) +
+                              " exceeds wire bytes)");
+  }
+  // Any non-empty column stores at least one byte per row, so a row count
+  // beyond the buffer size can only pass the per-column size checks via
+  // unsigned multiplication wrap-around (e.g. 2^61 rows * 8 bytes == 0).
+  // Reject it here so the arithmetic below cannot overflow.
+  if (num_columns > 0 && num_rows > buffer.size()) {
+    return Status::Corruption("corrupt IPC batch (row count " +
+                              std::to_string(num_rows) + " exceeds wire bytes)");
   }
 
   std::vector<Field> fields;
@@ -385,6 +409,30 @@ Result<Tensor> DeserializeTensor(const Buffer& buffer) {
     return Status::Corruption("truncated tensor buffer (data)");
   }
   const size_t n = data_desc.size / sizeof(double);
+  // The shape must describe exactly the elements on the wire: negative or
+  // overflowing dimensions would let At()/cols() index outside the aliased
+  // view even though the descriptor itself is in bounds.
+  uint64_t elements = 1;
+  bool has_zero_dim = false;
+  for (int64_t d : shape) {
+    if (d < 0) {
+      return Status::Corruption("corrupt tensor buffer (negative dimension)");
+    }
+    if (d == 0) {
+      has_zero_dim = true;
+      continue;
+    }
+    if (elements > (uint64_t{1} << 62) / static_cast<uint64_t>(d)) {
+      return Status::Corruption("corrupt tensor buffer (shape overflow)");
+    }
+    elements *= static_cast<uint64_t>(d);
+  }
+  if (has_zero_dim) {
+    elements = 0;
+  }
+  if (elements != n) {
+    return Status::Corruption("corrupt tensor buffer (shape/element mismatch)");
+  }
   if (data == nullptr || AlignedFor<double>(data)) {
     return Tensor::View(std::move(shape), buffer.owner(),
                         reinterpret_cast<const double*>(data), n);
@@ -438,6 +486,13 @@ Result<RecordBatch> DeserializeBatchRowCodec(const Buffer& buffer) {
     return Status::InvalidArgument("not a row-codec batch (bad magic)");
   }
   uint32_t num_columns = r.ReadU32();
+  // Bound the count by the bytes present before sizing any allocation
+  // (a lying header must not drive reserve()).
+  if (num_columns > r.remaining() / kMinRowColumnHeaderBytes) {
+    return Status::Corruption("corrupt row-codec batch (column count " +
+                              std::to_string(num_columns) +
+                              " exceeds wire bytes)");
+  }
   std::vector<Field> fields;
   fields.reserve(num_columns);
   std::vector<ColumnBuilder> builders;
@@ -452,6 +507,17 @@ Result<RecordBatch> DeserializeBatchRowCodec(const Buffer& buffer) {
     builders.emplace_back(type);
   }
   uint64_t num_rows = r.ReadU64();
+  if (num_columns == 0) {
+    // No columns means the row loop decodes nothing per iteration, so a
+    // lying row count would spin without ever latching the corruption flag.
+    return RecordBatch::Make(Schema(std::move(fields)), {});
+  }
+  // Every row encodes at least one tag byte per column; a row count beyond
+  // that is wire data lying about its own length.
+  if (num_rows > r.remaining() / num_columns) {
+    return Status::Corruption("corrupt row-codec batch (row count " +
+                              std::to_string(num_rows) + " exceeds wire bytes)");
+  }
   std::string scratch;
   for (uint64_t row = 0; row < num_rows; ++row) {
     for (uint32_t c = 0; c < num_columns; ++c) {

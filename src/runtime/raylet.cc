@@ -31,7 +31,7 @@ Status Raylet::Enqueue(TaskSpec spec) {
 
 void Raylet::RunTask(TaskSpec spec) {
   if (dead_.load()) {
-    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"), node_.id);
     return;
   }
 
@@ -64,7 +64,7 @@ void Raylet::RunTask(TaskSpec spec) {
     }
     Result<Buffer> resolved = callbacks_.resolve_arg(arg.ref(), spec);
     if (!resolved.ok()) {
-      callbacks_.fail(spec, resolved.status());
+      callbacks_.fail(spec, resolved.status(), node_.id);
       return;
     }
     if (callbacks_.pin_arg && callbacks_.pin_arg(arg.ref(), node_.id)) {
@@ -75,7 +75,7 @@ void Raylet::RunTask(TaskSpec spec) {
   }
 
   if (dead_.load()) {
-    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"), node_.id);
     return;
   }
 
@@ -88,7 +88,7 @@ void Raylet::RunTask(TaskSpec spec) {
 
   Result<TaskFunction> fn = registry_->Lookup(spec.function);
   if (!fn.ok()) {
-    callbacks_.fail(spec, fn.status());
+    callbacks_.fail(spec, fn.status(), node_.id);
     return;
   }
 
@@ -122,26 +122,28 @@ void Raylet::RunTask(TaskSpec spec) {
   }();
 
   if (!outputs.ok()) {
-    callbacks_.fail(spec, outputs.status());
+    callbacks_.fail(spec, outputs.status(), node_.id);
     return;
   }
   if (static_cast<int>(outputs->size()) != spec.num_returns) {
-    callbacks_.fail(spec, Status::Internal(
-                              "function '" + spec.function + "' returned " +
-                              std::to_string(outputs->size()) + " values, spec declares " +
-                              std::to_string(spec.num_returns)));
+    callbacks_.fail(spec,
+                    Status::Internal("function '" + spec.function + "' returned " +
+                                     std::to_string(outputs->size()) +
+                                     " values, spec declares " +
+                                     std::to_string(spec.num_returns)),
+                    node_.id);
     return;
   }
 
   if (dead_.load()) {
-    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"));
+    callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"), node_.id);
     return;
   }
 
   tasks_executed_.fetch_add(1);
   Status st = callbacks_.complete(spec, std::move(outputs).value());
   if (!st.ok()) {
-    callbacks_.fail(spec, st);
+    callbacks_.fail(spec, st, node_.id);
   }
 }
 

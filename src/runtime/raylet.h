@@ -41,7 +41,10 @@ class Raylet {
     // worker thread after the body returns.
     std::function<Status(const TaskSpec& spec, std::vector<Buffer> outputs)> complete;
     // Reports a task failure (argument resolution, body error, or abort).
-    std::function<void(const TaskSpec& spec, const Status& status)> fail;
+    // `at` is the node the attempt ran on, so the scheduler can tell a stale
+    // abort from a dead node apart from the failover re-dispatch of the same
+    // task already running elsewhere.
+    std::function<void(const TaskSpec& spec, const Status& status, NodeId at)> fail;
   };
 
   Raylet(const ClusterNode& node, FunctionRegistry* registry, VirtualClock* clock,

@@ -39,8 +39,8 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
     callbacks.complete = [this, node_id](const TaskSpec& spec, std::vector<Buffer> outputs) {
       return CompleteTask(spec, std::move(outputs), node_id);
     };
-    callbacks.fail = [this](const TaskSpec& spec, const Status& status) {
-      FailTask(spec, status);
+    callbacks.fail = [this](const TaskSpec& spec, const Status& status, NodeId at) {
+      FailTask(spec, status, at);
     };
     raylets_[node.id] = std::make_unique<Raylet>(node, registry_,
                                                  &cluster_->fabric().clock(),
@@ -54,6 +54,9 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
       [this](const TaskSpec& spec, NodeId target) { return DispatchToNode(spec, target); },
       options_.seed);
   scheduler_->SetNodes(std::move(schedulable));
+  scheduler_->set_unschedulable_handler([this](const TaskSpec& spec, const Status& status) {
+    FailTask(spec, status, NodeId());
+  });
 
   autoscaler_ = std::make_unique<Autoscaler>(options_.autoscaler, &metrics());
   for (auto& [id, raylet] : raylets_) {
@@ -341,18 +344,24 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
   return Status::Ok();
 }
 
-void SkadiRuntime::FailTask(const TaskSpec& spec, const Status& status) {
+void SkadiRuntime::FailTask(const TaskSpec& spec, const Status& status, NodeId at) {
   metrics().GetCounter("runtime.tasks_failed").Increment();
   SKADI_LOG(kInfo) << "task " << spec.id << " (" << spec.function
                    << ") failed: " << status.ToString();
-  if (status.code() != StatusCode::kAborted) {
-    // Non-abort failures are terminal: mark outputs lost so Get unblocks,
-    // and release parked dependents — their argument resolution will fail
-    // fast and propagate the error instead of hanging the job.
-    for (ObjectId oid : spec.returns) {
-      (void)ownership(spec.owner).MarkLost(oid);  // record may already be released
-      scheduler_->OnObjectReady(oid);
-    }
+  if (status.code() == StatusCode::kAborted) {
+    // The attempt died with its node. Hand the spec back to the scheduler,
+    // which re-dispatches it unless OnNodeFailure already failed it over —
+    // both paths arbitrate on the same in-flight record, so exactly one live
+    // attempt survives no matter which side observes the death first.
+    scheduler_->OnTaskAborted(spec, at);
+    return;
+  }
+  // Non-abort failures are terminal: mark outputs lost so Get unblocks,
+  // and release parked dependents — their argument resolution will fail
+  // fast and propagate the error instead of hanging the job.
+  for (ObjectId oid : spec.returns) {
+    (void)ownership(spec.owner).MarkLost(oid);  // record may already be released
+    scheduler_->OnObjectReady(oid);
   }
   scheduler_->OnTaskFinished(spec.id);
 }
@@ -556,6 +565,8 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
     metrics().GetCounter("runtime.lineage_reexecutions").Increment();
     Status resubmitted = scheduler_->Submit(spec);
     if (!resubmitted.ok()) {
+      SKADI_LOG(kWarn) << "lineage re-execution of " << task
+                       << " failed: " << resubmitted.ToString();
       metrics().GetCounter("runtime.unrecoverable_objects").Increment();
     }
   }

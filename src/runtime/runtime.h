@@ -117,7 +117,10 @@ class SkadiRuntime {
   bool PinArg(const ObjectRef& ref, NodeId at);
   void UnpinArg(const ObjectRef& ref, NodeId at);
   Status CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs, NodeId at);
-  void FailTask(const TaskSpec& spec, const Status& status);
+  // `at` is the node the failing attempt ran on (invalid for failures that
+  // never reached a node, e.g. unschedulable tasks). Aborts re-dispatch via
+  // Scheduler::OnTaskAborted; other failures are terminal.
+  void FailTask(const TaskSpec& spec, const Status& status, NodeId at);
 
   Status DispatchToNode(const TaskSpec& spec, NodeId target);
 

@@ -209,6 +209,7 @@ void Scheduler::TryDispatchLocked(std::vector<TaskSpec>& out_ready) {
 void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
   for (TaskSpec& spec : specs) {
     // Pick a node, record in-flight state, then dispatch outside the lock.
+    Status unschedulable_status;
     for (int attempt = 0; attempt < 8; ++attempt) {
       NodeId target;
       {
@@ -218,6 +219,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
           SKADI_LOG(kWarn) << "task " << spec.id << " unschedulable: "
                            << picked.status().ToString();
           metrics_->GetCounter("scheduler.unschedulable").Increment();
+          unschedulable_status = picked.status();
           target = NodeId();
         } else {
           target = *picked;
@@ -232,8 +234,12 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
       Status st = dispatch_(spec, target);
       if (st.ok()) {
         metrics_->GetCounter("scheduler.dispatched").Increment();
+        unschedulable_status = Status::Ok();
         break;
       }
+      unschedulable_status =
+          Status::Unavailable("dispatch of task " + spec.id.ToString() +
+                              " failed on every attempt: " + st.ToString());
       // Dispatch failed (node died between pick and send): undo and retry.
       {
         MutexLock lock(mu_);
@@ -245,6 +251,11 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
                      nodes_.end());
       }
       metrics_->GetCounter("scheduler.dispatch_retries").Increment();
+    }
+    if (!unschedulable_status.ok() && unschedulable_) {
+      // Terminal placement failure: surface it so the task's futures resolve
+      // (the runtime marks the returns lost) instead of pending forever.
+      unschedulable_(spec, unschedulable_status);
     }
   }
 }
@@ -288,6 +299,38 @@ void Scheduler::OnTaskFinished(TaskId task) {
     TryDispatchLocked(to_dispatch);  // freed slots may release a gang
   }
   DispatchAll(std::move(to_dispatch));
+}
+
+void Scheduler::OnTaskAborted(const TaskSpec& spec, NodeId at) {
+  std::vector<TaskSpec> to_redispatch;
+  {
+    MutexLock lock(mu_);
+    auto it = task_node_.find(spec.id);
+    if (it == task_node_.end() || it->second != at) {
+      // Stale abort: OnNodeFailure (or an earlier abort) already failed the
+      // task over and the record is gone or tracks the new target. The live
+      // attempt owns the slot accounting; nothing to do here.
+      return;
+    }
+    inflight_[at] -= 1;
+    task_node_.erase(it);
+    auto sit = inflight_specs_.find(spec.id);
+    if (sit != inflight_specs_.end()) {
+      to_redispatch.push_back(std::move(sit->second));
+      inflight_specs_.erase(sit);
+    } else {
+      to_redispatch.push_back(spec);
+    }
+    // The aborting node is dead by definition (aborts only fire after Kill);
+    // drop it from the candidate set so the re-dispatch does not waste an
+    // attempt on it before OnNodeFailure runs.
+    nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                [&](const SchedulableNode& n) { return n.id == at; }),
+                 nodes_.end());
+    metrics_->GetCounter("scheduler.abort_redispatches").Increment();
+    TryDispatchLocked(to_redispatch);  // the freed slot may release a gang
+  }
+  DispatchAll(std::move(to_redispatch));
 }
 
 void Scheduler::OnNodeFailure(NodeId node) {

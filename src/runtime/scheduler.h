@@ -47,8 +47,17 @@ class Scheduler {
   // re-queued for another placement.
   using DispatchFn = std::function<Status(const TaskSpec& spec, NodeId target)>;
 
+  // Invoked (outside the scheduler lock) when a task cannot be placed on any
+  // node after retries. The runtime uses this to fail the task terminally so
+  // its futures resolve instead of hanging forever.
+  using UnschedulableFn = std::function<void(const TaskSpec& spec, const Status& status)>;
+
   Scheduler(CachingLayer* cache, MetricsRegistry* metrics, SchedulingPolicy policy,
             DispatchFn dispatch, uint64_t seed = 17);
+
+  void set_unschedulable_handler(UnschedulableFn handler) {
+    unschedulable_ = std::move(handler);
+  }
 
   void SetNodes(std::vector<SchedulableNode> nodes);
   void SetPolicy(SchedulingPolicy policy);
@@ -64,6 +73,15 @@ class Scheduler {
 
   // Called when a task finishes or fails (frees its slot).
   void OnTaskFinished(TaskId task);
+
+  // Called when an attempt of `spec` aborted on `at` because the node died.
+  // Re-dispatches the task elsewhere iff the in-flight record still refers to
+  // the aborted attempt; a stale abort (OnNodeFailure already failed the task
+  // over, so the record is gone or points at the new target) is a no-op.
+  // Without this arbitration, an abort draining from a killed raylet's queue
+  // ahead of OnNodeFailure would erase the in-flight record and the task
+  // would never run anywhere — its futures would hang until the Get deadline.
+  void OnTaskAborted(const TaskSpec& spec, NodeId at);
 
   // A node died: its in-flight tasks are re-dispatched elsewhere, and it
   // leaves the candidate set.
@@ -89,6 +107,7 @@ class Scheduler {
   CachingLayer* cache_;
   MetricsRegistry* metrics_;
   DispatchFn dispatch_;
+  UnschedulableFn unschedulable_;  // set once at wiring time, before traffic
 
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Unit tests for the skadi-analyzer fallback engine (lexer + scope model).
+
+Covers the C++ constructs that break naive regex tooling: raw strings,
+templates, constructor init lists, lambdas, preprocessor continuations, and
+the MutexLock Unlock()/Lock() toggling that the lock-blocking rule depends
+on. Registered as the `analyze_engine_test` ctest test.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "tools", "analyze"))
+
+import cpp_lexer
+import cpp_model
+
+
+def toks(text):
+    tokens, _ = cpp_lexer.lex(text)
+    return [t.text for t in tokens]
+
+
+def model(text):
+    return cpp_model.FileModel("<test>", text)
+
+
+class LexerTest(unittest.TestCase):
+    def test_basic_stream_and_maximal_munch(self):
+        self.assertEqual(toks("a->b <<= c::d;"),
+                         ["a", "->", "b", "<<=", "c", "::", "d", ";"])
+
+    def test_comments_are_dropped(self):
+        self.assertEqual(toks("a /* x; y */ b // tail\n c"), ["a", "b", "c"])
+
+    def test_block_comment_line_counting(self):
+        tokens, _ = cpp_lexer.lex("/* one\ntwo\nthree */ x")
+        self.assertEqual(tokens[0].line, 3)
+
+    def test_raw_string_with_parens_and_quotes(self):
+        text = 'auto s = R"delim(no "close"; ) here)delim"; next'
+        self.assertIn("next", toks(text))
+        tokens, _ = cpp_lexer.lex(text)
+        raws = [t for t in tokens if t.kind == "string"]
+        self.assertEqual(len(raws), 1)
+        self.assertIn('no "close"', raws[0].text)
+
+    def test_prefixed_literals(self):
+        tokens, _ = cpp_lexer.lex("u8\"x\" L'c' U\"y\" usual")
+        kinds = [t.kind for t in tokens]
+        self.assertEqual(kinds, ["string", "char", "string", "ident"])
+        self.assertEqual(tokens[3].text, "usual")
+
+    def test_escaped_quote_in_string(self):
+        self.assertEqual(toks(r'f("a\"b", x)'),
+                         ["f", "(", r'"a\"b"', ",", "x", ")"])
+
+    def test_preprocessor_with_continuation(self):
+        text = "#define M(a) \\\n  ((a) + 1)\nint x;"
+        self.assertEqual(toks(text), ["int", "x", ";"])
+
+    def test_hash_mid_line_is_not_a_directive(self):
+        # Only a line-leading # swallows the line.
+        tokens, _ = cpp_lexer.lex("x # y")
+        self.assertEqual([t.text for t in tokens], ["x", "#", "y"])
+
+    def test_allow_map(self):
+        text = ("int a;\n"
+                "// analyze:allow view-escape (fixture)\n"
+                "int b;  // analyze:allow pin-balance (same line)\n")
+        _, allow = cpp_lexer.lex(text)
+        self.assertEqual(allow[2], {"view-escape"})
+        self.assertEqual(allow[3], {"pin-balance"})
+
+
+class FunctionDiscoveryTest(unittest.TestCase):
+    def names(self, text):
+        return [f.qual_name for f in model(text).functions]
+
+    def test_free_function_and_method(self):
+        text = """
+        int Add(int a, int b) { return a + b; }
+        class C {
+         public:
+          void Run() const { count_++; }
+        };
+        """
+        self.assertEqual(self.names(text), ["Add", "Run"])
+
+    def test_out_of_line_qualified_definition(self):
+        text = "Status CachingLayer::Get(ObjectId id) { return Status::Ok(); }"
+        m = model(text)
+        self.assertEqual(m.functions[0].qual_name, "CachingLayer::Get")
+        self.assertEqual(m.functions[0].name, "Get")
+        self.assertIn("Status", m.functions[0].return_text)
+
+    def test_constructor_with_init_list(self):
+        text = """
+        Raylet::Raylet(Node n, Callbacks cb)
+            : node_(std::move(n)), callbacks_{std::move(cb)}, pool_(4) {
+          Start();
+        }
+        """
+        m = model(text)
+        self.assertEqual([f.qual_name for f in m.functions],
+                         ["Raylet::Raylet"])
+
+    def test_control_flow_is_not_a_function(self):
+        text = """
+        void F(int x) {
+          if (x) { G(); }
+          while (x) { H(); }
+          for (int i = 0; i < x; ++i) { I(); }
+          switch (x) { default: break; }
+        }
+        """
+        self.assertEqual(self.names(text), ["F"])
+
+    def test_declarations_are_not_definitions(self):
+        text = "int Declared(int);\nclass C { void AlsoDeclared(int) const; };"
+        self.assertEqual(self.names(text), [])
+
+    def test_template_function(self):
+        text = "template <typename T>\nT Max(T a, T b) { return a < b ? b : a; }"
+        self.assertEqual(self.names(text), ["Max"])
+
+    def test_gtest_macro_body_is_analyzed(self):
+        text = 'TEST_F(StressTest, Kill) { EXPECT_TRUE(Run().ok()); }'
+        self.assertEqual(self.names(text), ["TEST_F"])
+
+    def test_local_struct_method_stays_in_enclosing_function(self):
+        text = """
+        void Outer() {
+          struct Guard {
+            ~Guard() { cleanup(); }
+          };
+          Guard g;
+        }
+        """
+        self.assertEqual(self.names(text), ["Outer"])
+
+    def test_trailing_return_type(self):
+        text = "auto Mk() -> std::vector<int> { return {}; }"
+        self.assertEqual(self.names(text), ["Mk"])
+
+
+class ScopeModelTest(unittest.TestCase):
+    def test_locals_with_templated_types(self):
+        text = """
+        void F(const std::vector<Buffer>& args) {
+          std::unordered_map<ObjectId, size_t> sizes;
+          Status st = Put(args);
+          auto it = sizes.begin();
+        }
+        """
+        fn = model(text).functions[0]
+        by_name = {d.name: d for d in fn.locals}
+        self.assertIn("args", by_name)       # parameter, depth 0
+        self.assertEqual(by_name["args"].depth, 0)
+        self.assertEqual(by_name["sizes"].depth, 1)
+        self.assertEqual(by_name["st"].type_text, "Status")
+        self.assertEqual(by_name["it"].type_text, "auto")
+
+    def test_lambda_depth(self):
+        text = """
+        void F() {
+          int a = 1;
+          auto cb = [&](int x) {
+            return x + a;
+          };
+          int b = 2;
+        }
+        """
+        fn = model(text).functions[0]
+        m = fn.file
+        inner_return = next(i for i in fn.body_indices()
+                            if m.tokens[i].text == "return")
+        self.assertEqual(fn.lambda_depth_at(inner_return), 1)
+        b_decl = next(d for d in fn.locals if d.name == "b")
+        self.assertEqual(fn.lambda_depth_at(b_decl.index), 0)
+
+    def test_lock_region_with_unlock_lock_toggle(self):
+        text = """
+        void F() {
+          MutexLock lock(mu_);
+          Touch();
+          lock.Unlock();
+          SlowIo();
+          lock.Lock();
+          Commit();
+        }
+        """
+        fn = model(text).functions[0]
+        m = fn.file
+        idx = {m.tokens[i].text: i for i in fn.body_indices()}
+        self.assertTrue(fn.active_locks(idx["Touch"]))
+        self.assertFalse(fn.active_locks(idx["SlowIo"]))
+        self.assertTrue(fn.active_locks(idx["Commit"]))
+
+    def test_lock_scoped_to_inner_block(self):
+        text = """
+        void F() {
+          {
+            MutexLock lock(mu_);
+            Inside();
+          }
+          Outside();
+        }
+        """
+        fn = model(text).functions[0]
+        m = fn.file
+        idx = {m.tokens[i].text: i for i in fn.body_indices()}
+        self.assertTrue(fn.active_locks(idx["Inside"]))
+        self.assertFalse(fn.active_locks(idx["Outside"]))
+
+    def test_receiver_chains(self):
+        text = """
+        void F() {
+          cluster_->cache().Put(id, data, home);
+          store->Get(id);
+          Bare(id);
+        }
+        """
+        fn = model(text).functions[0]
+        by_callee = {c.callee: c for c in fn.calls}
+        self.assertIn("cache", by_callee["Put"].receiver)
+        self.assertEqual(by_callee["Get"].receiver, "store ->")
+        self.assertEqual(by_callee["Bare"].receiver, "")
+
+    def test_guarded_mutex_collection(self):
+        text = """
+        class C {
+          Mutex mu_;
+          int x_ GUARDED_BY(mu_);
+          void F() REQUIRES(other_mu_);
+        };
+        """
+        m = model(text)
+        self.assertIn("mu_", m.guarded_mutexes)
+        self.assertIn("other_mu_", m.guarded_mutexes)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,24 @@
+// Analyzer fixture (not compiled): CondVar::Wait releases only the lock it
+// is given; the outer lock stays held for the whole (unbounded) wait.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class TwoLocks {
+ public:
+  void Drain() {
+    MutexLock outer(index_mu_);
+    MutexLock inner(queue_mu_);
+    while (!done_) {
+      cv_.Wait(inner);  // index_mu_ held across the wait
+    }
+  }
+
+ private:
+  Mutex index_mu_;
+  Mutex queue_mu_;
+  CondVar cv_;
+  bool done_ GUARDED_BY(queue_mu_) = false;
+};
+
+}  // namespace skadi

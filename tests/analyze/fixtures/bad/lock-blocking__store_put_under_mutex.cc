@@ -1,0 +1,22 @@
+// Analyzer fixture (not compiled): a store entry point called with the
+// directory mutex held — the store takes its own mu_, which is the inverted
+// edge of the DESIGN.md §8 order (LocalObjectStore::mu_ -> CachingLayer::mu_).
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class Directory {
+ public:
+  Status Insert(const ObjectId& id, const Buffer& data) {
+    MutexLock lock(mu_);
+    entries_[id] = data.size();
+    return primary_store_->Put(id, data);  // blocking store call under mu_
+  }
+
+ private:
+  Mutex mu_;
+  std::unordered_map<ObjectId, size_t> entries_ GUARDED_BY(mu_);
+  LocalObjectStore* primary_store_;
+};
+
+}  // namespace skadi

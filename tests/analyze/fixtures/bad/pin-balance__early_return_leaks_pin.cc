@@ -1,0 +1,25 @@
+// Analyzer fixture (not compiled): pins are taken, then an error path
+// returns before the unpin loop — those entries can never be evicted again.
+#include "src/runtime/raylet.h"
+
+namespace skadi {
+
+Status RunOnce(const TaskSpec& spec, NodeId node) {
+  for (const TaskArg& arg : spec.args) {
+    if (arg.is_ref()) {
+      callbacks_.pin_arg(arg.ref(), node);
+    }
+  }
+  Result<Buffer> out = Execute(spec);
+  if (!out.ok()) {
+    return out.status();  // leaks every pin taken above
+  }
+  for (const TaskArg& arg : spec.args) {
+    if (arg.is_ref()) {
+      callbacks_.unpin_arg(arg.ref(), node);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace skadi

@@ -1,0 +1,15 @@
+// Analyzer fixture (not compiled): "warming" an argument by pinning it and
+// never unpinning — a permanent store leak dressed up as an optimization.
+#include "src/objectstore/local_store.h"
+
+namespace skadi {
+
+bool WarmArg(const ObjectRef& ref, NodeId node) {
+  LocalObjectStore* store = StoreOf(node);
+  if (store == nullptr) {
+    return false;
+  }
+  return store->Pin(ref.id).ok();  // pinned forever
+}
+
+}  // namespace skadi

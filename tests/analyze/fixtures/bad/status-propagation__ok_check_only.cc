@@ -1,0 +1,21 @@
+// Analyzer fixture (not compiled): the Status is .ok()-checked but the error
+// detail is dropped on the floor — the caller gets a made-up status instead.
+#include "src/ownership/ownership_table.h"
+
+namespace skadi {
+
+Status Reconcile(OwnershipTable& table, const std::vector<ObjectId>& lost) {
+  int failures = 0;
+  for (const ObjectId& id : lost) {
+    Status marked = table.MarkLost(id);
+    if (!marked.ok()) {  // which error? nobody will ever know
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    return Status::Unavailable("some marks failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace skadi

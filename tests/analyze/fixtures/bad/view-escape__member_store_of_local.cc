@@ -1,0 +1,19 @@
+// Analyzer fixture (not compiled): a member view rebound to a local staging
+// vector — the member outlives the storage by construction.
+#include "src/common/array_view.h"
+
+namespace skadi {
+
+class ColumnCache {
+ public:
+  void Refresh() {
+    std::vector<int64_t> staging = Recompute();
+    ints_ = ArrayView<int64_t>(staging.data(), staging.size());  // dangles
+  }
+
+ private:
+  std::vector<int64_t> Recompute();
+  ArrayView<int64_t> ints_;
+};
+
+}  // namespace skadi

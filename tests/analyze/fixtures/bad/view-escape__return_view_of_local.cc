@@ -1,0 +1,16 @@
+// Analyzer fixture (not compiled): an ArrayView over a local vector returned
+// to the caller — the canonical dangling-view bug the zero-copy data plane
+// invites.
+#include "src/common/array_view.h"
+
+namespace skadi {
+
+ArrayView<int64_t> Squares(int n) {
+  std::vector<int64_t> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<int64_t>(i) * i);
+  }
+  return ArrayView<int64_t>(out.data(), out.size());  // storage dies here
+}
+
+}  // namespace skadi

@@ -1,0 +1,13 @@
+// Analyzer fixture (not compiled): Buffer::Wrap with a null owner aliasing a
+// function-local vector. The Buffer escapes; the bytes die with the frame.
+#include "src/common/buffer.h"
+
+namespace skadi {
+
+Buffer MakePayload() {
+  std::vector<uint8_t> bytes(64, 0);
+  FillHeader(bytes.data());
+  return Buffer::Wrap(nullptr, bytes.data(), bytes.size());  // dangles
+}
+
+}  // namespace skadi

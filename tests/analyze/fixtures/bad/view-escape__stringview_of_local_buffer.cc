@@ -1,0 +1,12 @@
+// Analyzer fixture (not compiled): AsStringView() does not hold the Buffer's
+// owner refcount; returning it over a local Buffer dangles.
+#include "src/common/buffer.h"
+
+namespace skadi {
+
+std::string_view Label() {
+  Buffer buf = Buffer::FromString("hot");
+  return buf.AsStringView();  // buf (and its owner) die with the frame
+}
+
+}  // namespace skadi

@@ -1,0 +1,16 @@
+// Analyzer fixture (not compiled): a deliberate swallow carrying the
+// `// analyze:allow <rule> (<reason>)` escape hatch must not be reported.
+#include "src/common/status.h"
+
+namespace skadi {
+
+Status BestEffortFlush(CachingLayer& cache, ObjectId id) {
+  // analyze:allow status-propagation (flush is best-effort by design)
+  Status st = cache.Delete(id);
+  if (!st.ok()) {
+    // swallowed deliberately: a missing entry is the desired end state
+  }
+  return Status::Ok();
+}
+
+}  // namespace skadi

@@ -1,0 +1,52 @@
+// Analyzer fixture (not compiled): the caching layer's drop-the-lock-
+// around-IO idiom and single-lock CondVar waits. The analyzer must track
+// Unlock()/Lock() toggling — none of this may be flagged.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class DirectoryLike {
+ public:
+  Status Rebalance(ObjectId id, NodeId to) {
+    MutexLock lock(mu_);
+    auto it = directory_.find(id);
+    if (it == directory_.end()) {
+      return Status::NotFound("no entry");
+    }
+    Entry entry = it->second;
+    lock.Unlock();  // IO happens without the directory lock
+    Status moved = dst_store_->Put(id, entry.data);
+    if (!moved.ok()) {
+      return moved;
+    }
+    lock.Lock();  // reacquired for the directory update
+    directory_[id].locations.insert(to);
+    return Status::Ok();
+  }
+
+  void WaitDone() {
+    MutexLock lock(mu_);
+    while (!done_) {
+      cv_.Wait(lock);  // releases its own (and only) lock
+    }
+  }
+
+  // Scoped lock in an inner block: dead before the store call.
+  Status Snapshot(ObjectId id) {
+    size_t n = 0;
+    {
+      MutexLock lock(mu_);
+      n = directory_.size();
+    }
+    return dst_store_->Put(id, MakeSizeRecord(n));
+  }
+
+ private:
+  Mutex mu_;
+  std::unordered_map<ObjectId, Entry> directory_ GUARDED_BY(mu_);
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  LocalObjectStore* dst_store_;
+};
+
+}  // namespace skadi

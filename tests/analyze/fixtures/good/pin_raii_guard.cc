@@ -1,0 +1,37 @@
+// Analyzer fixture (not compiled): the Raylet::RunTask PinGuard idiom — a
+// local RAII struct unpins on every exit path, so early returns are safe.
+#include "src/runtime/raylet.h"
+
+namespace skadi {
+
+void Execute(const TaskSpec& spec, NodeId node) {
+  struct PinGuard {
+    Callbacks* cb;
+    std::vector<ObjectRef> pinned;
+    NodeId at;
+    ~PinGuard() {
+      for (const ObjectRef& ref : pinned) {
+        cb->unpin_arg(ref, at);
+      }
+    }
+  };
+  PinGuard guard{&callbacks_, {}, node};
+  for (const TaskArg& arg : spec.args) {
+    if (arg.is_ref() && callbacks_.pin_arg(arg.ref(), node)) {
+      guard.pinned.push_back(arg.ref());
+    }
+  }
+  Run(spec);
+}
+
+// Textually balanced pin/unpin with no return in between is also fine.
+void TouchOnce(LocalObjectStore& store, ObjectId id) {
+  Status pinned = store.Pin(id);
+  if (pinned.ok()) {
+    Consume(store, id);
+    (void)store.Unpin(id);  // unpin failure on shutdown is benign
+  }
+  Report(pinned);
+}
+
+}  // namespace skadi

@@ -1,0 +1,25 @@
+// Analyzer fixture (not compiled): every captured Status is propagated,
+// passed on, or reported with its detail. None of this may be flagged.
+#include "src/common/status.h"
+
+namespace skadi {
+
+Status StoreTwice(LocalObjectStore& a, LocalObjectStore& b, ObjectId id,
+                  const Buffer& data) {
+  Status first = a.Put(id, data);
+  if (!first.ok()) {
+    return first;  // propagated
+  }
+  Status second = b.Put(id, data);
+  SKADI_RETURN_IF_ERROR(second);  // passed as an argument
+  return Status::Ok();
+}
+
+void LogFailure(CachingLayer& cache, ObjectId id) {
+  Status st = cache.Delete(id);
+  if (!st.ok()) {
+    SKADI_LOG(kWarn) << "delete of " << id << ": " << st.ToString();  // reported
+  }
+}
+
+}  // namespace skadi

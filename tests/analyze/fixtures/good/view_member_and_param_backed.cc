@@ -1,0 +1,35 @@
+// Analyzer fixture (not compiled): the *correct* view idioms — member-backed
+// accessors, parameter-backed views, and owner-threaded Buffer::Wrap. None
+// of these may be flagged.
+#include "src/common/array_view.h"
+#include "src/common/buffer.h"
+
+namespace skadi {
+
+class ColumnLike {
+ public:
+  ArrayView<int64_t> ints() const { return ints_; }
+  std::string_view name() const { return name_; }
+  ArrayView<int64_t> Tail(size_t n) const {
+    return ints_.subview(ints_.size() - n, n);
+  }
+
+ private:
+  ArrayView<int64_t> ints_;
+  std::string name_;
+};
+
+// The caller owns the vector; a view over a parameter is their contract.
+ArrayView<double> ViewOfParam(const std::vector<double>& v) {
+  return ArrayView<double>(v.data(), v.size());
+}
+
+// Owner threaded through the view: the refcount travels with the Buffer.
+Buffer WrapShared(const std::shared_ptr<std::vector<uint8_t>>& owner) {
+  return Buffer::Wrap(owner, owner->data(), owner->size());
+}
+
+// Slicing a parameter keeps the parent's owner; returning it is fine.
+Buffer Mid(const Buffer& whole) { return whole.Slice(4, 8); }
+
+}  // namespace skadi

@@ -92,6 +92,7 @@ TEST(OwnershipHammerTest, ConcurrentFailureAndRecovery) {
       for (ObjectId id : lost) {
         // Concurrent DecRef/recovery may have removed or re-armed it; any
         // status outcome is fine, the table just must not corrupt itself.
+        // analyze:allow status-propagation (any status is fine under the race)
         Status s = table.MarkPendingForReconstruction(id, TaskId::Next());
         if (s.ok()) {
           ASSERT_TRUE(table.MarkReady(id, stable, 32).ok());

@@ -31,7 +31,7 @@ class AutoscalerTest : public ::testing::Test {
       done_.fetch_add(1);
       return Status::Ok();
     };
-    callbacks.fail = [this](const TaskSpec&, const Status&) { done_.fetch_add(1); };
+    callbacks.fail = [this](const TaskSpec&, const Status&, NodeId) { done_.fetch_add(1); };
     raylet_ = std::make_unique<Raylet>(node_, &registry_, &clock_, callbacks, 1);
   }
 

@@ -38,7 +38,7 @@ class RayletTest : public ::testing::Test {
       cv_.NotifyAll();
       return Status::Ok();
     };
-    callbacks.fail = [this](const TaskSpec& spec, const Status& status) {
+    callbacks.fail = [this](const TaskSpec& spec, const Status& status, NodeId) {
       MutexLock lock(mu_);
       failed_.emplace_back(spec.id, status);
       cv_.NotifyAll();

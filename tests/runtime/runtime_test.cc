@@ -474,6 +474,7 @@ TEST_F(RuntimeTest, InFlightTasksFailOverToSurvivors) {
   // Redispatch sends pinned tasks nowhere (pin target dead) — they become
   // unschedulable; accept either recovery or explicit failure, but the
   // runtime must not hang.
+  // analyze:allow status-propagation (either outcome is valid; only liveness matters)
   Status st = runtime_->Wait(refs, 5000);
   if (st.ok()) {
     for (const ObjectRef& ref : refs) {

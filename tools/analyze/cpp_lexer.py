@@ -1,0 +1,193 @@
+"""Zero-dependency C++ token stream for the skadi-analyzer fallback engine.
+
+This is not a compiler front end: it produces a flat token stream good enough
+for the declaration/scope tracking in cpp_model.py. It handles the lexical
+constructs that break naive regex tooling:
+
+  * line and block comments (kept out of the stream, but `// analyze:allow`
+    escape hatches are collected into a side map),
+  * string/char literals, including escapes and raw strings R"delim(...)delim"
+    with encoding prefixes (u8R, LR, ...),
+  * preprocessor directives with line continuations (skipped as a unit; macro
+    *bodies* are not analyzed, macro *invocations* in normal code are),
+  * maximal-munch punctuation (`::`, `->`, `<<=`, ...), so `a->b` is three
+    tokens, not a soup of characters.
+
+Tokens carry (kind, text, line). Kinds: 'ident', 'number', 'string', 'char',
+'punct'.
+"""
+
+import collections
+import re
+
+Token = collections.namedtuple("Token", ["kind", "text", "line"])
+
+# Longest first so maximal munch falls out of the ordering.
+_PUNCTUATORS = [
+    "<<=", ">>=", "->*", "...",
+    "::", "->", ".*", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">", "=", "+", "-",
+    "*", "/", "%", "&", "|", "^", "!", "~", "?", ":", "#",
+]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
+_ALLOW_RE = re.compile(r"//\s*analyze:allow\s+([a-z-]+)")
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(text):
+    """Tokenizes C++ source. Returns (tokens, allow_map).
+
+    allow_map maps line number -> set of rule names allowed on that line,
+    collected from `// analyze:allow <rule> (<reason>)` comments.
+    """
+    tokens = []
+    allow_map = {}
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def record_allow(comment, comment_line):
+        for m in _ALLOW_RE.finditer(comment):
+            allow_map.setdefault(comment_line, set()).add(m.group(1))
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = text.find("\n", i)
+                if j == -1:
+                    j = n
+                record_allow(text[i:j], line)
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                if j == -1:
+                    j = n
+                else:
+                    j += 2
+                line += text.count("\n", i, j)
+                i = j
+                continue
+
+        # Preprocessor directive: a `#` first on its line swallows the whole
+        # (continuation-joined) directive. `#` elsewhere is the punctuator.
+        if c == "#" and at_line_start:
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k == -1:
+                    j = n
+                    break
+                # A backslash (possibly before \r) continues the directive.
+                back = k - 1
+                while back > j and text[back] == "\r":
+                    back -= 1
+                if back >= j and text[back] == "\\":
+                    line += 1
+                    j = k + 1
+                    continue
+                j = k
+                break
+            i = j
+            continue
+
+        at_line_start = False
+
+        # Raw strings before plain strings: R"x(...)x".
+        if c in "uULR" or (c == 'u' and text.startswith("u8", i)):
+            m = _RAW_STRING_RE.match(text, i)
+            if m:
+                delim = ")" + m.group(1) + '"'
+                j = text.find(delim, m.end())
+                if j == -1:
+                    raise LexError(f"unterminated raw string at line {line}")
+                j += len(delim)
+                tokens.append(Token("string", text[i:j], line))
+                line += text.count("\n", i, j)
+                i = j
+                continue
+
+        # Encoding-prefixed ordinary literals (u8"...", L'...'). Unmatched
+        # u/U/L falls through to the identifier scanner.
+        if c in "uUL":
+            pre = "u8" if text.startswith("u8", i) else c
+            j = i + len(pre)
+            if j < n and text[j] in "\"'":
+                i, tok = _scan_quoted(text, j, line, prefix=pre)
+                tokens.append(tok)
+                continue
+
+        if c == '"' or c == "'":
+            i, tok = _scan_quoted(text, i, line)
+            tokens.append(tok)
+            continue
+
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] in ".'" or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("number", text[i:j], line))
+            i = j
+            continue
+
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # unknown byte: skip rather than die
+
+    return tokens, allow_map
+
+
+def _scan_quoted(text, i, line, prefix=""):
+    """Scans a string or char literal starting at text[i] (a quote)."""
+    quote = text[i]
+    j = i + 1
+    n = len(text)
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote:
+            j += 1
+            break
+        if c == "\n":
+            break  # unterminated on this line; recover at the newline
+        j += 1
+    kind = "string" if quote == '"' else "char"
+    return j, Token(kind, prefix + text[i:j], line)

@@ -1,0 +1,656 @@
+"""Declaration/scope model over the cpp_lexer token stream.
+
+Builds a FileModel with one FunctionModel per function *definition* found in
+the file: free functions, methods defined inside a class body, out-of-line
+`Foo::Bar` definitions, constructors with init lists, and gtest TEST/TEST_F
+bodies (which look like functions named TEST_F — good enough, their bodies get
+analyzed). Local structs defined inside a function (the PinGuard RAII idiom)
+stay part of the enclosing function's body.
+
+Per function the model exposes what the rules need:
+
+  * the body token slice with per-token brace depth and lambda depth
+    (a `return` inside a lambda does not return from the function),
+  * local variable declarations with their (textual) types and scopes,
+  * MutexLock regions, including mid-scope `lock.Unlock()` / `lock.Lock()`
+    toggling — the drop-the-lock-around-IO idiom in the caching layer must
+    not count as "lock held",
+  * call sites with callee name and receiver chain text.
+
+Everything is heuristic but tuned so the fallback engine produces zero
+findings on the clean tree; see tools/analyze/skadi_analyzer.py --selftest.
+"""
+
+import collections
+import re
+
+from cpp_lexer import lex
+
+# Keywords that can precede `(...) {` without being a function definition.
+_NOT_A_FUNCTION = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "assert", "new", "delete", "throw",
+    "alignas", "noexcept", "defined", "co_await", "co_return", "co_yield",
+}
+
+# Specifier-ish tokens skipped when collecting a return type.
+_DECL_SPECIFIERS = {
+    "static", "inline", "constexpr", "consteval", "constinit", "virtual",
+    "explicit", "friend", "extern", "typename", "mutable",
+}
+
+_TYPE_HEAD_KEYWORDS = {
+    "const", "volatile", "unsigned", "signed", "long", "short", "struct",
+    "class", "enum", "auto",
+}
+
+# Statement keywords that cannot start a declaration.
+_STMT_KEYWORDS = _NOT_A_FUNCTION | {
+    "else", "do", "case", "default", "break", "continue", "goto", "using",
+    "namespace", "template", "public", "private", "protected", "typedef",
+    "friend", "operator",
+}
+
+def pretty(text):
+    """Collapse token-joined text for finding messages only ("std ::
+    string_view" -> "std::string_view"). Rules that *compare* joined text
+    (mutex tails, type bases) keep the raw single-space join."""
+    for sep in ("::", ".", "->", "<", ">", ",", "(", ")", "*", "&"):
+        text = text.replace(" " + sep, sep).replace(sep + " ", sep)
+    return text.replace(",", ", ")
+
+
+VarDecl = collections.namedtuple(
+    "VarDecl", ["name", "type_text", "index", "depth", "scope_end", "line"])
+
+Call = collections.namedtuple(
+    "Call", ["index", "callee", "receiver", "line", "depth", "lambda_depth"])
+
+LockRegion = collections.namedtuple(
+    "LockRegion", ["name", "mutex_expr", "intervals", "decl_index", "line"])
+
+
+class FunctionModel:
+    def __init__(self, file_model, name, qual_tokens, return_tokens,
+                 params_range, body_range):
+        self.file = file_model
+        self.name = name                      # last identifier: `Get`
+        self.qual_name = qual_tokens          # `CachingLayer::Get`
+        self.return_text = " ".join(t.text for t in return_tokens)
+        self.params_range = params_range      # (open_paren, close_paren)
+        self.body_range = body_range          # (open_brace, close_brace)
+        toks = file_model.tokens
+        self.line = toks[body_range[0]].line
+        self._depth = {}        # token index -> brace depth inside body (>=1)
+        self._lambda_depth = {}  # token index -> enclosing lambda count
+        self.locals = []        # VarDecl list (params included, depth 0)
+        self.calls = []
+        self.locks = []         # LockRegion list
+        self._build()
+
+    # -- public helpers -------------------------------------------------
+
+    def body_indices(self):
+        return range(self.body_range[0] + 1, self.body_range[1])
+
+    def depth_at(self, i):
+        return self._depth.get(i, 0)
+
+    def lambda_depth_at(self, i):
+        return self._lambda_depth.get(i, 0)
+
+    def local_names(self):
+        return {d.name for d in self.locals}
+
+    def find_local(self, name, at_index=None):
+        """Innermost declaration of `name` visible at token index."""
+        best = None
+        for d in self.locals:
+            if d.name != name:
+                continue
+            if at_index is not None and not (d.index <= at_index <= d.scope_end):
+                continue
+            if best is None or d.depth >= best.depth:
+                best = d
+        return best
+
+    def active_locks(self, i):
+        """LockRegions held at token index i."""
+        out = []
+        for lk in self.locks:
+            for (a, b) in lk.intervals:
+                if a <= i <= b:
+                    out.append(lk)
+                    break
+        return out
+
+    def text(self, a, b):
+        return " ".join(t.text for t in self.file.tokens[a:b])
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self):
+        toks = self.file.tokens
+        lo, hi = self.body_range
+        depth = 0
+        # Lambda body ranges: list of (open_brace, close_brace).
+        lambda_bodies = self._find_lambda_bodies()
+        for i in range(lo, hi + 1):
+            t = toks[i]
+            if t.text == "{":
+                depth += 1
+            self._depth[i] = depth
+            if t.text == "}":
+                depth -= 1
+            ld = 0
+            for (a, b) in lambda_bodies:
+                if a < i < b:
+                    ld += 1
+            self._lambda_depth[i] = ld
+
+        self._collect_params()
+        self._collect_locals_and_calls()
+        self._collect_lock_regions()
+
+    def _find_lambda_bodies(self):
+        """Finds lambda bodies inside the function body.
+
+        A `[` opens a lambda intro when it appears in expression context:
+        the previous token is a punctuator that cannot precede a subscript
+        (`(`, `,`, `=`, `{`, `;`, `return`, `&&`, ...). After the matching
+        `]`, an optional (...) parameter list and specifier/trailing-return
+        tokens may precede the `{` body.
+        """
+        toks = self.file.tokens
+        match = self.file.match
+        bodies = []
+        expr_prefix = {"(", ",", "=", "{", ";", "&&", "||", "!", "?", ":",
+                       "return", "<", ">", "+", "-", "*", "/", "%", "<<",
+                       ">>", "==", "!=", "co_return", "co_yield", "["}
+        lo, hi = self.body_range
+        for i in range(lo + 1, hi):
+            if toks[i].text != "[":
+                continue
+            prev = toks[i - 1].text
+            if prev not in expr_prefix:
+                continue
+            close = match.get(i)
+            if close is None or close >= hi:
+                continue
+            j = close + 1
+            if j < hi and toks[j].text == "(":
+                pc = match.get(j)
+                if pc is None:
+                    continue
+                j = pc + 1
+            # Skip specifiers / trailing return up to `{` or give up at
+            # tokens that end the candidate.
+            guard = 0
+            while j < hi and toks[j].text not in ("{", ";", ")", ",", "}"):
+                if toks[j].text == "(":  # noexcept(...)
+                    pc = match.get(j)
+                    if pc is None:
+                        break
+                    j = pc + 1
+                    continue
+                j += 1
+                guard += 1
+                if guard > 32:
+                    break
+            if j < hi and toks[j].text == "{":
+                bc = match.get(j)
+                if bc is not None and bc <= hi:
+                    bodies.append((j, bc))
+        return bodies
+
+    def _collect_params(self):
+        """Parameters become depth-0 locals scoped to the whole function."""
+        toks = self.file.tokens
+        a, b = self.params_range
+        # Split on top-level commas.
+        i = a + 1
+        start = i
+        depth = 0
+        groups = []
+        while i < b:
+            t = toks[i].text
+            if t in "(<[{":
+                depth += 1
+            elif t in ")>]}":
+                depth -= 1
+            elif t == "," and depth == 0:
+                groups.append((start, i))
+                start = i + 1
+            i += 1
+        if start < b:
+            groups.append((start, b))
+        for (s, e) in groups:
+            # Last identifier not part of a template/default arg is the name.
+            name_idx = None
+            j = e - 1
+            # Skip default argument: cut at top-level `=`.
+            d = 0
+            for k in range(s, e):
+                t = toks[k].text
+                if t in "(<[{":
+                    d += 1
+                elif t in ")>]}":
+                    d -= 1
+                elif t == "=" and d == 0:
+                    e = k
+                    break
+            j = e - 1
+            while j >= s:
+                if toks[j].kind == "ident" and toks[j].text not in (
+                        "const", "override", "final"):
+                    name_idx = j
+                    break
+                j -= 1
+            if name_idx is None or name_idx == s:
+                continue  # unnamed or type-only parameter
+            type_text = " ".join(t.text for t in toks[s:name_idx])
+            if not type_text:
+                continue
+            self.locals.append(VarDecl(
+                name=toks[name_idx].text, type_text=type_text, index=name_idx,
+                depth=0, scope_end=self.body_range[1],
+                line=toks[name_idx].line))
+
+    def _scope_end(self, i, depth):
+        """Index of the `}` closing the scope that token i (at `depth`) is in."""
+        toks = self.file.tokens
+        d = depth
+        for j in range(i, self.body_range[1] + 1):
+            t = toks[j].text
+            if t == "{":
+                d += 1
+            elif t == "}":
+                d -= 1
+                if d < depth:
+                    return j
+        return self.body_range[1]
+
+    def _collect_locals_and_calls(self):
+        toks = self.file.tokens
+        match = self.file.match
+        lo, hi = self.body_range
+        stmt_start = True
+        i = lo + 1
+        while i < hi:
+            t = toks[i]
+            if t.text in (";", "{", "}"):
+                stmt_start = True
+                i += 1
+                continue
+            if t.text == ":" and i >= 1 and toks[i - 1].text in (
+                    "public", "private", "protected", "default"):
+                stmt_start = True
+                i += 1
+                continue
+
+            # Call site: IDENT followed by `(`.
+            if t.kind == "ident" and i + 1 < hi and toks[i + 1].text == "(" \
+                    and t.text not in _NOT_A_FUNCTION:
+                receiver = self._receiver_chain(i)
+                self.calls.append(Call(
+                    index=i, callee=t.text, receiver=receiver, line=t.line,
+                    depth=self._depth.get(i, 1),
+                    lambda_depth=self._lambda_depth.get(i, 0)))
+
+            if stmt_start:
+                decl = self._try_parse_decl(i, hi)
+                if decl is not None:
+                    self.locals.append(decl)
+            if t.kind == "ident" or t.text not in (",",):
+                stmt_start = False
+            i += 1
+
+    def _receiver_chain(self, i):
+        """Textual receiver chain before a call: `cluster_ -> cache ( ) .`"""
+        toks = self.file.tokens
+        j = i - 1
+        parts = []
+        budget = 12
+        while j > self.body_range[0] and budget > 0:
+            t = toks[j].text
+            if t in (".", "->", "::"):
+                parts.append(t)
+                j -= 1
+                budget -= 1
+                continue
+            if toks[j].kind == "ident" or t in (")", "]"):
+                # An ident/close is expected right after an access operator or
+                # after jumping over a call's `(...)` group.
+                if not parts or parts[-1] not in (".", "->", "::", "("):
+                    break
+                parts.append(t)
+                if t == ")":
+                    # jump over the call/paren group
+                    open_idx = self.file.rmatch.get(j)
+                    if open_idx is None:
+                        break
+                    parts.append("(")
+                    j = open_idx - 1
+                    budget -= 1
+                    continue
+                j -= 1
+                budget -= 1
+                continue
+            break
+        parts.reverse()
+        return " ".join(parts)
+
+    def _try_parse_decl(self, i, hi):
+        """Parses `Type name ...` declarations at a statement start."""
+        toks = self.file.tokens
+        match = self.file.match
+        j = i
+        # Leading specifiers.
+        saw_static = False
+        while j < hi and toks[j].kind == "ident" and (
+                toks[j].text in _DECL_SPECIFIERS or toks[j].text == "const"):
+            if toks[j].text == "static":
+                saw_static = True
+            j += 1
+        type_start = j
+        if j >= hi or toks[j].kind != "ident" or toks[j].text in _STMT_KEYWORDS:
+            return None
+        # Type: ident (:: ident)* (<...>)? with trailing const/*/&.
+        j += 1
+        while j < hi:
+            t = toks[j].text
+            if t == "::" and j + 1 < hi and toks[j + 1].kind == "ident":
+                j += 2
+                continue
+            if t == "<":
+                close = self._match_angle(j, hi)
+                if close is None:
+                    return None
+                j = close + 1
+                continue
+            if t in ("*", "&", "&&") or t == "const":
+                j += 1
+                continue
+            break
+        if j >= hi or toks[j].kind != "ident":
+            return None
+        name_idx = j
+        nxt = toks[j + 1].text if j + 1 < hi else ""
+        if nxt not in ("=", "(", "{", ";", ","):
+            return None
+        # `Type name(...)` could be a function *declaration*; require that a
+        # paren group is followed by `;`-terminated init, not `{` or `->`.
+        if nxt == "(":
+            close = match.get(j + 1)
+            if close is None:
+                return None
+            after = toks[close + 1].text if close + 1 < hi else ""
+            if after in ("{", "->") or after == "const":
+                return None
+        type_text = " ".join(t.text for t in toks[type_start:name_idx])
+        if saw_static:
+            type_text = "static " + type_text
+        depth = self._depth.get(name_idx, 1)
+        return VarDecl(
+            name=toks[name_idx].text, type_text=type_text, index=name_idx,
+            depth=depth, scope_end=self._scope_end(name_idx, depth),
+            line=toks[name_idx].line)
+
+    def _match_angle(self, i, hi):
+        """Matches `<`...`>` for template args; None when it's a comparison."""
+        toks = self.file.tokens
+        depth = 0
+        for j in range(i, min(i + 64, hi)):
+            t = toks[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif t in (";", "{", "}", "&&", "||"):
+                return None
+        return None
+
+    def _collect_lock_regions(self):
+        """MutexLock lifetimes, honoring `.Unlock()` / `.Lock()` toggling."""
+        toks = self.file.tokens
+        for d in self.locals:
+            if d.type_text.split()[-1] not in ("MutexLock", "ReaderMutexLock",
+                                               "WriterMutexLock"):
+                continue
+            # Mutex expression: tokens in the ctor parens/braces.
+            mutex_expr = ""
+            j = d.index + 1
+            if j <= self.body_range[1] and toks[j].text in ("(", "{"):
+                close = self.file.match.get(j)
+                if close is not None:
+                    mutex_expr = " ".join(t.text for t in toks[j + 1:close])
+            intervals = []
+            held_from = d.index
+            k = d.index + 1
+            while k <= d.scope_end:
+                if toks[k].kind == "ident" and toks[k].text == d.name \
+                        and k + 3 <= d.scope_end and toks[k + 1].text == "." \
+                        and toks[k + 2].text in ("Unlock", "Lock") \
+                        and k + 3 <= d.scope_end and toks[k + 3].text == "(":
+                    if toks[k + 2].text == "Unlock" and held_from is not None:
+                        intervals.append((held_from, k - 1))
+                        held_from = None
+                    elif toks[k + 2].text == "Lock" and held_from is None:
+                        held_from = k
+                    k += 4
+                    continue
+                k += 1
+            if held_from is not None:
+                intervals.append((held_from, d.scope_end))
+            self.locks.append(LockRegion(
+                name=d.name, mutex_expr=mutex_expr, intervals=intervals,
+                decl_index=d.index, line=d.line))
+
+
+class FileModel:
+    """Token stream + bracket matching + the function definitions in a file."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.tokens, self.allow_map = lex(text)
+        self.match = {}    # open bracket index -> close index
+        self.rmatch = {}   # close -> open
+        self._match_brackets()
+        self.functions = []
+        self._find_functions()
+        self.guarded_mutexes = self._collect_guarded_mutexes(text)
+
+    def allows(self, line, rule):
+        """True when `// analyze:allow <rule>` is on `line` or the line above."""
+        return rule in self.allow_map.get(line, ()) or \
+            rule in self.allow_map.get(line - 1, ())
+
+    def _match_brackets(self):
+        stacks = {"(": [], "{": [], "[": []}
+        pairs = {")": "(", "}": "{", "]": "["}
+        for i, t in enumerate(self.tokens):
+            if t.text in stacks:
+                stacks[t.text].append(i)
+            elif t.text in pairs:
+                st = stacks[pairs[t.text]]
+                if st:
+                    j = st.pop()
+                    self.match[j] = i
+                    self.rmatch[i] = j
+
+    def _find_functions(self):
+        toks = self.tokens
+        n = len(toks)
+        paren_depth = 0
+        candidates = []
+        for i, t in enumerate(toks):
+            if t.text == "(":
+                paren_depth += 1
+            elif t.text == ")":
+                paren_depth -= 1
+            if t.kind != "ident" or t.text in _NOT_A_FUNCTION:
+                continue
+            if i + 1 >= n or toks[i + 1].text != "(":
+                continue
+            if paren_depth != 0:
+                continue
+            close = self.match.get(i + 1)
+            if close is None:
+                continue
+            body = self._find_body_brace(close + 1)
+            if body is None:
+                continue
+            body_close = self.match.get(body)
+            if body_close is None:
+                continue
+            qual = self._qualified_name(i)
+            ret = self._return_tokens(i)
+            candidates.append((i, t.text, qual, ret, (i + 1, close),
+                               (body, body_close)))
+        # Keep only outermost definitions; nested local structs' methods stay
+        # part of the enclosing function body.
+        kept = []
+        claimed = []
+        for cand in candidates:
+            b = cand[5]
+            # <=: an init-list member like `pool_(4) {` resolves to the same
+            # body brace as its constructor; the first (real) claimant wins.
+            if any(a[0] <= b[0] and b[1] <= a[1] for a in claimed):
+                continue
+            claimed.append(b)
+            kept.append(cand)
+        for (i, name, qual, ret, params, body) in kept:
+            self.functions.append(FunctionModel(
+                self, name, qual, ret, params, body))
+
+    def _find_body_brace(self, j):
+        """From just after the param `)`, finds the body `{` (or None).
+
+        Accepts const/noexcept/override/final, `noexcept(...)`, a trailing
+        return `-> Type`, and a constructor init list `: a_(x), b_{y}`.
+        """
+        toks = self.tokens
+        n = len(toks)
+        while j < n:
+            t = toks[j].text
+            if t == "{":
+                return j
+            if t in (";", "}", ")", ",", "=", "]"):
+                return None
+            if toks[j].kind == "ident" and t in (
+                    "const", "noexcept", "override", "final", "mutable",
+                    "try"):
+                j += 1
+                continue
+            if t == "(":  # noexcept(...)
+                close = self.match.get(j)
+                if close is None:
+                    return None
+                j = close + 1
+                continue
+            if t == "->":
+                # trailing return type: skip type tokens up to `{` / `;`.
+                j += 1
+                while j < n and toks[j].text not in ("{", ";", "}"):
+                    if toks[j].text in ("(", "[", "{"):
+                        close = self.match.get(j)
+                        if close is None:
+                            return None
+                        j = close + 1
+                    else:
+                        j += 1
+                continue
+            if t == ":":
+                # Constructor init list: name then a (...) or {...} group,
+                # comma-separated, ending at the body `{`.
+                j += 1
+                while True:
+                    if j >= n or toks[j].kind != "ident":
+                        return None
+                    # member / base name, possibly qualified or templated
+                    guard = 0
+                    while j < n and toks[j].text not in ("(", "{"):
+                        if toks[j].text in (";", "}", ")", "=", "]"):
+                            return None
+                        j += 1
+                        guard += 1
+                        if guard > 32:
+                            return None
+                    if j >= n:
+                        return None
+                    close = self.match.get(j)
+                    if close is None:
+                        return None
+                    j = close + 1
+                    if j < n and toks[j].text == ",":
+                        j += 1
+                        continue
+                    break
+                continue
+            return None
+        return None
+
+    def _qualified_name(self, i):
+        toks = self.tokens
+        parts = [toks[i].text]
+        j = i - 1
+        while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "ident":
+            parts.append("::")
+            parts.append(toks[j - 1].text)
+            j -= 2
+        parts.reverse()
+        return "".join(parts)
+
+    def _return_tokens(self, i):
+        """Type tokens before the (possibly qualified) name."""
+        toks = self.tokens
+        j = i - 1
+        # Skip back over the qualification `Foo ::` and destructor `~`.
+        while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "ident":
+            j -= 2
+        if j >= 0 and toks[j].text == "~":
+            j -= 1
+        end = j + 1
+        # Collect type-ish tokens backwards to the statement boundary.
+        depth = 0
+        while j >= 0:
+            t = toks[j].text
+            if t == ">":
+                depth += 1
+            elif t == "<":
+                depth -= 1
+                if depth < 0:
+                    break
+            elif depth == 0:
+                if toks[j].kind == "ident":
+                    if t in _STMT_KEYWORDS and t not in _TYPE_HEAD_KEYWORDS:
+                        break
+                elif t not in ("::", "*", "&", "&&", ",", ">>"):
+                    break
+            j -= 1
+        start = j + 1
+        out = [t for t in toks[start:end]
+               if not (t.kind == "ident" and t.text in _DECL_SPECIFIERS)]
+        return out
+
+    def _collect_guarded_mutexes(self, text):
+        """Mutex names referenced by GUARDED_BY/REQUIRES annotations."""
+        names = set()
+        for m in re.finditer(
+                r"\b(?:PT_)?(?:GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+                r"EXCLUDES)\s*\(\s*([A-Za-z_][\w.>-]*)", text):
+            names.add(m.group(1).split(".")[-1].split(">")[-1])
+        return names
+
+
+def parse_file(path, text=None):
+    if text is None:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    return FileModel(path, text)

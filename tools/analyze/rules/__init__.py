@@ -1,0 +1,23 @@
+"""Rule registry for the skadi-analyzer.
+
+Each rule module exposes `NAME`, `DOC` (one-paragraph description shown by
+--list-rules) and `check(model, rel_path) -> [Finding]`. Findings whose line
+carries `// analyze:allow <rule> (<reason>)` (same line or the line above)
+are filtered out by the driver, not the rules.
+"""
+
+import collections
+
+Finding = collections.namedtuple("Finding", ["line", "rule", "message"])
+
+from rules import lock_blocking  # noqa: E402
+from rules import pin_balance    # noqa: E402
+from rules import status_propagation  # noqa: E402
+from rules import view_escape    # noqa: E402
+
+ALL_RULES = {
+    view_escape.NAME: view_escape,
+    lock_blocking.NAME: lock_blocking,
+    pin_balance.NAME: pin_balance,
+    status_propagation.NAME: status_propagation,
+}

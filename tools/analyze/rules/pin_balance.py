@@ -1,0 +1,93 @@
+"""pin-balance: every pinned argument must be unpinned on every path.
+
+`Raylet::Callbacks::pin_arg` pins a resolved by-reference argument in the
+executing node's store for the duration of the task body so eviction cannot
+pull the bytes out from under the running function (DESIGN.md §9). A pin
+with a path that skips the unpin is a permanent store leak: the entry can
+never be evicted or spilled again.
+
+A function that pins is accepted when either
+
+  * it contains an RAII unpinner (the Raylet::RunTask PinGuard idiom: a
+    local struct whose destructor unpins — detected as a destructor plus an
+    unpin call inside the function, or a local of a *Guard/*Unpinner type), or
+  * pins and unpins are textually balanced with no `return` between the
+    first pin and the last unpin (so no path can leave early).
+
+The pin primitives themselves (`Pin`, `Unpin`, `PinArg`, `UnpinArg`) are
+exempt — they are the implementation, not a use. Test files are skipped:
+tests pin deliberately without unpinning to exercise eviction behavior.
+"""
+
+import re
+
+NAME = "pin-balance"
+DOC = __doc__
+
+_PIN_CALLEES = {"pin_arg", "Pin"}
+_UNPIN_CALLEES = {"unpin_arg", "Unpin"}
+_PRIMITIVES = {"Pin", "Unpin", "PinArg", "UnpinArg", "pin_arg", "unpin_arg"}
+_GUARD_TYPE_RE = re.compile(r"(Guard|Unpinner|ScopedPin)")
+_UNPIN_TOKEN_RE = re.compile(r"unpin", re.IGNORECASE)
+
+
+def _is_test_path(rel_path):
+    p = rel_path.replace("\\", "/")
+    return p.startswith("tests/") and "/fixtures/" not in p
+
+
+def check(model, rel_path):
+    from rules import Finding
+    if _is_test_path(rel_path):
+        return []
+    findings = []
+    for fn in model.functions:
+        if fn.name in _PRIMITIVES:
+            continue
+        pins = [c for c in fn.calls if c.callee in _PIN_CALLEES and c.receiver]
+        if not pins:
+            continue
+        unpins = [c for c in fn.calls
+                  if c.callee in _UNPIN_CALLEES and c.receiver]
+        if _has_raii_unpinner(model, fn):
+            continue
+        if not unpins:
+            findings.append(Finding(
+                pins[0].line, NAME,
+                f"{fn.qual_name}() pins via {pins[0].callee}() but never "
+                "unpins on any path; pair it with an unpin or use an RAII "
+                "guard (see Raylet::RunTask's PinGuard)"))
+            continue
+        if len(pins) > len(unpins):
+            findings.append(Finding(
+                pins[0].line, NAME,
+                f"{fn.qual_name}() has {len(pins)} pin call(s) but only "
+                f"{len(unpins)} unpin call(s); some path leaks a pin"))
+            continue
+        first_pin = min(c.index for c in pins)
+        last_unpin = max(c.index for c in unpins)
+        toks = model.tokens
+        for i in range(first_pin + 1, last_unpin):
+            if toks[i].kind == "ident" and toks[i].text == "return" \
+                    and fn.lambda_depth_at(i) == 0:
+                findings.append(Finding(
+                    toks[i].line, NAME,
+                    f"early return in {fn.qual_name}() between pin and "
+                    "unpin leaks the pin on that path; use an RAII guard"))
+                break
+    return findings
+
+
+def _has_raii_unpinner(model, fn):
+    toks = model.tokens
+    lo, hi = fn.body_range
+    saw_dtor = False
+    saw_unpin_token = False
+    for i in range(lo + 1, hi):
+        if toks[i].text == "~" and i + 1 < hi and toks[i + 1].kind == "ident":
+            saw_dtor = True
+        if toks[i].kind == "ident" and _UNPIN_TOKEN_RE.search(toks[i].text):
+            saw_unpin_token = True
+    if saw_dtor and saw_unpin_token:
+        return True
+    return any(_GUARD_TYPE_RE.search(d.type_text) for d in fn.locals)

@@ -1,0 +1,129 @@
+"""status-propagation: a callee's Status must not be silently swallowed.
+
+The runtime's failure handling (lineage recovery, failover re-dispatch,
+replica bookkeeping) leans on Status flowing up: a swallowed error turns a
+recoverable fault into a silent hang or a wrong answer. The lint layer
+already catches statement-level discards (`store->Put(...);`); this rule
+works at the declaration level, where a Status is captured and then goes
+nowhere:
+
+    Status st = store->Put(id, data);
+    // ... st never returned, never passed on, never reported
+
+Flagged:
+
+  * a `Status` local initialized from a call with *no* later use at all, and
+  * one whose only uses are `.ok()` checks — the error detail is neither
+    propagated (return / RETURN_IF_ERROR / passed as argument) nor reported
+    (`ToString()`, `message()`, `code()`, streamed into a log).
+
+A bare boolean check is sometimes the intent (best-effort paths, metrics
+counters); annotate those `// analyze:allow status-propagation (<reason>)`.
+"""
+
+NAME = "status-propagation"
+DOC = __doc__
+
+_REPORT_METHODS = {"ToString", "message", "code", "raw_code", "error_message"}
+
+
+def check(model, rel_path):
+    from rules import Finding
+    findings = []
+    for fn in model.functions:
+        for d in fn.locals:
+            if d.depth == 0:
+                continue  # parameters
+            base = d.type_text.split(" ")[-1]
+            if base != "Status":
+                continue
+            init = _initializer_is_call(model, fn, d)
+            if not init:
+                continue
+            uses = _classify_uses(model, fn, d)
+            if uses is None:
+                continue  # something odd (e.g. address taken): stay silent
+            consumed, checked = uses
+            if consumed:
+                continue
+            if checked:
+                findings.append(Finding(
+                    d.line, NAME,
+                    f"Status '{d.name}' from {init} is only .ok()-checked; "
+                    "the error is neither propagated nor reported — return "
+                    "it, log st.ToString(), or annotate the intent"))
+            else:
+                findings.append(Finding(
+                    d.line, NAME,
+                    f"Status '{d.name}' from {init} is never inspected; "
+                    "the callee's error is silently dropped"))
+    return findings
+
+
+def _initializer_is_call(model, fn, d):
+    """Callee text when the decl initializer contains a call, else None."""
+    toks = model.tokens
+    i = d.index + 1
+    if i > d.scope_end or toks[i].text not in ("=", "(", "{"):
+        return None
+    # Scan the initializer up to the `;` for a call.
+    j = i
+    depth = 0
+    callee = None
+    while j <= d.scope_end:
+        t = toks[j]
+        if t.text in "([{":
+            depth += 1
+            if t.text == "(" and toks[j - 1].kind == "ident" \
+                    and toks[j - 1].text != d.name:
+                callee = toks[j - 1].text + "()"
+        elif t.text in ")]}":
+            depth -= 1
+        elif t.text == ";" and depth <= 0:
+            break
+        j += 1
+    return callee
+
+
+def _classify_uses(model, fn, d):
+    """(consumed, checked) over uses of d.name after its declaration."""
+    toks = model.tokens
+    consumed = False
+    checked = False
+    # Skip past the initializer statement.
+    j = d.index + 1
+    depth = 0
+    while j <= d.scope_end:
+        t = toks[j].text
+        if t in "([{":
+            depth += 1
+        elif t in ")]}":
+            depth -= 1
+        elif t == ";" and depth <= 0:
+            break
+        j += 1
+    for i in range(j + 1, d.scope_end + 1):
+        t = toks[i]
+        if t.kind != "ident" or t.text != d.name:
+            continue
+        prev = toks[i - 1].text if i >= 1 else ""
+        nxt = toks[i + 1].text if i + 1 <= d.scope_end else ""
+        nxt2 = toks[i + 2].text if i + 2 <= d.scope_end else ""
+        if nxt in (".", "->"):
+            if nxt2 == "ok":
+                checked = True
+                continue
+            if nxt2 in _REPORT_METHODS:
+                consumed = True
+                continue
+            return None  # unknown method: assume the best
+        if prev in ("(", ",", "return", "=", "<<", "?", ":") or \
+                nxt in ("<<",):
+            consumed = True
+            continue
+        if nxt == "=":
+            continue  # reassignment starts a new value; keep scanning
+        if prev in (".", "->", "::"):
+            continue  # a different entity's member that shares the name
+        return None  # use we do not understand: stay silent
+    return (consumed, checked)

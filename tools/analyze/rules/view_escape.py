@@ -1,0 +1,215 @@
+"""view-escape: a non-owning view must not outlive its backing storage.
+
+The zero-copy data plane (DESIGN.md §9) passes views everywhere: aliasing
+Buffers, `Column::View*` / `Tensor::View` columns over wire bytes,
+ArrayView/string_view accessors. The safe idiom threads the owner
+shared_ptr through every view (`Buffer::Wrap(buffer.owner(), ...)`); the
+bug this rule hunts is a view that escapes the function while its backing
+storage is a function-local about to be destroyed:
+
+  * `return` of a view type (ArrayView/string_view/Span) whose expression
+    references a local owning container (vector/string/Buffer/...),
+  * `Buffer::Wrap` / `Column::View*` / `Tensor::View` in a return or
+    member-store with a null/empty owner argument and a local referent,
+  * `.AsStringView()` on a local Buffer (or a temporary) in a return — the
+    string_view does not hold the Buffer's owner refcount,
+  * storing any of the above into a member (`foo_ = ...`).
+
+Member- and parameter-backed views are fine: the container outlives the
+call by contract (that is exactly how Column accessors and serde work).
+"""
+
+import re
+
+from cpp_model import pretty
+
+NAME = "view-escape"
+DOC = __doc__
+
+_VIEW_RETURN_RE = re.compile(r"\b(ArrayView|string_view|StringView|Span)\b")
+_OWNING_TYPE_RE = re.compile(
+    r"\b(vector|string|basic_string|Buffer|Tensor|Column|RecordBatch|"
+    r"array|deque)\b")
+_FACTORY_HEADS = ("Wrap", "View")  # Buffer::Wrap, Column::View*, Tensor::View
+
+
+def check(model, rel_path):
+    from rules import Finding
+    findings = []
+    for fn in model.functions:
+        if fn.name in ("AsStringView", "Wrap", "Slice", "subview"):
+            continue  # the view primitives themselves
+        returns_view = _VIEW_RETURN_RE.search(fn.return_text) is not None
+        for (start, end) in _statements(fn):
+            toks = model.tokens[start:end]
+            if not toks:
+                continue
+            if toks[0].text == "return" and fn.lambda_depth_at(start) == 0:
+                findings.extend(
+                    _check_return(model, fn, start, end, returns_view))
+            else:
+                findings.extend(_check_member_store(model, fn, start, end))
+    return findings
+
+
+def _statements(fn):
+    """(start, end) token ranges of statements in the body, all depths."""
+    toks = fn.file.tokens
+    lo, hi = fn.body_range
+    start = lo + 1
+    depth = 0
+    for i in range(lo + 1, hi):
+        t = toks[i].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif t in (";", "{", "}") and depth <= 0:
+            if i > start:
+                yield (start, i)
+            start = i + 1
+    if hi > start:
+        yield (start, hi)
+
+
+def _local_owner_referents(model, fn, start, end):
+    """Body-locals (not params) of owning type referenced in [start, end)."""
+    out = []
+    for i in range(start, end):
+        t = model.tokens[i]
+        if t.kind != "ident":
+            continue
+        d = fn.find_local(t.text, at_index=i)
+        if d is None or d.depth == 0:
+            continue  # unknown or a parameter
+        if d.type_text.startswith("static"):
+            continue
+        if _OWNING_TYPE_RE.search(d.type_text):
+            out.append((i, d))
+    return out
+
+
+def _null_owner_factory(model, start, end):
+    """Index of a view factory call with a nullptr/{} owner arg, or None."""
+    toks = model.tokens
+    for i in range(start, end - 2):
+        if toks[i].text != "::" or toks[i + 1].kind != "ident":
+            continue
+        callee = toks[i + 1].text
+        if not callee.startswith(_FACTORY_HEADS):
+            continue
+        if i + 2 >= end or toks[i + 2].text != "(":
+            continue
+        close = model.match.get(i + 2)
+        if close is None:
+            continue
+        args = toks[i + 3:close]
+        # Null-ish owner: a bare `nullptr` argument or an empty `{}`.
+        texts = [t.text for t in args]
+        has_null = "nullptr" in texts
+        for k in range(len(texts) - 1):
+            if texts[k] == "{" and texts[k + 1] == "}":
+                has_null = True
+        if has_null:
+            return i + 1
+    return None
+
+
+def _check_return(model, fn, start, end, returns_view):
+    from rules import Finding
+    findings = []
+    line = model.tokens[start].line
+
+    # (a) returning a view type built over a local owning container.
+    if returns_view:
+        refs = _local_owner_referents(model, fn, start + 1, end)
+        if refs:
+            _, d = refs[0]
+            findings.append(Finding(
+                line, NAME,
+                f"returns a {pretty(fn.return_text.strip())} referencing local "
+                f"'{d.name}' ({pretty(d.type_text)}); the storage dies with the "
+                "frame — return an owning type or take the container as a "
+                "parameter"))
+            return findings
+
+    # (b) view factory with a null owner over local storage.
+    fac = _null_owner_factory(model, start, end)
+    if fac is not None:
+        refs = _local_owner_referents(model, fn, start + 1, end)
+        if refs:
+            _, d = refs[0]
+            findings.append(Finding(
+                line, NAME,
+                f"{model.tokens[fac].text}(...) with a null owner aliases "
+                f"local '{d.name}' ({pretty(d.type_text)}); thread the owner "
+                "shared_ptr through the view (DESIGN.md §9)"))
+            return findings
+
+    # (c) AsStringView() of a local Buffer or a temporary.
+    for i in range(start + 1, end - 2):
+        toks = model.tokens
+        if toks[i].kind == "ident" and toks[i].text == "AsStringView" \
+                and toks[i + 1].text == "(" and i >= 2 \
+                and toks[i - 1].text in (".", "->"):
+            recv = toks[i - 2]
+            if recv.text == ")":
+                findings.append(Finding(
+                    line, NAME,
+                    "AsStringView() on a temporary Buffer in a return; the "
+                    "view dangles as soon as the temporary dies"))
+                break
+            if recv.kind == "ident":
+                d = fn.find_local(recv.text, at_index=i)
+                if d is not None and d.depth >= 1 and "Buffer" in d.type_text:
+                    findings.append(Finding(
+                        line, NAME,
+                        f"AsStringView() of local Buffer '{recv.text}' "
+                        "escapes via return; the string_view does not hold "
+                        "the owner refcount"))
+                    break
+    return findings
+
+
+def _check_member_store(model, fn, start, end):
+    from rules import Finding
+    findings = []
+    toks = model.tokens
+    # `member_ = <expr>` or `this->member = <expr>` at statement level.
+    i = start
+    if i + 1 >= end:
+        return findings
+    if toks[i].text == "this" and i + 3 < end and toks[i + 1].text == "->":
+        lhs_idx = i + 2
+        eq_idx = i + 3
+    else:
+        lhs_idx = i
+        eq_idx = i + 1
+    lhs = toks[lhs_idx]
+    if lhs.kind != "ident" or eq_idx >= end or toks[eq_idx].text != "=":
+        return findings
+    is_member = lhs.text.endswith("_") or toks[i].text == "this"
+    if not is_member or fn.find_local(lhs.text, at_index=lhs_idx) is not None:
+        return findings
+    rhs_start, rhs_end = eq_idx + 1, end
+    fac = _null_owner_factory(model, rhs_start, rhs_end)
+    refs = _local_owner_referents(model, fn, rhs_start, rhs_end)
+    if fac is not None and refs:
+        _, d = refs[0]
+        findings.append(Finding(
+            lhs.line, NAME,
+            f"member '{lhs.text}' stores a view with a null owner over "
+            f"local '{d.name}' ({pretty(d.type_text)}); the member outlives the "
+            "frame — thread the owner shared_ptr through the view"))
+        return findings
+    # Member view assigned straight from a local container (implicit
+    # ArrayView(vector&) conversions and friends).
+    rhs_text = " ".join(t.text for t in toks[rhs_start:rhs_end])
+    if refs and re.search(r"\b(ArrayView|string_view|AsStringView|Span)\b",
+                          rhs_text):
+        _, d = refs[0]
+        findings.append(Finding(
+            lhs.line, NAME,
+            f"member '{lhs.text}' stores a view over local '{d.name}' "
+            f"({pretty(d.type_text)}); the view outlives the storage"))
+    return findings

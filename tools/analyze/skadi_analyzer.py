@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""skadi-analyzer: Skadi-specific static analysis over the C++ sources.
+
+Four rules encode invariants that generic tooling cannot know (DESIGN.md
+§10 documents each in depth):
+
+  view-escape          a Buffer slice / Column::View* / Tensor::View /
+                       ArrayView must not outlive its backing storage.
+  lock-blocking        no store/cache/fabric entry point, RunTask, or
+                       blocking wait while an annotated Mutex is held
+                       (the caching layer's Unlock()/Lock() drop-the-lock
+                       sections are tracked and do not count).
+  pin-balance          every pin_arg reaches an unpin_arg (or an RAII
+                       unpinner) on every path.
+  status-propagation   a captured Status must be propagated or reported,
+                       not just .ok()-checked and forgotten.
+
+Engines: with `clang.cindex` + a libclang shared library installed the
+analyzer parses with the real Clang AST (--engine=libclang); otherwise a
+bundled pure-Python lexer + declaration/scope tracker does the same job
+with zero dependencies (--engine=fallback, the default under --engine=auto
+when libclang is missing). Both feed the same rule implementations.
+
+Escape hatch: `// analyze:allow <rule> (<reason>)` on the finding line or
+the line directly above.
+
+Usage:
+  skadi_analyzer.py [--root R] [--engine auto|fallback|libclang]
+                    [--rules r1,r2] [--list-rules] [--selftest] [paths...]
+
+Exit status: 0 clean, 1 findings (or selftest failure), 2 usage error.
+Registered as the `repo_analyze` ctest test; --selftest additionally runs
+the bad/good fixtures under tests/analyze/fixtures/ and the full-tree
+clean check.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_model
+from rules import ALL_RULES
+
+ANALYZE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+FIXTURE_DIR = os.path.join("tests", "analyze", "fixtures")
+
+
+def load_engine(name):
+    """Returns (engine_name, parse_file callable)."""
+    if name in ("auto", "libclang"):
+        try:
+            import libclang_engine
+            engine = libclang_engine.try_load()
+            if engine is not None:
+                return "libclang", engine
+            if name == "libclang":
+                print("skadi_analyzer: libclang requested but not usable; "
+                      "install clang python bindings + libclang",
+                      file=sys.stderr)
+                sys.exit(2)
+        except ImportError:
+            if name == "libclang":
+                print("skadi_analyzer: clang.cindex not importable",
+                      file=sys.stderr)
+                sys.exit(2)
+    return "fallback", cpp_model.parse_file
+
+
+def collect_files(root, paths):
+    if paths:
+        for p in paths:
+            if os.path.isfile(p):
+                yield os.path.abspath(p)
+        return
+    fixture_abs = os.path.join(root, FIXTURE_DIR)
+    for d in ANALYZE_DIRS:
+        top = os.path.join(root, d)
+        for dirpath, _, names in os.walk(top):
+            if os.path.abspath(dirpath).startswith(fixture_abs):
+                continue  # fixtures are intentionally broken
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def analyze_file(parse, path, root, rules):
+    rel = os.path.relpath(path, root)
+    try:
+        model = parse(path)
+    except Exception as e:  # parse failure must not kill the run
+        return [(rel, 1, "parse-error", f"analyzer could not parse: {e}")]
+    out = []
+    for rule_name in rules:
+        mod = ALL_RULES[rule_name]
+        for f in mod.check(model, rel):
+            if model.allows(f.line, f.rule):
+                continue
+            out.append((rel, f.line, f.rule, f.message))
+    out.sort(key=lambda x: (x[1], x[2]))
+    return out
+
+
+def run_tree(parse, root, rules, paths=()):
+    findings = []
+    n = 0
+    for path in collect_files(root, paths):
+        findings.extend(analyze_file(parse, path, root, rules))
+        n += 1
+    return n, findings
+
+
+def print_findings(findings):
+    for (rel, line, rule, msg) in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+
+
+def selftest(parse, root, rules, engine_name):
+    """Fixtures must behave; the clean tree must be clean; under 30 s."""
+    t0 = time.monotonic()
+    failures = []
+    bad_dir = os.path.join(root, FIXTURE_DIR, "bad")
+    good_dir = os.path.join(root, FIXTURE_DIR, "good")
+
+    n_bad = 0
+    for name in sorted(os.listdir(bad_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        n_bad += 1
+        expected_rule = name.split("__")[0]
+        path = os.path.join(bad_dir, name)
+        found = analyze_file(parse, path, root, rules)
+        hits = [f for f in found if f[2] == expected_rule]
+        if not hits:
+            failures.append(
+                f"bad fixture {name}: expected a [{expected_rule}] finding, "
+                f"got {[f[2] for f in found] or 'none'}")
+
+    n_good = 0
+    for name in sorted(os.listdir(good_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        n_good += 1
+        path = os.path.join(good_dir, name)
+        found = analyze_file(parse, path, root, rules)
+        if found:
+            failures.append(f"good fixture {name}: unexpected finding(s): " +
+                            "; ".join(f"[{f[2]}] line {f[1]}" for f in found))
+
+    n_tree, tree_findings = run_tree(parse, root, rules)
+    for f in tree_findings:
+        failures.append(f"clean tree: {f[0]}:{f[1]}: [{f[2]}] {f[3]}")
+
+    dt = time.monotonic() - t0
+    print(f"skadi_analyzer --selftest [{engine_name}]: {n_bad} bad + "
+          f"{n_good} good fixtures, {n_tree} tree files in {dt:.1f}s")
+    if dt > 30.0:
+        failures.append(f"selftest took {dt:.1f}s; budget is 30s")
+    for f in failures:
+        print(f"  FAIL: {f}")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    ap.add_argument("--engine", choices=("auto", "fallback", "libclang"),
+                    default="auto")
+    ap.add_argument("--rules", default=",".join(ALL_RULES),
+                    help="comma-separated rule subset")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--selftest", action="store_true")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for name, mod in ALL_RULES.items():
+            first = next(l for l in mod.DOC.splitlines() if l.strip())
+            print(f"{name}: {first.split(':', 1)[-1].strip()}")
+        return 0
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in ALL_RULES]
+    if unknown:
+        print(f"skadi_analyzer: unknown rule(s): {', '.join(unknown)}; "
+              f"known: {', '.join(ALL_RULES)}", file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"skadi_analyzer: no src/ under --root {root}", file=sys.stderr)
+        return 2
+
+    engine_name, parse = load_engine(args.engine)
+
+    if args.selftest:
+        return selftest(parse, root, rules, engine_name)
+
+    t0 = time.monotonic()
+    n, findings = run_tree(parse, root, rules, args.paths)
+    print_findings(findings)
+    dt = time.monotonic() - t0
+    print(f"skadi_analyzer [{engine_name}]: {n} files, "
+          f"{len(findings)} finding(s) in {dt:.1f}s")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,4 +33,11 @@ run_mode default  build-check
 run_mode thread   build-tsan  -DSKADI_SANITIZE=thread
 run_mode address  build-asan  -DSKADI_SANITIZE=address
 
+# Wall-clock fuzz smoke on the ASan tree: seed corpus + 30 s of mutations
+# against the wire decoders (ctest already did a short deterministic run;
+# this is the longer soak). Any crash/overread/latch-miss fails the script.
+echo "==> [address] fuzz_serde 30s smoke"
+"build-asan/bench/fuzz/fuzz_make_corpus" build-asan/bench/fuzz/corpus
+"build-asan/bench/fuzz/fuzz_serde" -max_total_time=30 build-asan/bench/fuzz/corpus
+
 echo "==> all modes passed"
