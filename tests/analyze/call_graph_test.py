@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Unit tests for the whole-program call graph (tools/analyze/call_graph.py).
+
+Exercises call-site resolution — qualified calls, receiver chains through
+locals/members/accessors, overload sets, lambdas, `// analyze:calls`
+annotations — plus the interprocedural facts the passes consume (held-lock
+sets, canonical mutex names, may-block seeds). Registered as the
+`analyze_callgraph_test` ctest test.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "tools", "analyze"))
+
+import call_graph
+import cpp_model
+import interproc
+
+
+def graph_of(*files):
+    """files: (rel_path, source) pairs -> CallGraph."""
+    summaries = []
+    for rel, text in files:
+        model = cpp_model.FileModel(rel, text)
+        summaries.append(call_graph.summarize_file(model, rel))
+    return call_graph.CallGraph(summaries)
+
+
+def targets_of(graph, caller_display, callee):
+    """Resolved target display names for caller's call(s) to `callee`."""
+    out = []
+    for uid, f in graph.functions.items():
+        if f["display"] != caller_display:
+            continue
+        for (call, targets) in graph.out_edges(uid):
+            if call["callee"] == callee:
+                out.extend(graph.functions[t]["display"] for t in targets)
+    return sorted(out)
+
+
+class ResolutionTest(unittest.TestCase):
+    def test_qualified_call(self):
+        g = graph_of(("a.cc", """
+        struct Codec { static int Decode(int x) { return x; } };
+        int Use() { return Codec::Decode(1); }
+        """))
+        self.assertEqual(targets_of(g, "Use", "Decode"), ["Codec::Decode"])
+
+    def test_receiver_typed_local_pointer(self):
+        g = graph_of(("a.cc", """
+        class Store { public: void Compact() { n_ = 0; } int n_; };
+        void Sweep(Store* store) { store->Compact(); }
+        """))
+        self.assertEqual(targets_of(g, "Sweep", "Compact"),
+                         ["Store::Compact"])
+
+    def test_receiver_member_declared_in_other_file(self):
+        # The member lives in the header, the call in the .cc — resolution
+        # must go through the merged cross-file class-member map.
+        g = graph_of(
+            ("r.h", """
+            class Fabric { public: void Ping() { seq_++; } int seq_; };
+            class Raylet { Fabric* fabric_; public: void Beat(); };
+            """),
+            ("r.cc", """
+            void Raylet::Beat() { fabric_->Ping(); }
+            """))
+        self.assertEqual(targets_of(g, "Raylet::Beat", "Ping"),
+                         ["Fabric::Ping"])
+
+    def test_accessor_chain(self):
+        # cluster_->cache().Touch(): the accessor's return type carries the
+        # chain to the next class.
+        g = graph_of(("a.cc", """
+        class Cache { public: void Touch() { hits_++; } int hits_; };
+        class Cluster { public: Cache& cache() { return cache_impl_; }
+                        Cache cache_impl_; };
+        class Driver {
+          Cluster* cluster_;
+         public:
+          void Warm() { cluster_->cache().Touch(); }
+        };
+        """))
+        self.assertEqual(targets_of(g, "Driver::Warm", "Touch"),
+                         ["Cache::Touch"])
+
+    def test_member_field_chain(self):
+        g = graph_of(("a.cc", """
+        class Queue { public: void Drain() { n_ = 0; } int n_; };
+        class Worker { public: Queue inbox_; };
+        class Pool {
+          Worker* lead_;
+         public:
+          void Flush() { lead_->inbox_.Drain(); }
+        };
+        """))
+        self.assertEqual(targets_of(g, "Pool::Flush", "Drain"),
+                         ["Queue::Drain"])
+
+    def test_bare_call_prefers_same_class(self):
+        g = graph_of(("a.cc", """
+        void Helper() {}
+        class Task {
+         public:
+          void Go() { Helper(); }
+          void Helper() { n_++; }
+          int n_;
+        };
+        """))
+        self.assertEqual(targets_of(g, "Task::Go", "Helper"),
+                         ["Task::Helper"])
+
+    def test_this_receiver(self):
+        g = graph_of(("a.cc", """
+        class Task {
+         public:
+          void Go() { this->Step(); }
+          void Step() { n_++; }
+          int n_;
+        };
+        """))
+        self.assertEqual(targets_of(g, "Task::Go", "Step"), ["Task::Step"])
+
+    def test_unique_free_function_by_name(self):
+        g = graph_of(
+            ("a.cc", "int ChecksumOf(int x) { return x * 7; }"),
+            ("b.cc", "int Use(int x) { return ChecksumOf(x); }"))
+        self.assertEqual(targets_of(g, "Use", "ChecksumOf"), ["ChecksumOf"])
+
+    def test_overload_set_resolves_to_all_overloads(self):
+        g = graph_of(("a.cc", """
+        int Pack(int x) { return x; }
+        int Pack(int x, int y) { return x + y; }
+        int Use() { return Pack(1, 2); }
+        """))
+        self.assertEqual(targets_of(g, "Use", "Pack"), ["Pack", "Pack"])
+
+    def test_ambiguous_name_never_links(self):
+        # `it->second.Get()` must not alias every Get in the program.
+        g = graph_of(("a.cc", """
+        class Store { public: int Get(int k) { return k; } };
+        void Scan(std::map<int, Thing>& m) {
+          auto it = m.begin();
+          it->second.Get(0);
+        }
+        """))
+        self.assertEqual(targets_of(g, "Scan", "Get"), [])
+
+    def test_same_name_across_classes_blocks_name_fallback(self):
+        g = graph_of(("a.cc", """
+        class A { public: void Refresh() { n_++; } int n_; };
+        class B { public: void Refresh() { m_++; } int m_; };
+        void Use(Unknown* u) { u->Refresh(); }
+        """))
+        self.assertEqual(targets_of(g, "Use", "Refresh"), [])
+
+    def test_annotated_calls_edge(self):
+        g = graph_of(("a.cc", """
+        class Loop {
+         public:
+          void Dispatch() {
+            // analyze:calls Loop::OnTimer
+            cb_();
+          }
+          void OnTimer() { fired_++; }
+          std::function<void()> cb_;
+          int fired_;
+        };
+        """))
+        self.assertEqual(targets_of(g, "Loop::Dispatch", "OnTimer"),
+                         ["Loop::OnTimer"])
+
+    def test_held_locks_use_canonical_class_names(self):
+        g = graph_of(("a.cc", """
+        class Cache {
+         public:
+          void Evict() {
+            MutexLock lock(mu_);
+            Purge();
+          }
+          void Purge() { n_ = 0; }
+          Mutex mu_;
+          int n_;
+        };
+        """))
+        uid = next(u for u, f in g.functions.items()
+                   if f["display"] == "Cache::Evict")
+        call = next(c for (c, _) in g.out_edges(uid)
+                    if c["callee"] == "Purge")
+        self.assertEqual(call["held"], ["Cache::mu_"])
+
+    def test_may_block_propagates_through_chain(self):
+        g = graph_of(("a.cc", """
+        class R {
+         public:
+          void A() { B(); }
+          void B() { C(); }
+          void C() { std::this_thread::sleep_for(d_); }
+          int d_;
+        };
+        """))
+        info = interproc.compute_may_block(g)
+        displays = {g.functions[u]["display"] for u in info}
+        self.assertEqual(displays, {"R::A", "R::B", "R::C"})
+        a_uid = next(u for u, f in g.functions.items()
+                     if f["display"] == "R::A")
+        self.assertEqual(info[a_uid]["kinds"], {"sleep"})
+
+    def test_lambda_call_does_not_propagate_may_block(self):
+        g = graph_of(("a.cc", """
+        class R {
+         public:
+          void A() { Post([this] { C(); }); }
+          void C() { std::this_thread::sleep_for(d_); }
+          int d_;
+        };
+        """))
+        info = interproc.compute_may_block(g)
+        displays = {g.functions[u]["display"] for u in info}
+        self.assertEqual(displays, {"R::C"})
+
+    def test_wait_own_lock_is_seed_but_not_held_hazard(self):
+        g = graph_of(("a.cc", """
+        class Q {
+         public:
+          void Pop() {
+            MutexLock lock(mu_);
+            while (empty_) { cv_.Wait(lock); }
+          }
+          Mutex mu_;
+          CondVar cv_;
+          bool empty_;
+        };
+        """))
+        info = interproc.compute_may_block(g)
+        findings = interproc.check_may_block(g, info)
+        self.assertEqual(len(info), 1)  # Pop is a condvar-wait seed
+        self.assertEqual(findings, [])  # but Wait(own lock) is not a hazard
+
+    def test_call_site_counts_rank_callees(self):
+        g = graph_of(("a.cc", """
+        void Leaf() {}
+        void U1() { Leaf(); }
+        void U2() { Leaf(); Leaf(); }
+        """))
+        leaf = next(u for u, f in g.functions.items()
+                    if f["display"] == "Leaf")
+        self.assertEqual(g.call_site_count(leaf), 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -20,7 +20,7 @@ import cpp_model
 
 
 def toks(text):
-    tokens, _ = cpp_lexer.lex(text)
+    tokens, _, _ = cpp_lexer.lex(text)
     return [t.text for t in tokens]
 
 
@@ -37,19 +37,19 @@ class LexerTest(unittest.TestCase):
         self.assertEqual(toks("a /* x; y */ b // tail\n c"), ["a", "b", "c"])
 
     def test_block_comment_line_counting(self):
-        tokens, _ = cpp_lexer.lex("/* one\ntwo\nthree */ x")
+        tokens, _, _ = cpp_lexer.lex("/* one\ntwo\nthree */ x")
         self.assertEqual(tokens[0].line, 3)
 
     def test_raw_string_with_parens_and_quotes(self):
         text = 'auto s = R"delim(no "close"; ) here)delim"; next'
         self.assertIn("next", toks(text))
-        tokens, _ = cpp_lexer.lex(text)
+        tokens, _, _ = cpp_lexer.lex(text)
         raws = [t for t in tokens if t.kind == "string"]
         self.assertEqual(len(raws), 1)
         self.assertIn('no "close"', raws[0].text)
 
     def test_prefixed_literals(self):
-        tokens, _ = cpp_lexer.lex("u8\"x\" L'c' U\"y\" usual")
+        tokens, _, _ = cpp_lexer.lex("u8\"x\" L'c' U\"y\" usual")
         kinds = [t.kind for t in tokens]
         self.assertEqual(kinds, ["string", "char", "string", "ident"])
         self.assertEqual(tokens[3].text, "usual")
@@ -64,14 +64,14 @@ class LexerTest(unittest.TestCase):
 
     def test_hash_mid_line_is_not_a_directive(self):
         # Only a line-leading # swallows the line.
-        tokens, _ = cpp_lexer.lex("x # y")
+        tokens, _, _ = cpp_lexer.lex("x # y")
         self.assertEqual([t.text for t in tokens], ["x", "#", "y"])
 
     def test_allow_map(self):
         text = ("int a;\n"
                 "// analyze:allow view-escape (fixture)\n"
                 "int b;  // analyze:allow pin-balance (same line)\n")
-        _, allow = cpp_lexer.lex(text)
+        _, allow, _ = cpp_lexer.lex(text)
         self.assertEqual(allow[2], {"view-escape"})
         self.assertEqual(allow[3], {"pin-balance"})
 

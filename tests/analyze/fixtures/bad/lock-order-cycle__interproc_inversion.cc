@@ -1,0 +1,50 @@
+// Analyzer fixture (not compiled): neither class inverts its own locks;
+// the cycle only exists across the call graph — Store::Evict holds
+// Store::mu_ while calling into Cache (which takes Cache::mu_), and
+// Cache::Flush holds Cache::mu_ while calling back into Store.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class Cache;
+class Store;
+
+class Store {
+ public:
+  void Evict(ObjectId id) {
+    MutexLock lock(mu_);
+    evicted_++;
+    cache_->Invalidate(id);  // Cache::mu_ acquired under Store::mu_
+  }
+
+  void OnInvalidate(ObjectId id) {
+    MutexLock lock(mu_);
+    evicted_++;
+  }
+
+ private:
+  Mutex mu_;
+  int evicted_ GUARDED_BY(mu_) = 0;
+  Cache* cache_;
+};
+
+class Cache {
+ public:
+  void Invalidate(ObjectId id) {
+    MutexLock lock(mu_);
+    entries_.erase(id);
+  }
+
+  void Flush(ObjectId id) {
+    MutexLock lock(mu_);
+    entries_.erase(id);
+    store_->OnInvalidate(id);  // Store::mu_ acquired under Cache::mu_
+  }
+
+ private:
+  Mutex mu_;
+  std::set<ObjectId> entries_ GUARDED_BY(mu_);
+  Store* store_;
+};
+
+}  // namespace skadi

@@ -1,0 +1,35 @@
+// Analyzer fixture (not compiled): a three-lock ring (a->b, b->c, c->a).
+// No pair of methods is inconsistent; only the full SCC over the
+// acquisition-order graph exposes the deadlock.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class TripleLedger {
+ public:
+  void DebitCredit() {
+    MutexLock a(accounts_mu_);
+    MutexLock b(balances_mu_);
+    moves_++;
+  }
+
+  void Reconcile() {
+    MutexLock b(balances_mu_);
+    MutexLock c(audit_mu_);
+    moves_++;
+  }
+
+  void Audit() {
+    MutexLock c(audit_mu_);
+    MutexLock a(accounts_mu_);
+    moves_++;
+  }
+
+ private:
+  Mutex accounts_mu_;
+  Mutex balances_mu_;
+  Mutex audit_mu_;
+  int moves_ = 0;
+};
+
+}  // namespace skadi

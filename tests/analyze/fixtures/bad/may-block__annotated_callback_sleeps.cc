@@ -1,0 +1,33 @@
+// Analyzer fixture (not compiled): the callback is a std::function the
+// analyzer cannot resolve; the `// analyze:calls` annotation supplies the
+// dispatch edge, and the may-block fixpoint carries the sleep back to the
+// locked caller.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class Poller {
+ public:
+  void Tick() {
+    MutexLock lock(mu_);
+    ticks_++;
+    RunTimeoutCallback();  // annotated edge makes this transitively block
+  }
+
+ private:
+  void RunTimeoutCallback() {
+    // analyze:calls Poller::BackoffRetry
+    on_timeout_();
+  }
+
+  void BackoffRetry() {
+    std::this_thread::sleep_for(backoff_);
+  }
+
+  Mutex mu_;
+  int ticks_ GUARDED_BY(mu_) = 0;
+  std::function<void()> on_timeout_;
+  std::chrono::milliseconds backoff_;
+};
+
+}  // namespace skadi

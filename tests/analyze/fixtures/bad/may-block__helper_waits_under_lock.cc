@@ -1,0 +1,32 @@
+// Analyzer fixture (not compiled): the callee's CondVar wait is fine in
+// isolation (it releases its own lock), but the caller invokes it while
+// holding the index lock — an unbounded wait under index_mu_ that only the
+// interprocedural may-block pass can see.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class ShardIndex {
+ public:
+  void Rebuild() {
+    MutexLock lock(index_mu_);
+    generation_++;
+    DrainPending();  // transitively blocks on queue_cv_ with index_mu_ held
+  }
+
+ private:
+  void DrainPending() {
+    MutexLock qlock(queue_mu_);
+    while (!queue_empty_) {
+      queue_cv_.Wait(qlock);  // releases only queue_mu_
+    }
+  }
+
+  Mutex index_mu_;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  int generation_ GUARDED_BY(index_mu_) = 0;
+  bool queue_empty_ GUARDED_BY(queue_mu_) = true;
+};
+
+}  // namespace skadi

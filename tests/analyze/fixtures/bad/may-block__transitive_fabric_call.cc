@@ -1,0 +1,34 @@
+// Analyzer fixture (not compiled): a two-hop chain ending in a fabric RPC.
+// Neither intermediate function mentions the fabric, so only the call-graph
+// fixpoint connects Flush -> PushAll -> SendOne -> fabric_->Send.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class Replicator {
+ public:
+  Status Flush() {
+    MutexLock lock(mu_);
+    pending_ = 0;
+    return PushAll();  // transitively reaches fabric_->Send under mu_
+  }
+
+ private:
+  Status PushAll() {
+    for (int i = 0; i < 3; ++i) {
+      SendOne(i);
+    }
+    return Status::Ok();
+  }
+
+  void SendOne(int shard) {
+    fabric_->Send(NodeId(shard), payload_);
+  }
+
+  Mutex mu_;
+  int pending_ GUARDED_BY(mu_) = 0;
+  Fabric* fabric_;
+  Buffer payload_;
+};
+
+}  // namespace skadi

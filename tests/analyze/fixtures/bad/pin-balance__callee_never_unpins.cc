@@ -1,0 +1,30 @@
+// Analyzer fixture (not compiled): the post-processing helper looks like
+// cleanup but never unpins — and neither does anything it calls. The
+// interprocedural pass must prove the absence of an unpin anywhere in the
+// transitive callee set before flagging.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class TaskRunner {
+ public:
+  Status Execute(ObjectId id) {
+    store_->Pin(id);  // lint:allow discarded-status (fixture)
+    return Process(id);  // Process never unpins: the entry leaks
+  }
+
+ private:
+  Status Process(ObjectId id) {
+    bytes_seen_ += Measure(id);
+    return Status::Ok();
+  }
+
+  int64_t Measure(ObjectId id) {
+    return static_cast<int64_t>(id.Hash() & 0xff);
+  }
+
+  LocalObjectStore* store_;
+  int64_t bytes_seen_ = 0;
+};
+
+}  // namespace skadi

@@ -1,0 +1,30 @@
+// Analyzer fixture (not compiled): two pins, one unpinning helper call.
+// Callee-provided unpins count toward the balance, but the counts still
+// do not match — one of the two entries leaks.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class PairLoader {
+ public:
+  void LoadPair(ObjectId left, ObjectId right) {
+    store_->Pin(left);  // lint:allow discarded-status (fixture)
+    store_->Pin(right);  // lint:allow discarded-status (fixture)
+    Combine(left, right);
+    ReleaseOne(left);  // right stays pinned forever
+  }
+
+ private:
+  void Combine(ObjectId left, ObjectId right) {
+    merged_ = left.Hash() ^ right.Hash();
+  }
+
+  void ReleaseOne(ObjectId id) {
+    store_->Unpin(id);  // lint:allow discarded-status (fixture)
+  }
+
+  LocalObjectStore* store_;
+  uint64_t merged_ = 0;
+};
+
+}  // namespace skadi

@@ -1,0 +1,36 @@
+// Analyzer fixture (not compiled): the unpin lives in a helper, so the
+// count balances — but the error path returns before the helper runs.
+// The interprocedural pass must place the callee-provided unpin at its
+// call site for the early-return check to catch this.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class ValidatingRunner {
+ public:
+  Status Run(ObjectId id) {
+    store_->Pin(id);  // lint:allow discarded-status (fixture)
+    Status st = Validate(id);
+    if (!st.ok()) {
+      return st;  // Release(id) below never runs on this path
+    }
+    Release(id);
+    return Status::Ok();
+  }
+
+ private:
+  Status Validate(ObjectId id) {
+    if (id.Hash() == 0) {
+      return Status::InvalidArgument("null object id");
+    }
+    return Status::Ok();
+  }
+
+  void Release(ObjectId id) {
+    store_->Unpin(id);  // lint:allow discarded-status (fixture)
+  }
+
+  LocalObjectStore* store_;
+};
+
+}  // namespace skadi

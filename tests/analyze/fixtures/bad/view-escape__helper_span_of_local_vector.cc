@@ -1,0 +1,23 @@
+// Analyzer fixture (not compiled): same helper-mediated escape with a
+// Span over a local vector — the element storage is freed when the
+// vector's frame unwinds.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+Span<const int> Tail(const std::vector<int>& v) {
+  return Span<const int>(v.data() + 1, v.size() - 1);
+}
+
+class WindowScan {
+ public:
+  Span<const int> LastWindow() {
+    std::vector<int> window = CollectWindow();
+    return Tail(window);  // span over freed vector storage
+  }
+
+ private:
+  std::vector<int> CollectWindow();
+};
+
+}  // namespace skadi

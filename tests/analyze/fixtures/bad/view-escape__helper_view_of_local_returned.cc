@@ -1,0 +1,24 @@
+// Analyzer fixture (not compiled): the view constructor is hidden inside
+// a helper, so the per-function rule sees only `return HeadBytes(scratch)`.
+// The interprocedural pass knows HeadBytes returns a view into its
+// parameter, and `scratch` dies with the frame.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+std::string_view HeadBytes(const Buffer& b) {
+  return std::string_view(reinterpret_cast<const char*>(b.data()), 16);
+}
+
+class FrameCodec {
+ public:
+  std::string_view FrameHeader() {
+    Buffer scratch = AssembleFrame();
+    return HeadBytes(scratch);  // view into a dead frame
+  }
+
+ private:
+  Buffer AssembleFrame();
+};
+
+}  // namespace skadi

@@ -1,0 +1,25 @@
+// Analyzer fixture (not compiled): a member stores the result of a helper
+// that returns a view into its parameter; the backing string is a local.
+// The member outlives the frame the view points into.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+std::string_view TitleOf(const std::string& doc) {
+  return std::string_view(doc).substr(0, 8);
+}
+
+class HeaderCache {
+ public:
+  void Refresh() {
+    std::string rendered = Render();
+    title_ = TitleOf(rendered);  // dangles as soon as Refresh returns
+  }
+
+ private:
+  std::string Render();
+
+  std::string_view title_;
+};
+
+}  // namespace skadi

@@ -1,0 +1,36 @@
+// Analyzer fixture (not compiled): near-miss of the AB/BA fixtures — both
+// locks nest in the same order everywhere, directly in one method and
+// through a callee in another. A consistent order builds edges but no
+// cycle; the pass must stay quiet.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class ConsistentDirectory {
+ public:
+  void Promote(ObjectId id) {
+    MutexLock index(index_mu_);
+    MutexLock stats(stats_mu_);
+    hot_count_++;
+    promoted_.insert(id);
+  }
+
+  void Refresh(ObjectId id) {
+    MutexLock index(index_mu_);
+    promoted_.insert(id);
+    BumpStats();  // acquires stats_mu_ under index_mu_: same order
+  }
+
+ private:
+  void BumpStats() {
+    MutexLock stats(stats_mu_);
+    hot_count_++;
+  }
+
+  Mutex index_mu_;
+  Mutex stats_mu_;
+  std::set<ObjectId> promoted_ GUARDED_BY(index_mu_);
+  int hot_count_ GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace skadi

@@ -1,0 +1,33 @@
+// Analyzer fixture (not compiled): near-miss of AB/BA — one method uses
+// a then b, the other b then a, but the first releases a before taking b
+// (Unlock()/Lock() toggling). Locks are never held together in conflicting
+// order, so there is no cycle.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class HandoffLedger {
+ public:
+  void Forward() {
+    MutexLock a(ingest_mu_);
+    staged_++;
+    a.Unlock();  // ingest lock dropped before the commit lock
+    MutexLock b(commit_mu_);
+    committed_++;
+  }
+
+  void Backfill() {
+    MutexLock b(commit_mu_);
+    MutexLock a(ingest_mu_);
+    staged_++;
+    committed_++;
+  }
+
+ private:
+  Mutex ingest_mu_;
+  Mutex commit_mu_;
+  int staged_ GUARDED_BY(ingest_mu_) = 0;
+  int committed_ GUARDED_BY(commit_mu_) = 0;
+};
+
+}  // namespace skadi

@@ -1,0 +1,40 @@
+// Analyzer fixture (not compiled): two near-misses — a pure-compute callee
+// invoked under a lock (no blocking reachable), and a blocking function
+// referenced only from a lambda handed to an executor (deferred: it runs
+// on another stack, after the lock is gone).
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class Aggregator {
+ public:
+  void Update(int delta) {
+    MutexLock lock(mu_);
+    Recount(delta);  // resolved callee, but nothing in it blocks
+    executor_->Post([this] { WaitIdle(); });  // deferred body: not "under mu_"
+  }
+
+ private:
+  void Recount(int delta) {
+    total_ += delta;
+    if (total_ < 0) {
+      total_ = 0;
+    }
+  }
+
+  void WaitIdle() {
+    MutexLock lock(idle_mu_);
+    while (!idle_) {
+      idle_cv_.Wait(lock);
+    }
+  }
+
+  Mutex mu_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  int total_ GUARDED_BY(mu_) = 0;
+  bool idle_ GUARDED_BY(idle_mu_) = false;
+  Executor* executor_;
+};
+
+}  // namespace skadi

@@ -1,0 +1,36 @@
+// Analyzer fixture (not compiled): near-miss of the helper-waits case —
+// the caller drops its lock around the blocking helper (the caching
+// layer's drop-the-lock idiom), so the interprocedural pass must stay
+// quiet even though the callee is genuinely blocking.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class ShardIndexGood {
+ public:
+  void Rebuild() {
+    MutexLock lock(index_mu_);
+    generation_++;
+    lock.Unlock();  // blocking helper runs without the index lock
+    DrainPending();
+    lock.Lock();
+    rebuilt_ = true;
+  }
+
+ private:
+  void DrainPending() {
+    MutexLock qlock(queue_mu_);
+    while (!queue_empty_) {
+      queue_cv_.Wait(qlock);
+    }
+  }
+
+  Mutex index_mu_;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  int generation_ GUARDED_BY(index_mu_) = 0;
+  bool rebuilt_ GUARDED_BY(index_mu_) = false;
+  bool queue_empty_ GUARDED_BY(queue_mu_) = true;
+};
+
+}  // namespace skadi

@@ -1,0 +1,34 @@
+// Analyzer fixture (not compiled): the exact shape the per-function rule
+// used to false-positive on — the pin is released inside a helper. The
+// interprocedural pass resolves Finish() and credits its unpin to the
+// caller's balance.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class BalancedRunner {
+ public:
+  Status Execute(ObjectId id) {
+    store_->Pin(id);  // lint:allow discarded-status (fixture)
+    Status st = RunBody(id);
+    Finish(id);  // unpins inside
+    return st;
+  }
+
+ private:
+  Status RunBody(ObjectId id) {
+    bytes_seen_ += static_cast<int64_t>(id.Hash() & 0xff);
+    return Status::Ok();
+  }
+
+  void Finish(ObjectId id) {
+    store_->Unpin(id);  // lint:allow discarded-status (fixture)
+    completed_++;
+  }
+
+  LocalObjectStore* store_;
+  int64_t bytes_seen_ = 0;
+  int completed_ = 0;
+};
+
+}  // namespace skadi

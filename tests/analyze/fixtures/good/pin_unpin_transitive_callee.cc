@@ -1,0 +1,35 @@
+// Analyzer fixture (not compiled): the unpin is two calls away —
+// Execute -> Cleanup -> ReleaseAll. The provides-unpin fixpoint must
+// propagate through intermediate frames, not just direct callees.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+class DeepRunner {
+ public:
+  void Execute(ObjectId id) {
+    store_->Pin(id);  // lint:allow discarded-status (fixture)
+    Consume(id);
+    Cleanup(id);  // transitively unpins via ReleaseAll
+  }
+
+ private:
+  void Consume(ObjectId id) {
+    bytes_seen_ += static_cast<int64_t>(id.Hash() & 0xff);
+  }
+
+  void Cleanup(ObjectId id) {
+    trace_.push_back(id);
+    ReleaseAll(id);
+  }
+
+  void ReleaseAll(ObjectId id) {
+    store_->Unpin(id);  // lint:allow discarded-status (fixture)
+  }
+
+  LocalObjectStore* store_;
+  std::vector<ObjectId> trace_;
+  int64_t bytes_seen_ = 0;
+};
+
+}  // namespace skadi

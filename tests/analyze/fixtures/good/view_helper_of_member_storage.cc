@@ -1,0 +1,27 @@
+// Analyzer fixture (not compiled): the view-returning helper is applied to
+// member storage, which lives as long as the object — returning or caching
+// that view is legitimate.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+std::string_view FirstLine(const std::string& text) {
+  return std::string_view(text).substr(0, text.find('\n'));
+}
+
+class LogIndex {
+ public:
+  std::string_view Banner() {
+    return FirstLine(header_);  // member-backed: storage outlives the frame
+  }
+
+  void CacheBanner() {
+    banner_ = FirstLine(header_);
+  }
+
+ private:
+  std::string header_;
+  std::string_view banner_;
+};
+
+}  // namespace skadi

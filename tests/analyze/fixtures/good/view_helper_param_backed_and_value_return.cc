@@ -1,0 +1,34 @@
+// Analyzer fixture (not compiled): two near-misses of the helper-mediated
+// escape. Passing a *parameter* to a view-returning helper is fine (the
+// caller owns the storage), and a helper that returns by value is fine no
+// matter what it is given.
+#include "src/common/mutex.h"
+
+namespace skadi {
+
+std::string_view HeadView(const std::string& s) {
+  return std::string_view(s).substr(0, 8);
+}
+
+std::string MakeCopy(const std::string& s) {
+  return s;
+}
+
+class Renderer {
+ public:
+  // The view points into the caller's storage, which outlives this frame.
+  std::string_view Title(const std::string& doc) {
+    return HeadView(doc);
+  }
+
+  // The helper copies; the local dying is irrelevant.
+  std::string RenderedCopy() {
+    std::string tmp = RenderBody();
+    return MakeCopy(tmp);
+  }
+
+ private:
+  std::string RenderBody();
+};
+
+}  // namespace skadi

@@ -1,0 +1,499 @@
+"""Tree-wide call graph over per-file scope models (cpp_model.FileModel).
+
+Two layers:
+
+  * `summarize_file(model, rel_path)` reduces a parsed file to a
+    JSON-serializable summary — per function: call sites with receiver
+    chains and held-lock sets, lock acquisitions, direct blocking
+    primitives, pin/unpin sites, view-helper facts, and any
+    `// analyze:calls` annotations. Summaries are what the incremental
+    cache stores, so everything here must stay plain dict/list/str/int.
+
+  * `CallGraph(file_summaries)` indexes every function in the program and
+    resolves call sites to callees:
+      1. explicit `// analyze:calls Target` annotations (virtual dispatch,
+         std::function callbacks, thread entry points),
+      2. qualified calls (`Fabric::Call`),
+      3. receiver-chain resolution: the base identifier's type comes from
+         locals/params (recorded at summary time) or from the merged
+         class-member map (cross-file: members live in the .h, calls in the
+         .cc); chained member accesses and accessor calls
+         (`cluster_->cache().Put(...)`) walk member types and accessor
+         return types,
+      4. same-class bare calls (`Helper()` inside a method),
+      5. a name fallback for free functions / unique method names —
+         suppressed for AMBIGUOUS_NAMES so `it->second.Get()` never links
+         every `Get` in the tree.
+
+    Unresolvable call sites stay edge-less: the interprocedural passes are
+    deliberately under-approximate there and the intra-procedural rules
+    (receiver-regex based) keep covering those sites.
+"""
+
+import re
+
+from cpp_model import pretty
+
+# Method names too common to link by name alone: receiver or annotation
+# resolution only. Keeps std containers / unrelated classes from aliasing.
+AMBIGUOUS_NAMES = {
+    "Get", "Put", "Delete", "Clear", "Size", "Add", "Remove", "Run",
+    "Start", "Stop", "Reset", "Init", "Send", "Call", "Wait", "Submit",
+    "Push", "Pop", "Insert", "Erase", "Find", "Begin", "End", "Next",
+    "Lock", "Unlock", "Pin", "Unpin", "Ok", "ok", "begin", "end", "find",
+    "insert", "erase", "push_back", "emplace_back", "size", "empty",
+    "count", "at", "clear", "reset", "get", "data", "str", "c_str",
+    "Notify", "NotifyOne", "NotifyAll", "Name", "name", "Shutdown",
+}
+
+# Direct may-block primitives, seeded at summary time (the fixpoint in
+# interproc.py propagates them up the call graph).
+_WAIT_METHODS = {"Wait", "WaitFor", "WaitUntil", "wait", "wait_for",
+                 "wait_until"}
+_SLEEP_CALLEES = {"sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"}
+_BLOCKING_IO_CALLEES = {"poll", "epoll_wait", "select", "accept", "recvmsg",
+                        "fsync", "fdatasync"}
+_FABRIC_METHODS = {"Call", "Send", "TransferBytes"}
+_FUTURE_GET_RE = re.compile(r"(fut|future)", re.IGNORECASE)
+_FABRIC_RECV_RE = re.compile(r"fabric", re.IGNORECASE)
+_CV_RECV_RE = re.compile(r"(cv|cond)", re.IGNORECASE)
+
+_PIN_CALLEES = {"pin_arg", "Pin", "PinArg"}
+_UNPIN_CALLEES = {"unpin_arg", "Unpin", "UnpinArg"}
+
+_VIEW_RETURN_RE = re.compile(r"\b(ArrayView|string_view|StringView|Span)\b")
+_OWNING_TYPE_RE = re.compile(
+    r"\b(vector|string|basic_string|Buffer|Tensor|Column|RecordBatch|"
+    r"array|deque)\b")
+
+# Type tokens never naming a program class (template wrappers, std vocab).
+_TYPE_NOISE = {
+    "std", "const", "volatile", "unsigned", "signed", "long", "short",
+    "struct", "class", "enum", "auto", "static", "mutable", "typename",
+    "shared_ptr", "unique_ptr", "weak_ptr", "vector", "deque", "array",
+    "map", "unordered_map", "set", "unordered_set", "pair", "tuple",
+    "optional", "function", "atomic", "int", "bool", "char", "float",
+    "double", "void", "size_t", "int64_t", "uint64_t", "int32_t",
+    "uint32_t", "string", "string_view",
+}
+
+
+def _type_idents(type_text):
+    return [t for t in type_text.split()
+            if t and (t[0].isalpha() or t[0] == "_") and t not in _TYPE_NOISE]
+
+
+def function_uid(rel_path, display, line):
+    return f"{rel_path}#{display}#{line}"
+
+
+def summarize_file(model, rel_path):
+    """One JSON-serializable summary dict for a parsed file."""
+    from rules import lock_blocking  # intra classification, reused verbatim
+
+    classes = {cls: dict(members)
+               for cls, members in model.class_members.items()}
+    functions = []
+    for fn in model.functions:
+        display = fn.display_name()
+        locals_map = {}
+        for d in fn.locals:
+            locals_map.setdefault(d.name, d.type_text)
+        calls = []
+        for call in fn.calls:
+            held = [_canonical_mutex(lk, fn) for lk in fn.active_locks(call.index)]
+            wait_own = False
+            if call.callee in _WAIT_METHODS:
+                arg = lock_blocking._first_arg_name(model, call)
+                if arg is not None and any(lk.name == arg for lk in fn.locks):
+                    wait_own = True
+            direct = None
+            if fn.locks and held and call.lambda_depth == 0:
+                cls = lock_blocking._classify(model, fn, call)
+                if cls is not None:
+                    kind, _ = cls
+                    if kind != "wait" or not wait_own:
+                        direct = kind
+            base = None
+            base_type = None
+            chain = call.receiver.split() if call.receiver else []
+            if chain and (chain[0][0].isalpha() or chain[0][0] == "_"):
+                base = chain[0]
+                if base in locals_map:
+                    base_type = locals_map[base]
+            calls.append({
+                "callee": call.callee,
+                "recv": call.receiver,
+                "line": call.line,
+                "seq": call.index,
+                "lambda": call.lambda_depth,
+                "held": held,
+                "wait_own": wait_own,
+                "direct": direct,
+                "base": base,
+                "base_type": base_type,
+            })
+        functions.append({
+            "uid": function_uid(rel_path, display, fn.line),
+            "name": fn.name,
+            "cls": fn.class_name,
+            "display": display,
+            "file": rel_path,
+            "line": fn.line,
+            "ret": fn.return_text,
+            "locals": locals_map,
+            "calls": calls,
+            "acquires": _acquisitions(fn),
+            "blocking": _direct_blocking(model, fn, calls),
+            "pins": [{"callee": c["callee"], "line": c["line"],
+                      "seq": c["seq"]}
+                     for c in calls
+                     if c["callee"] in _PIN_CALLEES and c["recv"]],
+            "unpins": [{"callee": c["callee"], "line": c["line"],
+                        "seq": c["seq"]}
+                       for c in calls
+                       if c["callee"] in _UNPIN_CALLEES and c["recv"]],
+            "raii_guard": _has_raii_unpinner(model, fn),
+            "returns": _return_sites(model, fn),
+            "returns_view": _VIEW_RETURN_RE.search(fn.return_text) is not None,
+            "view_into_param": _view_into_param(model, fn),
+            "view_calls": _view_helper_calls(model, fn),
+            "annotated": fn.annotated_calls(),
+            "body": [fn.body_range[0], fn.body_range[1]],
+        })
+    return {"path": rel_path, "classes": classes, "functions": functions}
+
+
+def _canonical_mutex(lock, fn):
+    """Stable cross-TU name for the mutex a LockRegion guards.
+
+    `mu_` inside a CachingLayer method -> `CachingLayer::mu_`;
+    `flight->mu` with a local `Flight* flight` -> `Flight::mu`;
+    a `Mutex&` parameter stays function-scoped (its identity is unknown
+    statically, so it must not alias any class mutex).
+    """
+    expr = lock.mutex_expr.strip()
+    toks = [t for t in expr.split() if t not in ("*", "&")]
+    if not toks:
+        return f"{fn.display_name()}::<lock:{lock.name}>"
+    # `a :: b` stays as written.
+    if "::" in toks:
+        return pretty(" ".join(toks))
+    if len(toks) == 1:
+        name = toks[0]
+        d = fn.find_local(name)
+        if d is not None:
+            # Parameter or local reference to some caller's mutex.
+            base = _type_idents(d.type_text)
+            if base and base[-1] not in ("Mutex", "DebugMutex"):
+                return f"{base[-1]}::{name}"
+            return f"{fn.display_name()}::{name}"
+        if fn.class_name:
+            return f"{fn.class_name}::{name}"
+        return name
+    # `a -> b` / `a . b`: resolve the base via locals/params.
+    if len(toks) == 3 and toks[1] in (".", "->"):
+        base, _, member = toks
+        d = fn.find_local(base)
+        if d is not None:
+            idents = _type_idents(d.type_text)
+            if idents:
+                return f"{idents[-1]}::{member}"
+        if base == "this":
+            return f"{fn.class_name}::{member}" if fn.class_name else member
+        return f"{base}.{member}"
+    return pretty(" ".join(toks))
+
+
+def _acquisitions(fn):
+    """Lock acquisition sites with the set of canonical mutexes already
+    held: each MutexLock declaration, plus every re-`Lock()` interval."""
+    out = []
+    for lk in fn.locks:
+        points = [lk.decl_index]
+        points.extend(a for (a, _) in lk.intervals[1:])
+        mutex = _canonical_mutex(lk, fn)
+        for p in points:
+            held = [_canonical_mutex(other, fn)
+                    for other in fn.active_locks(p)
+                    if other is not lk]
+            out.append({"mutex": mutex,
+                        "line": fn.file.tokens[p].line,
+                        "seq": p,
+                        "held": held})
+    return out
+
+
+def _direct_blocking(model, fn, calls):
+    """May-block seeds found directly in the body, with reason kinds."""
+    out = []
+    for c in calls:
+        if c["lambda"] > 0:
+            continue  # runs later, on some other thread's stack
+        callee, recv = c["callee"], c["recv"]
+        if callee in _WAIT_METHODS and (
+                c["wait_own"] or _CV_RECV_RE.search(recv)):
+            out.append({"kind": "condvar-wait", "line": c["line"],
+                        "what": _call_text(c)})
+        elif callee in _SLEEP_CALLEES:
+            out.append({"kind": "sleep", "line": c["line"],
+                        "what": _call_text(c)})
+        elif callee in _BLOCKING_IO_CALLEES and not recv:
+            out.append({"kind": "blocking-io", "line": c["line"],
+                        "what": _call_text(c)})
+        elif callee in _FABRIC_METHODS and _FABRIC_RECV_RE.search(recv):
+            out.append({"kind": "fabric-call", "line": c["line"],
+                        "what": _call_text(c)})
+        elif callee == "Get" and recv and _FUTURE_GET_RE.search(recv):
+            out.append({"kind": "future-get", "line": c["line"],
+                        "what": _call_text(c)})
+    return out
+
+
+def _call_text(c):
+    recv = c["recv"].replace(" ", "")
+    return f"{recv}{c['callee']}()" if recv else f"{c['callee']}()"
+
+
+def _has_raii_unpinner(model, fn):
+    from rules import pin_balance
+    return pin_balance._has_raii_unpinner(model, fn)
+
+
+def _return_sites(model, fn):
+    out = []
+    toks = model.tokens
+    for i in fn.body_indices():
+        if toks[i].kind == "ident" and toks[i].text == "return":
+            out.append({"line": toks[i].line, "seq": i,
+                        "lambda": fn.lambda_depth_at(i)})
+    return out
+
+
+def _view_into_param(model, fn):
+    """True when some return statement references a parameter of owning
+    type — the helper shape `string_view Head(const Buffer& b)`."""
+    if not _VIEW_RETURN_RE.search(fn.return_text):
+        return False
+    toks = model.tokens
+    for r in _return_sites(model, fn):
+        if r["lambda"]:
+            continue
+        i = r["seq"] + 1
+        while i < fn.body_range[1] and toks[i].text != ";":
+            t = toks[i]
+            if t.kind == "ident":
+                d = fn.find_local(t.text, at_index=None)
+                if d is not None and d.depth == 0 and \
+                        _OWNING_TYPE_RE.search(d.type_text):
+                    return True
+            i += 1
+    return False
+
+
+def _view_helper_calls(model, fn):
+    """Candidate interprocedural view escapes: `return Helper(local)` and
+    `member_ = Helper(local)` where `local` is a body-local owning
+    container. Whether Helper actually returns a view into its parameter
+    is decided at graph time."""
+    out = []
+    toks = model.tokens
+    lo, hi = fn.body_range
+
+    def local_owning_ref(a, b):
+        for i in range(a, b):
+            t = toks[i]
+            if t.kind != "ident":
+                continue
+            d = fn.find_local(t.text, at_index=i)
+            if d is not None and d.depth >= 1 and \
+                    not d.type_text.startswith("static") and \
+                    _OWNING_TYPE_RE.search(d.type_text):
+                return d
+        return None
+
+    for call in fn.calls:
+        if call.lambda_depth > 0 or call.receiver:
+            continue
+        open_idx = call.index + 1
+        close = model.match.get(open_idx)
+        if close is None or close > hi:
+            continue
+        d = local_owning_ref(open_idx + 1, close)
+        if d is None:
+            continue
+        # What consumes the call result?
+        prev = toks[call.index - 1].text if call.index > lo else ""
+        if prev == "return":
+            out.append({"helper": call.callee, "line": call.line,
+                        "local": d.name, "ltype": pretty(d.type_text),
+                        "kind": "return", "member": ""})
+        elif prev == "=" and call.index >= 2:
+            lhs = toks[call.index - 2]
+            if lhs.kind == "ident" and lhs.text.endswith("_") and \
+                    fn.find_local(lhs.text, at_index=call.index) is None:
+                out.append({"helper": call.callee, "line": call.line,
+                            "local": d.name, "ltype": pretty(d.type_text),
+                            "kind": "member", "member": lhs.text})
+    return out
+
+
+class CallGraph:
+    """Program-wide function index + call-site resolution."""
+
+    def __init__(self, file_summaries):
+        self.files = file_summaries
+        self.functions = {}          # uid -> function summary
+        self.by_name = {}            # name -> [uid]
+        self.by_qual = {}            # (cls, name) -> [uid]
+        self.classes = {}            # class -> {member: type}
+        for fs in file_summaries:
+            for cls, members in fs.get("classes", {}).items():
+                merged = self.classes.setdefault(cls, {})
+                for m, ty in members.items():
+                    merged.setdefault(m, ty)
+            for f in fs["functions"]:
+                self.functions[f["uid"]] = f
+                self.by_name.setdefault(f["name"], []).append(f["uid"])
+                if f["cls"]:
+                    self.by_qual.setdefault(
+                        (f["cls"], f["name"]), []).append(f["uid"])
+        self.edges = {}              # uid -> [(call dict, [target uid])]
+        self.callers = {}            # uid -> number of resolved call sites
+        self._resolve_all()
+
+    # -- resolution ------------------------------------------------------
+
+    def _resolve_all(self):
+        for uid, f in self.functions.items():
+            out = []
+            annotated = self._resolve_annotated(f)
+            for call in f["calls"]:
+                targets = self._resolve_call(f, call)
+                out.append((call, targets))
+                for t in targets:
+                    self.callers[t] = self.callers.get(t, 0) + 1
+            # Annotation edges attach as a synthetic call site at the
+            # function head (they have no single source line of their own).
+            for t in annotated:
+                out.append(({"callee": self.functions[t]["name"],
+                             "recv": "", "line": f["line"], "seq": -1,
+                             "lambda": 0, "held": [], "wait_own": False,
+                             "direct": None, "base": None,
+                             "base_type": None, "annotated": True}, [t]))
+                self.callers[t] = self.callers.get(t, 0) + 1
+            self.edges[uid] = out
+
+    def _resolve_annotated(self, f):
+        out = []
+        for target in f.get("annotated", ()):
+            if "::" in target:
+                cls, name = target.rsplit("::", 1)
+                out.extend(self.by_qual.get((cls, name), ()))
+            else:
+                out.extend(self.by_name.get(target, ()))
+        return out
+
+    def _resolve_call(self, f, call):
+        callee = call["callee"]
+        chain = call["recv"].split() if call["recv"] else []
+        if chain and chain[-1] == "::":
+            cls = chain[-2] if len(chain) >= 2 else ""
+            return list(self.by_qual.get((cls, callee), ()))
+        if chain:
+            cls = self._chain_class(f, call, chain)
+            if cls is not None:
+                return list(self.by_qual.get((cls, callee), ()))
+            return self._name_fallback(callee, methods_ok=False)
+        # Bare call: same-class method wins, then the name fallback.
+        if f["cls"]:
+            hits = self.by_qual.get((f["cls"], callee))
+            if hits:
+                return list(hits)
+        return self._name_fallback(callee, methods_ok=True)
+
+    def _chain_class(self, f, call, chain):
+        """Class of the receiver for `base op (member|method())* op callee`."""
+        base = call.get("base")
+        if base is None:
+            return None
+        if base == "this":
+            cls = f["cls"] or None
+        else:
+            ty = call.get("base_type")
+            if ty is None:
+                ty = f.get("locals", {}).get(base)
+            if ty is None and f["cls"]:
+                ty = self.classes.get(f["cls"], {}).get(base)
+            cls = self._class_of_type(ty) if ty else None
+        if cls is None:
+            return None
+        # Walk the rest of the chain: `-> member .` / `-> accessor ( ) .`
+        i = 1
+        n = len(chain)
+        while i < n - 1:  # last element is the trailing access operator
+            op = chain[i]
+            if op not in (".", "->"):
+                return None
+            i += 1
+            if i >= n - 1:
+                break
+            name = chain[i]
+            i += 1
+            if i < n - 1 and chain[i] == "(":
+                # accessor call: use the method's return type
+                while i < n - 1 and chain[i] != ")":
+                    i += 1
+                i += 1  # past ")"
+                uids = self.by_qual.get((cls, name))
+                if not uids:
+                    return None
+                cls = self._class_of_type(self.functions[uids[0]]["ret"])
+            else:
+                member_ty = self.classes.get(cls, {}).get(name)
+                cls = self._class_of_type(member_ty) if member_ty else None
+            if cls is None:
+                return None
+        return cls
+
+    def _class_of_type(self, type_text):
+        """Program class named by a type: last known-class identifier, so
+        `std::shared_ptr<Topology>` -> Topology, `LocalObjectStore*` ->
+        LocalObjectStore."""
+        if not type_text:
+            return None
+        candidates = [t for t in _type_idents(type_text) if self._is_class(t)]
+        return candidates[-1] if candidates else None
+
+    def _is_class(self, name):
+        if name in self.classes:
+            return True
+        if not hasattr(self, "_class_names"):
+            self._class_names = {cls for (cls, _) in self.by_qual}
+        return name in self._class_names
+
+    def _name_fallback(self, callee, methods_ok):
+        """Name-only resolution: all same-name candidates, iff they all
+        belong to one function family (overload set) and the name is not
+        hopelessly generic."""
+        if callee in AMBIGUOUS_NAMES:
+            return []
+        uids = self.by_name.get(callee, [])
+        if not uids:
+            return []
+        displays = {self.functions[u]["display"] for u in uids}
+        if len(displays) != 1:
+            return []  # same name across different classes: no edge
+        if not methods_ok and any(self.functions[u]["cls"] for u in uids):
+            # receiver present but unresolved; linking a method by name
+            # alone would alias unrelated receivers
+            return []
+        return list(uids)
+
+    # -- queries ---------------------------------------------------------
+
+    def out_edges(self, uid):
+        return self.edges.get(uid, ())
+
+    def call_site_count(self, uid):
+        return self.callers.get(uid, 0)

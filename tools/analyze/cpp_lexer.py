@@ -15,12 +15,19 @@ constructs that break naive regex tooling:
 
 Tokens carry (kind, text, line). Kinds: 'ident', 'number', 'string', 'char',
 'punct'.
+
+Besides `// analyze:allow <rule>` suppressions, the lexer collects
+`// analyze:calls <target>` annotations (virtual dispatch / callback edges
+declared for the interprocedural call graph) into a second side map.
 """
 
 import collections
 import re
 
 Token = collections.namedtuple("Token", ["kind", "text", "line"])
+
+LexResult = collections.namedtuple("LexResult",
+                                   ["tokens", "allow_map", "calls_map"])
 
 # Longest first so maximal munch falls out of the ordering.
 _PUNCTUATORS = [
@@ -37,6 +44,9 @@ _DIGITS = set("0123456789")
 
 _RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
 _ALLOW_RE = re.compile(r"//\s*analyze:allow\s+([a-z-]+)")
+# `// analyze:calls Foo::Bar, Baz` — declares call-graph edges the lexical
+# engine cannot see (virtual dispatch, callbacks, std::function targets).
+_CALLS_RE = re.compile(r"//\s*analyze:calls\s+([\w:,\s]+)")
 
 
 class LexError(Exception):
@@ -44,13 +54,16 @@ class LexError(Exception):
 
 
 def lex(text):
-    """Tokenizes C++ source. Returns (tokens, allow_map).
+    """Tokenizes C++ source. Returns LexResult(tokens, allow_map, calls_map).
 
     allow_map maps line number -> set of rule names allowed on that line,
     collected from `// analyze:allow <rule> (<reason>)` comments.
+    calls_map maps line number -> list of declared call targets, collected
+    from `// analyze:calls <target>[, <target>...]` comments.
     """
     tokens = []
     allow_map = {}
+    calls_map = {}
     i = 0
     n = len(text)
     line = 1
@@ -59,6 +72,9 @@ def lex(text):
     def record_allow(comment, comment_line):
         for m in _ALLOW_RE.finditer(comment):
             allow_map.setdefault(comment_line, set()).add(m.group(1))
+        for m in _CALLS_RE.finditer(comment):
+            targets = [t.strip() for t in m.group(1).split(",") if t.strip()]
+            calls_map.setdefault(comment_line, []).extend(targets)
 
     while i < n:
         c = text[i]
@@ -170,7 +186,7 @@ def lex(text):
         else:
             i += 1  # unknown byte: skip rather than die
 
-    return tokens, allow_map
+    return LexResult(tokens, allow_map, calls_map)
 
 
 def _scan_quoted(text, i, line, prefix=""):

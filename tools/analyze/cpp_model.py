@@ -76,11 +76,15 @@ class FunctionModel:
         self.file = file_model
         self.name = name                      # last identifier: `Get`
         self.qual_name = qual_tokens          # `CachingLayer::Get`
+        self.class_name = ""                  # filled by FileModel after
+                                              # class-scope attribution
         self.return_text = " ".join(t.text for t in return_tokens)
         self.params_range = params_range      # (open_paren, close_paren)
         self.body_range = body_range          # (open_brace, close_brace)
         toks = file_model.tokens
         self.line = toks[body_range[0]].line
+        self.head_line = toks[params_range[0]].line
+        self.end_line = toks[body_range[1]].line
         self._depth = {}        # token index -> brace depth inside body (>=1)
         self._lambda_depth = {}  # token index -> enclosing lambda count
         self.locals = []        # VarDecl list (params included, depth 0)
@@ -101,6 +105,22 @@ class FunctionModel:
 
     def local_names(self):
         return {d.name for d in self.locals}
+
+    def display_name(self):
+        """`CachingLayer::Get` for methods, bare name for free functions."""
+        if "::" in self.qual_name:
+            return self.qual_name
+        if self.class_name:
+            return f"{self.class_name}::{self.name}"
+        return self.qual_name
+
+    def annotated_calls(self):
+        """Targets declared via `// analyze:calls <target>` on the head line,
+        the line above it, or any line inside the body."""
+        out = []
+        for ln in range(self.head_line - 1, self.end_line + 1):
+            out.extend(self.file.calls_map.get(ln, ()))
+        return out
 
     def find_local(self, name, at_index=None):
         """Innermost declaration of `name` visible at token index."""
@@ -458,12 +478,17 @@ class FileModel:
 
     def __init__(self, path, text):
         self.path = path
-        self.tokens, self.allow_map = lex(text)
+        self.tokens, self.allow_map, self.calls_map = lex(text)
         self.match = {}    # open bracket index -> close index
         self.rmatch = {}   # close -> open
         self._match_brackets()
+        self.class_scopes = []   # (name, open_brace, close_brace), outer first
+        self._find_class_scopes()
         self.functions = []
         self._find_functions()
+        self._attribute_classes()
+        self.class_members = {}  # class name -> {member name: type text}
+        self._collect_class_members()
         self.guarded_mutexes = self._collect_guarded_mutexes(text)
 
     def allows(self, line, rule):
@@ -483,6 +508,152 @@ class FileModel:
                     j = st.pop()
                     self.match[j] = i
                     self.rmatch[i] = j
+
+    def _find_class_scopes(self):
+        """`class`/`struct` NAME ... `{` scopes, for method attribution and
+        member collection. Final-specifiers and base lists are skipped; a
+        `class Foo;` forward declaration has no brace and is ignored."""
+        toks = self.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.text not in ("class", "struct"):
+                continue
+            if i + 1 >= n or toks[i + 1].kind != "ident":
+                continue
+            # Name may carry attributes/final: take the first ident, then
+            # scan forward to `{` or a terminator.
+            name = toks[i + 1].text
+            j = i + 2
+            guard = 0
+            while j < n and toks[j].text not in ("{", ";", ")", "}"):
+                if toks[j].text == "(":  # macro in the head: give up
+                    break
+                j += 1
+                guard += 1
+                if guard > 64:
+                    break
+            if j < n and toks[j].text == "{":
+                close = self.match.get(j)
+                if close is not None:
+                    self.class_scopes.append((name, j, close))
+
+    def _attribute_classes(self):
+        """Sets class_name on each function from explicit qualification or
+        the innermost enclosing class scope (in-class definitions)."""
+        for fn in self.functions:
+            if "::" in fn.qual_name:
+                fn.class_name = fn.qual_name.rsplit("::", 1)[0]
+                continue
+            innermost = None
+            for (name, a, b) in self.class_scopes:
+                if a < fn.body_range[0] < b:
+                    if innermost is None or a > innermost[1]:
+                        innermost = (name, a)
+            if innermost is not None:
+                fn.class_name = innermost[0]
+
+    def _collect_class_members(self):
+        """Member declarations per class: `Type name_;` at class-body depth,
+        skipping regions inside member-function bodies. Used by the call
+        graph to resolve `member_.Method()` receivers to a class."""
+        fn_bodies = [f.body_range for f in self.functions]
+
+        def in_function_body(i):
+            return any(a < i < b for (a, b) in fn_bodies)
+
+        toks = self.tokens
+        for (cls, a, b) in self.class_scopes:
+            members = self.class_members.setdefault(cls, {})
+            depth = 0
+            stmt_start = True
+            i = a + 1
+            while i < b:
+                t = toks[i]
+                if t.text == "{":
+                    depth += 1
+                    stmt_start = True
+                elif t.text == "}":
+                    depth -= 1
+                    stmt_start = True
+                elif t.text == ";":
+                    stmt_start = True
+                elif t.text == ":" and toks[i - 1].text in (
+                        "public", "private", "protected"):
+                    stmt_start = True
+                elif stmt_start and depth == 0 and t.kind == "ident" \
+                        and not in_function_body(i):
+                    decl = self._try_parse_member(i, b)
+                    if decl is not None:
+                        name, type_text, nxt = decl
+                        members.setdefault(name, type_text)
+                        i = nxt
+                        continue
+                    stmt_start = False
+                else:
+                    stmt_start = False
+                i += 1
+
+    def _try_parse_member(self, i, hi):
+        """Parses `Type name` member declarations; returns
+        (name, type_text, resume_index) or None. Accepts trailing
+        GUARDED_BY(...) / default initializers before the `;`."""
+        toks = self.tokens
+        j = i
+        while j < hi and toks[j].kind == "ident" and (
+                toks[j].text in _DECL_SPECIFIERS or
+                toks[j].text in ("const", "mutable")):
+            j += 1
+        type_start = j
+        if j >= hi or toks[j].kind != "ident" or toks[j].text in _STMT_KEYWORDS:
+            return None
+        j += 1
+        while j < hi:
+            t = toks[j].text
+            if t == "::" and j + 1 < hi and toks[j + 1].kind == "ident":
+                j += 2
+                continue
+            if t == "<":
+                close = self._match_member_angle(j, hi)
+                if close is None:
+                    return None
+                j = close + 1
+                continue
+            if t in ("*", "&") or t == "const":
+                j += 1
+                continue
+            break
+        if j >= hi or toks[j].kind != "ident" or j == type_start:
+            return None
+        name_idx = j
+        nxt = toks[j + 1].text if j + 1 < hi else ""
+        # Member, not a method: next token must end the declarator or start
+        # an initializer/annotation — never `(` (that is a method/ctor).
+        if nxt not in (";", "=", "{", ",") and not (
+                toks[j + 1].kind == "ident" and nxt in (
+                    "GUARDED_BY", "PT_GUARDED_BY", "ACQUIRED_AFTER",
+                    "ACQUIRED_BEFORE")):
+            return None
+        type_text = " ".join(t.text for t in toks[type_start:name_idx])
+        return toks[name_idx].text, type_text, name_idx + 1
+
+    def _match_member_angle(self, i, hi):
+        toks = self.tokens
+        depth = 0
+        for j in range(i, min(i + 64, hi)):
+            t = toks[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif t in (";", "{", "}", "&&", "||"):
+                return None
+        return None
 
     def _find_functions(self):
         toks = self.tokens

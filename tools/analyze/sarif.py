@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 serialization for skadi-analyzer findings.
+
+One run, one driver ("skadi-analyzer"), one reportingDescriptor per rule
+(DOC first line as shortDescription). GitHub code scanning ingests this
+via codeql-action/upload-sarif and annotates PR diffs inline.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(name, doc):
+    first = next((l.strip() for l in (doc or "").splitlines() if l.strip()),
+                 name)
+    if ":" in first:
+        first = first.split(":", 1)[1].strip()
+    return {
+        "id": name,
+        "name": name,
+        "shortDescription": {"text": first},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def build(findings, rule_docs, tool_version="1.0"):
+    """findings: [(rel_path, line, rule, message)] (repo-relative, sorted).
+    rule_docs: {rule name: DOC string}."""
+    rules = [_rule_descriptor(name, rule_docs.get(name, ""))
+             for name in sorted(rule_docs)]
+    results = []
+    for (rel, line, rule, message) in findings:
+        results.append({
+            "ruleId": rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rel.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(line))},
+                }
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "skadi-analyzer",
+                    "informationUri":
+                        "https://github.com/skadi/skadi/tree/main/tools/analyze",
+                    "version": tool_version,
+                    "rules": rules,
+                }
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def write(path, findings, rule_docs, tool_version="1.0"):
+    import os
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(build(findings, rule_docs, tool_version), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")

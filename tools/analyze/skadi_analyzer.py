@@ -1,8 +1,7 @@
 #!/usr/bin/env python3
-"""skadi-analyzer: Skadi-specific static analysis over the C++ sources.
+"""skadi-analyzer: whole-program static analysis over the C++ sources.
 
-Four rules encode invariants that generic tooling cannot know (DESIGN.md
-§10 documents each in depth):
+Intra-procedural rules (per translation unit; DESIGN.md §10):
 
   view-escape          a Buffer slice / Column::View* / Tensor::View /
                        ArrayView must not outlive its backing storage.
@@ -10,10 +9,29 @@ Four rules encode invariants that generic tooling cannot know (DESIGN.md
                        blocking wait while an annotated Mutex is held
                        (the caching layer's Unlock()/Lock() drop-the-lock
                        sections are tracked and do not count).
-  pin-balance          every pin_arg reaches an unpin_arg (or an RAII
-                       unpinner) on every path.
   status-propagation   a captured Status must be propagated or reported,
                        not just .ok()-checked and forgotten.
+
+Interprocedural passes (whole-program, over the tree-wide call graph built
+by call_graph.py; virtual/callback edges declared `// analyze:calls <fn>`):
+
+  may-block            fixpoint from blocking primitives (CondVar::Wait,
+                       Fabric::Call, Future-style Get, sleep, blocking IO)
+                       through the call graph; a call under a held lock
+                       whose callee transitively blocks is flagged with a
+                       call-chain witness. The full may-block set is the
+                       reactor refactor's work list, emitted to
+                       build/analyze/blocking_inventory.json.
+  lock-order-cycle     static lock-acquisition-order graph across all
+                       translation units (A held while acquiring B,
+                       including through calls); SCC = deadlock candidate.
+                       Dumped to build/analyze/lock_order.json in the same
+                       edge vocabulary as the runtime DebugMutex detector.
+  pin-balance          the per-function rule upgraded: an unpin provided
+                       by a (transitive) callee balances the caller's pin.
+  view-escape          helper-mediated escapes: return/member-store of
+                       Helper(local) where Helper returns a view into its
+                       parameter.
 
 Engines: with `clang.cindex` + a libclang shared library installed the
 analyzer parses with the real Clang AST (--engine=libclang); otherwise a
@@ -21,32 +39,71 @@ bundled pure-Python lexer + declaration/scope tracker does the same job
 with zero dependencies (--engine=fallback, the default under --engine=auto
 when libclang is missing). Both feed the same rule implementations.
 
+Incremental mode: parsed per-file artifacts (function summaries, intra
+findings, allow maps) are cached in build/analyze/cache.json keyed by file
+content hash and an analyzer-source generation stamp; unchanged files skip
+parsing entirely. The interprocedural passes always rerun over the (mostly
+cached) summaries — they are the cheap part.
+
 Escape hatch: `// analyze:allow <rule> (<reason>)` on the finding line or
-the line directly above.
+the line directly above — interprocedural findings honor it too.
 
 Usage:
   skadi_analyzer.py [--root R] [--engine auto|fallback|libclang]
-                    [--rules r1,r2] [--list-rules] [--selftest] [paths...]
+                    [--rules r1,r2] [--list-rules] [--selftest]
+                    [--sarif FILE] [--no-cache] [--no-artifacts] [paths...]
 
 Exit status: 0 clean, 1 findings (or selftest failure), 2 usage error.
 Registered as the `repo_analyze` ctest test; --selftest additionally runs
-the bad/good fixtures under tests/analyze/fixtures/ and the full-tree
-clean check.
+the bad/good fixtures under tests/analyze/fixtures/, the full-tree clean
+check (twice: cold cache, then warm — results must match), and the
+30 s wall-time budget.
 """
 
 import argparse
+import hashlib
+import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import call_graph
 import cpp_model
+import interproc
 from rules import ALL_RULES
 
 ANALYZE_DIRS = ("src", "tests", "bench", "examples")
 SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
 FIXTURE_DIR = os.path.join("tests", "analyze", "fixtures")
+
+# Interprocedural rule registry (names usable in --rules / fixtures /
+# analyze:allow, docs feed --list-rules and SARIF).
+INTERPROC_RULES = {
+    interproc.NAME_MAY_BLOCK:
+        "may-block: a call made while a MutexLock is held whose callee "
+        "transitively reaches a blocking primitive (CondVar::Wait, "
+        "Fabric::Call, Future-style Get, sleep, blocking IO).",
+    interproc.NAME_LOCK_ORDER:
+        "lock-order-cycle: a cycle in the static cross-TU "
+        "lock-acquisition-order graph — a deadlock on some interleaving.",
+}
+
+# pin-balance moved to the interprocedural engine (callee-provided unpins
+# must count); the intra module remains only as documentation + helpers.
+INTRA_SKIP = {"pin-balance"}
+
+
+def rule_docs():
+    docs = {name: mod.DOC for name, mod in ALL_RULES.items()}
+    docs.update(INTERPROC_RULES)
+    return docs
+
+
+def known_rules():
+    return list(ALL_RULES) + [r for r in INTERPROC_RULES
+                              if r not in ALL_RULES]
 
 
 def load_engine(name):
@@ -87,30 +144,147 @@ def collect_files(root, paths):
                     yield os.path.join(dirpath, name)
 
 
-def analyze_file(parse, path, root, rules):
-    rel = os.path.relpath(path, root)
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+
+def analyzer_generation(engine_name):
+    """Content stamp over the analyzer's own sources: any change to the
+    engine or the rules invalidates every cache entry."""
+    h = hashlib.sha256()
+    h.update(engine_name.encode())
+    here = os.path.dirname(os.path.abspath(__file__))
+    for dirpath, _, names in sorted(os.walk(here)):
+        for name in sorted(names):
+            if name.endswith(".py"):
+                with open(os.path.join(dirpath, name), "rb") as fh:
+                    h.update(fh.read())
+    return h.hexdigest()[:16]
+
+
+class FileCache:
+    def __init__(self, path, generation):
+        self.path = path
+        self.generation = generation
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self.dirty = False
+        if path and os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                if data.get("generation") == generation:
+                    self.entries = data.get("files", {})
+            except (OSError, ValueError):
+                pass
+
+    def get(self, rel, sha):
+        e = self.entries.get(rel)
+        if e is not None and e.get("sha") == sha:
+            self.hits += 1
+            return e
+        self.misses += 1
+        return None
+
+    def put(self, rel, entry):
+        self.entries[rel] = entry
+        self.dirty = True
+
+    def save(self):
+        if not self.path or not self.dirty:
+            return
+        d = os.path.dirname(self.path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump({"generation": self.generation, "files": self.entries},
+                      fh, sort_keys=True)
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# analysis
+# ---------------------------------------------------------------------------
+
+def analyze_file_entry(parse, path, rel):
+    """Parses one file; returns a cacheable entry dict:
+    {sha, intra: [[line, rule, msg]...] (pre-allow-filter),
+     allow: {line: [rules]}, summary: file summary}.
+
+    All intra rules always run so the cache entry is independent of the
+    --rules selection; filtering happens at use time."""
     try:
         model = parse(path)
     except Exception as e:  # parse failure must not kill the run
-        return [(rel, 1, "parse-error", f"analyzer could not parse: {e}")]
-    out = []
-    for rule_name in rules:
-        mod = ALL_RULES[rule_name]
+        return {"intra": [[1, "parse-error",
+                           f"analyzer could not parse: {e}"]],
+                "allow": {}, "summary": {"path": rel, "classes": {},
+                                         "functions": []}}
+    intra = []
+    for rule_name, mod in ALL_RULES.items():
+        if rule_name in INTRA_SKIP:
+            continue
         for f in mod.check(model, rel):
-            if model.allows(f.line, f.rule):
-                continue
-            out.append((rel, f.line, f.rule, f.message))
-    out.sort(key=lambda x: (x[1], x[2]))
-    return out
+            intra.append([f.line, f.rule, f.message])
+    allow = {str(ln): sorted(rs) for ln, rs in model.allow_map.items()}
+    return {"intra": intra, "allow": allow,
+            "summary": call_graph.summarize_file(model, rel)}
 
 
-def run_tree(parse, root, rules, paths=()):
+def _allowed(allow_map, line, rule):
+    return rule in allow_map.get(str(line), ()) or \
+        rule in allow_map.get(str(line - 1), ())
+
+
+def analyze_program(parse, root, rules, paths=(), cache=None):
+    """Whole-program analysis. Returns (n_files, findings, inventory,
+    lock_order_dump) with findings as sorted (rel, line, rule, message)."""
     findings = []
+    summaries = []
+    allow_by_file = {}
     n = 0
     for path in collect_files(root, paths):
-        findings.extend(analyze_file(parse, path, root, rules))
+        rel = os.path.relpath(path, root)
         n += 1
-    return n, findings
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        sha = hashlib.sha256(raw).hexdigest()
+        entry = cache.get(rel, sha) if cache is not None else None
+        if entry is None:
+            entry = analyze_file_entry(parse, path, rel)
+            entry["sha"] = sha
+            if cache is not None:
+                cache.put(rel, entry)
+        allow_by_file[rel] = entry["allow"]
+        summaries.append(entry["summary"])
+        for (line, rule, msg) in entry["intra"]:
+            if rule != "parse-error" and rule not in rules:
+                continue  # cache may hold rules not selected this run
+            if _allowed(entry["allow"], line, rule):
+                continue
+            findings.append((rel, line, rule, msg))
+
+    graph = call_graph.CallGraph(summaries)
+    inter_findings, inventory, lock_order = interproc.run(graph)
+    for f in inter_findings:
+        if f.rule not in rules:
+            continue
+        if _allowed(allow_by_file.get(f.file, {}), f.line, f.rule):
+            continue
+        findings.append((f.file, f.line, f.rule, f.message))
+
+    findings.sort(key=lambda x: (x[0], x[1], x[2]))
+    # Intra and interprocedural layers can see the same hazard at the same
+    # site; keep one finding per (file, line, rule) — the first (intra) one.
+    deduped = []
+    seen = set()
+    for f in findings:
+        key = f[:3]
+        if key not in seen:
+            seen.add(key)
+            deduped.append(f)
+    return n, deduped, inventory, lock_order
 
 
 def print_findings(findings):
@@ -118,12 +292,30 @@ def print_findings(findings):
         print(f"{rel}:{line}: [{rule}] {msg}")
 
 
-def selftest(parse, root, rules, engine_name):
-    """Fixtures must behave; the clean tree must be clean; under 30 s."""
+def write_artifacts(root, inventory, lock_order):
+    out_dir = os.path.join(root, "build", "analyze")
+    interproc.write_json(
+        os.path.join(out_dir, "blocking_inventory.json"), inventory)
+    interproc.write_json(os.path.join(out_dir, "lock_order.json"), lock_order)
+
+
+# ---------------------------------------------------------------------------
+# selftest
+# ---------------------------------------------------------------------------
+
+def selftest(parse, root, rules, engine_name, cache_path):
+    """Fixtures must behave; the clean tree must be clean (cold cache and
+    warm cache must agree); artifacts must be emitted; under 30 s."""
     t0 = time.monotonic()
     failures = []
     bad_dir = os.path.join(root, FIXTURE_DIR, "bad")
     good_dir = os.path.join(root, FIXTURE_DIR, "good")
+
+    def fixture_findings(path):
+        # Each fixture is its own single-file "program": intra rules plus
+        # the interprocedural passes over just that file.
+        _, found, _, _ = analyze_program(parse, root, rules, [path])
+        return found
 
     n_bad = 0
     for name in sorted(os.listdir(bad_dir)):
@@ -131,8 +323,7 @@ def selftest(parse, root, rules, engine_name):
             continue
         n_bad += 1
         expected_rule = name.split("__")[0]
-        path = os.path.join(bad_dir, name)
-        found = analyze_file(parse, path, root, rules)
+        found = fixture_findings(os.path.join(bad_dir, name))
         hits = [f for f in found if f[2] == expected_rule]
         if not hits:
             failures.append(
@@ -144,25 +335,57 @@ def selftest(parse, root, rules, engine_name):
         if not name.endswith(SOURCE_EXTS):
             continue
         n_good += 1
-        path = os.path.join(good_dir, name)
-        found = analyze_file(parse, path, root, rules)
+        found = fixture_findings(os.path.join(good_dir, name))
         if found:
             failures.append(f"good fixture {name}: unexpected finding(s): " +
                             "; ".join(f"[{f[2]}] line {f[1]}" for f in found))
 
-    n_tree, tree_findings = run_tree(parse, root, rules)
+    generation = analyzer_generation(engine_name)
+    cold = FileCache(cache_path, generation)
+    cold.entries = {}  # force a cold run even if a cache file exists
+    n_tree, tree_findings, inventory, lock_order = analyze_program(
+        parse, root, rules, cache=cold)
+    cold.save()
     for f in tree_findings:
         failures.append(f"clean tree: {f[0]}:{f[1]}: [{f[2]}] {f[3]}")
 
+    # Warm run: every file served from cache, identical results.
+    warm = FileCache(cache_path, generation)
+    t_warm = time.monotonic()
+    n2, warm_findings, warm_inventory, _ = analyze_program(
+        parse, root, rules, cache=warm)
+    warm_dt = time.monotonic() - t_warm
+    if warm_findings != tree_findings:
+        failures.append("incremental cache: warm-run findings differ from "
+                        "cold run")
+    if warm_inventory != inventory:
+        failures.append("incremental cache: warm-run inventory differs "
+                        "from cold run")
+    if warm.misses:
+        failures.append(f"incremental cache: {warm.misses} cache miss(es) "
+                        "on unchanged tree")
+
+    if inventory["total"] == 0:
+        failures.append("blocking inventory is empty: the tree has known "
+                        "blocking primitives (CondVar::Wait, Fabric::Call), "
+                        "so the may-block fixpoint lost them")
+    write_artifacts(root, inventory, lock_order)
+
     dt = time.monotonic() - t0
     print(f"skadi_analyzer --selftest [{engine_name}]: {n_bad} bad + "
-          f"{n_good} good fixtures, {n_tree} tree files in {dt:.1f}s")
+          f"{n_good} good fixtures, {n_tree} tree files "
+          f"(warm rerun {warm_dt:.2f}s, {warm.hits} cached), "
+          f"{inventory['total']} may-block functions in {dt:.1f}s")
     if dt > 30.0:
         failures.append(f"selftest took {dt:.1f}s; budget is 30s")
     for f in failures:
         print(f"  FAIL: {f}")
     return 1 if failures else 0
 
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
 
 def main():
     ap = argparse.ArgumentParser(
@@ -172,24 +395,34 @@ def main():
         os.path.dirname(os.path.abspath(__file__)))))
     ap.add_argument("--engine", choices=("auto", "fallback", "libclang"),
                     default="auto")
-    ap.add_argument("--rules", default=",".join(ALL_RULES),
+    ap.add_argument("--rules", default=",".join(known_rules()),
                     help="comma-separated rule subset")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--selftest", action="store_true")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="write findings as SARIF 2.1.0 for code scanning")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the incremental per-file cache")
+    ap.add_argument("--cache", metavar="FILE",
+                    help="cache path (default <root>/build/analyze/"
+                         "cache.json)")
+    ap.add_argument("--no-artifacts", action="store_true",
+                    help="skip writing blocking_inventory.json / "
+                         "lock_order.json")
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
 
     if args.list_rules:
-        for name, mod in ALL_RULES.items():
-            first = next(l for l in mod.DOC.splitlines() if l.strip())
+        for name, doc in sorted(rule_docs().items()):
+            first = next(l for l in doc.splitlines() if l.strip())
             print(f"{name}: {first.split(':', 1)[-1].strip()}")
         return 0
 
     rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-    unknown = [r for r in rules if r not in ALL_RULES]
+    unknown = [r for r in rules if r not in known_rules()]
     if unknown:
         print(f"skadi_analyzer: unknown rule(s): {', '.join(unknown)}; "
-              f"known: {', '.join(ALL_RULES)}", file=sys.stderr)
+              f"known: {', '.join(known_rules())}", file=sys.stderr)
         return 2
 
     root = os.path.abspath(args.root)
@@ -198,16 +431,32 @@ def main():
         return 2
 
     engine_name, parse = load_engine(args.engine)
+    cache_path = args.cache or os.path.join(root, "build", "analyze",
+                                            "cache.json")
+    if args.no_cache:
+        cache_path = None
 
     if args.selftest:
-        return selftest(parse, root, rules, engine_name)
+        return selftest(parse, root, rules, engine_name, cache_path)
 
     t0 = time.monotonic()
-    n, findings = run_tree(parse, root, rules, args.paths)
+    cache = None
+    if cache_path and not args.paths:
+        cache = FileCache(cache_path, analyzer_generation(engine_name))
+    n, findings, inventory, lock_order = analyze_program(
+        parse, root, rules, args.paths, cache=cache)
+    if cache is not None:
+        cache.save()
     print_findings(findings)
+    if not args.paths and not args.no_artifacts:
+        write_artifacts(root, inventory, lock_order)
+    if args.sarif:
+        import sarif
+        sarif.write(args.sarif, findings, rule_docs())
     dt = time.monotonic() - t0
+    cached = f", {cache.hits} cached" if cache is not None else ""
     print(f"skadi_analyzer [{engine_name}]: {n} files, "
-          f"{len(findings)} finding(s) in {dt:.1f}s")
+          f"{len(findings)} finding(s) in {dt:.1f}s{cached}")
     return 1 if findings else 0
 
 

@@ -29,6 +29,12 @@ run_mode() {
   SKADI_BENCH_SMOKE=1 "$dir/bench/bench_a3_format" > /dev/null
 }
 
+# Whole-program analyzer, standalone, before the build matrix: fastest
+# feedback on contract violations, and it emits the SARIF + inventory
+# artifacts CI consumes (ctest's repo_analyze runs the selftest variant).
+echo "==> [analyze] skadi-analyzer (whole tree + SARIF + inventory)"
+python3 tools/analyze/skadi_analyzer.py --sarif build/analyze/findings.sarif
+
 run_mode default  build-check
 run_mode thread   build-tsan  -DSKADI_SANITIZE=thread
 run_mode address  build-asan  -DSKADI_SANITIZE=address

@@ -12,9 +12,12 @@ Checks:
                     std::lock_guard / std::unique_lock anywhere but the
                     annotated wrappers in src/common/mutex.{h,cc}. Escape
                     hatch: `// lint:allow raw-mutex (<reason>)`.
-  guarded-by        a file that declares `Mutex foo_;` members must use
-                    GUARDED_BY / REQUIRES somewhere — catches adding a lock
-                    without annotating what it protects.
+  guarded-by        every `Mutex foo_;` member must be named by a
+                    GUARDED_BY / PT_GUARDED_BY / REQUIRES / ACQUIRE /
+                    RELEASE annotation in the same file — adding a lock
+                    without annotating what it protects is an error. Escape
+                    hatch: `// lint:allow unguarded-mutex (<reason>)` on
+                    the declaration line.
   discarded-status  statement-level calls of known Status/Result-returning
                     methods whose return value is ignored (belt to the
                     [[nodiscard]] suspenders on Status/Result; catches
@@ -65,7 +68,8 @@ SMART_WRAP_RE = re.compile(
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(?:_any)?|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
-MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?(?:skadi::)?Mutex\s+\w+_?\s*;")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:skadi::)?(?:Debug)?Mutex\s+(\w+)\s*;")
 GUARD_ANNOT_RE = re.compile(r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE)\s*\(")
 INCLUDE_GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b", re.MULTILINE)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
@@ -170,18 +174,27 @@ class Linter:
                             "MutexLock / CondVar from src/common/mutex.h")
 
     def check_guarded_by(self, path, raw_lines, lines):
-        mutex_decl_line = None
-        for i, line in enumerate(lines, 1):
-            if MUTEX_MEMBER_RE.search(line) and not line_allows(raw_lines[i - 1],
-                                                                "unguarded-mutex"):
-                mutex_decl_line = mutex_decl_line or i
-        if mutex_decl_line is None:
-            return
+        # Per-mutex: each `Mutex foo_;` member must be referenced by a
+        # GUARDED_BY/PT_GUARDED_BY/REQUIRES/ACQUIRE/RELEASE annotation in
+        # the same file, or carry `// lint:allow unguarded-mutex (reason)`.
         body = "\n".join(lines)
-        if not GUARD_ANNOT_RE.search(body):
-            self.report(path, mutex_decl_line, "guarded-by",
-                        "file declares a Mutex member but contains no "
-                        "GUARDED_BY/REQUIRES annotations")
+        annotated_refs = set()
+        for m in re.finditer(
+                r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRED_AFTER|"
+                r"ACQUIRED_BEFORE|ACQUIRE|RELEASE)\s*\(([^)]*)\)", body):
+            for ident in re.findall(r"[A-Za-z_]\w*", m.group(1)):
+                annotated_refs.add(ident)
+        for i, line in enumerate(lines, 1):
+            m = MUTEX_MEMBER_RE.search(line)
+            if not m or line_allows(raw_lines[i - 1], "unguarded-mutex"):
+                continue
+            name = m.group(1)
+            if name not in annotated_refs:
+                self.report(path, i, "guarded-by",
+                            f"Mutex member '{name}' has no GUARDED_BY/"
+                            "REQUIRES annotation naming it in this file; "
+                            "annotate what it protects or add "
+                            "`// lint:allow unguarded-mutex (reason)`")
 
     def check_zero_copy_hot_path(self, path, raw_lines, lines):
         for i, line in enumerate(lines, 1):
