@@ -112,11 +112,34 @@ Status CachingLayer::Put(ObjectId id, Buffer data, NodeId at) {
   return Status::Ok();
 }
 
+Result<Buffer> CachingLayer::FlightResult(const std::shared_ptr<Flight>& flight) {
+  MutexLock flock(flight->mu);
+  if (!flight->status.ok()) {
+    return flight->status;
+  }
+  return flight->data;  // shares storage with the leader's copy
+}
+
 Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
+  auto ev = std::make_shared<Event>();
+  auto result = std::make_shared<Result<Buffer>>(
+      Status::Internal("cache get never completed"));
+  GetAsync(id, at, cache_locally, [ev, result](Result<Buffer> r) {
+    *result = std::move(r);
+    ev->Set();
+  });
+  fabric_->reactor().BlockOn(*ev);
+  return std::move(*result);
+}
+
+void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
+                            std::function<void(Result<Buffer>)> done) {
   MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
-    return Status::NotFound("object " + id.ToString() + " not in caching layer");
+    lock.Unlock();
+    done(Status::NotFound("object " + id.ToString() + " not in caching layer"));
+    return;
   }
   DirEntry& entry = it->second;
 
@@ -145,10 +168,13 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
     if (entry.ec != nullptr) {
       EcFetchPlan plan = SnapshotEcLocked(entry);
       lock.Unlock();
-      return TryEcReconstruct(plan, id, at);
+      done(TryEcReconstruct(plan, id, at));
+      return;
     }
-    return Status::DataLoss("object " + id.ToString() +
-                            " has no live copies and no EC shards");
+    lock.Unlock();
+    done(Status::DataLoss("object " + id.ToString() +
+                          " has no live copies and no EC shards"));
+    return;
   }
 
   LocalObjectStore* src_store = stores_.at(source).get();
@@ -157,11 +183,12 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
     // Local hit: no fabric transfer, no coalescing needed. The returned
     // Buffer shares the store entry's refcounted storage.
     lock.Unlock();
-    return src_store->Get(id);
+    done(src_store->Get(id));
+    return;
   }
 
   // Remote fetch: single-flight per (at, id). A fetch already in flight
-  // makes this call a follower — it waits for the leader's result instead
+  // makes this call a follower — it inherits the leader's result instead
   // of paying a second fabric transfer for the same bytes.
   const std::pair<NodeId, ObjectId> key(at, id);
   auto fit = inflight_.find(key);
@@ -169,14 +196,18 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
     std::shared_ptr<Flight> flight = fit->second;
     lock.Unlock();
     fabric_->metrics().GetCounter("cache.coalesced_fetches").Add(1);
-    MutexLock flock(flight->mu);
-    while (!flight->done) {
-      flight->cv.Wait(flock);
+    {
+      MutexLock flock(flight->mu);
+      if (!flight->done) {
+        // Continuation on the flight entry: runs on the leader's thread
+        // when it publishes. No parked follower thread.
+        flight->waiters.push_back(
+            [flight, done] { done(FlightResult(flight)); });
+        return;
+      }
     }
-    if (!flight->status.ok()) {
-      return flight->status;
-    }
-    return flight->data;  // shares storage with the leader's copy
+    done(FlightResult(flight));
+    return;
   }
 
   auto flight = std::make_shared<Flight>();
@@ -187,7 +218,9 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
 
   // Publish the result to followers, then retire the flight. Both steps take
   // exactly one lock at a time (flight->mu, then mu_), so no ordering edge
-  // against store locks is created.
+  // against store locks is created. Follower continuations run unlocked,
+  // after the flight has been retired.
+  std::vector<Continuation> waiters;
   {
     MutexLock flock(flight->mu);
     if (fetched.ok()) {
@@ -196,13 +229,16 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
       flight->status = fetched.status();
     }
     flight->done = true;
-    flight->cv.NotifyAll();
+    waiters.swap(flight->waiters);
   }
   {
     MutexLock relock(mu_);
     inflight_.erase(key);
   }
-  return fetched;
+  for (Continuation& w : waiters) {
+    w();
+  }
+  done(fetched);
 }
 
 Result<Buffer> CachingLayer::FetchRemote(ObjectId id, NodeId source, NodeId at,

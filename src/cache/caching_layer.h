@@ -6,6 +6,7 @@
 #ifndef SRC_CACHE_CACHING_LAYER_H_
 #define SRC_CACHE_CACHING_LAYER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -59,7 +60,18 @@ class CachingLayer {
   // same node coalesce onto one fabric transfer and share the resulting
   // Buffer (zero-copy — Buffers alias refcounted storage). Followers inherit
   // the leader's result, including its cache_locally decision.
+  //
+  // A drain-loop shim over GetAsync: blocks the caller (helping drive the
+  // fabric reactor when appropriate) until the result is available.
   Result<Buffer> Get(ObjectId id, NodeId at, bool cache_locally = false);
+
+  // Continuation form of Get — never parks the calling thread waiting on
+  // another reader. Local hits, EC reconstruction, errors, and single-flight
+  // *leader* fetches complete inline (done runs before GetAsync returns);
+  // a single-flight *follower* registers `done` on the flight entry and it
+  // runs on the leader's thread when the shared fetch publishes.
+  void GetAsync(ObjectId id, NodeId at, bool cache_locally,
+                std::function<void(Result<Buffer>)> done);
 
   // Removes all copies and shards.
   Status Delete(ObjectId id);
@@ -138,16 +150,21 @@ class CachingLayer {
       EXCLUDES(mu_);
 
   // One in-flight remote fetch, shared by a leader (who performs it) and any
-  // followers that arrived while it ran. Followers wait on `cv` holding only
-  // `mu` — never the directory lock — so completion cannot deadlock against
-  // store locks or mu_.
+  // followers that arrived while it ran. Followers register a continuation
+  // on `waiters` holding only `mu` — never the directory lock — so
+  // completion cannot deadlock against store locks or mu_. The leader swaps
+  // the list out under `mu` when it publishes and runs it unlocked.
   struct Flight {
     Mutex mu;
-    CondVar cv;
     bool done GUARDED_BY(mu) = false;
     Status status GUARDED_BY(mu);
     Buffer data GUARDED_BY(mu);
+    std::vector<Continuation> waiters GUARDED_BY(mu);
   };
+
+  // Follower's view of a published flight (Buffer shares the leader's
+  // refcounted storage — still zero-copy).
+  static Result<Buffer> FlightResult(const std::shared_ptr<Flight>& flight);
 
   // Performs the remote fetch for Get (store read + fabric transfer +
   // optional local caching). Called without mu_ held.

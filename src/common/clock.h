@@ -37,6 +37,22 @@ class VirtualClock {
     }
   }
 
+  // Accounts `nanos` of modelled time without ever blocking: the realized
+  // share (if any) is the caller's to schedule — the fabric puts it on its
+  // reactor's timer wheel instead of sleeping (see
+  // Fabric::TransferBytesAsync). Returns the realized delay in actual
+  // nanoseconds (0 when pure accounting).
+  int64_t Account(int64_t nanos) {
+    if (nanos <= 0) {
+      return 0;
+    }
+    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    if (realize_fraction_ <= 0.0) {
+      return 0;
+    }
+    return static_cast<int64_t>(static_cast<double>(nanos) * realize_fraction_);
+  }
+
   // Total modelled nanoseconds charged so far.
   int64_t total_nanos() const { return total_nanos_.load(std::memory_order_relaxed); }
 

@@ -2,7 +2,12 @@
 
 namespace skadi {
 
-Fabric::Fabric(std::shared_ptr<Topology> topology) : topology_(std::move(topology)) {}
+Fabric::Fabric(std::shared_ptr<Topology> topology)
+    : topology_(std::move(topology)), reactor_("fabric-reactor") {
+  reactor_.Start(1);
+}
+
+Fabric::~Fabric() { reactor_.Shutdown(); }
 
 Status Fabric::RegisterHandler(NodeId node, const std::string& service, Handler handler) {
   MutexLock lock(mu_);
@@ -30,7 +35,10 @@ void Fabric::Charge(NodeId src, NodeId dst, int64_t bytes, bool is_control) {
   if (is_control) {
     metrics_.GetCounter("fabric.control_messages").Increment();
   }
-  clock_.Charge(topology_->TransferNanos(src, dst, bytes));
+  // Pure accounting — control-plane messages never stall the calling thread
+  // on modelled time (the realized share, if configured, applies to bulk
+  // transfers via the timer wheel, not to RPC metadata).
+  clock_.Account(topology_->TransferNanos(src, dst, bytes));
 }
 
 Result<Buffer> Fabric::Call(NodeId src, NodeId dst, const std::string& service,
@@ -84,11 +92,19 @@ Status Fabric::Send(NodeId src, NodeId dst, const std::string& service, Buffer r
 }
 
 int64_t Fabric::TransferBytes(NodeId src, NodeId dst, int64_t bytes) {
+  return TransferBytesAsync(src, dst, bytes, Continuation());
+}
+
+int64_t Fabric::TransferBytesAsync(NodeId src, NodeId dst, int64_t bytes,
+                                   Continuation done) {
   {
     MutexLock lock(mu_);
     // A transfer from/to a dead node silently accounts nothing; callers check
     // liveness before initiating transfers, this is a backstop.
     if (dead_nodes_.count(src) > 0 || dead_nodes_.count(dst) > 0) {
+      if (done) {
+        done();
+      }
       return 0;
     }
   }
@@ -98,7 +114,15 @@ int64_t Fabric::TransferBytes(NodeId src, NodeId dst, int64_t bytes) {
   metrics_.GetCounter("fabric.data_transfers").Increment();
   metrics_.GetCounter("fabric.data_bytes").Add(bytes);
   int64_t nanos = topology_->TransferNanos(src, dst, bytes);
-  clock_.Charge(nanos);
+  // What used to be VirtualClock::RealizeDelay (a spin/sleep on this thread)
+  // is now a timer-wheel completion: the realized share of the modelled
+  // transfer time delays `done`, not the caller.
+  const int64_t realized = clock_.Account(nanos);
+  if (done) {
+    if (realized <= 0 || reactor_.ScheduleAfter(realized, done) == 0) {
+      done();
+    }
+  }
   return nanos;
 }
 

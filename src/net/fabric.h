@@ -28,6 +28,7 @@
 #include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/hw/topology.h"
+#include "src/net/reactor.h"
 
 namespace skadi {
 
@@ -36,10 +37,17 @@ class Fabric {
   using Handler = std::function<Result<Buffer>(const Buffer& request)>;
 
   explicit Fabric(std::shared_ptr<Topology> topology);
+  ~Fabric();
 
   Topology& topology() { return *topology_; }
   VirtualClock& clock() { return clock_; }
   MetricsRegistry& metrics() { return metrics_; }
+
+  // The cluster's control-plane event loop: ownership-readiness
+  // continuations, single-flight completions, Get timeouts, and modelled
+  // fabric delays all resolve here instead of parking OS threads. One driver
+  // thread is started at construction; Grow/Shrink adjust it.
+  Reactor& reactor() { return reactor_; }
 
   // Fraction of modelled time realized as actual delay (see VirtualClock).
   void set_realize_fraction(double fraction) { clock_.set_realize_fraction(fraction); }
@@ -59,8 +67,17 @@ class Fabric {
 
   // Bulk data-plane transfer accounting (no handler involved): charges the
   // modelled time for `bytes` between the two nodes and counts it. Returns
-  // the charged nanoseconds.
+  // the charged nanoseconds. Never blocks: when a realize fraction is
+  // configured, the realized delay lands on the reactor's timer wheel (see
+  // TransferBytesAsync) instead of stalling the calling thread.
   int64_t TransferBytes(NodeId src, NodeId dst, int64_t bytes);
+
+  // TransferBytes with a completion continuation: `done` runs after the
+  // realized share of the modelled transfer time has elapsed on the timer
+  // wheel — inline, before returning, when the realized delay is zero (the
+  // default config), so the hot path never touches the reactor. Returns the
+  // charged modelled nanoseconds.
+  int64_t TransferBytesAsync(NodeId src, NodeId dst, int64_t bytes, Continuation done);
 
   // Failure injection: a dead node rejects calls and sends.
   void MarkDead(NodeId node);
@@ -83,6 +100,7 @@ class Fabric {
   std::shared_ptr<Topology> topology_;
   VirtualClock clock_;
   MetricsRegistry metrics_;
+  Reactor reactor_;
 
   mutable Mutex mu_;
   // (node, service) -> handler

@@ -1,0 +1,219 @@
+// skadi::net::Reactor — the event-driven control-plane core.
+//
+// One Reactor multiplexes an arbitrary number of logical waits over a small,
+// bounded set of driver threads:
+//
+//   * a FIFO ready-queue of continuations (Post),
+//   * a hashed timer wheel (ScheduleAfter / Cancel / Rearm) for delayed
+//     completions — modelled fabric delays, Get timeouts, recovery backoff,
+//   * one-shot Event completion tokens that a waiter registers a continuation
+//     on instead of parking an OS thread.
+//
+// Blocking is confined to the boundary: Reactor::RunOne (a driver's blocking
+// dequeue) and Event::BlockingWait / Reactor::BlockOn (the compatibility shim
+// under the blocking public APIs). Everything between — readiness pushes,
+// timer completions, continuation hops — is non-blocking, which is what lets
+// one node carry 100k+ outstanding futures (see bench/bench_reactor.cc).
+//
+// Continuation lifetime rules (DESIGN.md §11):
+//   * a continuation runs at most once, and never with a reactor or event
+//     lock held;
+//   * continuations own their state via captured shared_ptrs — the reactor
+//     only owns the std::function until it runs or is dropped;
+//   * Shutdown drains the ready-queue (queued work runs) but drops pending
+//     timers; ~Event drops registered continuations without running them.
+//
+// Lock-order position: Reactor::mu_ and Event::mu_ are terminal. No other
+// skadi lock is ever acquired while they are held (continuations and timer
+// bodies run unlocked), so Post/ScheduleAfter/Event::Set are safe to call
+// while holding any subsystem lock.
+#ifndef SRC_NET_REACTOR_H_
+#define SRC_NET_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/mutex.h"
+
+namespace skadi {
+namespace net {
+
+// A unit of deferred work. Continuations must not block the driver thread;
+// blocking boundary shims go through BlockOn, which knows how to keep the
+// loop moving when the caller *is* a driver.
+using Continuation = std::function<void()>;
+
+// Handle for a scheduled timer. 0 is never a valid id.
+using TimerId = uint64_t;
+
+class Reactor;
+
+// One-shot completion token. A waiter registers continuations with OnSet
+// instead of blocking; Set fires them exactly once. BlockingWait is the
+// thread-parking shim for the legacy blocking API shape.
+//
+// Thread-safe. Destroying an Event with unfired continuations drops them
+// without running them (the destruction-while-pending rule): shims must own
+// the Event via shared_ptr captured by every continuation that touches it.
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // Registers `fn` to run when the event fires. If the event is already set,
+  // `fn` runs inline before OnSet returns. Continuations run on whichever
+  // thread calls Set (callers wanting a specific executor post from `fn`).
+  void OnSet(Continuation fn);
+
+  // Fires the event: runs registered continuations (inline, unlocked) and
+  // wakes BlockingWait callers. Idempotent — later calls are no-ops, so
+  // continuations run at most once.
+  void Set();
+
+  bool is_set() const { return set_.load(std::memory_order_acquire); }
+
+  // Parks the calling thread until the event fires or `deadline_nanos`
+  // (NowNanos scale; < 0 = wait forever) passes. Returns is_set().
+  // Prefer Reactor::BlockOn, which drives the loop instead of parking when
+  // the caller is a driver (or no driver exists).
+  bool BlockingWait(int64_t deadline_nanos = -1);
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::atomic<bool> set_{false};
+  std::vector<Continuation> waiters_ GUARDED_BY(mu_);
+};
+
+// The event loop: ready-queue + hashed timer wheel + driver thread pool.
+class Reactor {
+ public:
+  struct Options {
+    // Timer wheel granularity. Due timers fire on the next tick boundary, so
+    // this bounds timer precision; the ready-queue is tick-free.
+    int64_t tick_nanos = 1'000'000;  // 1 ms
+    // Wheel slots; deadlines hash to slot (deadline / tick) % slots and far
+    // deadlines are revisited (cheaply) once per rotation.
+    size_t slots = 256;
+  };
+
+  explicit Reactor(const char* name = "reactor");
+  Reactor(const char* name, Options options);
+  ~Reactor();  // Shutdown()
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // --- submission (non-blocking; safe under any subsystem lock) ---
+
+  // Enqueues `fn` for a driver. Returns false (dropping fn) after Shutdown.
+  bool Post(Continuation fn);
+
+  // Runs `fn` once `delay_nanos` have elapsed (never sooner than the next
+  // tick). Returns the timer's id for Cancel/Rearm; 0 after Shutdown.
+  TimerId ScheduleAfter(int64_t delay_nanos, Continuation fn);
+
+  // Cancels a pending timer. True iff the timer existed and had not fired
+  // (its continuation will never run).
+  bool Cancel(TimerId id);
+
+  // Re-arms a pending timer to `delay_nanos` from now (the lost-object
+  // backoff pattern). True iff the timer existed and had not fired.
+  bool Rearm(TimerId id, int64_t delay_nanos);
+
+  // --- driver threads ---
+
+  // Spawns `n` driver threads running Run().
+  void Start(size_t n);
+  void Grow(size_t n) { Start(n); }
+  // Asks `n` drivers to retire after their current item (never below one
+  // running driver). Retired threads are joined at Shutdown; num_threads()
+  // reflects the logical size immediately.
+  void Shrink(size_t n);
+  size_t num_threads() const { return num_threads_.load(std::memory_order_relaxed); }
+
+  // --- driving (the blocking boundary) ---
+
+  // Runs queued continuations and due timers until Shutdown; honors Shrink.
+  void Run();
+
+  // Runs exactly one continuation (posted or due timer), blocking while the
+  // reactor is idle. Returns false once the reactor is shut down and the
+  // ready-queue is drained. This is the worker-dequeue primitive (the role
+  // BlockingQueue::Pop played in the thread-per-task raylet).
+  bool RunOne();
+
+  // Non-blocking: runs everything currently ready or due, returns the count.
+  size_t PollOnce();
+
+  // Blocks until `event` fires or `deadline_nanos` (< 0 = forever) passes;
+  // returns event.is_set(). The drain-loop shim: when the calling thread is
+  // one of this reactor's drivers — or the reactor has no drivers at all —
+  // the caller drives the loop itself while it waits, so blocking public
+  // APIs keep working with no dedicated reactor thread and a driver-thread
+  // continuation may block on work the same reactor must complete.
+  bool BlockOn(Event& event, int64_t deadline_nanos = -1);
+
+  // --- introspection ---
+
+  size_t ready_count() const;
+  size_t pending_timers() const;
+
+  // Stops accepting work, drains the ready-queue, drops pending timers,
+  // joins drivers. Idempotent.
+  void Shutdown();
+
+ private:
+  struct TimerEntry {
+    int64_t deadline;
+    uint64_t gen;  // bumped by Rearm; stale wheel slots are skipped
+    Continuation fn;
+  };
+  enum class WaitResult { kRan, kTimedOut, kStopped };
+
+  // Runs one item, waiting no later than `wait_deadline_nanos` (< 0 = no
+  // bound) for work to appear.
+  WaitResult RunOneBounded(int64_t wait_deadline_nanos);
+  // Moves due-timer continuations onto the ready queue. Returns the wake-up
+  // deadline for the next pending tick (INT64_MAX if no timers).
+  int64_t AdvanceTimersLocked(int64_t now) REQUIRES(mu_);
+  bool ShouldRetire();
+  void InsertTimerLocked(TimerId id, uint64_t gen, int64_t deadline,
+                         Continuation fn) REQUIRES(mu_);
+
+  const char* name_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  std::deque<Continuation> ready_ GUARDED_BY(mu_);
+  std::vector<std::vector<std::pair<TimerId, uint64_t>>> wheel_ GUARDED_BY(mu_);
+  std::unordered_map<TimerId, TimerEntry> timers_ GUARDED_BY(mu_);
+  int64_t last_tick_ GUARDED_BY(mu_);
+  TimerId next_timer_id_ GUARDED_BY(mu_) = 1;
+
+  Mutex threads_mu_;
+  std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
+  std::atomic<size_t> num_threads_{0};
+  std::atomic<size_t> retire_requests_{0};
+};
+
+}  // namespace net
+
+// The rest of the tree uses the flat skadi:: spelling.
+using net::Continuation;
+using net::Event;
+using net::Reactor;
+using net::TimerId;
+
+}  // namespace skadi
+
+#endif  // SRC_NET_REACTOR_H_

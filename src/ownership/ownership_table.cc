@@ -1,8 +1,30 @@
 #include "src/ownership/ownership_table.h"
 
-#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "src/common/clock.h"
 
 namespace skadi {
+
+std::vector<Continuation> OwnershipTable::TakeWatchersLocked(ObjectId id) const {
+  std::vector<Continuation> out;
+  auto it = watchers_.find(id);
+  if (it != watchers_.end()) {
+    out = std::move(it->second);
+    watchers_.erase(it);
+  }
+  return out;
+}
+
+void OwnershipTable::FireWatchers(std::vector<Continuation> watchers) const {
+  for (Continuation& w : watchers) {
+    if (reactor_ != nullptr && reactor_->Post(w)) {
+      continue;  // copy posted; a stopped reactor falls through to inline
+    }
+    w();
+  }
+}
 
 Status OwnershipTable::RegisterObject(ObjectId id, TaskId produced_by) {
   MutexLock lock(mu_);
@@ -21,6 +43,7 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     ObjectId id, NodeId location, int64_t size_bytes, DeviceId device,
     uint64_t device_handle) {
   std::vector<ConsumerRegistration> consumers;
+  std::vector<Continuation> watchers;
   {
     MutexLock lock(mu_);
     auto it = records_.find(id);
@@ -35,8 +58,9 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     record.device = device;
     record.device_handle = device_handle;
     consumers.swap(record.pending_consumers);
+    watchers = TakeWatchersLocked(id);
   }
-  cv_.NotifyAll();
+  FireWatchers(std::move(watchers));
   return consumers;
 }
 
@@ -52,6 +76,7 @@ Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
 
 std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
   std::vector<ObjectId> lost;
+  std::vector<Continuation> watchers;
   {
     MutexLock lock(mu_);
     for (auto& [id, record] : records_) {
@@ -59,16 +84,19 @@ std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
           record.state == ObjectState::kReady) {
         record.state = ObjectState::kLost;
         lost.push_back(id);
+        auto taken = TakeWatchersLocked(id);
+        watchers.insert(watchers.end(),
+                        std::make_move_iterator(taken.begin()),
+                        std::make_move_iterator(taken.end()));
       }
     }
   }
-  if (!lost.empty()) {
-    cv_.NotifyAll();
-  }
+  FireWatchers(std::move(watchers));
   return lost;
 }
 
 Status OwnershipTable::MarkLost(ObjectId id) {
+  std::vector<Continuation> watchers;
   {
     MutexLock lock(mu_);
     auto it = records_.find(id);
@@ -77,8 +105,9 @@ Status OwnershipTable::MarkLost(ObjectId id) {
     }
     it->second.state = ObjectState::kLost;
     it->second.locations.clear();
+    watchers = TakeWatchersLocked(id);
   }
-  cv_.NotifyAll();
+  FireWatchers(std::move(watchers));
   return Status::Ok();
 }
 
@@ -129,24 +158,40 @@ Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const 
   return reply;
 }
 
+Result<ObjectState> OwnershipTable::StateOrWatch(ObjectId id,
+                                                 Continuation watcher) const {
+  MutexLock lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + id.ToString() + " was released while waiting");
+  }
+  if (it->second.state == ObjectState::kPending) {
+    watchers_[id].push_back(std::move(watcher));
+  }
+  return it->second.state;
+}
+
 Result<ObjectState> OwnershipTable::WaitReady(ObjectId id, int64_t timeout_ms) const {
   const bool bounded = timeout_ms > 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-  MutexLock lock(mu_);
+  const int64_t deadline_nanos = NowNanos() + timeout_ms * 1'000'000;
   for (;;) {
-    auto it = records_.find(id);
-    if (it == records_.end()) {
-      return Status::NotFound("object " + id.ToString() + " was released while waiting");
+    // The Event is shared with the watcher so a Set that fires after this
+    // frame timed out and left lands on live storage.
+    auto ev = std::make_shared<Event>();
+    Result<ObjectState> state = StateOrWatch(id, [ev] { ev->Set(); });
+    if (!state.ok()) {
+      return state.status();
     }
-    if (it->second.state != ObjectState::kPending) {
-      return it->second.state;
+    if (*state != ObjectState::kPending) {
+      return *state;
     }
-    if (!bounded) {
-      cv_.Wait(lock);
-    } else if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+    const int64_t limit = bounded ? deadline_nanos : -1;
+    const bool fired = reactor_ != nullptr ? reactor_->BlockOn(*ev, limit)
+                                           : ev->BlockingWait(limit);
+    if (!fired && bounded) {
       // Final re-check: the state may have flipped right at the deadline.
-      it = records_.find(id);
+      MutexLock lock(mu_);
+      auto it = records_.find(id);
       if (it == records_.end()) {
         return Status::NotFound("object " + id.ToString() +
                                 " was released while waiting");
@@ -188,8 +233,9 @@ Result<bool> OwnershipTable::DecRef(ObjectId id) {
   }
   if (--it->second.ref_count <= 0) {
     records_.erase(it);
+    std::vector<Continuation> watchers = TakeWatchersLocked(id);
     lock.Unlock();
-    cv_.NotifyAll();
+    FireWatchers(std::move(watchers));
     return true;
   }
   return false;

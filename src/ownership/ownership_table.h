@@ -21,6 +21,7 @@
 #include "src/common/id.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/net/reactor.h"
 #include "src/ownership/object_ref.h"
 
 namespace skadi {
@@ -64,6 +65,11 @@ class OwnershipTable {
 
   NodeId owner() const { return owner_; }
 
+  // Wires the reactor that ownership-readiness continuations are posted to.
+  // Unset (standalone tables in unit tests), watchers run inline on the
+  // thread that flips the state. Wire before concurrent use; not synchronized.
+  void set_reactor(Reactor* reactor) { reactor_ = reactor; }
+
   // Creates a pending record (called at task submission for each return).
   Status RegisterObject(ObjectId id, TaskId produced_by);
 
@@ -102,9 +108,19 @@ class OwnershipTable {
   };
   Result<ResolveReply> Resolve(ObjectId id) const;
 
+  // Non-blocking probe + watch: returns the current state, and — only when
+  // that state is kPending — registers `watcher` to fire once the object
+  // next leaves kPending (ready, lost, or released; re-probe to learn
+  // which). For any other state the watcher is dropped unrun. Watchers fire
+  // at most once, on the wiring reactor if set, else inline on the thread
+  // that flipped the state. This is the continuation-based replacement for
+  // parking a thread in WaitReady.
+  Result<ObjectState> StateOrWatch(ObjectId id, Continuation watcher) const;
+
   // Blocks until the object leaves kPending (ready or lost). Returns the
   // final state; kDeadlineExceeded if `timeout_ms` elapses first (0 = wait
-  // forever).
+  // forever). A drain-loop shim over StateOrWatch: with a reactor wired the
+  // calling thread helps drive it while waiting.
   Result<ObjectState> WaitReady(ObjectId id, int64_t timeout_ms = 0) const;
 
   // Lineage lookup for recovery.
@@ -121,10 +137,20 @@ class OwnershipTable {
   std::vector<ObjectId> ObjectsInState(ObjectState state) const;
 
  private:
+  // Detaches the watchers registered for `id`, if any.
+  std::vector<Continuation> TakeWatchersLocked(ObjectId id) const REQUIRES(mu_);
+  // Runs detached watchers: posted to the wired reactor, inline otherwise.
+  // Never called with mu_ held.
+  void FireWatchers(std::vector<Continuation> watchers) const;
+
   NodeId owner_;
+  Reactor* reactor_ = nullptr;
   mutable Mutex mu_;
-  mutable CondVar cv_;
   std::unordered_map<ObjectId, OwnershipRecord> records_ GUARDED_BY(mu_);
+  // Watch continuations, keyed by object; entries exist only while the
+  // object is kPending (side map so const probes can register watchers).
+  mutable std::unordered_map<ObjectId, std::vector<Continuation>> watchers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace skadi

@@ -12,7 +12,9 @@ Raylet::Raylet(const ClusterNode& node, FunctionRegistry* registry, VirtualClock
       registry_(registry),
       clock_(clock),
       callbacks_(std::move(callbacks)),
-      pool_(static_cast<size_t>(num_workers > 0 ? num_workers : 1)) {}
+      workers_("raylet-workers") {
+  workers_.Start(static_cast<size_t>(num_workers > 0 ? num_workers : 1));
+}
 
 Raylet::~Raylet() { Shutdown(); }
 
@@ -20,7 +22,7 @@ Status Raylet::Enqueue(TaskSpec spec) {
   if (dead_.load()) {
     return Status::Unavailable("raylet on " + node_.id.ToString() + " is dead");
   }
-  bool accepted = pool_.Submit([this, spec = std::move(spec)]() mutable {
+  bool accepted = workers_.Post([this, spec = std::move(spec)]() mutable {
     RunTask(std::move(spec));
   });
   if (!accepted) {
@@ -169,6 +171,6 @@ void Raylet::Kill() {
   // drain through RunTask and fail fast.
 }
 
-void Raylet::Shutdown() { pool_.Shutdown(); }
+void Raylet::Shutdown() { workers_.Shutdown(); }
 
 }  // namespace skadi

@@ -16,8 +16,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/mutex.h"
-#include "src/common/thread_pool.h"
 #include "src/hw/cost_model.h"
+#include "src/net/reactor.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/task.h"
 
@@ -69,10 +69,10 @@ class Raylet {
   Status CreateActor(ActorId actor, std::shared_ptr<void> initial_state);
   bool HasActor(ActorId actor) const;
 
-  size_t queue_depth() const { return pool_.queue_depth(); }
-  size_t num_workers() const { return pool_.num_threads(); }
-  void GrowWorkers(size_t n) { pool_.Grow(n); }
-  void ShrinkWorkers(size_t n) { pool_.Shrink(n); }
+  size_t queue_depth() const { return workers_.ready_count(); }
+  size_t num_workers() const { return workers_.num_threads(); }
+  void GrowWorkers(size_t n) { workers_.Grow(n); }
+  void ShrinkWorkers(size_t n) { workers_.Shrink(n); }
 
   int64_t tasks_executed() const { return tasks_executed_.load(); }
 
@@ -92,7 +92,10 @@ class Raylet {
   FunctionRegistry* registry_;
   VirtualClock* clock_;
   Callbacks callbacks_;
-  ThreadPool pool_;
+  // Worker pool as a reactor: task readiness is the ready-queue (what used
+  // to be a BlockingQueue::Pop per worker), so the same drivers also run
+  // any continuations posted to this raylet.
+  Reactor workers_;
   std::atomic<bool> dead_{false};
   std::atomic<int64_t> tasks_executed_{0};
 

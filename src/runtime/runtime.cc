@@ -1,12 +1,162 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
+#include <atomic>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/net/reactor.h"
 
 namespace skadi {
+
+// Resolves one future as a chain of continuations on the fabric reactor.
+//
+// Lifecycle: heap-allocated via shared_ptr; every registered continuation
+// (ownership watcher, retry timer, deadline timer, cache fetch callback)
+// captures the shared_ptr, so the op outlives any late firing. `done` runs
+// exactly once (finished_ gate); the deadline timer is cancelled on early
+// completion so a resolved op does not linger on the wheel for the full
+// timeout.
+//
+// Threading: Steps form a single chain — each state arms exactly one
+// wake-up (watcher while pending, timer while lost) and the next Step runs
+// when it fires, so backoff_nanos_/lost_rounds_ need no lock. Only the
+// deadline timer runs concurrently with the chain, and it touches nothing
+// but the atomics.
+struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
+  // kDriverGet fetches to the head node and charges the driver->owner
+  // control hop; kArgResolve fetches to the consuming node and caps lost
+  // retries at 64 rounds (the old ResolveArg loop bound).
+  enum class Mode { kDriverGet, kArgResolve };
+
+  static constexpr TimerId kTimerDone = ~TimerId{0};
+
+  GetOp(SkadiRuntime* rt, Mode mode, ObjectRef ref, NodeId dest,
+        int64_t timeout_ms, std::function<void(Result<Buffer>)> done)
+      : rt_(rt),
+        mode_(mode),
+        ref_(ref),
+        dest_(dest),
+        timeout_ms_(timeout_ms),
+        deadline_nanos_(NowNanos() + timeout_ms * 1'000'000),
+        done_(std::move(done)) {}
+
+  Reactor& reactor() { return rt_->cluster_->fabric().reactor(); }
+
+  void Start() {
+    auto self = shared_from_this();
+    TimerId t = reactor().ScheduleAfter(
+        std::max<int64_t>(deadline_nanos_ - NowNanos(), 0),
+        [self] { self->OnDeadline(); });
+    if (t != 0) {
+      TimerId expected = 0;
+      if (!deadline_timer_.compare_exchange_strong(expected, t)) {
+        reactor().Cancel(t);  // finished before the timer id landed
+      }
+    }
+    // A stopped reactor (cluster tear-down race) returns t == 0: no deadline
+    // timer, but Step's inline deadline check plus the caller's bounded
+    // BlockOn still guarantee termination.
+    Step();
+  }
+
+  void Step() {
+    for (;;) {
+      if (finished_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (NowNanos() >= deadline_nanos_) {
+        OnDeadline();
+        return;
+      }
+      auto self = shared_from_this();
+      Result<ObjectState> state =
+          rt_->ownership(ref_.owner).StateOrWatch(ref_.id, [self] { self->Step(); });
+      if (!state.ok()) {
+        Finish(state.status());
+        return;
+      }
+      switch (*state) {
+        case ObjectState::kPending:
+          return;  // watcher armed; MarkReady/MarkLost/DecRef re-enters Step
+        case ObjectState::kReady:
+          Fetch();
+          return;
+        case ObjectState::kLost: {
+          if (rt_->options_.recovery == RecoveryMode::kNone) {
+            if (mode_ == Mode::kArgResolve) {
+              Finish(Status::DataLoss("argument " + ref_.ToString() + " of task " +
+                                      task_.ToString() +
+                                      " lost with recovery disabled"));
+            } else {
+              Finish(Status::DataLoss("object " + ref_.ToString() + " lost"));
+            }
+            return;
+          }
+          if (mode_ == Mode::kArgResolve && ++lost_rounds_ >= 64) {
+            Finish(Status::DataLoss("argument " + ref_.ToString() + " unrecoverable"));
+            return;
+          }
+          // Lineage recovery re-arms the object to pending; retry on a wheel
+          // timer with capped exponential backoff (was a sleep_for loop).
+          const int64_t delay = backoff_nanos_;
+          backoff_nanos_ = std::min<int64_t>(backoff_nanos_ * 2, 16'000'000);
+          if (reactor().ScheduleAfter(delay, [self] { self->Step(); }) != 0) {
+            return;
+          }
+          continue;  // reactor stopped: re-probe inline, bounded by deadline
+        }
+      }
+      return;
+    }
+  }
+
+  void Fetch() {
+    if (mode_ == Mode::kDriverGet && ref_.owner != rt_->head()) {
+      rt_->ControlMessage(rt_->head(), ref_.owner);
+    }
+    auto self = shared_from_this();
+    rt_->cluster_->cache().GetAsync(
+        ref_.id, dest_, /*cache_locally=*/false,
+        [self](Result<Buffer> fetched) { self->Finish(std::move(fetched)); });
+  }
+
+  void OnDeadline() {
+    if (mode_ == Mode::kArgResolve) {
+      // Message shape matches OwnershipTable::WaitReady's bounded-wait error,
+      // which the old per-round loop surfaced.
+      Finish(Status::DeadlineExceeded("object " + ref_.id.ToString() +
+                                      " still pending after " +
+                                      std::to_string(timeout_ms_) + "ms"));
+    } else {
+      Finish(Status::DeadlineExceeded("Get(" + ref_.ToString() + ") timed out"));
+    }
+  }
+
+  void Finish(Result<Buffer> result) {
+    if (finished_.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    TimerId t = deadline_timer_.exchange(kTimerDone);
+    if (t != 0 && t != kTimerDone) {
+      reactor().Cancel(t);
+    }
+    done_(std::move(result));
+  }
+
+  SkadiRuntime* rt_;
+  const Mode mode_;
+  const ObjectRef ref_;
+  TaskId task_;  // arg mode: consumer task, for error messages
+  const NodeId dest_;
+  const int64_t timeout_ms_;
+  const int64_t deadline_nanos_;
+  std::function<void(Result<Buffer>)> done_;
+  std::atomic<bool> finished_{false};
+  std::atomic<TimerId> deadline_timer_{0};
+  int lost_rounds_ = 0;
+  int64_t backoff_nanos_ = 1'000'000;  // 1ms doubling to a 16ms cap
+};
 
 SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
                            RuntimeOptions options)
@@ -22,6 +172,9 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
         });
     SKADI_CHECK(ctrl_registered.ok()) << ctrl_registered.ToString();
     ownership_[node.id] = std::make_unique<OwnershipTable>(node.id);
+    // Ownership watchers (GetOp chains, WaitReady wake-ups) run on the
+    // fabric reactor instead of the state-flipping thread.
+    ownership_[node.id]->set_reactor(&cluster_->fabric().reactor());
     if (!node.is_compute()) {
       continue;
     }
@@ -249,31 +402,34 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
   }
 
   // Pull protocol: a costed control round trip to the owner's ownership
-  // table, then an on-demand data transfer.
+  // table, then an on-demand data transfer. The wait itself is an arg-mode
+  // GetOp on the fabric reactor (lost objects retry on a wheel timer, not a
+  // sleep loop); this worker thread parks on the completion Event.
   ControlMessage(at, ref.owner);
   metrics().GetCounter("runtime.pull_resolutions").Increment();
-  OwnershipTable& table = ownership(ref.owner);
-  int64_t deadline_ms = options_.default_get_timeout_ms;
-  std::chrono::milliseconds backoff(1);
-  for (int round = 0; round < 64; ++round) {
-    auto state = table.WaitReady(ref.id, deadline_ms);
-    if (!state.ok()) {
-      return state.status();
-    }
-    if (*state == ObjectState::kReady) {
-      return cluster_->cache().Get(ref.id, at);
-    }
-    // kLost: lineage recovery (if enabled) re-arms the object to pending.
-    // Capped exponential backoff: early retries catch a fast re-execution,
-    // later ones stop hammering the ownership table while lineage replays.
-    if (options_.recovery == RecoveryMode::kNone) {
-      return Status::DataLoss("argument " + ref.ToString() + " of task " +
-                              spec.id.ToString() + " lost with recovery disabled");
-    }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(16));
+
+  const int64_t timeout_ms = options_.default_get_timeout_ms;
+  auto ev = std::make_shared<Event>();
+  auto result = std::make_shared<Result<Buffer>>(
+      Status::Internal("argument resolution never completed"));
+  auto op = std::make_shared<GetOp>(
+      this, GetOp::Mode::kArgResolve, ref, at, timeout_ms,
+      [ev, result](Result<Buffer> r) {
+        *result = std::move(r);
+        ev->Set();
+      });
+  op->task_ = spec.id;
+  op->Start();
+  // Belt-and-suspenders bound: GetOp's deadline timer fires first in every
+  // non-shutdown schedule; the slack covers a stopped reactor.
+  cluster_->fabric().reactor().BlockOn(
+      *ev, NowNanos() + (timeout_ms + 100) * 1'000'000);
+  if (!ev->is_set()) {
+    return Status::DeadlineExceeded("object " + ref.id.ToString() +
+                                    " still pending after " +
+                                    std::to_string(timeout_ms) + "ms");
   }
-  return Status::DataLoss("argument " + ref.ToString() + " unrecoverable");
+  return std::move(*result);
 }
 
 bool SkadiRuntime::PinArg(const ObjectRef& ref, NodeId at) {
@@ -370,32 +526,33 @@ Result<Buffer> SkadiRuntime::Get(const ObjectRef& ref, int64_t timeout_ms) {
   if (timeout_ms < 0) {
     timeout_ms = options_.default_get_timeout_ms;
   }
-  NodeId head = cluster_->head();
-  OwnershipTable& table = ownership(ref.owner);
-  const int64_t deadline = NowNanos() + timeout_ms * 1000000;
-  std::chrono::milliseconds backoff(1);
-  while (true) {
-    int64_t remaining_ms = (deadline - NowNanos()) / 1000000;
-    if (remaining_ms <= 0) {
-      return Status::DeadlineExceeded("Get(" + ref.ToString() + ") timed out");
-    }
-    auto state = table.WaitReady(ref.id, remaining_ms);
-    if (!state.ok()) {
-      return state.status();
-    }
-    if (*state == ObjectState::kReady) {
-      if (ref.owner != head) {
-        ControlMessage(head, ref.owner);
-      }
-      return cluster_->cache().Get(ref.id, head);
-    }
-    if (options_.recovery == RecoveryMode::kNone) {
-      return Status::DataLoss("object " + ref.ToString() + " lost");
-    }
-    // Lost-object retry with capped exponential backoff (see ResolveArg).
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(16));
+  auto ev = std::make_shared<Event>();
+  auto result =
+      std::make_shared<Result<Buffer>>(Status::Internal("Get never completed"));
+  GetAsync(ref,
+           [ev, result](Result<Buffer> r) {
+             *result = std::move(r);
+             ev->Set();
+           },
+           timeout_ms);
+  // See ResolveArg for the bounded-BlockOn rationale.
+  cluster_->fabric().reactor().BlockOn(*ev,
+                                       NowNanos() + (timeout_ms + 100) * 1'000'000);
+  if (!ev->is_set()) {
+    return Status::DeadlineExceeded("Get(" + ref.ToString() + ") timed out");
   }
+  return std::move(*result);
+}
+
+void SkadiRuntime::GetAsync(const ObjectRef& ref,
+                            std::function<void(Result<Buffer>)> done,
+                            int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = options_.default_get_timeout_ms;
+  }
+  auto op = std::make_shared<GetOp>(this, GetOp::Mode::kDriverGet, ref,
+                                    cluster_->head(), timeout_ms, std::move(done));
+  op->Start();
 }
 
 Status SkadiRuntime::Wait(const std::vector<ObjectRef>& refs, int64_t timeout_ms) {

@@ -16,6 +16,7 @@
 #ifndef SRC_RUNTIME_RUNTIME_H_
 #define SRC_RUNTIME_RUNTIME_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -68,7 +69,18 @@ class SkadiRuntime {
   Result<ObjectRef> PutAt(Buffer value, NodeId node);
 
   // Blocks until the future resolves; fetches the value to the head node.
+  // A drain-loop shim over GetAsync: parks on an Event (helping drive the
+  // fabric reactor when called from one of its driver threads).
   Result<Buffer> Get(const ObjectRef& ref, int64_t timeout_ms = -1);
+
+  // Continuation form of Get: never parks the calling thread. `done` runs
+  // inline when the future is already resolved (or fails fast), otherwise on
+  // the fabric reactor when the owner flips the object's state. Lost objects
+  // under lineage recovery re-arm a reactor timer (capped exponential
+  // backoff) instead of sleeping. Requires a live cluster; timeout_ms < 0
+  // means options().default_get_timeout_ms.
+  void GetAsync(const ObjectRef& ref, std::function<void(Result<Buffer>)> done,
+                int64_t timeout_ms = -1);
 
   // Blocks until all futures leave the pending state.
   Status Wait(const std::vector<ObjectRef>& refs, int64_t timeout_ms = -1);
@@ -106,6 +118,12 @@ class SkadiRuntime {
   void Shutdown();
 
  private:
+  // Continuation state machine behind GetAsync/Get/ResolveArg: watches the
+  // owner's table via StateOrWatch, retries lost objects on a reactor timer,
+  // and fetches through CachingLayer::GetAsync once ready. Defined in
+  // runtime.cc.
+  struct GetOp;
+
   // One costed control message along the (generation-dependent) path from
   // `from` to `to`; returns the number of hops charged.
   int ControlMessage(NodeId from, NodeId to, int64_t payload_bytes = 64);

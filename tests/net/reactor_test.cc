@@ -1,0 +1,329 @@
+#include "src/net/reactor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace skadi {
+namespace {
+
+constexpr int64_t kMs = 1'000'000;
+
+// Drives `r` (no driver threads) until `pred` holds or `timeout` passes.
+template <typename Pred>
+bool DrainUntil(Reactor& r, Pred pred, int64_t timeout_nanos = 5'000 * kMs) {
+  const int64_t deadline = NowNanos() + timeout_nanos;
+  while (!pred()) {
+    if (NowNanos() >= deadline) {
+      return false;
+    }
+    r.PollOnce();
+  }
+  return true;
+}
+
+TEST(EventTest, OnSetAfterSetRunsInline) {
+  Event ev;
+  ev.Set();
+  bool ran = false;
+  ev.OnSet([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventTest, SetIsIdempotentAndContinuationsRunOnce) {
+  Event ev;
+  int runs = 0;
+  ev.OnSet([&] { ++runs; });
+  ev.Set();
+  ev.Set();
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(EventTest, DestructionWhilePendingDropsContinuations) {
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  {
+    Event ev;
+    ev.OnSet([counter] { counter->fetch_add(1); });
+    // ev destroyed without Set: the continuation must be dropped, not run.
+  }
+  EXPECT_EQ(counter->load(), 0);
+  // The shared_ptr capture was released with it.
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(EventTest, BlockingWaitCrossThreadWakeup) {
+  Event ev;
+  std::thread setter([&] { ev.Set(); });
+  EXPECT_TRUE(ev.BlockingWait());
+  setter.join();
+}
+
+TEST(EventTest, BlockingWaitDeadline) {
+  Event ev;
+  EXPECT_FALSE(ev.BlockingWait(NowNanos() + 20 * kMs));
+}
+
+TEST(ReactorTest, PostRunsInFifoOrder) {
+  Reactor r("test");
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    r.Post([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(r.ready_count(), 8u);
+  EXPECT_EQ(r.PollOnce(), 8u);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ReactorTest, TimersFireInDeadlineOrder) {
+  Reactor r("test");
+  std::vector<int> order;
+  // Schedule out of order; both land within one wheel rotation.
+  r.ScheduleAfter(30 * kMs, [&] { order.push_back(3); });
+  r.ScheduleAfter(10 * kMs, [&] { order.push_back(1); });
+  r.ScheduleAfter(20 * kMs, [&] { order.push_back(2); });
+  EXPECT_EQ(r.pending_timers(), 3u);
+  ASSERT_TRUE(DrainUntil(r, [&] { return order.size() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(r.pending_timers(), 0u);
+}
+
+TEST(ReactorTest, FarTimerBeyondOneRotationStillFires) {
+  // 4 slots x 1ms tick = 4ms rotation; a 40ms timer wraps ten times.
+  Reactor::Options opt;
+  opt.slots = 4;
+  Reactor r("test", opt);
+  std::atomic<bool> fired{false};
+  const int64_t start = NowNanos();
+  r.ScheduleAfter(40 * kMs, [&] { fired = true; });
+  ASSERT_TRUE(DrainUntil(r, [&] { return fired.load(); }));
+  EXPECT_GE(NowNanos() - start, 40 * kMs);
+}
+
+TEST(ReactorTest, CancelPreventsFiring) {
+  Reactor r("test");
+  std::atomic<bool> fired{false};
+  TimerId id = r.ScheduleAfter(10 * kMs, [&] { fired = true; });
+  ASSERT_NE(id, 0u);
+  EXPECT_TRUE(r.Cancel(id));
+  EXPECT_FALSE(r.Cancel(id));  // second cancel: already gone
+  EXPECT_EQ(r.pending_timers(), 0u);
+  // Drain well past the deadline; the continuation must never run.
+  const int64_t until = NowNanos() + 30 * kMs;
+  while (NowNanos() < until) {
+    r.PollOnce();
+  }
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(ReactorTest, RearmPushesDeadlineOut) {
+  Reactor r("test");
+  std::atomic<int> fires{0};
+  TimerId id = r.ScheduleAfter(10 * kMs, [&] { fires.fetch_add(1); });
+  const int64_t start = NowNanos();
+  EXPECT_TRUE(r.Rearm(id, 60 * kMs));
+  ASSERT_TRUE(DrainUntil(r, [&] { return fires.load() == 1; }));
+  // The original 10ms deadline must not have fired; only the re-armed one.
+  EXPECT_GE(NowNanos() - start, 60 * kMs);
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_FALSE(r.Rearm(id, 10 * kMs));  // fired: gone
+}
+
+TEST(ReactorTest, RearmedTimerOldWheelSlotIsStale) {
+  // Rearm to a *sooner* deadline: the stale far-slot entry must not fire a
+  // second time when its slot comes around.
+  Reactor r("test");
+  std::atomic<int> fires{0};
+  TimerId id = r.ScheduleAfter(80 * kMs, [&] { fires.fetch_add(1); });
+  EXPECT_TRUE(r.Rearm(id, 5 * kMs));
+  ASSERT_TRUE(DrainUntil(r, [&] { return fires.load() == 1; }));
+  const int64_t until = NowNanos() + 100 * kMs;
+  while (NowNanos() < until) {
+    r.PollOnce();
+  }
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(ReactorTest, DriverThreadRunsPostedWork) {
+  Reactor r("test");
+  r.Start(2);
+  EXPECT_EQ(r.num_threads(), 2u);
+  Event done;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    r.Post([&] {
+      if (ran.fetch_add(1) + 1 == 100) {
+        done.Set();
+      }
+    });
+  }
+  EXPECT_TRUE(done.BlockingWait(NowNanos() + 5'000 * kMs));
+  EXPECT_EQ(ran.load(), 100);
+  r.Shutdown();
+  EXPECT_EQ(r.num_threads(), 0u);
+}
+
+TEST(ReactorTest, BlockOnCrossThreadWakeup) {
+  Reactor r("test");
+  r.Start(1);
+  auto ev = std::make_shared<Event>();
+  // An external thread (not a driver) parks; a timer on the driver fires it.
+  r.ScheduleAfter(5 * kMs, [ev] { ev->Set(); });
+  EXPECT_TRUE(r.BlockOn(*ev));
+  r.Shutdown();
+}
+
+TEST(ReactorTest, BlockOnFromDriverDrivesTheLoop) {
+  // A continuation running ON the sole driver blocks on an event that only
+  // later reactor work can set. Thread-per-wait would deadlock; the drain
+  // shim must keep the loop moving.
+  Reactor r("test");
+  r.Start(1);
+  Event outer;
+  std::atomic<bool> nested_ok{false};
+  r.Post([&] {
+    auto inner = std::make_shared<Event>();
+    r.ScheduleAfter(5 * kMs, [inner] { inner->Set(); });
+    nested_ok = r.BlockOn(*inner);
+    outer.Set();
+  });
+  EXPECT_TRUE(outer.BlockingWait(NowNanos() + 5'000 * kMs));
+  EXPECT_TRUE(nested_ok.load());
+  r.Shutdown();
+}
+
+TEST(ReactorTest, BlockOnWithNoDriversDrains) {
+  Reactor r("test");
+  auto ev = std::make_shared<Event>();
+  r.ScheduleAfter(5 * kMs, [ev] { ev->Set(); });
+  // No Start(): the caller itself must drive timers until the event fires.
+  EXPECT_TRUE(r.BlockOn(*ev));
+}
+
+TEST(ReactorTest, BlockOnDeadline) {
+  Reactor r("test");
+  Event ev;
+  EXPECT_FALSE(r.BlockOn(ev, NowNanos() + 20 * kMs));
+}
+
+TEST(ReactorTest, GrowAndShrinkAdjustLogicalSize) {
+  Reactor r("test");
+  r.Start(1);
+  r.Grow(3);
+  EXPECT_EQ(r.num_threads(), 4u);
+  r.Shrink(2);
+  EXPECT_EQ(r.num_threads(), 2u);
+  // Retired drivers are logically gone even while parked; surviving drivers
+  // still run work.
+  Event done;
+  r.Post([&] { done.Set(); });
+  EXPECT_TRUE(done.BlockingWait(NowNanos() + 5'000 * kMs));
+  r.Shrink(10);  // floors at one running driver
+  EXPECT_EQ(r.num_threads(), 1u);
+  r.Shutdown();
+  EXPECT_EQ(r.num_threads(), 0u);
+}
+
+TEST(ReactorTest, ShutdownDrainsReadyQueueButDropsTimers) {
+  Reactor r("test");
+  std::atomic<int> ran{0};
+  std::atomic<bool> timer_ran{false};
+  r.Post([&] { ran.fetch_add(1); });
+  r.Post([&] { ran.fetch_add(1); });
+  r.ScheduleAfter(3'600'000 * kMs, [&] { timer_ran = true; });  // 1h out
+  r.Shutdown();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_FALSE(timer_ran.load());
+  EXPECT_EQ(r.pending_timers(), 0u);
+  // Post-shutdown submissions are rejected.
+  EXPECT_FALSE(r.Post([] {}));
+  EXPECT_EQ(r.ScheduleAfter(kMs, [] {}), 0u);
+  r.Shutdown();  // idempotent
+}
+
+TEST(ReactorTest, RunOneReturnsFalseAfterShutdown) {
+  Reactor r("test");
+  std::atomic<bool> got_false{false};
+  std::thread driver([&] {
+    while (r.RunOne()) {
+    }
+    got_false = true;
+  });
+  Event seen;
+  r.Post([&] { seen.Set(); });
+  EXPECT_TRUE(seen.BlockingWait(NowNanos() + 5'000 * kMs));
+  r.Shutdown();
+  driver.join();
+  EXPECT_TRUE(got_false.load());
+}
+
+TEST(ReactorTest, StressManyOutstandingFutures) {
+  // 100k outstanding Events resolved by wheel timers on a bounded driver
+  // pool — the tentpole claim in miniature (the full version with latency
+  // percentiles lives in bench/bench_reactor.cc).
+  constexpr int kFutures = 100'000;
+  Reactor r("stress");
+  r.Start(2);
+  auto remaining = std::make_shared<std::atomic<int>>(kFutures);
+  Event all_done;
+  std::vector<std::shared_ptr<Event>> events;
+  events.reserve(kFutures);
+  for (int i = 0; i < kFutures; ++i) {
+    auto ev = std::make_shared<Event>();
+    ev->OnSet([remaining, &all_done] {
+      if (remaining->fetch_sub(1) == 1) {
+        all_done.Set();
+      }
+    });
+    events.push_back(ev);
+    // Spread deadlines across ~64ms so every wheel slot gets traffic.
+    r.ScheduleAfter((i % 64) * kMs, [ev] { ev->Set(); });
+  }
+  EXPECT_TRUE(all_done.BlockingWait(NowNanos() + 60'000 * kMs));
+  EXPECT_EQ(remaining->load(), 0);
+  for (const auto& ev : events) {
+    EXPECT_TRUE(ev->is_set());
+  }
+  r.Shutdown();
+}
+
+TEST(ReactorTest, CrossThreadPostHammer) {
+  // Many producers posting against a small driver pool; every continuation
+  // must run exactly once.
+  Reactor r("hammer");
+  r.Start(3);
+  static constexpr int kProducers = 8;
+  static constexpr int kPerProducer = 2'000;
+  auto count = std::make_shared<std::atomic<int>>(0);
+  Event done;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        r.Post([count, &done] {
+          if (count->fetch_add(1) + 1 == kProducers * kPerProducer) {
+            done.Set();
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_TRUE(done.BlockingWait(NowNanos() + 60'000 * kMs));
+  EXPECT_EQ(count->load(), kProducers * kPerProducer);
+  r.Shutdown();
+}
+
+}  // namespace
+}  // namespace skadi

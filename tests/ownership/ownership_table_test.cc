@@ -1,5 +1,6 @@
 #include "src/ownership/ownership_table.h"
 
+#include <memory>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -159,6 +160,67 @@ TEST_F(OwnershipTableTest, RefCountingRemovesAtZero) {
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(*second);
   EXPECT_FALSE(table_.Contains(id));
+}
+
+TEST_F(OwnershipTableTest, StateOrWatchReturnsStateWithoutWatcherWhenResolved) {
+  ObjectId id = Register();
+  ASSERT_TRUE(table_.MarkReady(id, NodeId::Next(), 1).ok());
+  bool fired = false;
+  auto state = table_.StateOrWatch(id, [&] { fired = true; });
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, ObjectState::kReady);
+  // Non-pending: the watcher is dropped, never armed.
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(OwnershipTableTest, StateOrWatchUnknownObjectIsNotFound) {
+  auto state = table_.StateOrWatch(ObjectId::Next(), [] {});
+  EXPECT_EQ(state.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OwnershipTableTest, StateOrWatchFiresOnceOnMarkReady) {
+  ObjectId id = Register();
+  int fires = 0;
+  auto state = table_.StateOrWatch(id, [&] { ++fires; });
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, ObjectState::kPending);
+  EXPECT_EQ(fires, 0);
+  ASSERT_TRUE(table_.MarkReady(id, NodeId::Next(), 1).ok());
+  EXPECT_EQ(fires, 1);
+  // A later state change must not re-fire a consumed watcher.
+  ASSERT_TRUE(table_.MarkLost(id).ok());
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(OwnershipTableTest, StateOrWatchFiresOnLossAndRelease) {
+  ObjectId lost = Register();
+  int lost_fires = 0;
+  ASSERT_TRUE(table_.StateOrWatch(lost, [&] { ++lost_fires; }).ok());
+  ASSERT_TRUE(table_.MarkLost(lost).ok());
+  EXPECT_EQ(lost_fires, 1);
+
+  ObjectId released = Register();
+  int release_fires = 0;
+  ASSERT_TRUE(table_.StateOrWatch(released, [&] { ++release_fires; }).ok());
+  auto removed = table_.DecRef(released);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  // Release fires watchers so parked waiters re-probe and see NotFound.
+  EXPECT_EQ(release_fires, 1);
+  EXPECT_EQ(table_.StateOrWatch(released, [] {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OwnershipTableTest, WatchersRunOnReactorWhenWired) {
+  Reactor reactor("test");
+  table_.set_reactor(&reactor);
+  ObjectId id = Register();
+  auto ev = std::make_shared<Event>();
+  ASSERT_TRUE(table_.StateOrWatch(id, [ev] { ev->Set(); }).ok());
+  ASSERT_TRUE(table_.MarkReady(id, NodeId::Next(), 1).ok());
+  // The watcher was posted, not run inline on the MarkReady thread.
+  EXPECT_FALSE(ev->is_set());
+  EXPECT_TRUE(reactor.BlockOn(*ev));
 }
 
 TEST_F(OwnershipTableTest, ObjectsInStateFilters) {

@@ -53,7 +53,13 @@ _WAIT_METHODS = {"Wait", "WaitFor", "WaitUntil", "wait", "wait_for",
 _SLEEP_CALLEES = {"sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"}
 _BLOCKING_IO_CALLEES = {"poll", "epoll_wait", "select", "accept", "recvmsg",
                         "fsync", "fdatasync"}
-_FABRIC_METHODS = {"Call", "Send", "TransferBytes"}
+# TransferBytes is pure accounting since the reactor conversion (realized
+# delay rides the async done-continuation, never the sync caller).
+_FABRIC_METHODS = {"Call", "Send"}
+# Reactor blocking boundary: driving the loop (RunOne) and the drain shims
+# (BlockOn / Event::BlockingWait) park or busy the calling thread. Posting,
+# timer scheduling, and continuation registration are non-blocking.
+_REACTOR_WAIT_METHODS = {"RunOne", "BlockOn", "BlockingWait", "DriveUntil"}
 _FUTURE_GET_RE = re.compile(r"(fut|future)", re.IGNORECASE)
 _FABRIC_RECV_RE = re.compile(r"fabric", re.IGNORECASE)
 _CV_RECV_RE = re.compile(r"(cv|cond)", re.IGNORECASE)
@@ -246,6 +252,9 @@ def _direct_blocking(model, fn, calls):
                         "what": _call_text(c)})
         elif callee == "Get" and recv and _FUTURE_GET_RE.search(recv):
             out.append({"kind": "future-get", "line": c["line"],
+                        "what": _call_text(c)})
+        elif callee in _REACTOR_WAIT_METHODS:
+            out.append({"kind": "reactor-wait", "line": c["line"],
                         "what": _call_text(c)})
     return out
 

@@ -3,8 +3,13 @@
 Four passes, all fixpoint- or SCC-based over the resolved call graph:
 
   may-block        seeds from blocking primitives (CondVar::Wait,
-                   Fabric::Call/Send/TransferBytes, Future-style Get,
-                   sleep, blocking IO) propagate caller-ward; a call made
+                   Fabric::Call/Send, Future-style Get, sleep, blocking
+                   IO, and the reactor blocking boundary — RunOne /
+                   BlockOn / Event::BlockingWait) propagate caller-ward;
+                   continuation registration (Post / ScheduleAfter /
+                   OnSet / StateOrWatch / GetAsync) is not a seed, and
+                   lambda bodies never propagate blocking to the
+                   registering frame; a call made
                    while a MutexLock is held whose callee transitively
                    may block is flagged with a call-chain witness. The
                    full may-block set is also emitted as
@@ -171,10 +176,14 @@ def blocking_inventory(graph, info):
     return {
         "comment": "Functions that transitively reach a blocking primitive "
                    "(CondVar::Wait / Fabric::Call / Future-style Get / "
-                   "sleep / blocking IO). Every entry burns an OS thread "
-                   "while it waits; the reactor refactor (ROADMAP item 1) "
-                   "must convert each to continuation/coroutine resumption. "
-                   "Ranked by resolved call-site count.",
+                   "sleep / blocking IO / reactor-wait — RunOne, BlockOn, "
+                   "Event::BlockingWait). Every entry burns an OS thread "
+                   "while it waits. The remaining entries are the intended "
+                   "blocking boundary: reactor drivers and the drain-loop "
+                   "shims under the blocking public APIs (ROADMAP item 1); "
+                   "continuation-based paths (GetAsync, StateOrWatch, "
+                   "Post/ScheduleAfter) do not appear. Ranked by resolved "
+                   "call-site count.",
         "total": len(entries),
         "functions": entries,
     }

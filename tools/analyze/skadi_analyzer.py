@@ -16,12 +16,15 @@ Interprocedural passes (whole-program, over the tree-wide call graph built
 by call_graph.py; virtual/callback edges declared `// analyze:calls <fn>`):
 
   may-block            fixpoint from blocking primitives (CondVar::Wait,
-                       Fabric::Call, Future-style Get, sleep, blocking IO)
+                       Fabric::Call, Future-style Get, sleep, blocking IO,
+                       reactor-wait: RunOne / BlockOn / BlockingWait)
                        through the call graph; a call under a held lock
                        whose callee transitively blocks is flagged with a
-                       call-chain witness. The full may-block set is the
-                       reactor refactor's work list, emitted to
-                       build/analyze/blocking_inventory.json.
+                       call-chain witness. Continuation registration
+                       (Post, ScheduleAfter, OnSet, StateOrWatch,
+                       GetAsync) is not blocking. The full may-block set
+                       — now just the intended blocking boundary — is
+                       emitted to build/analyze/blocking_inventory.json.
   lock-order-cycle     static lock-acquisition-order graph across all
                        translation units (A held while acquiring B,
                        including through calls); SCC = deadlock candidate.
@@ -84,7 +87,8 @@ INTERPROC_RULES = {
     interproc.NAME_MAY_BLOCK:
         "may-block: a call made while a MutexLock is held whose callee "
         "transitively reaches a blocking primitive (CondVar::Wait, "
-        "Fabric::Call, Future-style Get, sleep, blocking IO).",
+        "Fabric::Call, Future-style Get, sleep, blocking IO, or the "
+        "reactor blocking boundary RunOne/BlockOn/BlockingWait).",
     interproc.NAME_LOCK_ORDER:
         "lock-order-cycle: a cycle in the static cross-TU "
         "lock-acquisition-order graph — a deadlock on some interleaving.",

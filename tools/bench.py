@@ -11,6 +11,11 @@ Targets (--bench):
     (zero-copy deserialize) and row-codec paths with wall time, MB/s,
     payload copy counts, and the IPC-vs-row-codec speedups — the numbers
     quoted in EXPERIMENTS.md's Experiment A3 table.
+  reactor -> bench_reactor -> BENCH_reactor.json: event-driven control
+    plane numbers — ready-queue and timer-wheel dispatch rates, and the
+    outstanding-futures rows (tasks/sec, p50/p99 resolution latency,
+    max_outstanding, reactor_threads) backing the 100k-concurrent-futures
+    acceptance claim.
 
 Usage:
   tools/bench.py [--bench kernels|serde] [--build-dir build] [--out FILE]
@@ -142,9 +147,43 @@ def collect_serde(raw, repetitions):
     return results
 
 
+REACTOR_COUNTERS = (
+    "tasks_per_sec",
+    "timers_per_sec",
+    "p50_resolution_us",
+    "p99_resolution_us",
+    "max_outstanding",
+    "reactor_threads",
+    "futures_in_flight",
+)
+
+
+def collect_reactor(raw, repetitions):
+    """One row per bench_reactor entry: wall time plus the reactor counters
+    (rates are already per-second values in google-benchmark output)."""
+    want_agg = "mean" if repetitions > 1 else None
+    results = []
+    for entry in raw.get("benchmarks", []):
+        m = re.match(r"(BM_\w+)/(\d+)(?:/iterations:\d+)?(?:_(\w+))?$", entry["name"])
+        if not m or m.group(3) != want_agg:
+            continue
+        row = {
+            "bench": m.group(1),
+            "futures": int(m.group(2)),
+            "wall_ms": entry["real_time"],
+            "cpu_ms": entry["cpu_time"],
+        }
+        for counter in REACTOR_COUNTERS:
+            if counter in entry:
+                row[counter] = round(entry[counter], 1)
+        results.append(row)
+    return results
+
+
 BENCH_TARGETS = {
     "kernels": ("bench_kernels", "BENCH_kernels.json", collect),
     "serde": ("bench_a3_format", "BENCH_serde.json", collect_serde),
+    "reactor": ("bench_reactor", "BENCH_reactor.json", collect_reactor),
 }
 
 

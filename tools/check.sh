@@ -27,6 +27,12 @@ run_mode() {
   # lifetime via refcounted owners).
   echo "==> [$name] bench_a3_format smoke"
   SKADI_BENCH_SMOKE=1 "$dir/bench/bench_a3_format" > /dev/null
+  # One-iteration reactor smoke (4096 futures): drives the ready-queue,
+  # timer wheel, drain shims, and end-to-end GetAsync futures under each
+  # sanitizer — the cross-thread continuation handoffs are exactly what
+  # TSan needs to watch.
+  echo "==> [$name] bench_reactor smoke"
+  SKADI_BENCH_SMOKE=1 "$dir/bench/bench_reactor" > /dev/null
 }
 
 # Whole-program analyzer, standalone, before the build matrix: fastest
