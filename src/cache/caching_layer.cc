@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
 
 namespace skadi {
 
@@ -134,6 +136,17 @@ Result<Buffer> CachingLayer::Get(ObjectId id, NodeId at, bool cache_locally) {
 
 void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
                             std::function<void(Result<Buffer>)> done) {
+  // The get span closes when `done` runs, which for a coalesced follower is
+  // on the leader's thread — hence the handle (BeginSpan/EndSpan) rather
+  // than a stack-scoped span.
+  trace::SpanHandle get_span =
+      trace::BeginSpan(names::kSpanCacheGet, trace::CurrentContext());
+  done = [get_span, inner = std::move(done)](Result<Buffer> r) mutable {
+    trace::EndSpan(get_span, r.ok() ? 1 : 0, "ok");
+    trace::ScopedContext adopt(get_span.ctx);
+    inner(std::move(r));
+  };
+  trace::ScopedContext in_get(get_span.ctx);
   MutexLock lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end()) {
@@ -168,10 +181,13 @@ void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
     if (entry.ec != nullptr) {
       EcFetchPlan plan = SnapshotEcLocked(entry);
       lock.Unlock();
+      fabric_->metrics().GetCounter(names::kCacheMisses).Increment();
+      fabric_->metrics().GetCounter(names::kCacheEcReconstructs).Increment();
       done(TryEcReconstruct(plan, id, at));
       return;
     }
     lock.Unlock();
+    fabric_->metrics().GetCounter(names::kCacheMisses).Increment();
     done(Status::DataLoss("object " + id.ToString() +
                           " has no live copies and no EC shards"));
     return;
@@ -183,10 +199,12 @@ void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
     // Local hit: no fabric transfer, no coalescing needed. The returned
     // Buffer shares the store entry's refcounted storage.
     lock.Unlock();
+    fabric_->metrics().GetCounter(names::kCacheLocalHits).Increment();
     done(src_store->Get(id));
     return;
   }
 
+  fabric_->metrics().GetCounter(names::kCacheMisses).Increment();
   // Remote fetch: single-flight per (at, id). A fetch already in flight
   // makes this call a follower — it inherits the leader's result instead
   // of paying a second fabric transfer for the same bytes.
@@ -195,7 +213,7 @@ void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
   if (fit != inflight_.end()) {
     std::shared_ptr<Flight> flight = fit->second;
     lock.Unlock();
-    fabric_->metrics().GetCounter("cache.coalesced_fetches").Add(1);
+    fabric_->metrics().GetCounter(names::kCacheCoalescedFetches).Add(1);
     {
       MutexLock flock(flight->mu);
       if (!flight->done) {
@@ -244,9 +262,10 @@ void CachingLayer::GetAsync(ObjectId id, NodeId at, bool cache_locally,
 Result<Buffer> CachingLayer::FetchRemote(ObjectId id, NodeId source, NodeId at,
                                          LocalObjectStore* src_store,
                                          bool cache_locally) {
+  trace::TraceSpan fetch_span(names::kSpanCacheFetchRemote);
   SKADI_ASSIGN_OR_RETURN(Buffer data, src_store->Get(id));
   fabric_->TransferBytes(source, at, static_cast<int64_t>(data.size()));
-  fabric_->metrics().GetCounter("cache.remote_fetches").Add(1);
+  fabric_->metrics().GetCounter(names::kCacheRemoteFetches).Add(1);
   if (cache_locally) {
     LocalObjectStore* dst_store = StoreOf(at);
     if (dst_store != nullptr && dst_store->Put(id, data).ok()) {
@@ -528,7 +547,7 @@ Status CachingLayer::EnableSpillToBlade(NodeId node) {
       return false;
     }
     fabric_->TransferBytes(node, best_blade, static_cast<int64_t>(data.size()));
-    fabric_->metrics().GetCounter("cache.spill_bytes").Add(static_cast<int64_t>(data.size()));
+    fabric_->metrics().GetCounter(names::kCacheSpillBytes).Add(static_cast<int64_t>(data.size()));
     if (!blade_store->Put(id, data).ok()) {
       return false;
     }

@@ -1,0 +1,53 @@
+#include "src/common/event.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/clock.h"
+
+namespace skadi {
+
+void Event::OnSet(Continuation fn) {
+  {
+    MutexLock lock(mu_);
+    if (!set_.load(std::memory_order_relaxed)) {
+      waiters_.push_back(std::move(fn));
+      return;
+    }
+  }
+  // Already set: run inline, unlocked.
+  fn();
+}
+
+void Event::Set() {
+  std::vector<Continuation> to_run;
+  {
+    MutexLock lock(mu_);
+    if (set_.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    to_run.swap(waiters_);
+    cv_.NotifyAll();
+  }
+  for (Continuation& fn : to_run) {
+    fn();
+  }
+}
+
+bool Event::BlockingWait(int64_t deadline_nanos) {
+  MutexLock lock(mu_);
+  while (!set_.load(std::memory_order_relaxed)) {
+    if (deadline_nanos < 0) {
+      cv_.Wait(lock);
+    } else {
+      const int64_t now = NowNanos();
+      if (now >= deadline_nanos) {
+        break;
+      }
+      cv_.WaitFor(lock, std::chrono::nanoseconds(deadline_nanos - now));
+    }
+  }
+  return set_.load(std::memory_order_relaxed);
+}
+
+}  // namespace skadi

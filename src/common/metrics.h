@@ -1,12 +1,18 @@
-// Lightweight metrics: named atomic counters and fixed-bucket latency
-// histograms. Every experiment in EXPERIMENTS.md reads its deterministic
-// numbers (bytes moved, control messages, hops) from a MetricsRegistry.
+// Lightweight metrics: named atomic counters, gauges, and fixed-bucket
+// latency histograms. Every experiment in EXPERIMENTS.md reads its
+// deterministic numbers (bytes moved, control messages, hops) from a
+// MetricsRegistry; WriteJson dumps the whole surface (counters, gauges,
+// histogram percentiles) for tests, benches, and failure triage.
+//
+// Metric names in src/ are dot-case constants from
+// src/common/metric_names.h (enforced by tools/lint.py's metric-name rule).
 #ifndef SRC_COMMON_METRICS_H_
 #define SRC_COMMON_METRICS_H_
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,6 +26,20 @@ class Counter {
  public:
   void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A point-in-time level (queue depth, watcher count, outstanding futures).
+// Unlike Counter it goes down; Set overwrites, Add tracks a level from
+// balanced increment/decrement pairs.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -62,6 +82,15 @@ class Histogram {
       return 0;
     }
     int64_t target = static_cast<int64_t>(q * static_cast<double>(total));
+    // target indexes the sample picked by rank; clamp to the last sample so
+    // q = 1.0 (target == total, which `seen > target` can never exceed)
+    // returns the max bucket instead of falling through to the sentinel.
+    if (target >= total) {
+      target = total - 1;
+    }
+    if (target < 0) {
+      target = 0;
+    }
     int64_t seen = 0;
     for (size_t i = 0; i < kNumBuckets; ++i) {
       seen += buckets_[i].load(std::memory_order_relaxed);
@@ -86,8 +115,20 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
 };
 
-// Registry of counters/histograms by name. Lookup allocates on first use;
-// returned references stay valid for the registry's lifetime.
+// Percentile summary of one histogram, as dumped by WriteJson.
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  int64_t sum_nanos = 0;
+  double mean_nanos = 0.0;
+  int64_t p50 = 0;
+  int64_t p90 = 0;
+  int64_t p99 = 0;
+  int64_t p999 = 0;
+};
+
+// Registry of counters/gauges/histograms by name. Lookup allocates on first
+// use; returned references stay valid for the registry's lifetime.
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name) {
@@ -95,6 +136,15 @@ class MetricsRegistry {
     auto& slot = counters_[name];
     if (!slot) {
       slot = std::make_unique<Counter>();
+    }
+    return *slot;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    MutexLock lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+      slot = std::make_unique<Gauge>();
     }
     return *slot;
   }
@@ -119,10 +169,35 @@ class MetricsRegistry {
     return out;
   }
 
+  // Snapshot of all gauge values, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const {
+    MutexLock lock(mu_);
+    std::vector<std::pair<std::string, int64_t>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      out.emplace_back(name, gauge->value());
+    }
+    return out;
+  }
+
+  // Percentile summaries of all histograms, sorted by name.
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
+
+  // Dumps the whole surface as one JSON object:
+  //   {"counters": {...}, "gauges": {...},
+  //    "histograms": {name: {count, sum_nanos, mean_nanos, p50, ...}}}
+  // Values are coherent per metric, not across metrics (each atomic is read
+  // once; the registry lock only protects the maps).
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
   void ResetAll() {
     MutexLock lock(mu_);
     for (auto& [name, counter] : counters_) {
       counter->Reset();
+    }
+    for (auto& [name, gauge] : gauges_) {
+      gauge->Reset();
     }
     for (auto& [name, histogram] : histograms_) {
       histogram->Reset();
@@ -132,6 +207,7 @@ class MetricsRegistry {
  private:
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 

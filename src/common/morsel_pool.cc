@@ -5,6 +5,8 @@
 #include <memory>
 #include <thread>
 
+#include "src/common/event.h"
+
 namespace skadi {
 
 MorselPool& MorselPool::Global() {
@@ -13,41 +15,49 @@ MorselPool& MorselPool::Global() {
   return *pool;
 }
 
+// Region completion as a countdown continuation: `outstanding` counts the
+// caller plus every accepted helper; whoever decrements it to zero fires the
+// Event. The region state is shared_ptr-owned by each worker, so helpers
+// that outlive an early-returning caller (impossible today, but the
+// ownership rule is what makes that safe) never touch freed memory.
 void MorselPool::RunRegion(int helpers, const std::function<void()>& work) {
   if (helpers <= 0) {
     work();
     return;
   }
+  struct Region {
+    std::atomic<int> outstanding;
+    Event done;
+  };
   auto region = std::make_shared<Region>();
-  {
-    MutexLock lock(region->mu);
-    region->outstanding = helpers;
-  }
+  // +1 is the caller's own share, held until its inline drain finishes —
+  // guaranteeing the Event cannot fire before every worker is accounted.
+  region->outstanding.store(helpers + 1, std::memory_order_relaxed);
+  auto finish_one = [](const std::shared_ptr<Region>& r) {
+    if (r->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      r->done.Set();
+    }
+  };
   int submitted = 0;
   for (int i = 0; i < helpers; ++i) {
-    bool accepted = pool_.Submit([region, &work] {
+    bool accepted = pool_.Submit([region, finish_one, &work] {
       work();
-      MutexLock lock(region->mu);
-      if (--region->outstanding == 0) {
-        region->done_cv.NotifyAll();
-      }
+      finish_one(region);
     });
     if (!accepted) {
       break;  // pool shut down: the caller will drain every morsel itself
     }
     ++submitted;
   }
-  {
-    MutexLock lock(region->mu);
-    region->outstanding -= helpers - submitted;
-  }
+  // Credit back helpers the pool never accepted.
+  region->outstanding.fetch_sub(helpers - submitted, std::memory_order_acq_rel);
   // The caller participates: it drains morsels alongside the helpers, so a
   // busy pool degrades to inline execution instead of blocking.
   work();
-  MutexLock lock(region->mu);
-  while (region->outstanding > 0) {
-    region->done_cv.Wait(lock);
-  }
+  finish_one(region);
+  // Usually already set (the caller tends to finish last); otherwise this is
+  // the blocking boundary for straggling helpers.
+  region->done.BlockingWait();
 }
 
 void MorselPool::ParallelFor(

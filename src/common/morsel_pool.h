@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <functional>
 
-#include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 
 namespace skadi {
@@ -54,16 +53,12 @@ class MorselPool {
                       const std::function<void(int chunk, int64_t begin, int64_t end)>& fn);
 
  private:
-  // Completion latch shared by the caller and its helper workers for one
-  // parallel region.
-  struct Region {
-    Mutex mu;
-    CondVar done_cv;
-    int outstanding GUARDED_BY(mu) = 0;
-  };
-
   // Submits `helpers` jobs running `work` and waits (after running `work`
-  // inline once) until all of them finish.
+  // inline once) until all of them finish. Region completion is a countdown
+  // continuation: the last worker to finish fires a one-shot Event (see
+  // RunRegion), so the wait is a single Event::BlockingWait at the blocking
+  // boundary instead of a condvar loop — and usually a no-op, since the
+  // caller drains morsels alongside the helpers and often finishes last.
   void RunRegion(int helpers, const std::function<void()>& work);
 
   ThreadPool pool_;

@@ -1,0 +1,391 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+
+#include "src/common/mutex.h"
+
+namespace skadi {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::atomic<uint32_t> g_sample_every{1};
+std::atomic<uint64_t> g_next_id{1};
+std::atomic<uint64_t> g_root_seq{0};
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One recorded event slot. Every field is its own relaxed atomic: a reader
+// snapshotting while a wrapped writer overwrites the slot may see a torn mix
+// of old and new *values*, but never a data race (TSan-clean without locks).
+// Callers snapshot at quiescence, where the cursor's release/acquire pair
+// makes all published slots coherent.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> arg_name{nullptr};
+  std::atomic<int64_t> start_nanos{0};
+  std::atomic<int64_t> duration_nanos{0};
+  std::atomic<int64_t> arg{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
+  std::atomic<uint8_t> phase{0};
+};
+
+// Single-writer ring: only the owning thread writes slots and bumps pos_;
+// any thread may read. The writer fills the slot's fields (relaxed), then
+// publishes with a release store of pos_; a reader's acquire load of pos_
+// therefore sees complete slots for every index below min(pos_, kSlots).
+class Ring {
+ public:
+  static constexpr size_t kSlots = 8192;  // * ~72 B = ~576 KiB per thread
+
+  explicit Ring(uint32_t tid) : tid_(tid) {}
+
+  void Record(const TraceEvent& e) {
+    uint64_t pos = pos_.load(std::memory_order_relaxed);
+    Slot& s = slots_[pos % kSlots];
+    s.name.store(e.name, std::memory_order_relaxed);
+    s.arg_name.store(e.arg_name, std::memory_order_relaxed);
+    s.start_nanos.store(e.start_nanos, std::memory_order_relaxed);
+    s.duration_nanos.store(e.duration_nanos, std::memory_order_relaxed);
+    s.arg.store(e.arg, std::memory_order_relaxed);
+    s.trace_id.store(e.trace_id, std::memory_order_relaxed);
+    s.span_id.store(e.span_id, std::memory_order_relaxed);
+    s.parent_id.store(e.parent_id, std::memory_order_relaxed);
+    s.phase.store(e.phase, std::memory_order_relaxed);
+    pos_.store(pos + 1, std::memory_order_release);
+  }
+
+  void Read(std::vector<TraceEvent>& out) const {
+    uint64_t pos = pos_.load(std::memory_order_acquire);
+    uint64_t n = pos < kSlots ? pos : kSlots;
+    uint64_t begin = pos - n;
+    for (uint64_t i = begin; i < pos; ++i) {
+      const Slot& s = slots_[i % kSlots];
+      TraceEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.arg_name = s.arg_name.load(std::memory_order_relaxed);
+      e.start_nanos = s.start_nanos.load(std::memory_order_relaxed);
+      e.duration_nanos = s.duration_nanos.load(std::memory_order_relaxed);
+      e.arg = s.arg.load(std::memory_order_relaxed);
+      e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      e.span_id = s.span_id.load(std::memory_order_relaxed);
+      e.parent_id = s.parent_id.load(std::memory_order_relaxed);
+      e.phase = s.phase.load(std::memory_order_relaxed);
+      e.tid = tid_;
+      if (e.name != nullptr) {
+        out.push_back(e);
+      }
+    }
+  }
+
+  void Clear() {
+    // Owner-agnostic reset: only called from Reset() at quiescence. Dropping
+    // pos_ to 0 would tear against a concurrent writer's read-modify-write,
+    // so instead null out names (Read skips nameless slots) and leave the
+    // cursor alone.
+    uint64_t pos = pos_.load(std::memory_order_acquire);
+    uint64_t n = pos < kSlots ? pos : kSlots;
+    for (uint64_t i = pos - n; i < pos; ++i) {
+      slots_[i % kSlots].name.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const uint32_t tid_;
+  std::atomic<uint64_t> pos_{0};
+  std::array<Slot, kSlots> slots_{};
+};
+
+// Registry of all rings ever created (rings outlive their threads so late
+// Snapshot() calls still see short-lived workers' events).
+struct Registry {
+  Mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings GUARDED_BY(mu);
+  uint32_t next_tid GUARDED_BY(mu) = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // lint:allow naked-new (intentionally leaked singleton)
+  return *r;
+}
+
+Ring& ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    auto r = std::make_shared<Ring>(reg.next_tid++);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+thread_local Context tls_ctx{};
+
+// Sampling decision for a new root: every Nth root flow is traced.
+bool SampleRoot() {
+  uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 1) {
+    return true;
+  }
+  return g_root_seq.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+void RecordEvent(const char* name, const char* arg_name, int64_t start,
+                 int64_t duration, int64_t arg, const Context& ctx,
+                 uint64_t parent, uint8_t phase) {
+  TraceEvent e;
+  e.name = name;
+  e.arg_name = arg_name;
+  e.start_nanos = start;
+  e.duration_nanos = duration;
+  e.arg = arg;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.parent_id = parent;
+  e.phase = phase;
+  ThreadRing().Record(e);
+}
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetSampleEvery(uint32_t n) {
+  g_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& reg = GetRegistry();
+  MutexLock lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    ring->Clear();
+  }
+}
+
+Context CurrentContext() { return tls_ctx; }
+
+uint64_t NextId() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name, int64_t arg, const char* arg_name) {
+  if (!Enabled()) {
+    return;
+  }
+  Context parent = tls_ctx;
+  if (parent.valid() && !parent.sampled()) {
+    return;  // inside an unsampled flow: the marker is already installed
+  }
+  if (!parent.valid() && !SampleRoot()) {
+    // Unsampled root: install the marker so descendants — on this thread
+    // and across every continuation hop — skip their own root decisions.
+    prev_ = parent;
+    tls_ctx = Context{Context::kUnsampledTraceId, 0};
+    marker_installed_ = true;
+    return;
+  }
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_ = arg;
+  prev_ = parent;
+  parent_ = parent.span_id;
+  ctx_.trace_id = parent.valid() ? parent.trace_id : NextId();
+  ctx_.span_id = NextId();
+  start_nanos_ = NowNanos();
+  tls_ctx = ctx_;
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  if (marker_installed_) {
+    marker_installed_ = false;
+    tls_ctx = prev_;
+    return;
+  }
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  tls_ctx = prev_;
+  RecordEvent(name_, arg_name_, start_nanos_, NowNanos() - start_nanos_, arg_,
+              ctx_, parent_, /*phase=*/0);
+}
+
+SpanHandle BeginSpan(const char* name, Context parent) {
+  SpanHandle h;
+  if (!Enabled()) {
+    return h;
+  }
+  if (parent.valid() && !parent.sampled()) {
+    return h;  // part of an unsampled flow
+  }
+  if (!parent.valid() && !SampleRoot()) {
+    return h;
+  }
+  h.name = name;
+  h.parent = parent.span_id;
+  h.ctx.trace_id = parent.valid() ? parent.trace_id : NextId();
+  h.ctx.span_id = NextId();
+  h.start_nanos = NowNanos();
+  h.active = true;
+  return h;
+}
+
+void EndSpan(SpanHandle& handle, int64_t arg, const char* arg_name) {
+  if (!handle.active) {
+    return;
+  }
+  handle.active = false;
+  RecordEvent(handle.name, arg_name, handle.start_nanos,
+              NowNanos() - handle.start_nanos, arg, handle.ctx, handle.parent,
+              /*phase=*/0);
+}
+
+void Instant(const char* name, int64_t arg, const char* arg_name) {
+  if (!Enabled()) {
+    return;
+  }
+  Context parent = tls_ctx;
+  if (!parent.sampled()) {
+    return;  // instants never start a trace on their own
+  }
+  Context ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = NextId();
+  RecordEvent(name, arg_name, NowNanos(), 0, arg, ctx, parent.span_id,
+              /*phase=*/1);
+}
+
+ScopedContext::ScopedContext(Context ctx) {
+  if (!ctx.valid()) {
+    return;
+  }
+  prev_ = tls_ctx;
+  tls_ctx = ctx;
+  installed_ = true;
+}
+
+ScopedContext::~ScopedContext() {
+  if (installed_) {
+    tls_ctx = prev_;
+  }
+}
+
+std::vector<TraceEvent> Snapshot() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    ring->Read(out);
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_nanos < b.start_nanos;
+  });
+  return out;
+}
+
+namespace {
+
+void WriteEventJson(std::ostream& os, const TraceEvent& e, bool& first) {
+  // Chrome-trace timestamps are microseconds (doubles); keep sub-µs detail.
+  double ts_us = static_cast<double>(e.start_nanos) / 1000.0;
+  double dur_us = static_cast<double>(e.duration_nanos) / 1000.0;
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "{\"name\": \"" << e.name << "\", \"ph\": \""
+     << (e.phase == 1 ? "i" : "X") << "\", \"pid\": 1, \"tid\": " << e.tid
+     << ", \"ts\": " << ts_us;
+  if (e.phase != 1) {
+    os << ", \"dur\": " << dur_us;
+  } else {
+    os << ", \"s\": \"t\"";
+  }
+  os << ", \"args\": {\"trace\": " << e.trace_id << ", \"span\": " << e.span_id
+     << ", \"parent\": " << e.parent_id;
+  if (e.arg_name != nullptr) {
+    os << ", \"" << e.arg_name << "\": " << e.arg;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os) {
+  std::vector<TraceEvent> events = Snapshot();
+
+  // Flow arrows ("s" start / "f" finish) draw the parent link whenever the
+  // parent span lives on a different thread — that is what stitches reactor
+  // hops and fabric crossings into one visually-connected tree in Perfetto.
+  struct SpanAt {
+    uint32_t tid;
+    int64_t start_nanos;
+  };
+  std::map<uint64_t, SpanAt> span_at;
+  for (const TraceEvent& e : events) {
+    if (e.phase == 0) {
+      span_at[e.span_id] = {e.tid, e.start_nanos};
+    }
+  }
+
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    WriteEventJson(os, e, first);
+    if (e.phase == 0 && e.parent_id != 0) {
+      auto it = span_at.find(e.parent_id);
+      if (it != span_at.end() && it->second.tid != e.tid) {
+        double start_ts = static_cast<double>(it->second.start_nanos) / 1000.0;
+        double child_ts = static_cast<double>(e.start_nanos) / 1000.0;
+        os << ",\n{\"name\": \"link\", \"ph\": \"s\", \"pid\": 1, \"tid\": "
+           << it->second.tid << ", \"ts\": " << start_ts
+           << ", \"id\": " << e.span_id << ", \"cat\": \"flow\"}";
+        os << ",\n{\"name\": \"link\", \"ph\": \"f\", \"bp\": \"e\", \"pid\": 1, "
+              "\"tid\": "
+           << e.tid << ", \"ts\": " << child_ts << ", \"id\": " << e.span_id
+           << ", \"cat\": \"flow\"}";
+      }
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open trace output file: " + path);
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("short write to trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace trace
+}  // namespace skadi

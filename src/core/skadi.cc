@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/common/metric_names.h"
 #include "src/format/serde.h"
 #include "src/graph/physical.h"
 
@@ -128,7 +129,7 @@ Result<Skadi::PreparedSql> Skadi::PrepareSql(const std::string& query) {
           (table_bytes + options_.adaptive_shard_bytes - 1) / options_.adaptive_shard_bytes;
       planner_options.parallelism = static_cast<int>(
           std::min<int64_t>(std::max<int64_t>(1, shards), options_.max_parallelism));
-      runtime_->metrics().GetCounter("core.adaptive_dop_decisions").Increment();
+      runtime_->metrics().GetCounter(names::kCoreAdaptiveDopDecisions).Increment();
     }
   }
   // Correctness guard: a scan stage can never be wider than its table's
@@ -369,11 +370,11 @@ Result<std::vector<RecordBatch>> Skadi::RunFlowGraph(
 SkadiStats Skadi::GetStats() {
   SkadiStats stats;
   MetricsRegistry& metrics = runtime_->metrics();
-  stats.tasks_submitted = metrics.GetCounter("runtime.tasks_submitted").value();
-  stats.tasks_completed = metrics.GetCounter("runtime.tasks_completed").value();
+  stats.tasks_submitted = metrics.GetCounter(names::kRuntimeTasksSubmitted).value();
+  stats.tasks_completed = metrics.GetCounter(names::kRuntimeTasksCompleted).value();
   stats.fabric_bytes = cluster_->fabric().total_bytes();
   stats.fabric_messages = cluster_->fabric().total_messages();
-  stats.control_hops = metrics.GetCounter("runtime.control_hops").value();
+  stats.control_hops = metrics.GetCounter(names::kRuntimeControlHops).value();
   stats.modelled_nanos = cluster_->fabric().clock().total_nanos();
   return stats;
 }

@@ -1,9 +1,18 @@
 #include "src/net/fabric.h"
 
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
+
 namespace skadi {
 
 Fabric::Fabric(std::shared_ptr<Topology> topology)
     : topology_(std::move(topology)), reactor_("fabric-reactor") {
+  Reactor::MetricsHooks hooks;
+  hooks.dispatches = &metrics_.GetCounter(names::kFabricReactorDispatches);
+  hooks.dispatch_nanos = &metrics_.GetHistogram(names::kFabricReactorDispatchNanos);
+  hooks.timer_lag_nanos = &metrics_.GetHistogram(names::kFabricReactorTimerLagNanos);
+  hooks.ready_depth = &metrics_.GetGauge(names::kFabricReactorReadyDepth);
+  reactor_.WireMetrics(hooks);
   reactor_.Start(1);
 }
 
@@ -21,11 +30,13 @@ Status Fabric::RegisterHandler(NodeId node, const std::string& service, Handler 
 }
 
 Counter& Fabric::MessagesCounter(LinkClass c) {
-  return metrics_.GetCounter("fabric.messages." + std::string(LinkClassName(c)));
+  return metrics_.GetCounter(names::kFabricMessagesPrefix +
+                             std::string(LinkClassName(c)));
 }
 
 Counter& Fabric::BytesCounter(LinkClass c) {
-  return metrics_.GetCounter("fabric.bytes." + std::string(LinkClassName(c)));
+  return metrics_.GetCounter(names::kFabricBytesPrefix +
+                             std::string(LinkClassName(c)));
 }
 
 void Fabric::Charge(NodeId src, NodeId dst, int64_t bytes, bool is_control) {
@@ -33,7 +44,7 @@ void Fabric::Charge(NodeId src, NodeId dst, int64_t bytes, bool is_control) {
   MessagesCounter(c).Increment();
   BytesCounter(c).Add(bytes);
   if (is_control) {
-    metrics_.GetCounter("fabric.control_messages").Increment();
+    metrics_.GetCounter(names::kFabricControlMessages).Increment();
   }
   // Pure accounting — control-plane messages never stall the calling thread
   // on modelled time (the realized share, if configured, applies to bulk
@@ -59,6 +70,11 @@ Result<Buffer> Fabric::Call(NodeId src, NodeId dst, const std::string& service,
     }
     handler = sit->second;
   }
+  // Synchronous RPC on the caller's thread: the caller's thread-local trace
+  // context flows into the handler for free, so this span brackets both the
+  // request charge and the handler body (arg = request bytes).
+  trace::TraceSpan call_span(names::kSpanFabricCall,
+                             static_cast<int64_t>(request.size()), "bytes");
   Charge(src, dst, static_cast<int64_t>(request.size()), /*is_control=*/true);
   Result<Buffer> response = handler(request);
   if (!response.ok()) {
@@ -111,8 +127,12 @@ int64_t Fabric::TransferBytesAsync(NodeId src, NodeId dst, int64_t bytes,
   LinkClass c = topology_->Classify(src, dst);
   BytesCounter(c).Add(bytes);
   MessagesCounter(c).Increment();
-  metrics_.GetCounter("fabric.data_transfers").Increment();
-  metrics_.GetCounter("fabric.data_bytes").Add(bytes);
+  metrics_.GetCounter(names::kFabricDataTransfers).Increment();
+  metrics_.GetCounter(names::kFabricDataBytes).Add(bytes);
+  // The transfer span covers modelled-time accounting; the completion's own
+  // trace context is captured by ScheduleAfter below, which is what carries
+  // the causal chain across the (possibly realized) delay.
+  trace::TraceSpan transfer_span(names::kSpanFabricTransfer, bytes, "bytes");
   int64_t nanos = topology_->TransferNanos(src, dst, bytes);
   // What used to be VirtualClock::RealizeDelay (a spin/sleep on this thread)
   // is now a timer-wheel completion: the realized share of the modelled

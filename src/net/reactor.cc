@@ -13,52 +13,8 @@ namespace {
 thread_local Reactor* tls_current_reactor = nullptr;
 }  // namespace
 
-// --- Event ---
-
-void Event::OnSet(Continuation fn) {
-  {
-    MutexLock lock(mu_);
-    if (!set_.load(std::memory_order_relaxed)) {
-      waiters_.push_back(std::move(fn));
-      return;
-    }
-  }
-  // Already set: run inline, unlocked.
-  fn();
-}
-
-void Event::Set() {
-  std::vector<Continuation> to_run;
-  {
-    MutexLock lock(mu_);
-    if (set_.exchange(true, std::memory_order_acq_rel)) {
-      return;
-    }
-    to_run.swap(waiters_);
-    cv_.NotifyAll();
-  }
-  for (Continuation& fn : to_run) {
-    fn();
-  }
-}
-
-bool Event::BlockingWait(int64_t deadline_nanos) {
-  MutexLock lock(mu_);
-  while (!set_.load(std::memory_order_relaxed)) {
-    if (deadline_nanos < 0) {
-      cv_.Wait(lock);
-    } else {
-      const int64_t now = NowNanos();
-      if (now >= deadline_nanos) {
-        break;
-      }
-      cv_.WaitFor(lock, std::chrono::nanoseconds(deadline_nanos - now));
-    }
-  }
-  return set_.load(std::memory_order_relaxed);
-}
-
 // --- Reactor ---
+// (Event's implementation lives in src/common/event.cc.)
 
 Reactor::Reactor(const char* name) : Reactor(name, Options()) {}
 
@@ -71,34 +27,45 @@ Reactor::Reactor(const char* name, Options options)
 
 Reactor::~Reactor() { Shutdown(); }
 
+void Reactor::WireMetrics(const MetricsHooks& hooks) {
+  MutexLock lock(mu_);
+  hooks_ = hooks;
+}
+
 bool Reactor::Post(Continuation fn) {
+  // The poster's trace context rides along and is re-installed around the
+  // dispatch — the continuation-chain leg of causal span propagation.
+  trace::Context ctx = trace::CurrentContext();
   {
     MutexLock lock(mu_);
     if (stopped_) {
       return false;
     }
-    ready_.push_back(std::move(fn));
+    const int64_t enqueue =
+        hooks_.dispatch_nanos != nullptr ? NowNanos() : 0;
+    ready_.push_back(ReadyEntry{std::move(fn), ctx, enqueue});
     cv_.NotifyOne();
   }
   return true;
 }
 
 void Reactor::InsertTimerLocked(TimerId id, uint64_t gen, int64_t deadline,
-                                Continuation fn) {
+                                Continuation fn, trace::Context ctx) {
   const size_t slot =
       static_cast<size_t>(deadline / options_.tick_nanos) % wheel_.size();
   wheel_[slot].emplace_back(id, gen);
-  timers_[id] = TimerEntry{deadline, gen, std::move(fn)};
+  timers_[id] = TimerEntry{deadline, gen, std::move(fn), ctx};
 }
 
 TimerId Reactor::ScheduleAfter(int64_t delay_nanos, Continuation fn) {
+  trace::Context ctx = trace::CurrentContext();
   MutexLock lock(mu_);
   if (stopped_) {
     return 0;
   }
   const TimerId id = next_timer_id_++;
   InsertTimerLocked(id, /*gen=*/0, NowNanos() + std::max<int64_t>(0, delay_nanos),
-                    std::move(fn));
+                    std::move(fn), ctx);
   // Wake a driver so its wait deadline accounts for the new timer.
   cv_.NotifyOne();
   return id;
@@ -118,10 +85,11 @@ bool Reactor::Rearm(TimerId id, int64_t delay_nanos) {
     return false;
   }
   Continuation fn = std::move(it->second.fn);
+  trace::Context ctx = it->second.ctx;
   const uint64_t gen = it->second.gen + 1;
   timers_.erase(it);
   InsertTimerLocked(id, gen, NowNanos() + std::max<int64_t>(0, delay_nanos),
-                    std::move(fn));
+                    std::move(fn), ctx);
   cv_.NotifyOne();
   return true;
 }
@@ -149,7 +117,13 @@ int64_t Reactor::AdvanceTimersLocked(int64_t now) {
         continue;
       }
       if (it->second.deadline <= now) {
-        ready_.push_back(std::move(it->second.fn));
+        if (hooks_.timer_lag_nanos != nullptr) {
+          // Wheel-granularity lag: how far past its deadline the timer fired.
+          hooks_.timer_lag_nanos->Record(now - it->second.deadline);
+        }
+        const int64_t enqueue = hooks_.dispatch_nanos != nullptr ? now : 0;
+        ready_.push_back(
+            ReadyEntry{std::move(it->second.fn), it->second.ctx, enqueue});
         timers_.erase(it);
         slot[j] = slot.back();
         slot.pop_back();
@@ -166,14 +140,19 @@ int64_t Reactor::AdvanceTimersLocked(int64_t now) {
 }
 
 Reactor::WaitResult Reactor::RunOneBounded(int64_t wait_deadline_nanos) {
-  Continuation fn;
+  ReadyEntry entry;
+  MetricsHooks hooks;
   {
     MutexLock lock(mu_);
     for (;;) {
       const int64_t next_wake = AdvanceTimersLocked(NowNanos());
       if (!ready_.empty()) {
-        fn = std::move(ready_.front());
+        entry = std::move(ready_.front());
         ready_.pop_front();
+        hooks = hooks_;
+        if (hooks.ready_depth != nullptr) {
+          hooks.ready_depth->Set(static_cast<int64_t>(ready_.size()));
+        }
         break;
       }
       if (stopped_) {
@@ -202,9 +181,20 @@ Reactor::WaitResult Reactor::RunOneBounded(int64_t wait_deadline_nanos) {
       }
     }
   }
+  if (hooks.dispatches != nullptr) {
+    hooks.dispatches->Increment();
+  }
+  if (hooks.dispatch_nanos != nullptr && entry.enqueue_nanos > 0) {
+    hooks.dispatch_nanos->Record(NowNanos() - entry.enqueue_nanos);
+  }
   Reactor* prev = tls_current_reactor;
   tls_current_reactor = this;
-  fn();
+  {
+    // Re-install the poster's trace context so spans opened inside the
+    // continuation parent under the causal flow, not the driver thread.
+    trace::ScopedContext adopt(entry.ctx);
+    entry.fn();
+  }
   tls_current_reactor = prev;
   return WaitResult::kRan;
 }

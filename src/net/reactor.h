@@ -27,6 +27,12 @@
 // skadi lock is ever acquired while they are held (continuations and timer
 // bodies run unlocked), so Post/ScheduleAfter/Event::Set are safe to call
 // while holding any subsystem lock.
+//
+// Observability (DESIGN.md §12): every queued continuation carries the
+// poster's trace context, re-installed around the dispatch — that is how one
+// causal span tree survives Post/ScheduleAfter hops. WireMetrics attaches
+// dispatch counters, dispatch-latency and timer-lag histograms, and a
+// ready-depth gauge; unwired reactors skip all clock reads on the hot path.
 #ifndef SRC_NET_REACTOR_H_
 #define SRC_NET_REACTOR_H_
 
@@ -39,58 +45,22 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/event.h"
+#include "src/common/metrics.h"
 #include "src/common/mutex.h"
+#include "src/common/trace.h"
 
 namespace skadi {
 namespace net {
 
-// A unit of deferred work. Continuations must not block the driver thread;
-// blocking boundary shims go through BlockOn, which knows how to keep the
-// loop moving when the caller *is* a driver.
-using Continuation = std::function<void()>;
+// Continuation and the one-shot Event completion token live in src/common
+// (src/common/event.h) so common-layer code can use them; the net:: spelling
+// is preserved for the reactor's existing callers.
+using ::skadi::Continuation;
+using ::skadi::Event;
 
 // Handle for a scheduled timer. 0 is never a valid id.
 using TimerId = uint64_t;
-
-class Reactor;
-
-// One-shot completion token. A waiter registers continuations with OnSet
-// instead of blocking; Set fires them exactly once. BlockingWait is the
-// thread-parking shim for the legacy blocking API shape.
-//
-// Thread-safe. Destroying an Event with unfired continuations drops them
-// without running them (the destruction-while-pending rule): shims must own
-// the Event via shared_ptr captured by every continuation that touches it.
-class Event {
- public:
-  Event() = default;
-  Event(const Event&) = delete;
-  Event& operator=(const Event&) = delete;
-
-  // Registers `fn` to run when the event fires. If the event is already set,
-  // `fn` runs inline before OnSet returns. Continuations run on whichever
-  // thread calls Set (callers wanting a specific executor post from `fn`).
-  void OnSet(Continuation fn);
-
-  // Fires the event: runs registered continuations (inline, unlocked) and
-  // wakes BlockingWait callers. Idempotent — later calls are no-ops, so
-  // continuations run at most once.
-  void Set();
-
-  bool is_set() const { return set_.load(std::memory_order_acquire); }
-
-  // Parks the calling thread until the event fires or `deadline_nanos`
-  // (NowNanos scale; < 0 = wait forever) passes. Returns is_set().
-  // Prefer Reactor::BlockOn, which drives the loop instead of parking when
-  // the caller is a driver (or no driver exists).
-  bool BlockingWait(int64_t deadline_nanos = -1);
-
- private:
-  mutable Mutex mu_;
-  CondVar cv_;
-  std::atomic<bool> set_{false};
-  std::vector<Continuation> waiters_ GUARDED_BY(mu_);
-};
 
 // The event loop: ready-queue + hashed timer wheel + driver thread pool.
 class Reactor {
@@ -166,15 +136,39 @@ class Reactor {
   size_t ready_count() const;
   size_t pending_timers() const;
 
+  // Cached metric handles for the dispatch hot path. Any pointer may be null
+  // (that signal is skipped); all-null (the default) additionally skips the
+  // per-item clock reads, so an unwired reactor pays nothing.
+  struct MetricsHooks {
+    Counter* dispatches = nullptr;        // continuations + timers run
+    Histogram* dispatch_nanos = nullptr;  // enqueue → dispatch latency
+    Histogram* timer_lag_nanos = nullptr; // fire time − deadline
+    Gauge* ready_depth = nullptr;         // ready-queue depth after dequeue
+  };
+
+  // Attaches metric handles (e.g. the fabric.reactor.* or raylet.reactor.*
+  // families). Safe while drivers run; the handles must outlive the reactor.
+  void WireMetrics(const MetricsHooks& hooks);
+
   // Stops accepting work, drains the ready-queue, drops pending timers,
   // joins drivers. Idempotent.
   void Shutdown();
 
  private:
+  // A queued continuation plus its causal baggage: the trace context active
+  // when it was posted (re-installed around the dispatch) and the enqueue
+  // timestamp for the dispatch-latency histogram (0 when metrics are
+  // unwired — no clock read on the unobserved path).
+  struct ReadyEntry {
+    Continuation fn;
+    trace::Context ctx;
+    int64_t enqueue_nanos = 0;
+  };
   struct TimerEntry {
     int64_t deadline;
     uint64_t gen;  // bumped by Rearm; stale wheel slots are skipped
     Continuation fn;
+    trace::Context ctx;
   };
   enum class WaitResult { kRan, kTimedOut, kStopped };
 
@@ -186,7 +180,7 @@ class Reactor {
   int64_t AdvanceTimersLocked(int64_t now) REQUIRES(mu_);
   bool ShouldRetire();
   void InsertTimerLocked(TimerId id, uint64_t gen, int64_t deadline,
-                         Continuation fn) REQUIRES(mu_);
+                         Continuation fn, trace::Context ctx) REQUIRES(mu_);
 
   const char* name_;
   const Options options_;
@@ -194,7 +188,8 @@ class Reactor {
   mutable Mutex mu_;
   CondVar cv_;
   bool stopped_ GUARDED_BY(mu_) = false;
-  std::deque<Continuation> ready_ GUARDED_BY(mu_);
+  MetricsHooks hooks_ GUARDED_BY(mu_);
+  std::deque<ReadyEntry> ready_ GUARDED_BY(mu_);
   std::vector<std::vector<std::pair<TimerId, uint64_t>>> wheel_ GUARDED_BY(mu_);
   std::unordered_map<TimerId, TimerEntry> timers_ GUARDED_BY(mu_);
   int64_t last_tick_ GUARDED_BY(mu_);
@@ -208,9 +203,8 @@ class Reactor {
 
 }  // namespace net
 
-// The rest of the tree uses the flat skadi:: spelling.
-using net::Continuation;
-using net::Event;
+// The rest of the tree uses the flat skadi:: spelling. (Continuation and
+// Event already live at skadi:: scope via src/common/event.h.)
 using net::Reactor;
 using net::TimerId;
 

@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "src/common/clock.h"
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
 
 namespace skadi {
+
+void OwnershipTable::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  watch_registrations_ = &registry->GetCounter(names::kOwnershipWatchRegistrations);
+  watcher_fires_ = &registry->GetCounter(names::kOwnershipWatcherFires);
+  watchers_gauge_ = &registry->GetGauge(names::kOwnershipWatchers);
+}
 
 std::vector<Continuation> OwnershipTable::TakeWatchersLocked(ObjectId id) const {
   std::vector<Continuation> out;
@@ -18,6 +29,16 @@ std::vector<Continuation> OwnershipTable::TakeWatchersLocked(ObjectId id) const 
 }
 
 void OwnershipTable::FireWatchers(std::vector<Continuation> watchers) const {
+  if (!watchers.empty()) {
+    if (watcher_fires_ != nullptr) {
+      watcher_fires_->Add(static_cast<int64_t>(watchers.size()));
+    }
+    if (watchers_gauge_ != nullptr) {
+      watchers_gauge_->Add(-static_cast<int64_t>(watchers.size()));
+    }
+    trace::Instant(names::kSpanOwnershipWatcherFire,
+                   static_cast<int64_t>(watchers.size()), "watchers");
+  }
   for (Continuation& w : watchers) {
     if (reactor_ != nullptr && reactor_->Post(w)) {
       continue;  // copy posted; a stopped reactor falls through to inline
@@ -167,6 +188,12 @@ Result<ObjectState> OwnershipTable::StateOrWatch(ObjectId id,
   }
   if (it->second.state == ObjectState::kPending) {
     watchers_[id].push_back(std::move(watcher));
+    if (watch_registrations_ != nullptr) {
+      watch_registrations_->Increment();
+    }
+    if (watchers_gauge_ != nullptr) {
+      watchers_gauge_->Add(1);
+    }
   }
   return it->second.state;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/id.h"
+#include "src/common/metrics.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/net/reactor.h"
@@ -69,6 +70,10 @@ class OwnershipTable {
   // Unset (standalone tables in unit tests), watchers run inline on the
   // thread that flips the state. Wire before concurrent use; not synchronized.
   void set_reactor(Reactor* reactor) { reactor_ = reactor; }
+
+  // Wires watcher telemetry (ownership.* registrations/fires counters + the
+  // live-watcher gauge). Same wire-before-use contract as set_reactor.
+  void set_metrics(MetricsRegistry* registry);
 
   // Creates a pending record (called at task submission for each return).
   Status RegisterObject(ObjectId id, TaskId produced_by);
@@ -145,6 +150,10 @@ class OwnershipTable {
 
   NodeId owner_;
   Reactor* reactor_ = nullptr;
+  // Cached handles (null until set_metrics); the registry outlives the table.
+  Counter* watch_registrations_ = nullptr;
+  Counter* watcher_fires_ = nullptr;
+  Gauge* watchers_gauge_ = nullptr;
   mutable Mutex mu_;
   std::unordered_map<ObjectId, OwnershipRecord> records_ GUARDED_BY(mu_);
   // Watch continuations, keyed by object; entries exist only while the

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/common/metric_names.h"
+
 namespace skadi {
 
 void Autoscaler::Start() {
@@ -48,7 +50,7 @@ void Autoscaler::Tick() {
       }
       raylet->GrowWorkers(grow);
       scale_ups_.fetch_add(static_cast<int64_t>(grow));
-      metrics_->GetCounter("autoscaler.scale_ups").Add(static_cast<int64_t>(grow));
+      metrics_->GetCounter(names::kAutoscalerScaleUps).Add(static_cast<int64_t>(grow));
       tracked.idle_ticks = 0;
       continue;
     }
@@ -59,7 +61,7 @@ void Autoscaler::Tick() {
           workers > options_.min_workers) {
         raylet->ShrinkWorkers(1);
         scale_downs_.fetch_add(1);
-        metrics_->GetCounter("autoscaler.scale_downs").Increment();
+        metrics_->GetCounter(names::kAutoscalerScaleDowns).Increment();
         tracked.idle_ticks = 0;
       }
     } else {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
 
 namespace skadi {
 
@@ -18,6 +20,20 @@ Raylet::Raylet(const ClusterNode& node, FunctionRegistry* registry, VirtualClock
 
 Raylet::~Raylet() { Shutdown(); }
 
+void Raylet::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  task_nanos_ = &registry->GetHistogram(names::kRayletTaskNanos);
+  queue_depth_gauge_ = &registry->GetGauge(names::kRayletQueueDepth);
+  Reactor::MetricsHooks hooks;
+  hooks.dispatches = &registry->GetCounter(names::kRayletReactorDispatches);
+  hooks.dispatch_nanos = &registry->GetHistogram(names::kRayletReactorDispatchNanos);
+  hooks.timer_lag_nanos = &registry->GetHistogram(names::kRayletReactorTimerLagNanos);
+  hooks.ready_depth = &registry->GetGauge(names::kRayletReactorReadyDepth);
+  workers_.WireMetrics(hooks);
+}
+
 Status Raylet::Enqueue(TaskSpec spec) {
   if (dead_.load()) {
     return Status::Unavailable("raylet on " + node_.id.ToString() + " is dead");
@@ -32,6 +48,26 @@ Status Raylet::Enqueue(TaskSpec spec) {
 }
 
 void Raylet::RunTask(TaskSpec spec) {
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_depth()));
+  }
+  // Adopt the submitting span's context (stamped into the spec by Submit) so
+  // this execution parents under the driver's flow even though it crossed
+  // the scheduler — and usually a fabric hop — to get here.
+  trace::ScopedContext adopt(spec.trace_ctx);
+  trace::TraceSpan run_span(names::kSpanRayletRunTask);
+  // Wall-time of the whole attempt, failures included (histogram records on
+  // every exit path).
+  struct TaskTimer {
+    Histogram* hist;
+    int64_t start;
+    ~TaskTimer() {
+      if (hist != nullptr) {
+        hist->Record(NowNanos() - start);
+      }
+    }
+  } timer{task_nanos_, task_nanos_ != nullptr ? NowNanos() : 0};
+
   if (dead_.load()) {
     callbacks_.fail(spec, Status::Aborted("node " + node_.id.ToString() + " died"), node_.id);
     return;
@@ -103,8 +139,13 @@ void Raylet::RunTask(TaskSpec spec) {
   // The node's worker-pool width is the task's intra-kernel thread budget; a
   // static bound (not live occupancy) so results are reproducible.
   ctx.compute_threads = std::max(1, static_cast<int>(num_workers()));
+  ctx.trace_ctx = run_span.context();
 
   Result<std::vector<Buffer>> outputs = [&]() -> Result<std::vector<Buffer>> {
+    // The body's own span separates compute from argument resolution and
+    // completion overhead in the trace (arg = modelled compute nanos).
+    trace::TraceSpan compute_span(names::kSpanRayletCompute, compute_nanos,
+                                  "compute_nanos");
     if (spec.actor.valid()) {
       ActorRecord* record = nullptr;
       {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/mutex.h"
 #include "src/hw/cost_model.h"
 #include "src/net/reactor.h"
@@ -61,6 +62,11 @@ class Raylet {
   // use the distributed task API themselves (nested tasks, puts, gets).
   void set_runtime(SkadiRuntime* runtime) { runtime_ = runtime; }
 
+  // Wires this raylet's telemetry (raylet.* metrics + the worker reactor's
+  // raylet.reactor.* family) into `registry`. Same post-construction pattern
+  // as set_runtime; call before traffic (SkadiRuntime's constructor does).
+  void set_metrics(MetricsRegistry* registry);
+
   // Queues a task for execution. Fails when the raylet is dead.
   Status Enqueue(TaskSpec spec);
 
@@ -98,6 +104,11 @@ class Raylet {
   Reactor workers_;
   std::atomic<bool> dead_{false};
   std::atomic<int64_t> tasks_executed_{0};
+
+  // Cached metric handles (null until set_metrics). Written once before
+  // traffic; the handles live in the registry, which outlives the raylet.
+  Histogram* task_nanos_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
 
   struct ActorRecord {
     explicit ActorRecord(std::shared_ptr<void> initial_state)

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
 #include "src/net/reactor.h"
 
 namespace skadi {
@@ -38,8 +40,16 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
         ref_(ref),
         dest_(dest),
         timeout_ms_(timeout_ms),
-        deadline_nanos_(NowNanos() + timeout_ms * 1'000'000),
-        done_(std::move(done)) {}
+        start_nanos_(NowNanos()),
+        deadline_nanos_(start_nanos_ + timeout_ms * 1'000'000),
+        done_(std::move(done)),
+        // The op's span opens here (under the caller's context) and closes
+        // in Finish — which may run on another thread after watcher + timer
+        // + fabric hops, exactly the case the SpanHandle shape exists for.
+        span_(trace::BeginSpan(mode == Mode::kDriverGet
+                                   ? names::kSpanRuntimeGet
+                                   : names::kSpanRuntimeResolveArg,
+                               trace::CurrentContext())) {}
 
   Reactor& reactor() { return rt_->cluster_->fabric().reactor(); }
 
@@ -61,6 +71,9 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
   }
 
   void Step() {
+    // Each Step hop (watcher fire, backoff timer, inline probe) re-enters
+    // under the op's span so retries and nested fetches stay in the tree.
+    trace::ScopedContext adopt(span_.ctx);
     for (;;) {
       if (finished_.load(std::memory_order_acquire)) {
         return;
@@ -99,6 +112,9 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
           }
           // Lineage recovery re-arms the object to pending; retry on a wheel
           // timer with capped exponential backoff (was a sleep_for loop).
+          rt_->metrics().GetCounter(names::kRuntimeLostRetries).Increment();
+          trace::Instant(names::kSpanRuntimeLostRetry, backoff_nanos_,
+                         "backoff_nanos");
           const int64_t delay = backoff_nanos_;
           backoff_nanos_ = std::min<int64_t>(backoff_nanos_ * 2, 16'000'000);
           if (reactor().ScheduleAfter(delay, [self] { self->Step(); }) != 0) {
@@ -116,6 +132,8 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
       rt_->ControlMessage(rt_->head(), ref_.owner);
     }
     auto self = shared_from_this();
+    // Called under Step's ScopedContext, so the cache's own span parents
+    // under this op; the completion re-adopts in Finish.
     rt_->cluster_->cache().GetAsync(
         ref_.id, dest_, /*cache_locally=*/false,
         [self](Result<Buffer> fetched) { self->Finish(std::move(fetched)); });
@@ -141,6 +159,15 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
     if (t != 0 && t != kTimerDone) {
       reactor().Cancel(t);
     }
+    if (mode_ == Mode::kDriverGet) {
+      rt_->metrics()
+          .GetHistogram(names::kRuntimeGetNanos)
+          .Record(NowNanos() - start_nanos_);
+    }
+    trace::EndSpan(span_, result.ok() ? 1 : 0, "ok");
+    // Run the user continuation under the op's context so whatever it posts
+    // next (often the rest of the driver flow) stays in the tree.
+    trace::ScopedContext adopt(span_.ctx);
     done_(std::move(result));
   }
 
@@ -150,8 +177,10 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
   TaskId task_;  // arg mode: consumer task, for error messages
   const NodeId dest_;
   const int64_t timeout_ms_;
+  const int64_t start_nanos_;
   const int64_t deadline_nanos_;
   std::function<void(Result<Buffer>)> done_;
+  trace::SpanHandle span_;
   std::atomic<bool> finished_{false};
   std::atomic<TimerId> deadline_timer_{0};
   int lost_rounds_ = 0;
@@ -214,7 +243,11 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
   autoscaler_ = std::make_unique<Autoscaler>(options_.autoscaler, &metrics());
   for (auto& [id, raylet] : raylets_) {
     raylet->set_runtime(this);
+    raylet->set_metrics(&metrics());
     autoscaler_->Register(raylet.get());
+  }
+  for (auto& [id, table] : ownership_) {
+    table->set_metrics(&metrics());
   }
   autoscaler_->Start();
 }
@@ -252,7 +285,7 @@ int SkadiRuntime::ControlMessage(NodeId from, NodeId to, int64_t payload_bytes) 
     // counts the message. Ignore NotFound against just-killed nodes.
     (void)cluster_->fabric().Call(src, dst, "ctrl",
                                   Buffer::Zeros(static_cast<size_t>(payload_bytes)));
-    metrics().GetCounter("runtime.control_hops").Increment();
+    metrics().GetCounter(names::kRuntimeControlHops).Increment();
     ++hops;
   };
 
@@ -284,6 +317,14 @@ Result<std::vector<ObjectRef>> SkadiRuntime::Submit(TaskSpec spec) {
   if (spec.num_returns < 0) {
     return Status::InvalidArgument("num_returns must be >= 0");
   }
+  // The submit span is the anchor of the task's causal tree: its context is
+  // stamped into the spec and re-adopted by whichever raylet (and node) ends
+  // up running the task.
+  trace::TraceSpan submit_span(names::kSpanRuntimeSubmit);
+  // CurrentContext(), not submit_span.context(): when this flow's root was
+  // unsampled, the TLS carries the unsampled marker and the spec must ship
+  // it so the raylet side doesn't start a fresh root for this task.
+  spec.trace_ctx = trace::CurrentContext();
   spec.id = TaskId::Next();
   spec.owner = cluster_->head();
   spec.returns.clear();
@@ -302,7 +343,7 @@ Result<std::vector<ObjectRef>> SkadiRuntime::Submit(TaskSpec spec) {
       object_owner_[ref.id] = ref.owner;
     }
   }
-  metrics().GetCounter("runtime.tasks_submitted").Increment();
+  metrics().GetCounter(names::kRuntimeTasksSubmitted).Increment();
   SKADI_RETURN_IF_ERROR(scheduler_->Submit(std::move(spec)));
   return refs;
 }
@@ -376,7 +417,7 @@ Status SkadiRuntime::DispatchToNode(const TaskSpec& spec, NodeId target) {
         // cache_locally=true: the transfer lands the value in the consumer's
         // store, making the consume-side read local.
         (void)cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
-        metrics().GetCounter("runtime.pushes").Increment();
+        metrics().GetCounter(names::kRuntimePushes).Increment();
       }
     }
   }
@@ -390,7 +431,7 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
   // lucky locality placement).
   LocalObjectStore* store = cluster_->cache().StoreOf(at);
   if (store != nullptr && store->Contains(ref.id)) {
-    metrics().GetCounter("runtime.resolve_local_hits").Increment();
+    metrics().GetCounter(names::kRuntimeResolveLocalHits).Increment();
     return cluster_->cache().Get(ref.id, at);
   }
 
@@ -398,7 +439,7 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
     // Push mode should have delivered the value before dispatch; reaching
     // here means the object lives remotely without a local copy (e.g. a
     // replica eviction). Fall through to a pull-style fetch.
-    metrics().GetCounter("runtime.push_misses").Increment();
+    metrics().GetCounter(names::kRuntimePushMisses).Increment();
   }
 
   // Pull protocol: a costed control round trip to the owner's ownership
@@ -406,7 +447,7 @@ Result<Buffer> SkadiRuntime::ResolveArg(const ObjectRef& ref, const TaskSpec& sp
   // GetOp on the fabric reactor (lost objects retry on a wheel timer, not a
   // sleep loop); this worker thread parks on the completion Event.
   ControlMessage(at, ref.owner);
-  metrics().GetCounter("runtime.pull_resolutions").Increment();
+  metrics().GetCounter(names::kRuntimePullResolutions).Increment();
 
   const int64_t timeout_ms = options_.default_get_timeout_ms;
   auto ev = std::make_shared<Event>();
@@ -452,6 +493,9 @@ void SkadiRuntime::UnpinArg(const ObjectRef& ref, NodeId at) {
 
 Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outputs,
                                   NodeId at) {
+  // Runs on the executing raylet's worker under RunTask's ScopedContext, so
+  // this span sits inside the task's run span.
+  trace::TraceSpan complete_span(names::kSpanRuntimeCompleteTask);
   const ClusterNode* node = cluster_->node(at);
   OwnershipTable& table = ownership(spec.owner);
 
@@ -486,7 +530,7 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
       for (const ConsumerRegistration& consumer : *consumers) {
         ControlMessage(spec.owner, consumer.node);
         (void)cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
-        metrics().GetCounter("runtime.pushes").Increment();
+        metrics().GetCounter(names::kRuntimePushes).Increment();
       }
     }
 
@@ -495,13 +539,13 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
     scheduler_->OnObjectReady(oid);
   }
 
-  metrics().GetCounter("runtime.tasks_completed").Increment();
+  metrics().GetCounter(names::kRuntimeTasksCompleted).Increment();
   scheduler_->OnTaskFinished(spec.id);
   return Status::Ok();
 }
 
 void SkadiRuntime::FailTask(const TaskSpec& spec, const Status& status, NodeId at) {
-  metrics().GetCounter("runtime.tasks_failed").Increment();
+  metrics().GetCounter(names::kRuntimeTasksFailed).Increment();
   SKADI_LOG(kInfo) << "task " << spec.id << " (" << spec.function
                    << ") failed: " << status.ToString();
   if (status.code() == StatusCode::kAborted) {
@@ -620,7 +664,7 @@ Status SkadiRuntime::KillNode(NodeId node) {
     return Status::NotFound("no raylet on " + node.ToString());
   }
   SKADI_LOG(kInfo) << "killing node " << node;
-  metrics().GetCounter("runtime.nodes_killed").Increment();
+  metrics().GetCounter(names::kRuntimeNodesKilled).Increment();
 
   // 1. Stop the node: raylet rejects work, fabric rejects messages.
   r->Kill();
@@ -679,7 +723,7 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
       auto produced = ownership(owner).ProducedBy(oid);
       if (!produced.ok() || !produced->valid()) {
         // Driver Put without lineage: unrecoverable; leave kLost.
-        metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+        metrics().GetCounter(names::kRuntimeUnrecoverableObjects).Increment();
         continue;
       }
       producer = *produced;
@@ -690,7 +734,7 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
       MutexLock lock(mu_);
       auto lit = lineage_.find(producer);
       if (lit == lineage_.end()) {
-        metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+        metrics().GetCounter(names::kRuntimeUnrecoverableObjects).Increment();
         continue;
       }
       spec = lit->second;
@@ -719,18 +763,18 @@ void SkadiRuntime::RecoverLostObjects(const std::vector<ObjectId>& lost) {
   }
 
   for (auto& [task, spec] : to_resubmit) {
-    metrics().GetCounter("runtime.lineage_reexecutions").Increment();
+    metrics().GetCounter(names::kRuntimeLineageReexecutions).Increment();
     Status resubmitted = scheduler_->Submit(spec);
     if (!resubmitted.ok()) {
       SKADI_LOG(kWarn) << "lineage re-execution of " << task
                        << " failed: " << resubmitted.ToString();
-      metrics().GetCounter("runtime.unrecoverable_objects").Increment();
+      metrics().GetCounter(names::kRuntimeUnrecoverableObjects).Increment();
     }
   }
 }
 
 int64_t SkadiRuntime::control_hops() const {
-  return const_cast<SkadiRuntime*>(this)->metrics().GetCounter("runtime.control_hops").value();
+  return const_cast<SkadiRuntime*>(this)->metrics().GetCounter(names::kRuntimeControlHops).value();
 }
 
 }  // namespace skadi

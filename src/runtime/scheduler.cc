@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/common/metric_names.h"
+#include "src/common/trace.h"
 
 namespace skadi {
 
@@ -146,14 +148,14 @@ Status Scheduler::Submit(TaskSpec spec) {
     MutexLock lock(mu_);
     if (!spec.gang_group.empty()) {
       gangs_[spec.gang_group].push_back(std::move(spec));
-      metrics_->GetCounter("scheduler.gang_buffered").Increment();
+      metrics_->GetCounter(names::kSchedulerGangBuffered).Increment();
       TryDispatchLocked(to_dispatch);
     } else {
       int unresolved = 0;
       if (DepsReadyLocked(spec, &unresolved)) {
         to_dispatch.push_back(std::move(spec));
       } else {
-        metrics_->GetCounter("scheduler.parked").Increment();
+        metrics_->GetCounter(names::kSchedulerParked).Increment();
         TaskId id = spec.id;
         for (const TaskArg& arg : spec.args) {
           if (arg.is_ref() && ready_objects_.count(arg.ref().id) == 0) {
@@ -164,6 +166,8 @@ Status Scheduler::Submit(TaskSpec spec) {
       }
     }
   }
+  metrics_->GetGauge(names::kSchedulerPendingDepth)
+      .Set(static_cast<int64_t>(pending_tasks()));
   DispatchAll(std::move(to_dispatch));
   return Status::Ok();
 }
@@ -198,7 +202,7 @@ void Scheduler::TryDispatchLocked(std::vector<TaskSpec>& out_ready) {
       ++it;
       continue;
     }
-    metrics_->GetCounter("scheduler.gangs_dispatched").Increment();
+    metrics_->GetCounter(names::kSchedulerGangsDispatched).Increment();
     for (TaskSpec& m : members) {
       out_ready.push_back(std::move(m));
     }
@@ -208,6 +212,11 @@ void Scheduler::TryDispatchLocked(std::vector<TaskSpec>& out_ready) {
 
 void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
   for (TaskSpec& spec : specs) {
+    // Re-dispatches (object-ready wakeups, failover) run far from the
+    // submitting stack, so adopt the spec's stamped context rather than
+    // whatever this thread happens to be doing.
+    trace::ScopedContext adopt(spec.trace_ctx);
+    trace::TraceSpan dispatch_span(names::kSpanSchedulerDispatch);
     // Pick a node, record in-flight state, then dispatch outside the lock.
     Status unschedulable_status;
     for (int attempt = 0; attempt < 8; ++attempt) {
@@ -218,7 +227,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
         if (!picked.ok()) {
           SKADI_LOG(kWarn) << "task " << spec.id << " unschedulable: "
                            << picked.status().ToString();
-          metrics_->GetCounter("scheduler.unschedulable").Increment();
+          metrics_->GetCounter(names::kSchedulerUnschedulable).Increment();
           unschedulable_status = picked.status();
           target = NodeId();
         } else {
@@ -233,7 +242,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
       }
       Status st = dispatch_(spec, target);
       if (st.ok()) {
-        metrics_->GetCounter("scheduler.dispatched").Increment();
+        metrics_->GetCounter(names::kSchedulerDispatched).Increment();
         unschedulable_status = Status::Ok();
         break;
       }
@@ -250,7 +259,7 @@ void Scheduler::DispatchAll(std::vector<TaskSpec> specs) {
                                     [&](const SchedulableNode& n) { return n.id == target; }),
                      nodes_.end());
       }
-      metrics_->GetCounter("scheduler.dispatch_retries").Increment();
+      metrics_->GetCounter(names::kSchedulerDispatchRetries).Increment();
     }
     if (!unschedulable_status.ok() && unschedulable_) {
       // Terminal placement failure: surface it so the task's futures resolve
@@ -281,6 +290,8 @@ void Scheduler::OnObjectReady(ObjectId id) {
     }
     TryDispatchLocked(to_dispatch);
   }
+  metrics_->GetGauge(names::kSchedulerPendingDepth)
+      .Set(static_cast<int64_t>(pending_tasks()));
   DispatchAll(std::move(to_dispatch));
 }
 
@@ -327,7 +338,7 @@ void Scheduler::OnTaskAborted(const TaskSpec& spec, NodeId at) {
     nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
                                 [&](const SchedulableNode& n) { return n.id == at; }),
                  nodes_.end());
-    metrics_->GetCounter("scheduler.abort_redispatches").Increment();
+    metrics_->GetCounter(names::kSchedulerAbortRedispatches).Increment();
     TryDispatchLocked(to_redispatch);  // the freed slot may release a gang
   }
   DispatchAll(std::move(to_redispatch));
@@ -353,7 +364,7 @@ void Scheduler::OnNodeFailure(NodeId node) {
       }
     }
     inflight_.erase(node);
-    metrics_->GetCounter("scheduler.failover_redispatches")
+    metrics_->GetCounter(names::kSchedulerFailoverRedispatches)
         .Add(static_cast<int64_t>(to_redispatch.size()));
   }
   DispatchAll(std::move(to_redispatch));

@@ -16,6 +16,7 @@
 #include "src/common/id.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/hw/device.h"
 #include "src/ownership/object_ref.h"
 
@@ -88,6 +89,14 @@ struct TaskSpec {
   // Modelled compute time override; <0 means "use the cost model with the
   // actual input bytes". Microbenchmark ops use this for exact durations.
   int64_t fixed_compute_nanos = -1;
+
+  // Causal trace coordinates of the submitting span (DESIGN.md §12).
+  // Stamped by SkadiRuntime::Submit, adopted by Raylet::RunTask — the leg of
+  // span propagation that crosses the scheduler and fabric, so a task's
+  // execution parents under its submission even on another node. Invalid
+  // (all-zero) when tracing is off, which every span site treats as "no
+  // parent".
+  trace::Context trace_ctx;
 };
 
 // Execution-time context handed to the function body.
@@ -104,6 +113,10 @@ struct TaskContext {
   int compute_threads = 1;
   // Non-null for actor tasks: the actor's mutable state cell.
   std::shared_ptr<void>* actor_state = nullptr;
+  // The executing task's span (child of the submit span); bodies that start
+  // their own spans while the raylet's ScopedContext is installed parent
+  // here automatically, this field is for explicit cross-hop hand-offs.
+  trace::Context trace_ctx;
 };
 
 // A task body: consumes materialized argument buffers, returns output

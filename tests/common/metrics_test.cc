@@ -104,5 +104,104 @@ TEST(MetricsRegistryTest, ReferencesStableAcrossLookups) {
   EXPECT_EQ(&first, &registry.GetCounter("stable"));
 }
 
+// Regression (ISSUE 8 satellite): q = 1.0 makes target == count, which the
+// `seen > target` scan could never satisfy, so the loop fell through to the
+// 1 << 62 sentinel instead of the max bucket.
+TEST(HistogramTest, QuantileAtOneReturnsMaxBucketNotSentinel) {
+  Histogram h;
+  h.Record(1000);  // bucket 9 ([512, 1024)) -> upper bound 1024
+  EXPECT_EQ(h.QuantileNanos(1.0), 1024);
+  for (int i = 0; i < 100; ++i) {
+    h.Record(1000);
+  }
+  EXPECT_EQ(h.QuantileNanos(1.0), 1024);
+  EXPECT_LT(h.QuantileNanos(1.0), int64_t{1} << 62);
+}
+
+// Bucket edges: bucket i holds [2^i, 2^(i+1)), and QuantileNanos reports the
+// bucket's upper bound.
+TEST(HistogramTest, BucketBoundaries) {
+  {
+    Histogram h;
+    h.Record(0);  // bucket 0 -> upper bound 2
+    EXPECT_EQ(h.QuantileNanos(0.5), 2);
+  }
+  {
+    Histogram h;
+    h.Record(1);  // still bucket 0
+    EXPECT_EQ(h.QuantileNanos(0.5), 2);
+  }
+  for (int i = 1; i <= 40; ++i) {
+    Histogram h;
+    h.Record(int64_t{1} << i);  // exactly on the edge: bucket i
+    EXPECT_EQ(h.QuantileNanos(0.5), int64_t{1} << (i + 1)) << "edge 2^" << i;
+    Histogram below;
+    below.Record((int64_t{1} << i) - 1);  // one below the edge: bucket i-1
+    EXPECT_EQ(below.QuantileNanos(0.5), int64_t{1} << i) << "below 2^" << i;
+  }
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(3);
+  g.Add(-9);
+  EXPECT_EQ(g.value(), 1);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsRegistryTest, GaugesSnapshotAndReset) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth").Set(4);
+  auto snapshot = registry.SnapshotGauges();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "depth");
+  EXPECT_EQ(snapshot[0].second, 4);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetGauge("depth").value(), 0);
+}
+
+TEST(MetricsRegistryTest, JsonDumpContainsAllThreeSurfaces) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.hits").Add(2);
+  registry.GetGauge("g.depth").Set(-3);
+  registry.GetHistogram("h.lat").Record(1000);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g.depth\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// Registry lookups race with updates from other threads (the scheduler and
+// raylet paths do exactly this); run under the TSan matrix.
+TEST(MetricsRegistryTest, ConcurrentMixedLookupsAndUpdates) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 2000; ++i) {
+        registry.GetCounter("shared.counter").Increment();
+        registry.GetGauge("shared.gauge").Add(i % 2 == 0 ? 1 : -1);
+        registry.GetHistogram("shared.hist").Record(i);
+        registry.GetCounter("private.counter." + std::to_string(t)).Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.GetCounter("shared.counter").value(), 16000);
+  EXPECT_EQ(registry.GetGauge("shared.gauge").value(), 0);
+  EXPECT_EQ(registry.GetHistogram("shared.hist").count(), 16000);
+  EXPECT_FALSE(registry.ToJson().empty());
+}
+
 }  // namespace
 }  // namespace skadi

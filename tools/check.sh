@@ -33,6 +33,22 @@ run_mode() {
   # TSan needs to watch.
   echo "==> [$name] bench_reactor smoke"
   SKADI_BENCH_SMOKE=1 "$dir/bench/bench_reactor" > /dev/null
+  # One-iteration trace smoke (4096 posts, tracing off + on): drives span
+  # recording into the per-thread rings and the context carry across
+  # reactor hops under each sanitizer (the rings' relaxed-atomic slots are
+  # exactly what TSan needs to certify).
+  echo "==> [$name] bench_trace smoke"
+  SKADI_BENCH_SMOKE=1 "$dir/bench/bench_trace" > /dev/null
+  # The trace-plane integration test (part of ctest above) wrote a Perfetto
+  # capture of the cross-node Submit->run->Get flow; require it to be one
+  # connected span tree with every stage present.
+  echo "==> [$name] trace capture validation"
+  python3 tools/trace.py "$dir/tests/trace_plane.trace.json" \
+    --require-connected \
+    --require-span runtime.submit \
+    --require-span scheduler.dispatch \
+    --require-span raylet.run_task \
+    --require-span runtime.get
 }
 
 # Whole-program analyzer, standalone, before the build matrix: fastest

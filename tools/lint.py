@@ -29,6 +29,15 @@ Checks:
                     hot path must alias instead (Buffer::Wrap / Slice,
                     BufferReader views). Escape hatch:
                     `// lint:allow zero-copy-hot-path (<reason>)`.
+  metric-name       string literals passed directly to GetCounter / GetGauge /
+                    GetHistogram / TraceSpan / BeginSpan / Instant in src/
+                    must be declared in src/common/metric_names.h (pass the
+                    names:: constant instead — a typo then fails the build,
+                    not forks a time series), and every name declared there
+                    must be dot-case (`seg.seg`, lowercase_with_underscores
+                    segments; a trailing dot marks a prefix family). Tests
+                    and benches may use ad-hoc literal names. Escape hatch:
+                    `// lint:allow metric-name (<reason>)`.
 
 Usage: lint.py [--root REPO_ROOT] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -95,12 +104,32 @@ STATUS_RETURNING = {
 STRING_OR_COMMENT_RE = re.compile(
     r'"(?:\\.|[^"\\])*"|\'(?:\\.|[^\'\\])*\'|//[^\n]*|/\*.*?\*/', re.DOTALL)
 
+# Metric/span name hygiene: literals at these call sites must be declared
+# constants; names:: constants and computed names pass through untouched.
+METRIC_NAME_FILE = os.path.join("src", "common", "metric_names.h")
+METRIC_CALL_RE = re.compile(
+    r'\b(GetCounter|GetGauge|GetHistogram|TraceSpan|BeginSpan|Instant)\s*'
+    r'\(\s*"((?:\\.|[^"\\])*)"')
+METRIC_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*"((?:\\.|[^"\\])*)"')
+DOT_CASE_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.?$")
+
 
 def strip_strings_and_comments(text):
     """Blanks out string/char literals and comments, preserving offsets."""
     def repl(m):
         s = m.group(0)
         return "".join(c if c == "\n" else " " for c in s)
+    return STRING_OR_COMMENT_RE.sub(repl, text)
+
+
+def strip_comments_keep_strings(text):
+    """Blanks out comments only, preserving offsets and string literals."""
+    def repl(m):
+        s = m.group(0)
+        if s.startswith("/"):
+            return "".join(c if c == "\n" else " " for c in s)
+        return s
     return STRING_OR_COMMENT_RE.sub(repl, text)
 
 
@@ -113,6 +142,20 @@ class Linter:
     def __init__(self, root):
         self.root = root
         self.findings = []
+        self._metric_names = None  # lazy (declared names, prefix families)
+
+    def metric_names(self):
+        if self._metric_names is None:
+            declared, prefixes = set(), set()
+            path = os.path.join(self.root, METRIC_NAME_FILE)
+            if os.path.isfile(path):
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for m in METRIC_DECL_RE.finditer(
+                            strip_comments_keep_strings(f.read())):
+                        name = m.group(1)
+                        (prefixes if name.endswith(".") else declared).add(name)
+            self._metric_names = (declared, prefixes)
+        return self._metric_names
 
     def report(self, path, lineno, rule, message):
         rel = os.path.relpath(path, self.root)
@@ -137,6 +180,10 @@ class Linter:
         if rel in ZERO_COPY_HOT_PATHS or any(
                 rel.startswith(p) for p in ZERO_COPY_HOT_PATHS if p.endswith(os.sep)):
             self.check_zero_copy_hot_path(path, raw_lines, lines)
+        if rel == METRIC_NAME_FILE:
+            self.check_metric_name_decls(path, raw)
+        elif rel.startswith("src" + os.sep):
+            self.check_metric_names(path, raw, raw_lines)
 
     def check_include_guard(self, path, raw):
         if not (INCLUDE_GUARD_RE.search(raw) or PRAGMA_ONCE_RE.search(raw)):
@@ -207,6 +254,36 @@ class Linter:
                             f"Buffer::From{m.group(1)}() copies the payload; the "
                             "data plane must alias (Buffer::Wrap/Slice) — or "
                             "annotate `// lint:allow zero-copy-hot-path (reason)`")
+
+    def check_metric_name_decls(self, path, raw):
+        # metric_names.h itself: every declared name must be dot-case.
+        text = strip_comments_keep_strings(raw)
+        for m in METRIC_DECL_RE.finditer(text):
+            name = m.group(1)
+            if not DOT_CASE_RE.match(name):
+                lineno = text.count("\n", 0, m.start()) + 1
+                self.report(path, lineno, "metric-name",
+                            f'declared name "{name}" is not dot-case '
+                            "(lowercase segments joined by dots; trailing dot "
+                            "only for prefix families)")
+
+    def check_metric_names(self, path, raw, raw_lines):
+        declared, prefixes = self.metric_names()
+        text = strip_comments_keep_strings(raw)
+        for m in METRIC_CALL_RE.finditer(text):
+            lineno = text.count("\n", 0, m.start()) + 1
+            if line_allows(raw_lines[lineno - 1], "metric-name"):
+                continue
+            call, name = m.group(1), m.group(2)
+            if name in declared:
+                continue
+            if any(name.startswith(p) for p in prefixes):
+                continue
+            self.report(path, lineno, "metric-name",
+                        f'{call}("{name}"): literal metric/span name not '
+                        f"declared in {METRIC_NAME_FILE}; pass the names:: "
+                        "constant (or annotate "
+                        "`// lint:allow metric-name (reason)`)")
 
     def check_discarded_status(self, path, raw_lines, lines):
         call_re = re.compile(

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validates and summarizes skadi Chrome-trace JSON dumps.
+
+skadi::trace::WriteChromeTrace emits Chrome-trace ("traceEvents") JSON that
+loads directly in ui.perfetto.dev or chrome://tracing. This tool is the
+scriptable half: it checks that a dump is structurally sound and that the
+span graph is causally connected — the property the tracing plane exists to
+provide (parent links must survive reactor continuation hops and fabric
+crossings).
+
+Usage:
+  tools/trace.py TRACE.json                 # validate + summary
+  tools/trace.py TRACE.json --tree          # print the span forest
+  tools/trace.py TRACE.json --require-span runtime.submit \
+                 --require-connected       # CI assertions (exit 1 on fail)
+
+Checks performed (always):
+  * file parses as JSON with a traceEvents list;
+  * every event has name/ph/pid/tid/ts, "X" events have dur;
+  * span events carry args.trace/span/parent;
+  * every non-zero parent id refers to a span present in the dump
+    (no dangling parents — a broken context hand-off shows up here).
+
+--require-connected additionally asserts that every trace id forms ONE
+connected span tree (a single root; all other spans reach it via parent
+links). --require-span NAME asserts at least one span with that name exists
+(repeatable).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise SystemExit(f"{path}: not a Chrome-trace document (no traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: traceEvents is not a list")
+    return events
+
+
+def validate(events):
+    """Returns (spans, errors). spans: list of dicts with trace/span/parent."""
+    errors = []
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event[{i}]: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in e:
+                errors.append(f"event[{i}] ({e.get('name', '?')}): missing {key}")
+        ph = e.get("ph")
+        if ph == "X" and "dur" not in e:
+            errors.append(f"event[{i}] ({e.get('name', '?')}): X event missing dur")
+        if ph in ("X", "i") and e.get("cat") != "flow":
+            args = e.get("args", {})
+            missing = [k for k in ("trace", "span", "parent") if k not in args]
+            if missing:
+                errors.append(
+                    f"event[{i}] ({e.get('name', '?')}): args missing {missing}")
+            elif ph == "X":
+                spans.append({
+                    "name": e["name"],
+                    "tid": e.get("tid"),
+                    "ts": e.get("ts", 0),
+                    "dur": e.get("dur", 0),
+                    "trace": args["trace"],
+                    "span": args["span"],
+                    "parent": args["parent"],
+                })
+    ids = {s["span"] for s in spans}
+    for s in spans:
+        if s["parent"] != 0 and s["parent"] not in ids:
+            errors.append(
+                f"span {s['name']} (id {s['span']}): dangling parent {s['parent']}")
+    return spans, errors
+
+
+def connectivity(spans):
+    """Maps trace id -> (roots, total spans) after following parent links."""
+    by_trace = defaultdict(list)
+    for s in spans:
+        by_trace[s["trace"]].append(s)
+    out = {}
+    for trace_id, members in by_trace.items():
+        ids = {s["span"] for s in members}
+        roots = [s for s in members if s["parent"] == 0 or s["parent"] not in ids]
+        out[trace_id] = (roots, members)
+    return out
+
+
+def print_tree(spans):
+    children = defaultdict(list)
+    by_id = {s["span"]: s for s in spans}
+    roots = []
+    for s in sorted(spans, key=lambda s: s["ts"]):
+        if s["parent"] != 0 and s["parent"] in by_id:
+            children[s["parent"]].append(s)
+        else:
+            roots.append(s)
+
+    def walk(s, depth):
+        print(f"{'  ' * depth}{s['name']}  [tid {s['tid']}] "
+              f"dur={s['dur']:.1f}us span={s['span']}")
+        for c in children[s["span"]]:
+            walk(c, depth + 1)
+
+    for r in roots:
+        print(f"-- trace {r['trace']} --")
+        walk(r, 1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="Chrome-trace JSON file to check")
+    ap.add_argument("--tree", action="store_true", help="print the span forest")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME", help="fail unless a span with NAME exists")
+    ap.add_argument("--require-connected", action="store_true",
+                    help="fail unless every trace forms one connected tree")
+    args = ap.parse_args()
+
+    events = load(args.trace)
+    spans, errors = validate(events)
+
+    names = defaultdict(int)
+    for s in spans:
+        names[s["name"]] += 1
+
+    for name in args.require_span:
+        if names.get(name, 0) == 0:
+            errors.append(f"required span missing: {name}")
+
+    traces = connectivity(spans)
+    if args.require_connected:
+        for trace_id, (roots, members) in traces.items():
+            if len(roots) != 1:
+                errors.append(
+                    f"trace {trace_id}: {len(roots)} roots over "
+                    f"{len(members)} spans (expected one connected tree)")
+
+    print(f"{args.trace}: {len(events)} events, {len(spans)} spans, "
+          f"{len(traces)} traces")
+    for name in sorted(names):
+        print(f"  {names[name]:6d}  {name}")
+    cross_thread = sum(1 for e in events
+                       if isinstance(e, dict) and e.get("cat") == "flow"
+                       and e.get("ph") == "s")
+    print(f"  {cross_thread:6d}  cross-thread parent links (flow arrows)")
+
+    if args.tree:
+        print_tree(spans)
+
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for err in errors[:50]:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
