@@ -23,8 +23,8 @@ Result<GraphMeta> LoadGraphMeta(SkadiRuntime* runtime,
                                 const std::vector<ObjectRef>& edge_partitions) {
   GraphMeta meta;
   std::set<int64_t> vertex_set;
-  for (const ObjectRef& ref : edge_partitions) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime->Get(ref));
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> buffers, runtime->GetAll(edge_partitions));
+  for (const Buffer& buffer : buffers) {
     SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(buffer));
     const Column* src = batch.ColumnByName("src");
     const Column* dst = batch.ColumnByName("dst");
@@ -121,9 +121,11 @@ Result<RecordBatch> RunContributionRound(SkadiRuntime* runtime, FunctionRegistry
   inputs[shares_v] = {shares_ref};
   SKADI_ASSIGN_OR_RETURN(GraphRunResult run, executor.RunToCompletion(physical, inputs));
 
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> buffers,
+                         runtime->GetAll(run.sink_outputs.at(final_v)));
   std::vector<RecordBatch> pieces;
-  for (const ObjectRef& ref : run.sink_outputs.at(final_v)) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime->Get(ref));
+  pieces.reserve(buffers.size());
+  for (const Buffer& buffer : buffers) {
     SKADI_ASSIGN_OR_RETURN(RecordBatch piece, DeserializeBatchIpc(buffer));
     pieces.push_back(std::move(piece));
   }
@@ -207,8 +209,9 @@ Result<RecordBatch> ConnectedComponents(SkadiRuntime* runtime, FunctionRegistry*
   // Build the reversed edge partitions once so label propagation is
   // effectively undirected.
   std::vector<ObjectRef> undirected = edge_partitions;
-  for (const ObjectRef& ref : edge_partitions) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime->Get(ref));
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> edge_buffers,
+                         runtime->GetAll(edge_partitions));
+  for (const Buffer& buffer : edge_buffers) {
     SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(buffer));
     std::vector<ProjectionSpec> swap = {{Expr::Col("dst"), "src"},
                                         {Expr::Col("src"), "dst"}};

@@ -94,8 +94,13 @@ Result<MlModel> TrainModel(SkadiRuntime* runtime, FunctionRegistry* registry,
   // Shard row counts (for gradient normalization).
   int64_t total_rows = 0;
   std::vector<int64_t> shard_rows;
+  std::vector<ObjectRef> y_refs;
+  y_refs.reserve(shards.size());
   for (const auto& [x_ref, y_ref] : shards) {
-    SKADI_ASSIGN_OR_RETURN(Buffer y_buffer, runtime->Get(y_ref));
+    y_refs.push_back(y_ref);
+  }
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> y_buffers, runtime->GetAll(y_refs));
+  for (const Buffer& y_buffer : y_buffers) {
     SKADI_ASSIGN_OR_RETURN(Tensor y, DeserializeTensor(y_buffer));
     shard_rows.push_back(y.rows());
     total_rows += y.rows();
@@ -191,10 +196,12 @@ Result<MlModel> TrainModel(SkadiRuntime* runtime, FunctionRegistry* registry,
       SKADI_ASSIGN_OR_RETURN(Buffer w_buffer, runtime->Get(snap[0]));
       SKADI_ASSIGN_OR_RETURN(model.weights, DeserializeTensor(w_buffer));
     } else {
-      // Average the (unscaled) shard gradients: sum / total_rows.
+      // Average the (unscaled) shard gradients: sum / total_rows. All shard
+      // gradients resolve concurrently; the fold itself stays on the driver.
       Tensor grad = Tensor::Zeros({feature_dim, 1});
-      for (const ObjectRef& ref : grad_refs) {
-        SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime->Get(ref));
+      SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> grad_buffers,
+                             runtime->GetAll(grad_refs));
+      for (const Buffer& buffer : grad_buffers) {
         SKADI_ASSIGN_OR_RETURN(Tensor shard_grad, DeserializeTensor(buffer));
         SKADI_ASSIGN_OR_RETURN(grad, Add(grad, shard_grad));
       }

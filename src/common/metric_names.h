@@ -27,6 +27,11 @@ inline constexpr char kRuntimeUnrecoverableObjects[] = "runtime.unrecoverable_ob
 inline constexpr char kRuntimeLineageReexecutions[] = "runtime.lineage_reexecutions";
 inline constexpr char kRuntimeLostRetries[] = "runtime.lost_retries";
 inline constexpr char kRuntimeGetNanos[] = "runtime.get_nanos";
+// Batched resolution pushes (DESIGN.md §13): fabric messages sent carrying a
+// batch, and object-consumer entries carried. entries - batches = control
+// messages saved vs the one-message-per-push protocol.
+inline constexpr char kRuntimePushBatches[] = "runtime.push_batches";
+inline constexpr char kRuntimePushBatchedEntries[] = "runtime.push_batched_entries";
 
 // --- scheduler ---
 inline constexpr char kSchedulerDispatched[] = "scheduler.dispatched";
@@ -38,6 +43,10 @@ inline constexpr char kSchedulerDispatchRetries[] = "scheduler.dispatch_retries"
 inline constexpr char kSchedulerAbortRedispatches[] = "scheduler.abort_redispatches";
 inline constexpr char kSchedulerFailoverRedispatches[] = "scheduler.failover_redispatches";
 inline constexpr char kSchedulerPendingDepth[] = "scheduler.pending_depth";
+inline constexpr char kSchedulerStealCount[] = "scheduler.steal_count";
+// Prefix family: per-raylet dispatch-queue depth gauge, full name is
+// prefix + NodeId::ToString(), e.g. "scheduler.queue_depth.node-3".
+inline constexpr char kSchedulerQueueDepthPrefix[] = "scheduler.queue_depth.";
 
 // --- raylet (worker pool + task execution) ---
 inline constexpr char kRayletTaskNanos[] = "raylet.task_nanos";
@@ -73,6 +82,7 @@ inline constexpr char kCacheSpillBytes[] = "cache.spill_bytes";
 inline constexpr char kOwnershipWatchRegistrations[] = "ownership.watch_registrations";
 inline constexpr char kOwnershipWatcherFires[] = "ownership.watcher_fires";
 inline constexpr char kOwnershipWatchers[] = "ownership.watchers";
+inline constexpr char kOwnershipShardLockWaits[] = "ownership.shard_lock_waits";
 
 // --- autoscaler / core ---
 inline constexpr char kAutoscalerScaleUps[] = "autoscaler.scale_ups";

@@ -100,9 +100,12 @@ Result<RecordBatch> Skadi::GatherSink(const GraphRunResult& run, VertexId sink) 
   if (it == run.sink_outputs.end()) {
     return Status::Internal("output vertex is not a sink");
   }
+  // Resolve every partition concurrently (one reactor-driven GetOp each)
+  // instead of a serial Get per piece.
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> buffers, runtime_->GetAll(it->second));
   std::vector<RecordBatch> pieces;
-  for (const ObjectRef& ref : it->second) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime_->Get(ref));
+  pieces.reserve(buffers.size());
+  for (const Buffer& buffer : buffers) {
     SKADI_ASSIGN_OR_RETURN(RecordBatch piece, DeserializeBatchIpc(buffer));
     pieces.push_back(std::move(piece));
   }
@@ -288,9 +291,10 @@ Result<MlModel> Skadi::TrainModel(const std::string& table,
   // nodes where the partitions live (locality-preserving).
   std::vector<std::pair<ObjectRef, ObjectRef>> shards;
   const int64_t d = static_cast<int64_t>(feature_columns.size()) + 1;  // + bias
-  for (const ObjectRef& ref : partitions) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime_->Get(ref));
-    SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(buffer));
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> part_buffers, runtime_->GetAll(partitions));
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const ObjectRef& ref = partitions[p];
+    SKADI_ASSIGN_OR_RETURN(RecordBatch batch, DeserializeBatchIpc(part_buffers[p]));
     const Column* label = batch.ColumnByName(label_column);
     if (label == nullptr) {
       return Status::NotFound("label column '" + label_column + "' missing");
@@ -358,9 +362,10 @@ Result<std::vector<RecordBatch>> Skadi::RunFlowGraph(
   if (it == run.sink_outputs.end()) {
     return Status::InvalidArgument("output vertex is not a sink");
   }
+  SKADI_ASSIGN_OR_RETURN(std::vector<Buffer> buffers, runtime_->GetAll(it->second));
   std::vector<RecordBatch> batches;
-  for (const ObjectRef& ref : it->second) {
-    SKADI_ASSIGN_OR_RETURN(Buffer buffer, runtime_->Get(ref));
+  batches.reserve(buffers.size());
+  for (const Buffer& buffer : buffers) {
     SKADI_ASSIGN_OR_RETURN(RecordBatch piece, DeserializeBatchIpc(buffer));
     batches.push_back(std::move(piece));
   }

@@ -1,5 +1,6 @@
 #include "src/ownership/ownership_table.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -8,6 +9,50 @@
 #include "src/common/trace.h"
 
 namespace skadi {
+namespace {
+
+// Scoped shard lock that counts contended acquisitions: the fast path is an
+// uncontended TryLock; when that fails we charge one `ownership.
+// shard_lock_waits` tick and fall back to the blocking Lock. The counter is
+// how the control-plane bench shows sharding relieving lock pressure.
+class SCOPED_CAPABILITY ShardLock {
+ public:
+  ShardLock(Mutex& mu, Counter* waits) ACQUIRE(mu) : mu_(&mu) {
+    if (!mu_->TryLock()) {
+      if (waits != nullptr) {
+        waits->Increment();
+      }
+      mu_->Lock();
+    }
+  }
+
+  ShardLock(const ShardLock&) = delete;
+  ShardLock& operator=(const ShardLock&) = delete;
+
+  ~ShardLock() RELEASE() {
+    if (held_) {
+      mu_->Unlock();
+    }
+  }
+
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+}  // namespace
+
+OwnershipTable::OwnershipTable(NodeId owner, int num_shards) : owner_(owner) {
+  shards_.reserve(static_cast<size_t>(std::max(1, num_shards)));
+  for (int i = 0; i < std::max(1, num_shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 void OwnershipTable::set_metrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -16,14 +61,16 @@ void OwnershipTable::set_metrics(MetricsRegistry* registry) {
   watch_registrations_ = &registry->GetCounter(names::kOwnershipWatchRegistrations);
   watcher_fires_ = &registry->GetCounter(names::kOwnershipWatcherFires);
   watchers_gauge_ = &registry->GetGauge(names::kOwnershipWatchers);
+  shard_lock_waits_ = &registry->GetCounter(names::kOwnershipShardLockWaits);
 }
 
-std::vector<Continuation> OwnershipTable::TakeWatchersLocked(ObjectId id) const {
+std::vector<Continuation> OwnershipTable::TakeWatchersLocked(Shard& s,
+                                                             ObjectId id) const {
   std::vector<Continuation> out;
-  auto it = watchers_.find(id);
-  if (it != watchers_.end()) {
+  auto it = s.watchers.find(id);
+  if (it != s.watchers.end()) {
     out = std::move(it->second);
-    watchers_.erase(it);
+    s.watchers.erase(it);
   }
   return out;
 }
@@ -48,15 +95,16 @@ void OwnershipTable::FireWatchers(std::vector<Continuation> watchers) const {
 }
 
 Status OwnershipTable::RegisterObject(ObjectId id, TaskId produced_by) {
-  MutexLock lock(mu_);
-  if (records_.count(id) > 0) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  if (s.records.count(id) > 0) {
     return Status::AlreadyExists("object " + id.ToString() + " already owned");
   }
   OwnershipRecord record;
   record.id = id;
   record.owner = owner_;
   record.produced_by = produced_by;
-  records_.emplace(id, std::move(record));
+  s.records.emplace(id, std::move(record));
   return Status::Ok();
 }
 
@@ -65,10 +113,11 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     uint64_t device_handle) {
   std::vector<ConsumerRegistration> consumers;
   std::vector<Continuation> watchers;
+  Shard& s = shard(id);
   {
-    MutexLock lock(mu_);
-    auto it = records_.find(id);
-    if (it == records_.end()) {
+    ShardLock lock(s.mu, shard_lock_waits_);
+    auto it = s.records.find(id);
+    if (it == s.records.end()) {
       return Status::NotFound("object " + id.ToString() + " not owned by " +
                               owner_.ToString());
     }
@@ -79,16 +128,17 @@ Result<std::vector<ConsumerRegistration>> OwnershipTable::MarkReady(
     record.device = device;
     record.device_handle = device_handle;
     consumers.swap(record.pending_consumers);
-    watchers = TakeWatchersLocked(id);
+    watchers = TakeWatchersLocked(s, id);
   }
   FireWatchers(std::move(watchers));
   return consumers;
 }
 
 Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   it->second.locations.insert(location);
@@ -98,14 +148,19 @@ Status OwnershipTable::AddLocation(ObjectId id, NodeId location) {
 std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
   std::vector<ObjectId> lost;
   std::vector<Continuation> watchers;
-  {
-    MutexLock lock(mu_);
-    for (auto& [id, record] : records_) {
+  // Shard-at-a-time sweep: each shard sees a consistent view of its own
+  // records; there is no cross-shard atomicity requirement because loss is
+  // per object. Watchers collected from every shard fire once, at the end,
+  // outside all shard locks.
+  for (auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    ShardLock lock(s.mu, shard_lock_waits_);
+    for (auto& [id, record] : s.records) {
       if (record.locations.erase(node) > 0 && record.locations.empty() &&
           record.state == ObjectState::kReady) {
         record.state = ObjectState::kLost;
         lost.push_back(id);
-        auto taken = TakeWatchersLocked(id);
+        auto taken = TakeWatchersLocked(s, id);
         watchers.insert(watchers.end(),
                         std::make_move_iterator(taken.begin()),
                         std::make_move_iterator(taken.end()));
@@ -118,24 +173,26 @@ std::vector<ObjectId> OwnershipTable::OnNodeFailure(NodeId node) {
 
 Status OwnershipTable::MarkLost(ObjectId id) {
   std::vector<Continuation> watchers;
+  Shard& s = shard(id);
   {
-    MutexLock lock(mu_);
-    auto it = records_.find(id);
-    if (it == records_.end()) {
+    ShardLock lock(s.mu, shard_lock_waits_);
+    auto it = s.records.find(id);
+    if (it == s.records.end()) {
       return Status::NotFound("object " + id.ToString() + " not owned");
     }
     it->second.state = ObjectState::kLost;
     it->second.locations.clear();
-    watchers = TakeWatchersLocked(id);
+    watchers = TakeWatchersLocked(s, id);
   }
   FireWatchers(std::move(watchers));
   return Status::Ok();
 }
 
 Status OwnershipTable::MarkPendingForReconstruction(ObjectId id, TaskId new_task) {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   if (it->second.state != ObjectState::kLost) {
@@ -148,9 +205,10 @@ Status OwnershipTable::MarkPendingForReconstruction(ObjectId id, TaskId new_task
 }
 
 Result<bool> OwnershipTable::RegisterConsumer(ObjectId id, ConsumerRegistration consumer) {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   if (it->second.state == ObjectState::kReady) {
@@ -161,9 +219,10 @@ Result<bool> OwnershipTable::RegisterConsumer(ObjectId id, ConsumerRegistration 
 }
 
 Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned by " +
                             owner_.ToString());
   }
@@ -181,13 +240,14 @@ Result<OwnershipTable::ResolveReply> OwnershipTable::Resolve(ObjectId id) const 
 
 Result<ObjectState> OwnershipTable::StateOrWatch(ObjectId id,
                                                  Continuation watcher) const {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " was released while waiting");
   }
   if (it->second.state == ObjectState::kPending) {
-    watchers_[id].push_back(std::move(watcher));
+    s.watchers[id].push_back(std::move(watcher));
     if (watch_registrations_ != nullptr) {
       watch_registrations_->Increment();
     }
@@ -217,9 +277,10 @@ Result<ObjectState> OwnershipTable::WaitReady(ObjectId id, int64_t timeout_ms) c
                                            : ev->BlockingWait(limit);
     if (!fired && bounded) {
       // Final re-check: the state may have flipped right at the deadline.
-      MutexLock lock(mu_);
-      auto it = records_.find(id);
-      if (it == records_.end()) {
+      Shard& s = shard(id);
+      ShardLock lock(s.mu, shard_lock_waits_);
+      auto it = s.records.find(id);
+      if (it == s.records.end()) {
         return Status::NotFound("object " + id.ToString() +
                                 " was released while waiting");
       }
@@ -234,18 +295,20 @@ Result<ObjectState> OwnershipTable::WaitReady(ObjectId id, int64_t timeout_ms) c
 }
 
 Result<TaskId> OwnershipTable::ProducedBy(ObjectId id) const {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   return it->second.produced_by;
 }
 
 Status OwnershipTable::IncRef(ObjectId id) {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   ++it->second.ref_count;
@@ -253,14 +316,15 @@ Status OwnershipTable::IncRef(ObjectId id) {
 }
 
 Result<bool> OwnershipTable::DecRef(ObjectId id) {
-  MutexLock lock(mu_);
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  auto it = s.records.find(id);
+  if (it == s.records.end()) {
     return Status::NotFound("object " + id.ToString() + " not owned");
   }
   if (--it->second.ref_count <= 0) {
-    records_.erase(it);
-    std::vector<Continuation> watchers = TakeWatchersLocked(id);
+    s.records.erase(it);
+    std::vector<Continuation> watchers = TakeWatchersLocked(s, id);
     lock.Unlock();
     FireWatchers(std::move(watchers));
     return true;
@@ -269,21 +333,30 @@ Result<bool> OwnershipTable::DecRef(ObjectId id) {
 }
 
 bool OwnershipTable::Contains(ObjectId id) const {
-  MutexLock lock(mu_);
-  return records_.count(id) > 0;
+  Shard& s = shard(id);
+  ShardLock lock(s.mu, shard_lock_waits_);
+  return s.records.count(id) > 0;
 }
 
 size_t OwnershipTable::size() const {
-  MutexLock lock(mu_);
-  return records_.size();
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    ShardLock lock(s.mu, shard_lock_waits_);
+    total += s.records.size();
+  }
+  return total;
 }
 
 std::vector<ObjectId> OwnershipTable::ObjectsInState(ObjectState state) const {
-  MutexLock lock(mu_);
   std::vector<ObjectId> out;
-  for (const auto& [id, record] : records_) {
-    if (record.state == state) {
-      out.push_back(id);
+  for (const auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    ShardLock lock(s.mu, shard_lock_waits_);
+    for (const auto& [id, record] : s.records) {
+      if (record.state == state) {
+        out.push_back(id);
+      }
     }
   }
   return out;

@@ -9,10 +9,20 @@
 // One OwnershipTable instance exists per owner node; the runtime exposes it
 // to remote nodes through a fabric service, so every lookup/notification from
 // another node is a counted, costed control message.
+//
+// Concurrency (DESIGN.md §13): the table is hash-partitioned by ObjectId into
+// `num_shards` shards, each with its own mutex, records map, and watcher
+// list. Single-object operations (StateOrWatch, MarkReady, DecRef, ...) touch
+// only their shard; cross-shard operations (OnNodeFailure, size,
+// ObjectsInState) iterate the shards one at a time without any global lock,
+// so they see a per-shard-consistent (not globally atomic) snapshot — which
+// is all their callers need. `num_shards == 1` degenerates to the old
+// single-lock table and serves as the bench baseline.
 #ifndef SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
 #define SRC_OWNERSHIP_OWNERSHIP_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -62,17 +72,23 @@ struct OwnershipRecord {
 
 class OwnershipTable {
  public:
-  explicit OwnershipTable(NodeId owner) : owner_(owner) {}
+  // Default shard count: enough to spread MarkReady/StateOrWatch storms from
+  // a handful of driver + reactor threads without bloating small tables.
+  static constexpr int kDefaultShards = 8;
+
+  explicit OwnershipTable(NodeId owner, int num_shards = kDefaultShards);
 
   NodeId owner() const { return owner_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   // Wires the reactor that ownership-readiness continuations are posted to.
   // Unset (standalone tables in unit tests), watchers run inline on the
   // thread that flips the state. Wire before concurrent use; not synchronized.
   void set_reactor(Reactor* reactor) { reactor_ = reactor; }
 
-  // Wires watcher telemetry (ownership.* registrations/fires counters + the
-  // live-watcher gauge). Same wire-before-use contract as set_reactor.
+  // Wires watcher telemetry (ownership.* registrations/fires counters, the
+  // live-watcher gauge, and the shard-lock contention counter). Same
+  // wire-before-use contract as set_reactor.
   void set_metrics(MetricsRegistry* registry);
 
   // Creates a pending record (called at task submission for each return).
@@ -89,7 +105,8 @@ class OwnershipTable {
   Status AddLocation(ObjectId id, NodeId location);
 
   // Drops `node` from every record's locations; records whose last location
-  // vanished flip back to kLost. Returns the ids that became lost.
+  // vanished flip back to kLost. Returns the ids that became lost. Iterates
+  // the shards one at a time (no global lock).
   std::vector<ObjectId> OnNodeFailure(NodeId node);
 
   // Explicitly marks an object lost (e.g. the producing task aborted).
@@ -142,10 +159,26 @@ class OwnershipTable {
   std::vector<ObjectId> ObjectsInState(ObjectState state) const;
 
  private:
-  // Detaches the watchers registered for `id`, if any.
-  std::vector<Continuation> TakeWatchersLocked(ObjectId id) const REQUIRES(mu_);
+  // One hash partition of the table. The shard mutex is terminal: nothing
+  // else is acquired while it is held (watchers fire after unlock).
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<ObjectId, OwnershipRecord> records GUARDED_BY(mu);
+    // Watch continuations, keyed by object; entries exist only while the
+    // object is kPending (side map so const probes can register watchers).
+    mutable std::unordered_map<ObjectId, std::vector<Continuation>> watchers
+        GUARDED_BY(mu);
+  };
+
+  Shard& shard(ObjectId id) const {
+    return *shards_[std::hash<ObjectId>()(id) % shards_.size()];
+  }
+
+  // Detaches the watchers registered for `id` in `s`, if any.
+  std::vector<Continuation> TakeWatchersLocked(Shard& s, ObjectId id) const
+      REQUIRES(s.mu);
   // Runs detached watchers: posted to the wired reactor, inline otherwise.
-  // Never called with mu_ held.
+  // Never called with a shard mutex held.
   void FireWatchers(std::vector<Continuation> watchers) const;
 
   NodeId owner_;
@@ -153,13 +186,12 @@ class OwnershipTable {
   // Cached handles (null until set_metrics); the registry outlives the table.
   Counter* watch_registrations_ = nullptr;
   Counter* watcher_fires_ = nullptr;
+  Counter* shard_lock_waits_ = nullptr;
   Gauge* watchers_gauge_ = nullptr;
-  mutable Mutex mu_;
-  std::unordered_map<ObjectId, OwnershipRecord> records_ GUARDED_BY(mu_);
-  // Watch continuations, keyed by object; entries exist only while the
-  // object is kPending (side map so const probes can register watchers).
-  mutable std::unordered_map<ObjectId, std::vector<Continuation>> watchers_
-      GUARDED_BY(mu_);
+  // Shards are heap-allocated so the table stays movable-free and shard
+  // addresses are stable for the lifetime of the table. Immutable after
+  // construction (only the shard *contents* mutate).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace skadi

@@ -55,6 +55,7 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
 
   void Start() {
     auto self = shared_from_this();
+    rt_->RegisterOp(self);
     TimerId t = reactor().ScheduleAfter(
         std::max<int64_t>(deadline_nanos_ - NowNanos(), 0),
         [self] { self->OnDeadline(); });
@@ -159,6 +160,7 @@ struct SkadiRuntime::GetOp : std::enable_shared_from_this<SkadiRuntime::GetOp> {
     if (t != 0 && t != kTimerDone) {
       reactor().Cancel(t);
     }
+    rt_->DeregisterOp(this);
     if (mode_ == Mode::kDriverGet) {
       rt_->metrics()
           .GetHistogram(names::kRuntimeGetNanos)
@@ -200,7 +202,8 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
           return Buffer();
         });
     SKADI_CHECK(ctrl_registered.ok()) << ctrl_registered.ToString();
-    ownership_[node.id] = std::make_unique<OwnershipTable>(node.id);
+    ownership_[node.id] =
+        std::make_unique<OwnershipTable>(node.id, options_.control_plane_shards);
     // Ownership watchers (GetOp chains, WaitReady wake-ups) run on the
     // fabric reactor instead of the state-flipping thread.
     ownership_[node.id]->set_reactor(&cluster_->fabric().reactor());
@@ -234,8 +237,27 @@ SkadiRuntime::SkadiRuntime(Cluster* cluster, FunctionRegistry* registry,
   scheduler_ = std::make_unique<Scheduler>(
       &cluster_->cache(), &metrics(), options_.policy,
       [this](const TaskSpec& spec, NodeId target) { return DispatchToNode(spec, target); },
-      options_.seed);
+      options_.seed, SchedulerOptions{options_.control_plane_shards});
   scheduler_->SetNodes(std::move(schedulable));
+
+  if (options_.futures == FutureProtocol::kPush && options_.batch_pushes) {
+    // One coalesced control message per (owner, destination) batch replaces
+    // one message per pushed object; each carried entry still lands its
+    // value in the destination store and counts as a push.
+    push_batcher_ = std::make_unique<PushBatcher>(
+        [this](NodeId owner, NodeId dst, std::vector<PushEntry> entries) {
+          ControlMessage(owner, dst, 64 * static_cast<int64_t>(entries.size()));
+          for (const PushEntry& e : entries) {
+            // cache_locally=true: the transfer lands the value in the
+            // consumer's store, making the consume-side read local.
+            (void)cluster_->cache().Get(e.object, dst, /*cache_locally=*/true);
+            metrics().GetCounter(names::kRuntimePushes).Increment();
+          }
+        },
+        options_.push_batch_max);
+    push_batcher_->set_reactor(&cluster_->fabric().reactor());
+    push_batcher_->set_metrics(&metrics());
+  }
   scheduler_->set_unschedulable_handler([this](const TaskSpec& spec, const Status& status) {
     FailTask(spec, status, NodeId());
   });
@@ -259,6 +281,41 @@ void SkadiRuntime::Shutdown() {
   for (auto& [id, raylet] : raylets_) {
     raylet->Shutdown();
   }
+  // A caller that gave up on its bounded wait (or a GetAsync nobody waited
+  // on) can leave ops with armed watcher/backoff continuations that hold a
+  // raw pointer to this runtime. Cancel them — every later continuation
+  // then early-outs on the op's own finished_ flag without touching the
+  // runtime — and drain the fabric reactor so a continuation already past
+  // that check completes before members are destroyed.
+  std::vector<std::shared_ptr<GetOp>> live;
+  {
+    MutexLock lock(ops_mu_);
+    live.reserve(live_ops_.size());
+    for (auto& [ptr, weak] : live_ops_) {
+      if (auto op = weak.lock()) {
+        live.push_back(std::move(op));
+      }
+    }
+  }
+  for (auto& op : live) {
+    op->Finish(Status::Unavailable("runtime shutting down"));
+  }
+  auto drained = std::make_shared<Event>();
+  if (cluster_->fabric().reactor().Post([drained] { drained->Set(); })) {
+    (void)drained->BlockingWait(NowNanos() + 1'000'000'000);
+  }
+  // Post returning false means the reactor is already stopped: nothing can
+  // fire a continuation anymore, so tear-down is safe without the barrier.
+}
+
+void SkadiRuntime::RegisterOp(const std::shared_ptr<GetOp>& op) {
+  MutexLock lock(ops_mu_);
+  live_ops_[op.get()] = op;
+}
+
+void SkadiRuntime::DeregisterOp(GetOp* op) {
+  MutexLock lock(ops_mu_);
+  live_ops_.erase(op);
 }
 
 Raylet* SkadiRuntime::raylet(NodeId node) {
@@ -401,8 +458,12 @@ Status SkadiRuntime::DispatchToNode(const TaskSpec& spec, NodeId target) {
 
   // Push protocol: register the chosen consumer node with the owner of every
   // ref argument; anything already ready is pushed right now so the value is
-  // local before the task starts.
+  // local before the task starts. With the batcher wired the already-ready
+  // pushes of one dispatch coalesce per owner (a k-ref fan-in costs one
+  // owner->target message instead of k) and flush before the task is
+  // enqueued, preserving the value-local-before-start invariant.
   if (options_.futures == FutureProtocol::kPush) {
+    bool batched_any = false;
     for (const TaskArg& arg : spec.args) {
       if (!arg.is_ref()) {
         continue;
@@ -414,11 +475,22 @@ Status SkadiRuntime::DispatchToNode(const TaskSpec& spec, NodeId target) {
                                                          spec.id, target,
                                                          cluster_->node(target)->device.id});
       if (ready_now.ok() && *ready_now) {
-        // cache_locally=true: the transfer lands the value in the consumer's
-        // store, making the consume-side read local.
-        (void)cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
-        metrics().GetCounter(names::kRuntimePushes).Increment();
+        if (push_batcher_ != nullptr) {
+          push_batcher_->Add(ref.owner, PushEntry{ref.id, spec.id, target});
+          batched_any = true;
+        } else {
+          // One owner->consumer message per pushed object (same cost model
+          // as the completion-path push); cache_locally=true lands the
+          // value in the consumer's store, making the consume-side read
+          // local.
+          ControlMessage(ref.owner, target);
+          (void)cluster_->cache().Get(ref.id, target, /*cache_locally=*/true);
+          metrics().GetCounter(names::kRuntimePushes).Increment();
+        }
       }
+    }
+    if (batched_any) {
+      push_batcher_->FlushAll();
     }
   }
 
@@ -499,6 +571,8 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
   const ClusterNode* node = cluster_->node(at);
   OwnershipTable& table = ownership(spec.owner);
 
+  std::vector<ObjectId> ready;
+  ready.reserve(outputs.size());
   for (size_t i = 0; i < outputs.size(); ++i) {
     ObjectId oid = spec.returns[i];
     int64_t size = static_cast<int64_t>(outputs[i].size());
@@ -525,15 +599,30 @@ Status SkadiRuntime::CompleteTask(const TaskSpec& spec, std::vector<Buffer> outp
       return consumers.status();
     }
 
-    // Push protocol: proactively ship the value to registered consumers.
+    // Push protocol: proactively ship the value to registered consumers —
+    // batched per destination when the batcher is wired, one message per
+    // consumer otherwise.
     if (options_.futures == FutureProtocol::kPush) {
       for (const ConsumerRegistration& consumer : *consumers) {
-        ControlMessage(spec.owner, consumer.node);
-        (void)cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
-        metrics().GetCounter(names::kRuntimePushes).Increment();
+        if (push_batcher_ != nullptr) {
+          push_batcher_->Add(spec.owner, PushEntry{oid, consumer.task, consumer.node});
+        } else {
+          ControlMessage(spec.owner, consumer.node);
+          (void)cluster_->cache().Get(oid, consumer.node, /*cache_locally=*/true);
+          metrics().GetCounter(names::kRuntimePushes).Increment();
+        }
       }
     }
+    ready.push_back(oid);
+  }
 
+  // Deliver every batched push before releasing dependents, so a consumer
+  // dispatched by OnObjectReady finds its argument already local. Pushes for
+  // the same destination across ALL of this task's outputs ride one message.
+  if (push_batcher_ != nullptr) {
+    push_batcher_->FlushAll();
+  }
+  for (ObjectId oid : ready) {
     // Unblock dependents.
     ControlMessage(spec.owner, cluster_->head());
     scheduler_->OnObjectReady(oid);
@@ -586,6 +675,55 @@ Result<Buffer> SkadiRuntime::Get(const ObjectRef& ref, int64_t timeout_ms) {
     return Status::DeadlineExceeded("Get(" + ref.ToString() + ") timed out");
   }
   return std::move(*result);
+}
+
+Result<std::vector<Buffer>> SkadiRuntime::GetAll(const std::vector<ObjectRef>& refs,
+                                                 int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = options_.default_get_timeout_ms;
+  }
+  if (refs.empty()) {
+    return std::vector<Buffer>();
+  }
+  // Fan out one GetOp per ref on the fabric reactor and park once on a
+  // shared countdown: N concurrent resolutions, one blocking wait. Sinks
+  // gathering many partitions resolve in resolution order rather than
+  // serially in index order (the old Get-in-a-loop shim).
+  struct GatherState {
+    explicit GatherState(size_t n)
+        : results(n, Result<Buffer>(Status::Internal("GetAll never completed"))),
+          remaining(n) {}
+    std::vector<Result<Buffer>> results;
+    std::atomic<size_t> remaining;
+    Event done;
+  };
+  auto state = std::make_shared<GatherState>(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    GetAsync(refs[i],
+             [state, i](Result<Buffer> r) {
+               state->results[i] = std::move(r);
+               if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                 state->done.Set();
+               }
+             },
+             timeout_ms);
+  }
+  // See ResolveArg for the bounded-BlockOn rationale.
+  cluster_->fabric().reactor().BlockOn(
+      state->done, NowNanos() + (timeout_ms + 100) * 1'000'000);
+  if (!state->done.is_set()) {
+    return Status::DeadlineExceeded("GetAll(" + std::to_string(refs.size()) +
+                                    " refs) timed out");
+  }
+  std::vector<Buffer> values;
+  values.reserve(refs.size());
+  for (Result<Buffer>& r : state->results) {
+    if (!r.ok()) {
+      return r.status();
+    }
+    values.push_back(std::move(*r));
+  }
+  return values;
 }
 
 void SkadiRuntime::GetAsync(const ObjectRef& ref,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/mutex.h"
+#include "src/net/push_batcher.h"
 #include "src/ownership/ownership_table.h"
 #include "src/runtime/autoscaler.h"
 #include "src/runtime/cluster.h"
@@ -45,6 +46,15 @@ struct RuntimeOptions {
   uint64_t seed = 17;
   // Resolve-side timeout for pull-mode argument waits and driver Gets.
   int64_t default_get_timeout_ms = 30000;
+  // Shard count for the sharded control-plane structures (ownership tables,
+  // scheduler dependency/park/task maps; DESIGN.md §13). 1 = the single-lock
+  // baseline bench_control_plane compares against.
+  int control_plane_shards = 8;
+  // Push mode: coalesce same-destination resolution pushes into one fabric
+  // message per flush instead of one per (object, consumer) pair.
+  bool batch_pushes = true;
+  // Size threshold that force-flushes one destination's batch early.
+  int push_batch_max = PushBatcher::kDefaultMaxBatch;
 };
 
 class SkadiRuntime {
@@ -82,6 +92,12 @@ class SkadiRuntime {
   void GetAsync(const ObjectRef& ref, std::function<void(Result<Buffer>)> done,
                 int64_t timeout_ms = -1);
 
+  // Resolves many futures concurrently: one GetAsync per ref fanned out on
+  // the fabric reactor, one park for the whole set. Results are positional.
+  // Fails with the first non-OK resolution (after all ops settle).
+  Result<std::vector<Buffer>> GetAll(const std::vector<ObjectRef>& refs,
+                                     int64_t timeout_ms = -1);
+
   // Blocks until all futures leave the pending state.
   Status Wait(const std::vector<ObjectRef>& refs, int64_t timeout_ms = -1);
 
@@ -114,7 +130,9 @@ class SkadiRuntime {
 
   int64_t control_hops() const;
 
-  // Stops the autoscaler and drains all raylets.
+  // Stops the autoscaler, drains all raylets, cancels outstanding
+  // future-resolution ops, and drains the fabric reactor so no continuation
+  // left behind by an abandoned bounded wait touches freed runtime state.
   void Shutdown();
 
  private:
@@ -145,14 +163,26 @@ class SkadiRuntime {
   // Recovery helpers.
   void RecoverLostObjects(const std::vector<ObjectId>& lost);
 
+  // Live-op registry: every GetOp registers at Start and deregisters at
+  // Finish, so Shutdown can cancel the stragglers a caller abandoned (a
+  // bounded BlockOn that timed out, or a GetAsync never waited on).
+  void RegisterOp(const std::shared_ptr<GetOp>& op);
+  void DeregisterOp(GetOp* op);
+
   Cluster* cluster_;
   FunctionRegistry* registry_;
   RuntimeOptions options_;
 
   std::unique_ptr<Scheduler> scheduler_;
+  // Push mode with options_.batch_pushes: coalesces same-destination
+  // resolution pushes (null otherwise).
+  std::unique_ptr<PushBatcher> push_batcher_;
   std::unique_ptr<Autoscaler> autoscaler_;
   std::unordered_map<NodeId, std::unique_ptr<Raylet>> raylets_;
   std::unordered_map<NodeId, std::unique_ptr<OwnershipTable>> ownership_;
+
+  mutable Mutex ops_mu_;
+  std::unordered_map<GetOp*, std::weak_ptr<GetOp>> live_ops_ GUARDED_BY(ops_mu_);
 
   mutable Mutex mu_;
   // task id -> spec

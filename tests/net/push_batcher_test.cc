@@ -1,0 +1,118 @@
+// Unit tests of the push batcher: coalescing per (owner, destination),
+// size-threshold flush, explicit FlushAll, the reactor tick safety net, and
+// the batches/entries counters.
+#include "src/net/push_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace skadi {
+namespace {
+
+struct DeliveredBatch {
+  NodeId owner;
+  NodeId dst;
+  std::vector<PushEntry> entries;
+};
+
+class PushBatcherTest : public ::testing::Test {
+ protected:
+  PushBatcher MakeBatcher(int max_batch) {
+    return PushBatcher(
+        [this](NodeId owner, NodeId dst, std::vector<PushEntry> entries) {
+          delivered_.push_back({owner, dst, std::move(entries)});
+        },
+        max_batch);
+  }
+
+  static PushEntry Entry(NodeId dst) {
+    return PushEntry{ObjectId::Next(), TaskId::Next(), dst};
+  }
+
+  std::vector<DeliveredBatch> delivered_;
+};
+
+TEST_F(PushBatcherTest, CoalescesPerDestinationUntilFlushAll) {
+  PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+  const NodeId owner(1), a(2), b(3);
+  batcher.Add(owner, Entry(a));
+  batcher.Add(owner, Entry(a));
+  batcher.Add(owner, Entry(b));
+  EXPECT_EQ(batcher.pending(), 3u);
+  EXPECT_TRUE(delivered_.empty());  // below threshold, no timer wired
+
+  batcher.FlushAll();
+  EXPECT_EQ(batcher.pending(), 0u);
+  ASSERT_EQ(delivered_.size(), 2u);  // one message per destination, not per push
+  size_t total = 0;
+  for (const DeliveredBatch& batch : delivered_) {
+    EXPECT_EQ(batch.owner, owner);
+    total += batch.entries.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(PushBatcherTest, SizeThresholdFlushesInline) {
+  PushBatcher batcher = MakeBatcher(/*max_batch=*/2);
+  const NodeId owner(1), dst(2);
+  batcher.Add(owner, Entry(dst));
+  EXPECT_TRUE(delivered_.empty());
+  batcher.Add(owner, Entry(dst));  // hits max_batch: flushes on this call
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].entries.size(), 2u);
+  EXPECT_EQ(batcher.pending(), 0u);
+
+  // The threshold is per destination: a different dst keeps its own count.
+  batcher.Add(owner, Entry(dst));
+  batcher.Add(owner, Entry(NodeId(3)));
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(batcher.pending(), 2u);
+  batcher.FlushAll();
+  EXPECT_EQ(delivered_.size(), 3u);
+}
+
+TEST_F(PushBatcherTest, ReactorTickFlushesStragglers) {
+  PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+  Reactor reactor;
+  batcher.set_reactor(&reactor, /*tick_nanos=*/1'000);
+  const NodeId owner(1), dst(2);
+  batcher.Add(owner, Entry(dst));
+  EXPECT_EQ(batcher.pending(), 1u);
+
+  // Drive the reactor (no dedicated drivers) until the safety-net timer
+  // fires the flush; the tick is due ~1us after Add.
+  const int64_t deadline = NowNanos() + 2'000'000'000;
+  while (delivered_.empty() && NowNanos() < deadline) {
+    reactor.PollOnce();
+  }
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].entries.size(), 1u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST_F(PushBatcherTest, CountsBatchesAndEntries) {
+  PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+  MetricsRegistry metrics;
+  batcher.set_metrics(&metrics);
+  const NodeId owner(1);
+  for (int i = 0; i < 5; ++i) {
+    batcher.Add(owner, Entry(NodeId(2)));
+  }
+  batcher.Add(owner, Entry(NodeId(3)));
+  batcher.FlushAll();
+  EXPECT_EQ(metrics.GetCounter("runtime.push_batches").value(), 2);
+  EXPECT_EQ(metrics.GetCounter("runtime.push_batched_entries").value(), 6);
+}
+
+TEST_F(PushBatcherTest, FlushAllOnEmptyIsNoOp) {
+  PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+  batcher.FlushAll();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace skadi

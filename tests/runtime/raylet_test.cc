@@ -183,7 +183,10 @@ TEST_F(RayletTest, WorkerGrowthIncreasesParallelism) {
 }
 
 TEST_F(RayletTest, ActorStatePersistsAcrossTasks) {
-  auto raylet = MakeRaylet();
+  // One worker: with several workers the actor serial mutex guarantees
+  // mutual exclusion but neither run order nor completion-record order,
+  // and this test asserts the accumulated state task by task.
+  auto raylet = MakeRaylet(1);
   ASSERT_TRUE(registry_.Register("append_char", [](TaskContext& ctx, std::vector<Buffer>& args)
                                         -> Result<std::vector<Buffer>> {
     auto* s = static_cast<std::string*>(ctx.actor_state->get());

@@ -160,6 +160,89 @@ TEST_F(RuntimeTest, PushModeDeliversBeforeConsumption) {
   EXPECT_EQ(runtime_->metrics().GetCounter("runtime.pull_resolutions").value(), 0);
 }
 
+TEST_F(RuntimeTest, PushModeBatchesResolutionsPerDestination) {
+  // A fan-in: sum_all consumes 8 upstream outputs, so its dispatch registers
+  // 8 ready ref args at once. The batcher must coalesce those resolutions
+  // per (owner, consumer-node) — one fabric message instead of 8 — while
+  // every push still lands before consumption (pull count stays 0).
+  RuntimeOptions options;
+  options.futures = FutureProtocol::kPush;
+  options.policy = SchedulingPolicy::kRoundRobin;
+  Build(options);
+  std::vector<TaskArg> leaves;
+  for (int i = 0; i < 8; ++i) {
+    auto ref = runtime_->Submit(Call("inc_i64", {TaskArg::Value(I64Buffer(i))}));
+    ASSERT_TRUE(ref.ok());
+    leaves.push_back(TaskArg::Ref((*ref)[0]));
+  }
+  auto total = runtime_->Submit(Call("sum_all", std::move(leaves)));
+  ASSERT_TRUE(total.ok());
+  auto result = runtime_->Get((*total)[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(I64Of(*result), 36);  // sum of (i+1), i = 0..7
+
+  int64_t batches = runtime_->metrics().GetCounter("runtime.push_batches").value();
+  int64_t entries =
+      runtime_->metrics().GetCounter("runtime.push_batched_entries").value();
+  int64_t pushes = runtime_->metrics().GetCounter("runtime.pushes").value();
+  EXPECT_GE(batches, 1);
+  EXPECT_EQ(entries, pushes);  // every push went through the batcher
+  EXPECT_GE(entries, 8);       // all 8 leaf outputs were pushed
+  // All 8 resolutions share one owner and one destination: coalescing must
+  // save control messages, i.e. strictly fewer batches than entries.
+  EXPECT_LT(batches, entries);
+  EXPECT_EQ(runtime_->metrics().GetCounter("runtime.pull_resolutions").value(), 0);
+}
+
+TEST_F(RuntimeTest, BatchingDisabledFallsBackToPerConsumerPushes) {
+  RuntimeOptions options;
+  options.futures = FutureProtocol::kPush;
+  options.policy = SchedulingPolicy::kRoundRobin;
+  options.batch_pushes = false;
+  Build(options);
+  auto a = runtime_->Submit(Call("inc_i64", {TaskArg::Value(I64Buffer(0))}));
+  auto b = runtime_->Submit(Call("inc_i64", {TaskArg::Ref((*a)[0])}));
+  auto result = runtime_->Get((*b)[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(I64Of(*result), 2);
+  EXPECT_GE(runtime_->metrics().GetCounter("runtime.pushes").value(), 1);
+  EXPECT_EQ(runtime_->metrics().GetCounter("runtime.push_batches").value(), 0);
+}
+
+TEST_F(RuntimeTest, GetAllGathersConcurrently) {
+  Build();
+  std::vector<ObjectRef> refs;
+  for (int i = 0; i < 6; ++i) {
+    auto r = runtime_->Submit(Call("inc_i64", {TaskArg::Value(I64Buffer(i))}));
+    ASSERT_TRUE(r.ok());
+    refs.push_back((*r)[0]);
+  }
+  auto buffers = runtime_->GetAll(refs);
+  ASSERT_TRUE(buffers.ok());
+  ASSERT_EQ(buffers->size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(I64Of((*buffers)[static_cast<size_t>(i)]), i + 1)
+        << "results must be in input order";
+  }
+}
+
+TEST_F(RuntimeTest, GetAllEmptyInputReturnsEmpty) {
+  Build();
+  auto buffers = runtime_->GetAll({});
+  ASSERT_TRUE(buffers.ok());
+  EXPECT_TRUE(buffers->empty());
+}
+
+TEST_F(RuntimeTest, GetAllPropagatesFirstFailure) {
+  Build();
+  auto good = runtime_->Submit(Call("inc_i64", {TaskArg::Value(I64Buffer(1))}));
+  ASSERT_TRUE(good.ok());
+  auto bad = runtime_->Submit(Call("fail_always", {}));
+  ASSERT_TRUE(bad.ok());
+  auto buffers = runtime_->GetAll({(*good)[0], (*bad)[0]}, 2000);
+  EXPECT_FALSE(buffers.ok());
+}
+
 TEST_F(RuntimeTest, LocalityPolicyPlacesComputeAtData) {
   RuntimeOptions options;
   options.policy = SchedulingPolicy::kLocalityAware;

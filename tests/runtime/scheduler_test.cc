@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/event.h"
+
 namespace skadi {
 namespace {
 
@@ -252,6 +258,230 @@ TEST_F(SchedulerTest, PolicySwitchAtRuntime) {
 TEST_F(SchedulerTest, PolicyNamesResolve) {
   EXPECT_EQ(SchedulingPolicyName(SchedulingPolicy::kLocalityAware), "locality_aware");
   EXPECT_EQ(SchedulingPolicyName(SchedulingPolicy::kRandom), "random");
+}
+
+TEST_F(SchedulerTest, SingleShardBaselineBehavesIdentically) {
+  // SchedulerOptions{1} is the single-lock degenerate config the control
+  // plane bench compares against; placement semantics must not change.
+  auto scheduler = std::make_unique<Scheduler>(
+      cache_.get(), &metrics_, SchedulingPolicy::kRoundRobin,
+      [this](const TaskSpec& spec, NodeId target) {
+        dispatched_.emplace_back(spec.id, target);
+        return Status::Ok();
+      },
+      /*seed=*/17, SchedulerOptions{1});
+  std::vector<SchedulableNode> nodes;
+  for (NodeId n : node_ids_) {
+    nodes.push_back(SchedulableNode{n, DeviceKind::kCpu, NodeId(), 2});
+  }
+  scheduler->SetNodes(std::move(nodes));
+  ObjectId dep = ObjectId::Next();
+  ASSERT_TRUE(scheduler->Submit(MakeTask({TaskArg::Ref(ObjectRef{dep, NodeId()})})).ok());
+  EXPECT_EQ(scheduler->pending_tasks(), 1u);
+  scheduler->OnObjectReady(dep);
+  EXPECT_EQ(scheduler->pending_tasks(), 0u);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
+  }
+  ASSERT_EQ(dispatched_.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dispatched_[i].second, node_ids_[i % 4]);
+  }
+}
+
+TEST_F(SchedulerTest, IdleNodeStealsFromLongestQueue) {
+  // Dispatches to node A block until released, so tasks pile up in A's queue
+  // behind the blocked pumper. Finishing a task on B leaves B idle; B must
+  // steal the newest queued task off A instead of waiting for A to unwedge.
+  const NodeId a = node_ids_[0];
+  const NodeId b = node_ids_[1];
+  Event entered, release;
+  std::atomic<bool> blocking{true};
+  Mutex mu;
+  std::vector<std::pair<TaskId, NodeId>> calls;
+  auto scheduler = std::make_unique<Scheduler>(
+      cache_.get(), &metrics_, SchedulingPolicy::kRoundRobin,
+      [&](const TaskSpec& spec, NodeId target) {
+        {
+          MutexLock lock(mu);
+          calls.emplace_back(spec.id, target);
+        }
+        if (target == a && blocking.load()) {
+          entered.Set();
+          release.BlockingWait();
+        }
+        return Status::Ok();
+      });
+  scheduler->SetNodes({SchedulableNode{a, DeviceKind::kCpu, NodeId(), 2},
+                       SchedulableNode{b, DeviceKind::kCpu, NodeId(), 2}});
+
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(MakeTask());
+  }
+  const std::vector<TaskId> ids = {tasks[0].id, tasks[1].id, tasks[2].id,
+                                   tasks[3].id, tasks[4].id};
+
+  // RR: task0 -> A (pumper thread blocks inside dispatch).
+  std::thread pumper([&] { ASSERT_TRUE(scheduler->Submit(std::move(tasks[0])).ok()); });
+  ASSERT_TRUE(entered.BlockingWait(NowNanos() + 5'000'000'000));
+  // task1 -> B (dispatches), task2 -> A (queued), task3 -> B, task4 -> A (queued).
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_TRUE(scheduler->Submit(std::move(tasks[i])).ok());
+  }
+  EXPECT_EQ(scheduler->queued_on(a), 2);
+  EXPECT_EQ(scheduler->inflight_on(b), 2);
+
+  // B finishes task1: capacity frees, B steals the newest of A's queue.
+  blocking.store(false);
+  scheduler->OnTaskFinished(ids[1]);
+  EXPECT_EQ(metrics_.GetCounter("scheduler.steal_count").value(), 1);
+  EXPECT_EQ(scheduler->queued_on(a), 1);
+  {
+    MutexLock lock(mu);
+    auto it = std::find_if(calls.begin(), calls.end(),
+                           [&](const auto& c) { return c.first == ids[4]; });
+    ASSERT_NE(it, calls.end());
+    EXPECT_EQ(it->second, b);  // stolen task ran on the idle node
+  }
+
+  // Unblock A's pumper; it drains the remaining queued task locally.
+  release.Set();
+  pumper.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(calls.size(), 5u);
+  for (TaskId id : ids) {
+    EXPECT_EQ(std::count_if(calls.begin(), calls.end(),
+                            [&](const auto& c) { return c.first == id; }),
+              1)
+        << "task dispatched exactly once";
+  }
+  auto t2 = std::find_if(calls.begin(), calls.end(),
+                         [&](const auto& c) { return c.first == ids[2]; });
+  EXPECT_EQ(t2->second, a);  // non-stolen queued task stayed on its node
+}
+
+TEST_F(SchedulerTest, NodeDiesMidStealTaskRetriesElsewhere) {
+  // The thief dies between victim-pop and dispatch: the stolen task must be
+  // re-routed, not lost, and must end up dispatched exactly once.
+  const NodeId a = node_ids_[0];
+  const NodeId b = node_ids_[1];
+  Event entered, release;
+  std::atomic<bool> blocking{true};
+  std::atomic<bool> b_dead{false};
+  Mutex mu;
+  std::vector<std::pair<TaskId, NodeId>> ok_calls;
+  auto scheduler = std::make_unique<Scheduler>(
+      cache_.get(), &metrics_, SchedulingPolicy::kRoundRobin,
+      [&](const TaskSpec& spec, NodeId target) -> Status {
+        if (target == b && b_dead.load()) {
+          return Status::Unavailable("node died mid-steal");
+        }
+        {
+          MutexLock lock(mu);
+          ok_calls.emplace_back(spec.id, target);
+        }
+        if (target == a && blocking.load()) {
+          entered.Set();
+          release.BlockingWait();
+        }
+        return Status::Ok();
+      });
+  scheduler->SetNodes({SchedulableNode{a, DeviceKind::kCpu, NodeId(), 2},
+                       SchedulableNode{b, DeviceKind::kCpu, NodeId(), 2}});
+
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back(MakeTask());
+  }
+  const TaskId queued_id = tasks[2].id;
+  const TaskId b_task = tasks[1].id;
+
+  std::thread pumper([&] { ASSERT_TRUE(scheduler->Submit(std::move(tasks[0])).ok()); });
+  ASSERT_TRUE(entered.BlockingWait(NowNanos() + 5'000'000'000));
+  ASSERT_TRUE(scheduler->Submit(std::move(tasks[1])).ok());  // -> B, dispatched
+  ASSERT_TRUE(scheduler->Submit(std::move(tasks[2])).ok());  // -> A, queued
+  ASSERT_EQ(scheduler->queued_on(a), 1);
+
+  // B dies, then finishes its task: the steal of `queued_id` fails on B,
+  // B leaves the candidate set, and the task re-queues on A.
+  b_dead.store(true);
+  scheduler->OnTaskFinished(b_task);
+  EXPECT_EQ(metrics_.GetCounter("scheduler.steal_count").value(), 1);
+  EXPECT_GE(metrics_.GetCounter("scheduler.dispatch_retries").value(), 1);
+  EXPECT_EQ(scheduler->queued_on(a), 1);  // re-routed back to the only live node
+
+  blocking.store(false);
+  release.Set();
+  pumper.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(std::count_if(ok_calls.begin(), ok_calls.end(),
+                          [&](const auto& c) { return c.first == queued_id; }),
+            1);
+  auto it = std::find_if(ok_calls.begin(), ok_calls.end(),
+                         [&](const auto& c) { return c.first == queued_id; });
+  EXPECT_EQ(it->second, a);
+}
+
+TEST_F(SchedulerTest, ConcurrentSubmitNoLossNoDoubleDispatch) {
+  // TSan-targeted hammer: submitters, completions, and steals race across
+  // per-node queues and sharded maps; every task must dispatch exactly once.
+  constexpr int kThreads = 4;
+  constexpr int kTasksPerThread = 100;
+  Mutex mu;
+  std::unordered_map<TaskId, int> dispatch_count;
+  std::vector<TaskId> completable;
+  auto scheduler = std::make_unique<Scheduler>(
+      cache_.get(), &metrics_, SchedulingPolicy::kLoadAware,
+      [&](const TaskSpec& spec, NodeId) {
+        MutexLock lock(mu);
+        dispatch_count[spec.id] += 1;
+        completable.push_back(spec.id);
+        return Status::Ok();
+      });
+  std::vector<SchedulableNode> nodes;
+  for (NodeId n : node_ids_) {
+    nodes.push_back(SchedulableNode{n, DeviceKind::kCpu, NodeId(), 2});
+  }
+  scheduler->SetNodes(std::move(nodes));
+
+  std::atomic<bool> stop{false};
+  std::thread completer([&] {
+    // Completions race with submissions, repeatedly triggering the
+    // OnTaskFinished steal probe while queues churn.
+    while (!stop.load()) {
+      std::vector<TaskId> batch;
+      {
+        MutexLock lock(mu);
+        batch.swap(completable);
+      }
+      for (TaskId id : batch) {
+        scheduler->OnTaskFinished(id);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kTasksPerThread; ++i) {
+        ASSERT_TRUE(scheduler->Submit(MakeTask()).ok());
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  stop.store(true);
+  completer.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(dispatch_count.size(),
+            static_cast<size_t>(kThreads * kTasksPerThread));
+  for (const auto& [id, count] : dispatch_count) {
+    EXPECT_EQ(count, 1) << "task " << id << " dispatched " << count << " times";
+  }
 }
 
 }  // namespace

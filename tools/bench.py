@@ -19,6 +19,12 @@ Targets (--bench):
   trace -> bench_trace -> BENCH_trace.json: span-site costs (disabled vs
     enabled) and the reactor-dispatch workload with tracing off/on, plus the
     derived tracing_overhead row (acceptance bound: <= 5%).
+  control_plane -> bench_control_plane -> BENCH_control_plane.json: sharded
+    control-plane numbers — ownership-table open-loop throughput and the
+    modelled shard-serialization speedup vs the single-lock baseline
+    (acceptance bound: >= 3x at 8 shards), per-raylet scheduler submit
+    throughput with steal counts, and the push-batching control-message
+    delta (batched vs unbatched fan-in dispatch).
 
 Usage:
   tools/bench.py [--bench kernels|serde] [--build-dir build] [--out FILE]
@@ -224,11 +230,100 @@ def collect_trace(raw, repetitions):
     return results
 
 
+CONTROL_PLANE_COUNTERS = (
+    "ops_per_sec",
+    "modelled_ops_per_sec",
+    "tasks_per_sec",
+    "p50_us",
+    "p99_us",
+    "op_p50_us",
+    "op_p99_us",
+    "lock_waits",
+    "steals",
+    "shard_balance",
+    "control_messages",
+    "push_entries",
+    "push_batches",
+    "messages_saved",
+)
+
+
+def collect_control_plane(raw, repetitions):
+    """One row per bench_control_plane entry (bench name + its arg pairs,
+    e.g. shards/threads/nodes/batch), plus two derived rows:
+
+    * sharding_speedup — modelled_ops_per_sec of every
+      BM_OwnershipShardSerialization row over the shards:1 single-lock
+      baseline; the ISSUE 9 acceptance bound is >= 3.0 at shards:8. (The
+      real-time open-loop rows are reported too, but on a single-core host
+      they converge — the serialization model carries the claim, from
+      measured per-op costs.)
+    * push_batching — control_messages with the batcher off vs on and the
+      derived reduction percentage.
+    """
+    want_agg = "mean" if repetitions > 1 else None
+    results = []
+    serialization = {}
+    batching = {}
+    for entry in raw.get("benchmarks", []):
+        m = re.match(
+            r"(BM_\w+)((?:/\w+:-?\d+)+)(?:/process_time)?(?:/real_time)?"
+            r"(?:/iterations:\d+)?(?:_(\w+))?$",
+            entry["name"],
+        )
+        if not m or m.group(3) != want_agg:
+            continue
+        bench = m.group(1)
+        params = {}
+        for pair in m.group(2).strip("/").split("/"):
+            key, _, value = pair.partition(":")
+            params[key] = int(value)
+        row = {"bench": bench, **params, "wall_ms": entry["real_time"]}
+        for counter in CONTROL_PLANE_COUNTERS:
+            if counter in entry:
+                row[counter] = round(entry[counter], 3)
+        results.append(row)
+        if bench == "BM_OwnershipShardSerialization":
+            serialization[params.get("shards")] = entry.get("modelled_ops_per_sec")
+        if bench == "BM_PushBatchingDelta":
+            batching[params.get("batch")] = entry.get("control_messages")
+    base = serialization.get(1)
+    if base:
+        speedups = {
+            f"shards_{s}": round(rate / base, 2)
+            for s, rate in sorted(serialization.items())
+            if rate
+        }
+        results.append(
+            {
+                "bench": "sharding_speedup",
+                "vs": "single_lock_shards_1",
+                **speedups,
+                "acceptance_bound_shards_8": 3.0,
+            }
+        )
+    if batching.get(0) and batching.get(1) is not None:
+        results.append(
+            {
+                "bench": "push_batching",
+                "control_messages_unbatched": round(batching[0], 1),
+                "control_messages_batched": round(batching[1], 1),
+                "reduction_pct": round((1.0 - batching[1] / batching[0]) * 100.0, 1),
+            }
+        )
+    return results
+
+
 BENCH_TARGETS = {
     "kernels": ("bench_kernels", "BENCH_kernels.json", collect),
     "serde": ("bench_a3_format", "BENCH_serde.json", collect_serde),
     "reactor": ("bench_reactor", "BENCH_reactor.json", collect_reactor),
     "trace": ("bench_trace", "BENCH_trace.json", collect_trace),
+    "control_plane": (
+        "bench_control_plane",
+        "BENCH_control_plane.json",
+        collect_control_plane,
+    ),
 }
 
 

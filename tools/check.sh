@@ -39,6 +39,12 @@ run_mode() {
   # exactly what TSan needs to certify).
   echo "==> [$name] bench_trace smoke"
   SKADI_BENCH_SMOKE=1 "$dir/bench/bench_trace" > /dev/null
+  # One-iteration control-plane smoke: hammers the sharded ownership table
+  # from 8 threads, the per-raylet scheduler queues (with stealing) from 4
+  # submitters, and the batched push path end-to-end — the shard locks and
+  # queue handoffs are exactly what TSan needs to watch.
+  echo "==> [$name] bench_control_plane smoke"
+  SKADI_BENCH_SMOKE=1 "$dir/bench/bench_control_plane" > /dev/null
   # The trace-plane integration test (part of ctest above) wrote a Perfetto
   # capture of the cross-node Submit->run->Get flow; require it to be one
   # connected span tree with every stage present.

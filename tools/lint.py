@@ -29,6 +29,14 @@ Checks:
                     hot path must alias instead (Buffer::Wrap / Slice,
                     BufferReader views). Escape hatch:
                     `// lint:allow zero-copy-hot-path (<reason>)`.
+  sharded-map       every `std::unordered_map` member declared in the sharded
+                    control-plane headers (src/runtime/scheduler.h,
+                    src/ownership/ownership_table.h) must carry a GUARDED_BY
+                    annotation on its declaration — those tables are hit from
+                    many threads and an unannotated map silently re-introduces
+                    the single-lock (or no-lock) control plane the sharding
+                    work removed. Escape hatch:
+                    `// lint:allow sharded-map (<reason>)` on the declaration.
   metric-name       string literals passed directly to GetCounter / GetGauge /
                     GetHistogram / TraceSpan / BeginSpan / Instant in src/
                     must be declared in src/common/metric_names.h (pass the
@@ -104,6 +112,15 @@ STATUS_RETURNING = {
 STRING_OR_COMMENT_RE = re.compile(
     r'"(?:\\.|[^"\\])*"|\'(?:\\.|[^\'\\])*\'|//[^\n]*|/\*.*?\*/', re.DOTALL)
 
+# Sharded control-plane headers: every std::unordered_map member must name
+# the lock that guards it. Aliases/typedefs are exempt (they declare a type,
+# not state).
+SHARDED_MAP_FILES = {
+    os.path.join("src", "runtime", "scheduler.h"),
+    os.path.join("src", "ownership", "ownership_table.h"),
+}
+UNORDERED_MAP_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::unordered_map\s*<")
+
 # Metric/span name hygiene: literals at these call sites must be declared
 # constants; names:: constants and computed names pass through untouched.
 METRIC_NAME_FILE = os.path.join("src", "common", "metric_names.h")
@@ -176,6 +193,8 @@ class Linter:
             self.check_raw_mutex(path, raw_lines, lines)
         if path.endswith(HEADER_EXTS):
             self.check_guarded_by(path, raw_lines, lines)
+        if rel in SHARDED_MAP_FILES:
+            self.check_sharded_map(path, raw_lines, lines)
         self.check_discarded_status(path, raw_lines, lines)
         if rel in ZERO_COPY_HOT_PATHS or any(
                 rel.startswith(p) for p in ZERO_COPY_HOT_PATHS if p.endswith(os.sep)):
@@ -242,6 +261,35 @@ class Linter:
                             "REQUIRES annotation naming it in this file; "
                             "annotate what it protects or add "
                             "`// lint:allow unguarded-mutex (reason)`")
+
+    def check_sharded_map(self, path, raw_lines, lines):
+        # In the sharded control-plane headers every std::unordered_map member
+        # must be GUARDED_BY some lock. The declaration may wrap (annotation on
+        # the next line), so join lines up to the terminating `;` first.
+        i = 0
+        while i < len(lines):
+            line = lines[i]
+            if not UNORDERED_MAP_DECL_RE.match(line) or re.match(
+                    r"^\s*(using|typedef)\b", line):
+                i += 1
+                continue
+            lineno = i + 1
+            stmt_lines = [line]
+            while ";" not in stmt_lines[-1] and i + 1 < len(lines):
+                i += 1
+                stmt_lines.append(lines[i])
+            i += 1
+            if any(line_allows(raw_lines[lineno - 1 + k], "sharded-map")
+                   for k in range(len(stmt_lines))):
+                continue
+            stmt = " ".join(stmt_lines)
+            if "GUARDED_BY" not in stmt:
+                self.report(path, lineno, "sharded-map",
+                            "std::unordered_map member in a sharded "
+                            "control-plane header has no GUARDED_BY "
+                            "annotation; name the shard/queue lock that "
+                            "protects it (or annotate "
+                            "`// lint:allow sharded-map (reason)`)")
 
     def check_zero_copy_hot_path(self, path, raw_lines, lines):
         for i, line in enumerate(lines, 1):
