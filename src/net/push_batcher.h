@@ -22,9 +22,11 @@
 #ifndef SRC_NET_PUSH_BATCHER_H_
 #define SRC_NET_PUSH_BATCHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -52,6 +54,10 @@ class PushBatcher {
       std::function<void(NodeId owner, NodeId dst, std::vector<PushEntry> entries)>;
 
   explicit PushBatcher(FlushFn flush, int max_batch = kDefaultMaxBatch);
+
+  // Cancels the armed safety tick and waits out any tick continuation that
+  // is already running, so no reactor timer ever touches a dead batcher.
+  ~PushBatcher();
 
   static constexpr int kDefaultMaxBatch = 32;
   static constexpr int64_t kDefaultTickNanos = 200'000;  // 200us safety flush
@@ -91,6 +97,19 @@ class PushBatcher {
   const int max_batch_;
   Reactor* reactor_ = nullptr;
   int64_t tick_nanos_ = kDefaultTickNanos;
+
+  // Liveness gate for the tick continuation. The timer lambda holds only a
+  // weak_ptr<TickGate>; a tick firing after the batcher died locks nothing
+  // and returns, and the destructor spins until an in-flight tick drops its
+  // strong ref. The batcher does not own the reactor, so this is the only
+  // thing standing between the 200us safety flush and a use-after-free.
+  struct TickGate {
+    PushBatcher* self;
+  };
+  std::shared_ptr<TickGate> tick_gate_ =
+      std::make_shared<TickGate>(TickGate{this});
+  // TimerId of the armed tick (0 = none), for the destructor's Cancel.
+  std::atomic<TimerId> armed_timer_{0};
   Counter* batches_ctr_ = nullptr;
   Counter* entries_ctr_ = nullptr;
 

@@ -25,7 +25,17 @@ Reactor::Reactor(const char* name, Options options)
   last_tick_ = NowNanos() / options_.tick_nanos;
 }
 
-Reactor::~Reactor() { Shutdown(); }
+Reactor::~Reactor() {
+  Shutdown();
+  // BlockOn can leave its wake-up continuation registered on a caller-owned
+  // Event that never fired (timeout / stopped exit). It holds only a weak
+  // gate: expire the gate, then wait out a wake-up that already locked it.
+  std::weak_ptr<AliveGate> gone = alive_gate_;
+  alive_gate_.reset();
+  while (!gone.expired()) {
+    std::this_thread::yield();
+  }
+}
 
 void Reactor::WireMetrics(const MetricsHooks& hooks) {
   MutexLock lock(mu_);
@@ -266,8 +276,17 @@ bool Reactor::BlockOn(Event& event, int64_t deadline_nanos) {
   // is blocking on downstream reactor work — parking would self-deadlock) or
   // the reactor has no drivers at all (blocking API with no reactor thread).
   // Drive the loop until the event fires. A posted no-op bounds the inner
-  // wait so we re-check is_set promptly after cross-thread Sets.
-  event.OnSet([this] { Post([] {}); });
+  // wait so we re-check is_set promptly after cross-thread Sets. The event
+  // is caller-owned and the continuation stays registered when we exit on
+  // timeout or stop, so it wakes the reactor through a weak gate instead of
+  // capturing `this` (DESIGN.md §14).
+  std::weak_ptr<AliveGate> gate = alive_gate_;
+  event.OnSet([gate] {
+    std::shared_ptr<AliveGate> live = gate.lock();
+    if (live != nullptr) {
+      live->self->Post([] {});
+    }
+  });
   while (!event.is_set()) {
     const WaitResult r = RunOneBounded(deadline_nanos);
     if (r == WaitResult::kTimedOut) {

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -199,6 +200,17 @@ class Reactor {
   std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
   std::atomic<size_t> num_threads_{0};
   std::atomic<size_t> retire_requests_{0};
+
+  // Liveness gate for continuations the reactor registers on caller-owned
+  // Events (BlockOn's wake-up shim). Those continuations hold only a
+  // weak_ptr<AliveGate>: if the event outlives the reactor and fires later,
+  // the wake-up locks nothing and returns. ~Reactor expires the gate and
+  // waits out any wake-up already mid-run.
+  struct AliveGate {
+    Reactor* self;
+  };
+  std::shared_ptr<AliveGate> alive_gate_ =
+      std::make_shared<AliveGate>(AliveGate{this});
 };
 
 }  // namespace net

@@ -20,7 +20,7 @@ import cpp_model
 
 
 def toks(text):
-    tokens, _, _ = cpp_lexer.lex(text)
+    tokens, _, _, _ = cpp_lexer.lex(text)
     return [t.text for t in tokens]
 
 
@@ -37,19 +37,19 @@ class LexerTest(unittest.TestCase):
         self.assertEqual(toks("a /* x; y */ b // tail\n c"), ["a", "b", "c"])
 
     def test_block_comment_line_counting(self):
-        tokens, _, _ = cpp_lexer.lex("/* one\ntwo\nthree */ x")
+        tokens, _, _, _ = cpp_lexer.lex("/* one\ntwo\nthree */ x")
         self.assertEqual(tokens[0].line, 3)
 
     def test_raw_string_with_parens_and_quotes(self):
         text = 'auto s = R"delim(no "close"; ) here)delim"; next'
         self.assertIn("next", toks(text))
-        tokens, _, _ = cpp_lexer.lex(text)
+        tokens, _, _, _ = cpp_lexer.lex(text)
         raws = [t for t in tokens if t.kind == "string"]
         self.assertEqual(len(raws), 1)
         self.assertIn('no "close"', raws[0].text)
 
     def test_prefixed_literals(self):
-        tokens, _, _ = cpp_lexer.lex("u8\"x\" L'c' U\"y\" usual")
+        tokens, _, _, _ = cpp_lexer.lex("u8\"x\" L'c' U\"y\" usual")
         kinds = [t.kind for t in tokens]
         self.assertEqual(kinds, ["string", "char", "string", "ident"])
         self.assertEqual(tokens[3].text, "usual")
@@ -64,14 +64,14 @@ class LexerTest(unittest.TestCase):
 
     def test_hash_mid_line_is_not_a_directive(self):
         # Only a line-leading # swallows the line.
-        tokens, _, _ = cpp_lexer.lex("x # y")
+        tokens, _, _, _ = cpp_lexer.lex("x # y")
         self.assertEqual([t.text for t in tokens], ["x", "#", "y"])
 
     def test_allow_map(self):
         text = ("int a;\n"
                 "// analyze:allow view-escape (fixture)\n"
                 "int b;  // analyze:allow pin-balance (same line)\n")
-        _, allow, _ = cpp_lexer.lex(text)
+        _, allow, _, _ = cpp_lexer.lex(text)
         self.assertEqual(allow[2], {"view-escape"})
         self.assertEqual(allow[3], {"pin-balance"})
 
@@ -241,6 +241,104 @@ class ScopeModelTest(unittest.TestCase):
         m = model(text)
         self.assertIn("mu_", m.guarded_mutexes)
         self.assertIn("other_mu_", m.guarded_mutexes)
+
+
+class AsyncModelTest(unittest.TestCase):
+    """Lambda capture lists, pseudo-functions, dtor flags, class bases, and
+    `// analyze:lifetime` — the facts the async-lifetime passes consume."""
+
+    def test_capture_kinds(self):
+        text = """
+        void F() {
+          int x = 0;
+          auto self = Keep();
+          Run([this, *this, self, &x, n = x + 1, &alias = x] {});
+        }
+        """
+        fn = model(text).functions[0]
+        caps = {c["name"]: c["kind"] for c in fn.lambdas[0].captures
+                if c.get("name") is not None}
+        kinds = [c["kind"] for c in fn.lambdas[0].captures]
+        self.assertIn("this", kinds)
+        self.assertIn("star_this", kinds)
+        self.assertEqual(caps["self"], "value")
+        self.assertEqual(caps["x"], "ref")
+        self.assertEqual(caps["n"], "init_value")
+        self.assertEqual(caps["alias"], "init_ref")
+
+    def test_capture_defaults(self):
+        text = """
+        void F() {
+          Run([&] { Go(); });
+          Run([=] { Go(); });
+        }
+        """
+        fn = model(text).functions[0]
+        self.assertEqual(fn.lambdas[0].captures[0]["kind"], "ref_default")
+        self.assertEqual(fn.lambdas[1].captures[0]["kind"], "value_default")
+
+    def test_lambda_pseudo_functions_nested(self):
+        text = """
+        class Widget {
+         public:
+          void Go() {
+            Post([this] {
+              Post([this] { Tick(); });
+            });
+          }
+        };
+        """
+        m = model(text)
+        displays = [f.display_name() for f in m.lambda_functions]
+        self.assertEqual(len(displays), 2)
+        self.assertTrue(displays[0].startswith("Widget::Go::<lambda:"))
+        # The nested lambda's parent is the outer pseudo-function.
+        inner = next(f for f in m.lambda_functions
+                     if f.parent.is_lambda)
+        self.assertIn("<lambda:", inner.parent.display_name())
+        for f in m.lambda_functions:
+            self.assertEqual(f.class_name, "Widget")
+
+    def test_dtor_flag_in_class_and_out_of_line(self):
+        text = """
+        class Raylet {
+         public:
+          ~Raylet();
+          void Shutdown() {}
+        };
+        Raylet::~Raylet() { Shutdown(); }
+        """
+        m = model(text)
+        dtors = [f for f in m.functions if f.is_dtor]
+        self.assertEqual(len(dtors), 1)
+        self.assertEqual(dtors[0].display_name(), "Raylet::Raylet")
+        self.assertEqual([c.callee for c in dtors[0].calls], ["Shutdown"])
+
+    def test_class_bases_collected(self):
+        text = """
+        class Session : public std::enable_shared_from_this<Session> {
+         public:
+          void Go() {}
+        };
+        """
+        m = model(text)
+        self.assertIn("enable_shared_from_this", m.class_bases["Session"])
+
+    def test_lifetime_annotation_map(self):
+        text = """
+        void F() {
+          // analyze:lifetime frame outlives continuation: BlockOn below
+          Post([&] {});
+        }
+        """
+        m = model(text)
+        self.assertEqual(
+            m.lifetime_reason(3),
+            "frame outlives continuation: BlockOn below")
+        # Line-above lookup: the annotation covers the lambda's line too.
+        self.assertEqual(
+            m.lifetime_reason(4),
+            "frame outlives continuation: BlockOn below")
 
 
 if __name__ == "__main__":

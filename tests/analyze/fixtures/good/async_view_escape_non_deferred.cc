@@ -1,0 +1,30 @@
+// Analyzer fixture (not compiled): a view captured by a lambda is fine
+// when the callee runs it synchronously — ForEachRow calls back before
+// returning, while the chunk's frame is alive. Only the deferred boundary
+// (Post/ScheduleAfter/OnSet/...) makes a view capture dangerous. No async
+// finding.
+#include "src/common/buffer.h"
+
+namespace skadi {
+
+class RowScanner {
+ public:
+  int CountNonZero() {
+    ArrayView<int> rows = Rows();
+    int hits = 0;
+    // Synchronous callback: ForEachRow is not a deferred sink.
+    ForEachRow(rows, [rows, &hits](int i) {
+      if (rows[i] != 0) {
+        hits += 1;
+      }
+    });
+    return hits;
+  }
+
+ private:
+  ArrayView<int> Rows();
+  template <typename Fn>
+  void ForEachRow(ArrayView<int> rows, Fn fn);
+};
+
+}  // namespace skadi

@@ -11,6 +11,7 @@ class Aggregator {
   void Update(int delta) {
     MutexLock lock(mu_);
     Recount(delta);  // resolved callee, but nothing in it blocks
+    // analyze:lifetime Aggregator joins executor_ before destruction
     executor_->Post([this] { WaitIdle(); });  // deferred body: not "under mu_"
   }
 

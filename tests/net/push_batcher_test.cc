@@ -114,5 +114,40 @@ TEST_F(PushBatcherTest, FlushAllOnEmptyIsNoOp) {
   EXPECT_EQ(batcher.pending(), 0u);
 }
 
+// Regression: the batcher does not own the reactor, so the 200us safety
+// tick used to capture raw `this` and fire into a destroyed batcher. The
+// destructor must cancel the armed timer (and wait out an in-flight tick);
+// driving the reactor past the deadline afterwards must touch nothing —
+// ASan flags the use-after-free if the gate ever regresses.
+TEST_F(PushBatcherTest, DestructionWithPendingTickDoesNotTouchFreedBatcher) {
+  Reactor reactor("tick-teardown");
+  {
+    PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+    batcher.set_reactor(&reactor, /*tick_nanos=*/200'000);
+    batcher.Add(NodeId(1), Entry(NodeId(2)));
+    EXPECT_EQ(batcher.pending(), 1u);
+  }  // destroyed with the safety tick still pending
+  const int64_t deadline = NowNanos() + 5'000'000;
+  while (NowNanos() < deadline) {
+    reactor.PollOnce();
+  }
+  EXPECT_TRUE(delivered_.empty());  // the orphaned tick never flushed
+}
+
+// Same race, hammered with real driver threads: every iteration destroys a
+// batcher while its tick is due or already running. The destructor's
+// cancel + gate-expiry spin must make each destruction safe (TSan matrix).
+TEST_F(PushBatcherTest, ArmDestroyHammerWithDriverThreads) {
+  Reactor reactor("tick-hammer");
+  reactor.Start(2);
+  for (int i = 0; i < 100; ++i) {
+    PushBatcher batcher = MakeBatcher(/*max_batch=*/32);
+    batcher.set_reactor(&reactor, /*tick_nanos=*/1);  // due immediately
+    batcher.Add(NodeId(1), Entry(NodeId(2)));
+    // ~PushBatcher races the in-flight tick here.
+  }
+  reactor.Shutdown();
+}
+
 }  // namespace
 }  // namespace skadi

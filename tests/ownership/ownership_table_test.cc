@@ -1,9 +1,12 @@
 #include "src/ownership/ownership_table.h"
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+#include "src/common/clock.h"
 
 namespace skadi {
 namespace {
@@ -234,6 +237,36 @@ TEST_F(OwnershipTableTest, ObjectsInStateFilters) {
   ASSERT_EQ(readys.size(), 1u);
   EXPECT_EQ(readys[0], ready);
   EXPECT_EQ(table_.size(), 2u);
+}
+
+// Teardown race: destroy a reactor-wired table while half its watchers are
+// already queued on the reactor and the other half are still registered.
+// Queued continuations own their state via a captured shared_ptr (the
+// DESIGN.md §14 idiom) so they may run after the table dies; never-fired
+// watchers must be dropped without running. ASan flags any continuation
+// that touches freed table state.
+TEST_F(OwnershipTableTest, TeardownWithQueuedAndUnfiredWatchers) {
+  Reactor reactor("teardown");
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  {
+    OwnershipTable table(NodeId::Next());
+    table.set_reactor(&reactor);
+    for (int i = 0; i < 8; ++i) {
+      ObjectId id = ObjectId::Next();
+      ASSERT_TRUE(table.RegisterObject(id, TaskId::Next()).ok());
+      ASSERT_TRUE(
+          table.StateOrWatch(id, [fired] { fired->fetch_add(1); }).ok());
+      if (i % 2 == 0) {
+        // Queues the watcher continuation on the reactor.
+        ASSERT_TRUE(table.MarkReady(id, NodeId::Next(), 1).ok());
+      }
+    }
+  }  // table destroyed: 4 watchers queued on the reactor, 4 never fired
+  const int64_t deadline = NowNanos() + 1'000'000'000;
+  while (NowNanos() < deadline && fired->load() < 4) {
+    reactor.PollOnce();
+  }
+  EXPECT_EQ(fired->load(), 4);  // queued ones run; dropped ones never do
 }
 
 }  // namespace

@@ -67,6 +67,12 @@ _CV_RECV_RE = re.compile(r"(cv|cond)", re.IGNORECASE)
 _PIN_CALLEES = {"pin_arg", "Pin", "PinArg"}
 _UNPIN_CALLEES = {"unpin_arg", "Unpin", "UnpinArg"}
 
+# Callable-looking types: std::function vocab plus the repo's continuation
+# aliases. A variable of such a type passed as an argument into a deferred
+# sink makes the passing function itself a sink (async_lifetime fixpoint).
+_CALLBACK_TYPE_RE = re.compile(
+    r"\b(function|Continuation|FlushFn|Callback|callback|Handler|Fn)\b")
+
 _VIEW_RETURN_RE = re.compile(r"\b(ArrayView|string_view|StringView|Span)\b")
 _OWNING_TYPE_RE = re.compile(
     r"\b(vector|string|basic_string|Buffer|Tensor|Column|RecordBatch|"
@@ -93,6 +99,115 @@ def function_uid(rel_path, display, line):
     return f"{rel_path}#{display}#{line}"
 
 
+def _decl_init_contains(model, fn, decl, needle):
+    """True when the declaration's initializer tokens mention `needle`
+    (e.g. `auto self = shared_from_this();`). Bounded scan to the `;`."""
+    toks = model.tokens
+    i = decl.index + 1
+    if i > fn.body_range[1] or toks[i].text not in ("=", "(", "{"):
+        return False
+    for j in range(i, min(i + 48, fn.body_range[1])):
+        if toks[j].text == ";":
+            return False
+        if toks[j].kind == "ident" and toks[j].text == needle:
+            return True
+    return False
+
+
+def _lambda_facts(model, fn, rel_path):
+    """Capture classification + deferred-sink attribution for one lambda
+    pseudo-function. All values JSON-serializable (cached in summaries)."""
+    lam = fn.decl
+    parent = fn.parent
+    intro_open, intro_close = lam.intro
+    body_open, body_close = lam.body
+    toks = model.tokens
+
+    # The enclosing call in the parent whose argument list contains the
+    # lambda — the candidate deferred sink (`r.Post([..]{..})`). Innermost
+    # paren group wins; a lambda assigned to a variable has no sink.
+    sink = None
+    best_open = -1
+    for call in parent.calls:
+        o = call.index + 1
+        c = model.match.get(o)
+        if c is None:
+            continue
+        if o < intro_open and c > body_close and o > best_open:
+            best_open = o
+            sink = {"seq": call.index, "callee": call.callee,
+                    "recv": call.receiver, "line": call.line}
+
+    explicit = {c["name"] for c in lam.captures if c["name"]}
+    caps = []
+    strong_guard = False
+    for c in lam.captures:
+        entry = dict(c)
+        d = None
+        if c["name"] and c["name"] != "this":
+            d = parent.find_local(c["name"], at_index=intro_open)
+        entry["local"] = d is not None
+        entry["type"] = pretty(d.type_text) if d is not None else ""
+        if c["kind"] in ("value", "init_value", "star_this"):
+            ttext = d.type_text if d is not None else ""
+            if "shared_ptr" in ttext or "shared_from_this" in c["init"]:
+                strong_guard = True
+            elif d is not None and _decl_init_contains(
+                    model, parent, d, "shared_from_this"):
+                strong_guard = True
+        caps.append(entry)
+
+    ref_default = any(c["kind"] == "ref_default" for c in lam.captures)
+    value_default = any(c["kind"] == "value_default" for c in lam.captures)
+    default_locals = []
+    if ref_default or value_default:
+        seen = set()
+        for i in range(body_open + 1, body_close):
+            t = toks[i]
+            if t.kind != "ident" or t.text in seen or t.text in explicit:
+                continue
+            if toks[i - 1].text in (".", "->", "::"):
+                continue  # member access, not a frame-local reference
+            if fn.find_local(t.text, at_index=i) is not None:
+                continue  # the lambda's own parameter or local
+            d = parent.find_local(t.text, at_index=intro_open)
+            if d is not None:
+                seen.add(t.text)
+                default_locals.append(
+                    {"name": t.text, "type": pretty(d.type_text)})
+
+    # Raw-`this` use: an explicit `this` token, or a bare reference to a
+    # member of the enclosing class (a `[=]`/`[&]` default captures `this`
+    # implicitly when the body touches members).
+    uses_this = False
+    members = model.class_members.get(fn.class_name, {})
+    for i in range(body_open + 1, body_close):
+        t = toks[i]
+        if t.kind != "ident":
+            continue
+        if t.text == "this":
+            uses_this = True
+            break
+        if t.text in members and t.text not in explicit and \
+                toks[i - 1].text not in (".", "->", "::") and \
+                fn.find_local(t.text, at_index=i) is None and \
+                parent.find_local(t.text, at_index=intro_open) is None:
+            uses_this = True
+            break
+
+    return {
+        "outer": function_uid(rel_path, parent.display_name(), parent.line),
+        "line": lam.line,
+        "sink": sink,
+        "captures": caps,
+        "ref_default": ref_default,
+        "value_default": value_default,
+        "default_locals": default_locals,
+        "uses_this": uses_this,
+        "strong_guard": strong_guard,
+    }
+
+
 def summarize_file(model, rel_path):
     """One JSON-serializable summary dict for a parsed file."""
     from rules import lock_blocking  # intra classification, reused verbatim
@@ -100,7 +215,8 @@ def summarize_file(model, rel_path):
     classes = {cls: dict(members)
                for cls, members in model.class_members.items()}
     functions = []
-    for fn in model.functions:
+    for fn in list(model.functions) + list(
+            getattr(model, "lambda_functions", ())):
         display = fn.display_name()
         locals_map = {}
         for d in fn.locals:
@@ -139,7 +255,7 @@ def summarize_file(model, rel_path):
                 "base": base,
                 "base_type": base_type,
             })
-        functions.append({
+        entry = {
             "uid": function_uid(rel_path, display, fn.line),
             "name": fn.name,
             "cls": fn.class_name,
@@ -166,8 +282,18 @@ def summarize_file(model, rel_path):
             "view_calls": _view_helper_calls(model, fn),
             "annotated": fn.annotated_calls(),
             "body": [fn.body_range[0], fn.body_range[1]],
-        })
-    return {"path": rel_path, "classes": classes, "functions": functions}
+            "cb_fwd": _callback_forwards(model, fn, calls, locals_map),
+        }
+        if fn.is_dtor:
+            entry["dtor"] = True
+        if fn.is_lambda:
+            entry["is_lambda"] = True
+            entry["lam"] = _lambda_facts(model, fn, rel_path)
+        functions.append(entry)
+    return {"path": rel_path, "classes": classes, "functions": functions,
+            "bases": dict(getattr(model, "class_bases", {})),
+            "lifetime": {str(ln): reason for ln, reason in
+                         getattr(model, "lifetime_map", {}).items()}}
 
 
 def _canonical_mutex(lock, fn):
@@ -213,16 +339,24 @@ def _canonical_mutex(lock, fn):
 
 def _acquisitions(fn):
     """Lock acquisition sites with the set of canonical mutexes already
-    held: each MutexLock declaration, plus every re-`Lock()` interval."""
+    held: each MutexLock declaration, plus every re-`Lock()` interval.
+
+    Acquisitions inside a lambda body belong to that lambda's
+    pseudo-function, not the enclosing frame: the continuation runs after
+    the frame's locks are released, so attributing them here would invent
+    lock-order edges across the async boundary."""
     out = []
     for lk in fn.locks:
         points = [lk.decl_index]
         points.extend(a for (a, _) in lk.intervals[1:])
         mutex = _canonical_mutex(lk, fn)
         for p in points:
+            if fn.lambda_depth_at(p) > 0:
+                continue
             held = [_canonical_mutex(other, fn)
                     for other in fn.active_locks(p)
-                    if other is not lk]
+                    if other is not lk and
+                    fn.lambda_depth_at(other.decl_index) == 0]
             out.append({"mutex": mutex,
                         "line": fn.file.tokens[p].line,
                         "seq": p,
@@ -262,6 +396,38 @@ def _direct_blocking(model, fn, calls):
 def _call_text(c):
     recv = c["recv"].replace(" ", "")
     return f"{recv}{c['callee']}()" if recv else f"{c['callee']}()"
+
+
+def _callback_forwards(model, fn, calls, locals_map):
+    """Call sites that forward a callable-typed local/parameter as an
+    argument: [{"name", "callee", "recv", "line", "seq"}]. Feeds the
+    escapes-to-deferred fixpoint in async_lifetime.py."""
+    cb_names = {n for n, ty in locals_map.items()
+                if _CALLBACK_TYPE_RE.search(ty)}
+    if not cb_names:
+        return []
+    toks = model.tokens
+    out = []
+    for c in calls:
+        if c["lambda"] > 0:
+            continue
+        open_idx = c["seq"] + 1
+        close = model.match.get(open_idx)
+        if close is None or close > fn.body_range[1]:
+            continue
+        for i in range(open_idx + 1, close):
+            t = toks[i]
+            if t.kind != "ident" or t.text not in cb_names:
+                continue
+            if toks[i - 1].text in (".", "->", "::"):
+                continue
+            if fn.lambda_depth_at(i) > 0:
+                continue  # captured inside a nested lambda, not forwarded
+            out.append({"name": t.text, "callee": c["callee"],
+                        "recv": c["recv"], "line": c["line"],
+                        "seq": c["seq"]})
+            break
+    return out
 
 
 def _has_raii_unpinner(model, fn):
@@ -356,11 +522,22 @@ class CallGraph:
         self.by_name = {}            # name -> [uid]
         self.by_qual = {}            # (cls, name) -> [uid]
         self.classes = {}            # class -> {member: type}
+        self.class_bases = {}        # class -> [base idents]
+        self.lifetime = {}           # rel path -> {line: reason}
         for fs in file_summaries:
             for cls, members in fs.get("classes", {}).items():
                 merged = self.classes.setdefault(cls, {})
                 for m, ty in members.items():
                     merged.setdefault(m, ty)
+            for cls, bases in fs.get("bases", {}).items():
+                merged = self.class_bases.setdefault(cls, [])
+                for b in bases:
+                    if b not in merged:
+                        merged.append(b)
+            if fs.get("lifetime"):
+                lt = self.lifetime.setdefault(fs["path"], {})
+                for ln, reason in fs["lifetime"].items():
+                    lt[int(ln)] = reason
             for f in fs["functions"]:
                 self.functions[f["uid"]] = f
                 self.by_name.setdefault(f["name"], []).append(f["uid"])
@@ -370,6 +547,7 @@ class CallGraph:
         self.edges = {}              # uid -> [(call dict, [target uid])]
         self.callers = {}            # uid -> number of resolved call sites
         self._resolve_all()
+        self._add_deferred_edges()
 
     # -- resolution ------------------------------------------------------
 
@@ -392,6 +570,28 @@ class CallGraph:
                              "base_type": None, "annotated": True}, [t]))
                 self.callers[t] = self.callers.get(t, 0) + 1
             self.edges[uid] = out
+
+    def _add_deferred_edges(self):
+        """Synthetic `deferred: true` edges from each function to its
+        lambda pseudo-functions. These make continuation bodies reachable
+        (their own acquisitions/blocking participate in the inventory and
+        lock-order passes) but are excluded from caller-ward propagation:
+        locks held at the registration site are *not* held when the
+        continuation later runs, and the registering frame does not block."""
+        for uid in sorted(self.functions):
+            f = self.functions[uid]
+            lam = f.get("lam")
+            if not lam:
+                continue
+            outer = lam.get("outer")
+            if outer not in self.functions:
+                continue
+            self.edges.setdefault(outer, []).append((
+                {"callee": f["name"], "recv": "", "line": f["line"],
+                 "seq": -2, "lambda": 0, "held": [], "wait_own": False,
+                 "direct": None, "base": None, "base_type": None,
+                 "deferred": True}, [uid]))
+            self.callers[uid] = self.callers.get(uid, 0) + 1
 
     def _resolve_annotated(self, f):
         out = []

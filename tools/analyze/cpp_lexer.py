@@ -18,7 +18,9 @@ Tokens carry (kind, text, line). Kinds: 'ident', 'number', 'string', 'char',
 
 Besides `// analyze:allow <rule>` suppressions, the lexer collects
 `// analyze:calls <target>` annotations (virtual dispatch / callback edges
-declared for the interprocedural call graph) into a second side map.
+declared for the interprocedural call graph) and `// analyze:lifetime
+<reason>` annotations (a declared lifetime guarantee for a deferred
+continuation — accepted by the async-lifetime passes) into side maps.
 """
 
 import collections
@@ -26,8 +28,8 @@ import re
 
 Token = collections.namedtuple("Token", ["kind", "text", "line"])
 
-LexResult = collections.namedtuple("LexResult",
-                                   ["tokens", "allow_map", "calls_map"])
+LexResult = collections.namedtuple(
+    "LexResult", ["tokens", "allow_map", "calls_map", "lifetime_map"])
 
 # Longest first so maximal munch falls out of the ordering.
 _PUNCTUATORS = [
@@ -47,6 +49,10 @@ _ALLOW_RE = re.compile(r"//\s*analyze:allow\s+([a-z-]+)")
 # `// analyze:calls Foo::Bar, Baz` — declares call-graph edges the lexical
 # engine cannot see (virtual dispatch, callbacks, std::function targets).
 _CALLS_RE = re.compile(r"//\s*analyze:calls\s+([\w:,\s]+)")
+# `// analyze:lifetime <reason>` — asserts the continuation on this (or the
+# next) line cannot outlive what it captures; the reason is mandatory
+# (tools/lint.py enforces non-empty) and is carried into async_escapes.json.
+_LIFETIME_RE = re.compile(r"//\s*analyze:lifetime\s*(.*)")
 
 
 class LexError(Exception):
@@ -64,6 +70,7 @@ def lex(text):
     tokens = []
     allow_map = {}
     calls_map = {}
+    lifetime_map = {}
     i = 0
     n = len(text)
     line = 1
@@ -75,6 +82,9 @@ def lex(text):
         for m in _CALLS_RE.finditer(comment):
             targets = [t.strip() for t in m.group(1).split(",") if t.strip()]
             calls_map.setdefault(comment_line, []).extend(targets)
+        m = _LIFETIME_RE.search(comment)
+        if m is not None:
+            lifetime_map.setdefault(comment_line, m.group(1).strip())
 
     while i < n:
         c = text[i]
@@ -186,7 +196,7 @@ def lex(text):
         else:
             i += 1  # unknown byte: skip rather than die
 
-    return LexResult(tokens, allow_map, calls_map)
+    return LexResult(tokens, allow_map, calls_map, lifetime_map)
 
 
 def _scan_quoted(text, i, line, prefix=""):

@@ -15,7 +15,12 @@ Per function the model exposes what the rules need:
   * MutexLock regions, including mid-scope `lock.Unlock()` / `lock.Lock()`
     toggling — the drop-the-lock-around-IO idiom in the caching layer must
     not count as "lock held",
-  * call sites with callee name and receiver chain text.
+  * call sites with callee name and receiver chain text,
+  * lambda expressions with parsed capture lists (kind per capture:
+    by-ref, by-value, raw `this`, `*this` copy, init-capture, `&`/`=`
+    defaults) — each lambda body additionally becomes a pseudo
+    FunctionModel (FileModel.lambda_functions) so the interprocedural
+    passes can analyze continuation bodies as first-class functions.
 
 Everything is heuristic but tuned so the fallback engine produces zero
 findings on the clean tree; see tools/analyze/skadi_analyzer.py --selftest.
@@ -69,6 +74,67 @@ Call = collections.namedtuple(
 LockRegion = collections.namedtuple(
     "LockRegion", ["name", "mutex_expr", "intervals", "decl_index", "line"])
 
+# One lambda expression directly inside a function body (nested lambdas
+# belong to their enclosing lambda's pseudo-function, not the outer one).
+# intro = (open `[` index, close `]` index); params = (open `(`, close `)`)
+# or None; body = (open `{`, close `}`); captures = list of
+# {"name": str, "kind": str, "init": str} with kind one of
+# ref / value / this / star_this / init_value / init_ref /
+# ref_default / value_default (defaults have name "").
+LambdaDecl = collections.namedtuple(
+    "LambdaDecl", ["intro", "params", "body", "line", "captures"])
+
+
+def parse_captures(tokens, lb, rb):
+    """Parses the capture list between `[` (index lb) and `]` (index rb)."""
+    captures = []
+    # Split on top-level commas (init-capture expressions may nest).
+    groups = []
+    depth = 0
+    start = lb + 1
+    for i in range(lb + 1, rb):
+        t = tokens[i].text
+        if t in ("(", "[", "{", "<"):
+            depth += 1
+        elif t in (")", "]", "}", ">"):
+            depth -= 1
+        elif t == "," and depth == 0:
+            groups.append((start, i))
+            start = i + 1
+    if start < rb:
+        groups.append((start, rb))
+    for (s, e) in groups:
+        toks = tokens[s:e]
+        texts = [t.text for t in toks]
+        if not texts:
+            continue
+        if texts == ["&"]:
+            captures.append({"name": "", "kind": "ref_default", "init": ""})
+        elif texts == ["="]:
+            captures.append({"name": "", "kind": "value_default", "init": ""})
+        elif texts == ["this"]:
+            captures.append({"name": "this", "kind": "this", "init": ""})
+        elif texts[:2] == ["*", "this"]:
+            captures.append({"name": "this", "kind": "star_this", "init": ""})
+        elif texts[0] == "&":
+            if len(texts) < 2 or toks[1].kind != "ident":
+                continue
+            name = texts[1]
+            if "=" in texts[2:]:
+                init = " ".join(texts[texts.index("=", 2) + 1:])
+                captures.append({"name": name, "kind": "init_ref",
+                                 "init": init})
+            else:
+                captures.append({"name": name, "kind": "ref", "init": ""})
+        elif toks[0].kind == "ident":
+            name = texts[0]
+            if len(texts) > 1 and texts[1] == "=":
+                captures.append({"name": name, "kind": "init_value",
+                                 "init": " ".join(texts[2:])})
+            else:
+                captures.append({"name": name, "kind": "value", "init": ""})
+    return captures
+
 
 class FunctionModel:
     def __init__(self, file_model, name, qual_tokens, return_tokens,
@@ -90,6 +156,11 @@ class FunctionModel:
         self.locals = []        # VarDecl list (params included, depth 0)
         self.calls = []
         self.locks = []         # LockRegion list
+        self.lambdas = []       # LambdaDecl list (direct children only)
+        self.is_lambda = False  # True for pseudo-functions built from a
+        self.parent = None      # lambda body; parent is the enclosing
+        self.decl = None        # FunctionModel and decl its LambdaDecl
+        self.is_dtor = False
         self._build()
 
     # -- public helpers -------------------------------------------------
@@ -153,8 +224,10 @@ class FunctionModel:
         toks = self.file.tokens
         lo, hi = self.body_range
         depth = 0
-        # Lambda body ranges: list of (open_brace, close_brace).
-        lambda_bodies = self._find_lambda_bodies()
+        # Lambda records: (intro, params, body) index pairs, all nesting
+        # levels; the body ranges drive the per-token lambda depth.
+        records = self._find_lambda_records()
+        lambda_bodies = [r[2] for r in records]
         for i in range(lo, hi + 1):
             t = toks[i]
             if t.text == "{":
@@ -167,13 +240,23 @@ class FunctionModel:
                 if a < i < b:
                     ld += 1
             self._lambda_depth[i] = ld
+        # Direct children only: a lambda whose intro sits inside another
+        # lambda's body belongs to that pseudo-function instead.
+        for (intro, params, body) in records:
+            if self._lambda_depth.get(intro[0], 0) != 0:
+                continue
+            self.lambdas.append(LambdaDecl(
+                intro=intro, params=params, body=body,
+                line=toks[intro[0]].line,
+                captures=parse_captures(toks, intro[0], intro[1])))
 
         self._collect_params()
         self._collect_locals_and_calls()
         self._collect_lock_regions()
 
-    def _find_lambda_bodies(self):
-        """Finds lambda bodies inside the function body.
+    def _find_lambda_records(self):
+        """Finds lambdas inside the function body:
+        [(intro_range, params_range | None, body_range)].
 
         A `[` opens a lambda intro when it appears in expression context:
         the previous token is a punctuator that cannot precede a subscript
@@ -183,7 +266,7 @@ class FunctionModel:
         """
         toks = self.file.tokens
         match = self.file.match
-        bodies = []
+        records = []
         expr_prefix = {"(", ",", "=", "{", ";", "&&", "||", "!", "?", ":",
                        "return", "<", ">", "+", "-", "*", "/", "%", "<<",
                        ">>", "==", "!=", "co_return", "co_yield", "["}
@@ -198,10 +281,12 @@ class FunctionModel:
             if close is None or close >= hi:
                 continue
             j = close + 1
+            params = None
             if j < hi and toks[j].text == "(":
                 pc = match.get(j)
                 if pc is None:
                     continue
+                params = (j, pc)
                 j = pc + 1
             # Skip specifiers / trailing return up to `{` or give up at
             # tokens that end the candidate.
@@ -220,8 +305,8 @@ class FunctionModel:
             if j < hi and toks[j].text == "{":
                 bc = match.get(j)
                 if bc is not None and bc <= hi:
-                    bodies.append((j, bc))
-        return bodies
+                    records.append(((i, close), params, (j, bc)))
+        return records
 
     def _collect_params(self):
         """Parameters become depth-0 locals scoped to the whole function."""
@@ -478,11 +563,13 @@ class FileModel:
 
     def __init__(self, path, text):
         self.path = path
-        self.tokens, self.allow_map, self.calls_map = lex(text)
+        self.tokens, self.allow_map, self.calls_map, self.lifetime_map = \
+            lex(text)
         self.match = {}    # open bracket index -> close index
         self.rmatch = {}   # close -> open
         self._match_brackets()
         self.class_scopes = []   # (name, open_brace, close_brace), outer first
+        self.class_bases = {}    # class name -> [base class idents]
         self._find_class_scopes()
         self.functions = []
         self._find_functions()
@@ -490,11 +577,43 @@ class FileModel:
         self.class_members = {}  # class name -> {member name: type text}
         self._collect_class_members()
         self.guarded_mutexes = self._collect_guarded_mutexes(text)
+        self.lambda_functions = []  # pseudo FunctionModels, one per lambda
+        self._build_lambda_functions()
 
     def allows(self, line, rule):
         """True when `// analyze:allow <rule>` is on `line` or the line above."""
         return rule in self.allow_map.get(line, ()) or \
             rule in self.allow_map.get(line - 1, ())
+
+    def lifetime_reason(self, line):
+        """The `// analyze:lifetime <reason>` on `line` or the line above,
+        or None."""
+        r = self.lifetime_map.get(line)
+        if r is None:
+            r = self.lifetime_map.get(line - 1)
+        return r
+
+    def _build_lambda_functions(self):
+        """One pseudo FunctionModel per lambda body, recursively (a lambda
+        nested in a lambda becomes a child of the inner pseudo-function).
+        The pseudo-function's display is `Outer::<lambda:LINE:K>`; its
+        class is the outer function's class so bare member calls resolve."""
+        queue = list(self.functions)
+        while queue:
+            fn = queue.pop(0)
+            for k, lam in enumerate(fn.lambdas):
+                name = f"<lambda:{lam.line}:{k}>"
+                params = lam.params if lam.params is not None \
+                    else (lam.intro[1], lam.intro[1])
+                pseudo = FunctionModel(
+                    self, name, f"{fn.display_name()}::{name}",
+                    [], params, lam.body)
+                pseudo.is_lambda = True
+                pseudo.parent = fn
+                pseudo.decl = lam
+                pseudo.class_name = fn.class_name
+                self.lambda_functions.append(pseudo)
+                queue.append(pseudo)
 
     def _match_brackets(self):
         stacks = {"(": [], "{": [], "[": []}
@@ -525,9 +644,17 @@ class FileModel:
             name = toks[i + 1].text
             j = i + 2
             guard = 0
+            base_idents = []
+            saw_colon = False
             while j < n and toks[j].text not in ("{", ";", ")", "}"):
                 if toks[j].text == "(":  # macro in the head: give up
                     break
+                if toks[j].text == ":":
+                    saw_colon = True
+                elif saw_colon and toks[j].kind == "ident" and \
+                        toks[j].text not in ("public", "private", "protected",
+                                             "virtual"):
+                    base_idents.append(toks[j].text)
                 j += 1
                 guard += 1
                 if guard > 64:
@@ -536,6 +663,11 @@ class FileModel:
                 close = self.match.get(j)
                 if close is not None:
                     self.class_scopes.append((name, j, close))
+                    if base_idents:
+                        merged = self.class_bases.setdefault(name, [])
+                        for b in base_idents:
+                            if b not in merged:
+                                merged.append(b)
 
     def _attribute_classes(self):
         """Sets class_name on each function from explicit qualification or
@@ -682,8 +814,9 @@ class FileModel:
                 continue
             qual = self._qualified_name(i)
             ret = self._return_tokens(i)
+            is_dtor = i >= 1 and toks[i - 1].text == "~"
             candidates.append((i, t.text, qual, ret, (i + 1, close),
-                               (body, body_close)))
+                               (body, body_close), is_dtor))
         # Keep only outermost definitions; nested local structs' methods stay
         # part of the enclosing function body.
         kept = []
@@ -696,9 +829,10 @@ class FileModel:
                 continue
             claimed.append(b)
             kept.append(cand)
-        for (i, name, qual, ret, params, body) in kept:
-            self.functions.append(FunctionModel(
-                self, name, qual, ret, params, body))
+        for (i, name, qual, ret, params, body, is_dtor) in kept:
+            fm = FunctionModel(self, name, qual, ret, params, body)
+            fm.is_dtor = is_dtor
+            self.functions.append(fm)
 
     def _find_body_brace(self, j):
         """From just after the param `)`, finds the body `{` (or None).
@@ -771,6 +905,11 @@ class FileModel:
         toks = self.tokens
         parts = [toks[i].text]
         j = i - 1
+        # `Cls :: ~ Cls` — the tilde sits between the qualifier and the
+        # name; skip it so the dtor gets the same qual name as the ctor
+        # (the is_dtor flag tells them apart).
+        if j >= 1 and toks[j].text == "~":
+            j -= 1
         while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "ident":
             parts.append("::")
             parts.append(toks[j - 1].text)
@@ -782,7 +921,10 @@ class FileModel:
         """Type tokens before the (possibly qualified) name."""
         toks = self.tokens
         j = i - 1
-        # Skip back over the qualification `Foo ::` and destructor `~`.
+        # Skip back over the destructor `~` and the qualification `Foo ::`
+        # (out-of-line dtors interleave them: `Foo :: ~ Foo`).
+        if j >= 0 and toks[j].text == "~":
+            j -= 1
         while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "ident":
             j -= 2
         if j >= 0 and toks[j].text == "~":

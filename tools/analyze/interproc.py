@@ -79,7 +79,7 @@ def compute_may_block(graph):
     rev = {}
     for uid in sorted(graph.functions):
         for (call, targets) in graph.out_edges(uid):
-            if call.get("lambda"):
+            if call.get("lambda") or call.get("deferred"):
                 continue  # deferred body: runs on another stack later
             if call.get("wait_own"):
                 continue  # Wait(own lock) handled by the seed in the callee
@@ -134,10 +134,13 @@ def check_may_block(graph, info):
         f = graph.functions[uid]
         reported_lines = set()
         for (call, targets) in graph.out_edges(uid):
-            if not call["held"] or call.get("lambda") or call.get("wait_own"):
+            if not call["held"] or call.get("lambda") or \
+                    call.get("wait_own") or call.get("deferred"):
                 continue
-            if call.get("direct"):
-                continue  # intra lock-blocking already reports this site
+            if call.get("direct") and not f.get("is_lambda"):
+                continue  # intra lock-blocking already reports this site;
+                          # lambda pseudo-functions have no intra coverage,
+                          # so their direct sites are reported here
             if call.get("annotated"):
                 continue  # annotation edges have no real source line
             blocking = [t for t in targets if t in info]
@@ -207,8 +210,9 @@ def compute_transitive_acquires(graph):
             mine = acq[uid]
             before = len(mine)
             for (call, targets) in graph.out_edges(uid):
-                if call.get("lambda"):
-                    continue
+                if call.get("lambda") or call.get("deferred"):
+                    continue  # a continuation's acquisitions happen later,
+                              # with the registration-site locks released
                 for t in targets:
                     mine |= acq.get(t, set())
             if len(mine) != before:
@@ -238,8 +242,11 @@ def build_lock_order_graph(graph, trans_acq):
                          f"{f['display']} acquires '{a['mutex']}' while "
                          f"holding '{held}'")
         # Interprocedural: call under A into a callee acquiring B.
+        # Deferred (continuation) edges never carry held locks: the
+        # registering frame's locks are released before the body runs.
         for (call, targets) in graph.out_edges(uid):
-            if not call["held"] or call.get("lambda"):
+            if not call["held"] or call.get("lambda") or \
+                    call.get("deferred"):
                 continue
             for t in targets:
                 for m in sorted(trans_acq.get(t, ())):
@@ -368,7 +375,7 @@ def compute_provides_unpin(graph):
             if uid in provides:
                 continue
             for (call, targets) in graph.out_edges(uid):
-                if call.get("lambda"):
+                if call.get("lambda") or call.get("deferred"):
                     continue
                 if any(t in provides for t in targets):
                     provides.add(uid)
@@ -390,6 +397,10 @@ def check_pin_balance(graph, provides_unpin):
         f = graph.functions[uid]
         if f["name"] in _PIN_PRIMITIVES:
             continue
+        if f.get("is_lambda"):
+            continue  # the enclosing function already counts lambda-body
+                      # pins/unpins; double-charging the pseudo-function
+                      # would report the async pin/unpin split as a leak
         p = f["file"].replace("\\", "/")
         if p.startswith("tests/") and "/fixtures/" not in p:
             continue  # tests pin deliberately to exercise eviction
@@ -400,7 +411,8 @@ def check_pin_balance(graph, provides_unpin):
             continue
         unpins = list(f["unpins"])
         for (call, targets) in graph.out_edges(uid):
-            if call.get("lambda") or call.get("annotated"):
+            if call.get("lambda") or call.get("annotated") or \
+                    call.get("deferred"):
                 continue
             if call["callee"] in _PIN_PRIMITIVES:
                 continue

@@ -36,6 +36,27 @@ by call_graph.py; virtual/callback edges declared `// analyze:calls <fn>`):
                        Helper(local) where Helper returns a view into its
                        parameter.
 
+Async-lifetime passes (async_lifetime.py; DESIGN.md §14): lambdas become
+pseudo-functions in the graph, an escapes-to-deferred fixpoint marks every
+function whose callback argument reaches Post/ScheduleAfter/OnSet/
+StateOrWatch/GetAsync/TransferBytesAsync, and three rules fire on captures
+crossing that boundary:
+
+  async-capture        by-reference capture of a frame-local reaches a
+                       deferred sink.
+  async-this           raw `this` reaches a deferred sink from a class
+                       with no lifetime guarantee (shared_from_this guard,
+                       owned reactor + Shutdown-in-dtor, or an explicit
+                       `// analyze:lifetime <reason>` annotation).
+  async-view-escape    a view-typed capture (string_view/ArrayView/Span)
+                       crosses the async boundary.
+
+Every deferred-sink site — flagged or not — is inventoried with its capture
+classification and witness chain in build/analyze/async_escapes.json.
+Synthetic deferred edges also feed continuation bodies into may-block and
+lock-order, so a continuation's lock acquisitions participate in those
+passes without leaking blocking-ness back into the registering frame.
+
 Engines: with `clang.cindex` + a libclang shared library installed the
 analyzer parses with the real Clang AST (--engine=libclang); otherwise a
 bundled pure-Python lexer + declaration/scope tracker does the same job
@@ -72,6 +93,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import async_lifetime
 import call_graph
 import cpp_model
 import interproc
@@ -93,6 +115,7 @@ INTERPROC_RULES = {
         "lock-order-cycle: a cycle in the static cross-TU "
         "lock-acquisition-order graph — a deadlock on some interleaving.",
 }
+INTERPROC_RULES.update(async_lifetime.DOCS)
 
 # pin-balance moved to the interprocedural engine (callee-provided unpins
 # must count); the intra module remains only as documentation + helpers.
@@ -243,7 +266,8 @@ def _allowed(allow_map, line, rule):
 
 def analyze_program(parse, root, rules, paths=(), cache=None):
     """Whole-program analysis. Returns (n_files, findings, inventory,
-    lock_order_dump) with findings as sorted (rel, line, rule, message)."""
+    lock_order_dump, async_escapes_dump) with findings as sorted
+    (rel, line, rule, message)."""
     findings = []
     summaries = []
     allow_by_file = {}
@@ -271,7 +295,8 @@ def analyze_program(parse, root, rules, paths=(), cache=None):
 
     graph = call_graph.CallGraph(summaries)
     inter_findings, inventory, lock_order = interproc.run(graph)
-    for f in inter_findings:
+    async_findings, escapes = async_lifetime.run(graph)
+    for f in inter_findings + async_findings:
         if f.rule not in rules:
             continue
         if _allowed(allow_by_file.get(f.file, {}), f.line, f.rule):
@@ -288,7 +313,7 @@ def analyze_program(parse, root, rules, paths=(), cache=None):
         if key not in seen:
             seen.add(key)
             deduped.append(f)
-    return n, deduped, inventory, lock_order
+    return n, deduped, inventory, lock_order, escapes
 
 
 def print_findings(findings):
@@ -296,11 +321,13 @@ def print_findings(findings):
         print(f"{rel}:{line}: [{rule}] {msg}")
 
 
-def write_artifacts(root, inventory, lock_order):
+def write_artifacts(root, inventory, lock_order, escapes):
     out_dir = os.path.join(root, "build", "analyze")
     interproc.write_json(
         os.path.join(out_dir, "blocking_inventory.json"), inventory)
     interproc.write_json(os.path.join(out_dir, "lock_order.json"), lock_order)
+    interproc.write_json(
+        os.path.join(out_dir, "async_escapes.json"), escapes)
 
 
 # ---------------------------------------------------------------------------
@@ -318,15 +345,17 @@ def selftest(parse, root, rules, engine_name, cache_path):
     def fixture_findings(path):
         # Each fixture is its own single-file "program": intra rules plus
         # the interprocedural passes over just that file.
-        _, found, _, _ = analyze_program(parse, root, rules, [path])
+        _, found, _, _, _ = analyze_program(parse, root, rules, [path])
         return found
 
     n_bad = 0
+    bad_by_rule = {}
     for name in sorted(os.listdir(bad_dir)):
         if not name.endswith(SOURCE_EXTS):
             continue
         n_bad += 1
         expected_rule = name.split("__")[0]
+        bad_by_rule[expected_rule] = bad_by_rule.get(expected_rule, 0) + 1
         found = fixture_findings(os.path.join(bad_dir, name))
         hits = [f for f in found if f[2] == expected_rule]
         if not hits:
@@ -335,19 +364,34 @@ def selftest(parse, root, rules, engine_name, cache_path):
                 f"got {[f[2] for f in found] or 'none'}")
 
     n_good = 0
+    good_by_rule = {}
     for name in sorted(os.listdir(good_dir)):
         if not name.endswith(SOURCE_EXTS):
             continue
         n_good += 1
+        # Good fixtures are named <rule_with_underscores>_<desc>.cc; count
+        # them against the longest matching rule prefix.
+        for rule in known_rules():
+            if name.startswith(rule.replace("-", "_") + "_"):
+                good_by_rule[rule] = good_by_rule.get(rule, 0) + 1
         found = fixture_findings(os.path.join(good_dir, name))
         if found:
             failures.append(f"good fixture {name}: unexpected finding(s): " +
                             "; ".join(f"[{f[2]}] line {f[1]}" for f in found))
 
+    # The async-lifetime rules ship with a guaranteed fixture floor.
+    for rule in sorted(async_lifetime.DOCS):
+        if bad_by_rule.get(rule, 0) < 3:
+            failures.append(f"fixture coverage: need >=3 bad fixtures for "
+                            f"[{rule}], have {bad_by_rule.get(rule, 0)}")
+        if good_by_rule.get(rule, 0) < 2:
+            failures.append(f"fixture coverage: need >=2 good fixtures for "
+                            f"[{rule}], have {good_by_rule.get(rule, 0)}")
+
     generation = analyzer_generation(engine_name)
     cold = FileCache(cache_path, generation)
     cold.entries = {}  # force a cold run even if a cache file exists
-    n_tree, tree_findings, inventory, lock_order = analyze_program(
+    n_tree, tree_findings, inventory, lock_order, escapes = analyze_program(
         parse, root, rules, cache=cold)
     cold.save()
     for f in tree_findings:
@@ -356,7 +400,7 @@ def selftest(parse, root, rules, engine_name, cache_path):
     # Warm run: every file served from cache, identical results.
     warm = FileCache(cache_path, generation)
     t_warm = time.monotonic()
-    n2, warm_findings, warm_inventory, _ = analyze_program(
+    n2, warm_findings, warm_inventory, _, warm_escapes = analyze_program(
         parse, root, rules, cache=warm)
     warm_dt = time.monotonic() - t_warm
     if warm_findings != tree_findings:
@@ -364,6 +408,9 @@ def selftest(parse, root, rules, engine_name, cache_path):
                         "cold run")
     if warm_inventory != inventory:
         failures.append("incremental cache: warm-run inventory differs "
+                        "from cold run")
+    if warm_escapes != escapes:
+        failures.append("incremental cache: warm-run async escapes differ "
                         "from cold run")
     if warm.misses:
         failures.append(f"incremental cache: {warm.misses} cache miss(es) "
@@ -373,13 +420,20 @@ def selftest(parse, root, rules, engine_name, cache_path):
         failures.append("blocking inventory is empty: the tree has known "
                         "blocking primitives (CondVar::Wait, Fabric::Call), "
                         "so the may-block fixpoint lost them")
-    write_artifacts(root, inventory, lock_order)
+    if escapes["total"] == 0 or not any(
+            s["file"].startswith("src") for s in escapes["sites"]):
+        failures.append("async escapes inventory lost the src/ deferred "
+                        "sinks: the tree posts continuations (Reactor::Post,"
+                        " ScheduleAfter, OnSet), so the escapes-to-deferred "
+                        "fixpoint missed them")
+    write_artifacts(root, inventory, lock_order, escapes)
 
     dt = time.monotonic() - t0
     print(f"skadi_analyzer --selftest [{engine_name}]: {n_bad} bad + "
           f"{n_good} good fixtures, {n_tree} tree files "
           f"(warm rerun {warm_dt:.2f}s, {warm.hits} cached), "
-          f"{inventory['total']} may-block functions in {dt:.1f}s")
+          f"{inventory['total']} may-block functions, "
+          f"{escapes['total']} deferred-sink sites in {dt:.1f}s")
     if dt > 30.0:
         failures.append(f"selftest took {dt:.1f}s; budget is 30s")
     for f in failures:
@@ -412,7 +466,7 @@ def main():
                          "cache.json)")
     ap.add_argument("--no-artifacts", action="store_true",
                     help="skip writing blocking_inventory.json / "
-                         "lock_order.json")
+                         "lock_order.json / async_escapes.json")
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
 
@@ -447,13 +501,13 @@ def main():
     cache = None
     if cache_path and not args.paths:
         cache = FileCache(cache_path, analyzer_generation(engine_name))
-    n, findings, inventory, lock_order = analyze_program(
+    n, findings, inventory, lock_order, escapes = analyze_program(
         parse, root, rules, args.paths, cache=cache)
     if cache is not None:
         cache.save()
     print_findings(findings)
     if not args.paths and not args.no_artifacts:
-        write_artifacts(root, inventory, lock_order)
+        write_artifacts(root, inventory, lock_order, escapes)
     if args.sarif:
         import sarif
         sarif.write(args.sarif, findings, rule_docs())

@@ -46,8 +46,15 @@ Checks:
                     segments; a trailing dot marks a prefix family). Tests
                     and benches may use ad-hoc literal names. Escape hatch:
                     `// lint:allow metric-name (<reason>)`.
+  annotation-reason every analyzer escape hatch must say why: an
+                    `// analyze:allow <rule>` needs a non-empty
+                    `(<reason>)` and an `// analyze:lifetime` needs a
+                    non-empty reason text. A bare suppression is a
+                    time bomb — the next reader cannot tell a vetted
+                    exception from a silenced bug. No escape hatch
+                    (write the reason instead).
 
-Usage: lint.py [--root REPO_ROOT] [paths...]
+Usage: lint.py [--root REPO_ROOT] [--list-rules] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -68,6 +75,30 @@ RAW_MUTEX_ALLOWED = {
 }
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
+
+# Analyzer escape hatches (tools/analyze/): both must carry a reason.
+ANALYZE_ALLOW_RE = re.compile(r"//\s*analyze:allow\s+([a-z-]+)([^\n]*)")
+ANALYZE_LIFETIME_RE = re.compile(r"//\s*analyze:lifetime\b([^\n]*)")
+PAREN_REASON_RE = re.compile(r"\(\s*[^)\s][^)]*\)")
+
+# One-line summaries for --list-rules (kept in sync with the docstring).
+RULE_DOCS = {
+    "include-guard": "headers need #pragma once or a classic include guard",
+    "naked-new": "no naked new/delete outside smart-pointer wrappers",
+    "raw-mutex": "use skadi::Mutex/CondVar, not std primitives",
+    "guarded-by": "every Mutex member must be named by a GUARDED_BY/"
+                  "REQUIRES annotation in its file",
+    "sharded-map": "unordered_map members in sharded control-plane headers "
+                   "must be GUARDED_BY a shard lock",
+    "discarded-status": "statement-level Status/Result calls must not "
+                        "discard the result",
+    "zero-copy-hot-path": "no copying Buffer ctors in the data-plane hot "
+                          "path; alias with Wrap/Slice",
+    "metric-name": "metric/span literals in src/ must come from "
+                   "src/common/metric_names.h and be dot-case",
+    "annotation-reason": "analyze:allow needs a non-empty (<reason>); "
+                         "analyze:lifetime needs a non-empty reason text",
+}
 
 # Data-plane hot path: files where a payload memcpy is a perf regression, not
 # a style nit. Buffer::FromBytes/FromString copy; these files must alias.
@@ -196,6 +227,7 @@ class Linter:
         if rel in SHARDED_MAP_FILES:
             self.check_sharded_map(path, raw_lines, lines)
         self.check_discarded_status(path, raw_lines, lines)
+        self.check_annotation_reason(path, raw_lines)
         if rel in ZERO_COPY_HOT_PATHS or any(
                 rel.startswith(p) for p in ZERO_COPY_HOT_PATHS if p.endswith(os.sep)):
             self.check_zero_copy_hot_path(path, raw_lines, lines)
@@ -333,6 +365,23 @@ class Linter:
                         "constant (or annotate "
                         "`// lint:allow metric-name (reason)`)")
 
+    def check_annotation_reason(self, path, raw_lines):
+        # Analyzer suppressions are load-bearing: a reasonless one cannot be
+        # audited, so the analyzer's trust in them decays to zero. Runs on
+        # the raw lines — the annotations live inside comments.
+        for i, raw_line in enumerate(raw_lines, 1):
+            for m in ANALYZE_ALLOW_RE.finditer(raw_line):
+                if not PAREN_REASON_RE.search(m.group(2)):
+                    self.report(path, i, "annotation-reason",
+                                f"`analyze:allow {m.group(1)}` has no "
+                                "(<reason>); say why the finding is safe "
+                                "to suppress")
+            m = ANALYZE_LIFETIME_RE.search(raw_line)
+            if m is not None and not m.group(1).strip():
+                self.report(path, i, "annotation-reason",
+                            "`analyze:lifetime` has no reason; state the "
+                            "lifetime guarantee the continuation relies on")
+
     def check_discarded_status(self, path, raw_lines, lines):
         call_re = re.compile(
             r"^\s*(?:[A-Za-z_][\w]*(?:\.|->|::))*(" +
@@ -380,8 +429,15 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the lint rule names and summaries, then exit")
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
+
+    if args.list_rules:
+        for name in sorted(RULE_DOCS):
+            print(f"{name}: {RULE_DOCS[name]}")
+        return 0
 
     root = os.path.abspath(args.root)
     if not os.path.isdir(os.path.join(root, "src")):
